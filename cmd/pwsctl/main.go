@@ -1,0 +1,112 @@
+// Command pwsctl drives a simulated Phoenix-PWS cluster from the command
+// line: it boots a cluster with the PWS job management system, submits a
+// job stream described by flags, optionally injects a scheduler failure
+// mid-stream, and reports the outcome — a compact demonstration of the
+// paper's §5.4 workflow (Figure 9's start/stop/submit operations, minus
+// the web GUI).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pws"
+	"repro/internal/types"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 12, "jobs to submit")
+	width := flag.Int("width", 2, "nodes per job")
+	duration := flag.Duration("duration", 8*time.Second, "virtual run time per job")
+	walltime := flag.Duration("walltime", 0, "walltime limit per job (0 = unlimited)")
+	pools := flag.Int("pools", 2, "scheduling pools")
+	killSched := flag.Bool("kill-scheduler", false, "power off the scheduler's node mid-stream")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	spec := cluster.Small()
+	spec.Seed = *seed
+	spec.ExtraServices = map[types.PartitionID][]string{0: {types.SvcPWS}}
+	c, err := cluster.Build(spec)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := pws.Deploy(c, pws.Spec{
+		Partition:   0,
+		Pools:       pws.UniformPools(c, *pools),
+		SchedPeriod: time.Second,
+		UseBulletin: true,
+	}); err != nil {
+		fail(err)
+	}
+	c.WarmUp()
+
+	var client *pws.Client
+	proc := core.NewClientProc("pwsctl", 1, c.Topo.Partitions[1].Server)
+	proc.OnStart = func(cp *core.ClientProc) {
+		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
+		})
+		for i := 0; i < *jobs; i++ {
+			pool := fmt.Sprintf("pool%d", i%*pools)
+			client.Submit(pws.Job{
+				Pool: pool, Name: fmt.Sprintf("job-%d", i),
+				Duration: *duration, Width: *width, Walltime: *walltime,
+			}, func(ack pws.SubmitAck) {
+				if !ack.OK {
+					fmt.Printf("submit rejected: %s\n", ack.Err)
+				}
+			})
+		}
+	}
+	proc.OnMessage = func(cp *core.ClientProc, msg types.Message) { client.Handle(msg) }
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(proc); err != nil {
+		fail(err)
+	}
+	c.RunFor(2 * time.Second)
+
+	if *killSched {
+		victim := c.Topo.Partitions[0].Server
+		fmt.Printf("[%6.1fs] powering off scheduler node %v\n", c.Engine.Elapsed().Seconds(), victim)
+		c.Host(victim).PowerOff()
+	}
+
+	deadline := c.Engine.Elapsed() + 30*time.Minute
+	for c.Engine.Elapsed() < deadline {
+		c.RunFor(5 * time.Second)
+		st, ok := stat(c, client)
+		if !ok {
+			continue
+		}
+		fmt.Printf("[%6.1fs] queued=%d running=%d completed=%d requeued=%d timedout=%d\n",
+			c.Engine.Elapsed().Seconds(), st.Queued, st.Running, st.Completed, st.Requeued, st.TimedOut)
+		if st.Completed+st.TimedOut >= *jobs {
+			fmt.Printf("all %d jobs completed (scheduler now on %v)\n", *jobs, c.Kernel.ServerNode(0))
+			return
+		}
+	}
+	fail(fmt.Errorf("jobs did not complete within the virtual deadline"))
+}
+
+func stat(c *cluster.Cluster, client *pws.Client) (pws.StatAck, bool) {
+	var got *pws.StatAck
+	client.Stat(func(ack pws.StatAck, ok bool) {
+		if ok {
+			got = &ack
+		}
+	})
+	c.RunFor(time.Second)
+	if got == nil {
+		return pws.StatAck{}, false
+	}
+	return *got, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pwsctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Failover: walk the meta-group ring of Figure 3/4 through leader death,
+// princess death and service migration, printing the ring after every
+// step. The succession rules are the paper's: the Princess takes over a
+// dead Leader; the member next to a dead Princess takes her role; the ring
+// successor of any dead member drives its recovery, migrating the GSD and
+// its services to the partition's backup node.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+func main() {
+	spec := cluster.Small()
+	spec.Partitions = 5 // Figure 3 shows a five-member meta-group
+	spec.PartitionSize = 4
+	c, err := cluster.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.WarmUp()
+
+	show := func(label string) {
+		// Partition 4's GSD survives every fault below; read its view.
+		v := c.Kernel.GSD(4).Member().View()
+		fmt.Printf("%-44s %s\n", label, v)
+	}
+	show("boot:")
+
+	// Kill the Leader's node: the Princess (member 1) takes over and
+	// member 2 becomes the new Princess; member 1 also migrates member
+	// 0's GSD + services to partition 0's backup node.
+	leaderNode := c.Topo.Partitions[0].Server
+	c.Host(leaderNode).PowerOff()
+	c.RunFor(10 * time.Second)
+	show("leader node powered off:")
+	backup := c.Topo.Partitions[0].Backups[0]
+	for _, svc := range []string{types.SvcGSD, types.SvcES, types.SvcDB, types.SvcCkpt} {
+		if !c.Host(backup).Running(svc) {
+			log.Fatalf("service %s did not migrate to backup %v", svc, backup)
+		}
+	}
+	fmt.Printf("%-44s partition 0 services now on %v\n", "  migration:", backup)
+
+	// Kill the new Princess's GSD process: restarted in place by its ring
+	// successor; the princess role moves on.
+	princessNode := c.Topo.Partitions[2].Server
+	if err := c.Host(princessNode).Kill(types.SvcGSD); err != nil {
+		log.Fatal(err)
+	}
+	c.RunFor(10 * time.Second)
+	show("princess GSD process killed + restarted:")
+
+	// The migrated member still monitors its partition: kill a WD there.
+	victim := c.Topo.Partitions[0].Members[3]
+	if err := c.Host(victim).Kill(types.SvcWD); err != nil {
+		log.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if !c.Host(victim).Running(types.SvcWD) {
+		log.Fatal("migrated GSD failed to recover a WD")
+	}
+	fmt.Printf("%-44s WD on %v recovered by the migrated GSD\n", "  partition monitoring:", victim)
+	fmt.Println("failover walk complete")
+}

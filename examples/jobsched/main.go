@@ -1,0 +1,99 @@
+// Jobsched: run the Phoenix-PWS job management system of §5.4 — multiple
+// pools with different scheduling policies, dynamic leasing between pools,
+// and a scheduler that survives the death of its own node because the
+// group service migrates it (queues restored from the checkpoint service).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pws"
+	"repro/internal/types"
+)
+
+func main() {
+	spec := cluster.Small()
+	spec.ExtraServices = map[types.PartitionID][]string{0: {types.SvcPWS}}
+	c, err := cluster.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := c.Topo.ComputeNodes()
+	pools := []pws.PoolSpec{
+		{Name: "batch", Nodes: nodes[:8], Policy: pws.PolicyBackfill, AllowLease: true},
+		{Name: "urgent", Nodes: nodes[8:16], Policy: pws.PolicyPriority, AllowLease: true},
+	}
+	if _, err := pws.Deploy(c, pws.Spec{
+		Partition: 0, Pools: pools, SchedPeriod: time.Second, UseBulletin: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	c.WarmUp()
+
+	var client *pws.Client
+	proc := core.NewClientProc("driver", 1, c.Topo.Partitions[1].Server)
+	proc.OnStart = func(cp *core.ClientProc) {
+		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
+		})
+		// A wide batch job that must lease nodes from "urgent" (it needs
+		// 12, "batch" owns 8), plus a priority-ordered stream.
+		client.Submit(pws.Job{Pool: "batch", Name: "wide", Duration: 10 * time.Second, Width: 12}, nil)
+		for i := 0; i < 6; i++ {
+			client.Submit(pws.Job{
+				Pool: "urgent", Name: fmt.Sprintf("u%d", i),
+				Duration: 6 * time.Second, Width: 2, Priority: i,
+			}, nil)
+		}
+	}
+	proc.OnMessage = func(cp *core.ClientProc, msg types.Message) { client.Handle(msg) }
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(proc); err != nil {
+		log.Fatal(err)
+	}
+
+	printStat := func(label string) pws.StatAck {
+		var got pws.StatAck
+		client.Stat(func(ack pws.StatAck, ok bool) {
+			if ok {
+				got = ack
+			}
+		})
+		c.RunFor(time.Second)
+		fmt.Printf("[%6.1fs] %-26s queued=%d running=%d completed=%d requeued=%d",
+			c.Engine.Elapsed().Seconds(), label, got.Queued, got.Running, got.Completed, got.Requeued)
+		for _, p := range got.Pools {
+			fmt.Printf("  %s(free=%d leased=%d)", p.Name, p.Free, p.Leased)
+		}
+		fmt.Println()
+		return got
+	}
+
+	c.RunFor(3 * time.Second)
+	printStat("wide job leasing:")
+
+	// Kill the scheduler's node mid-run: the GSD meta-group migrates the
+	// scheduler (and the partition's kernel services) to the backup node,
+	// and the queues come back from the checkpoint federation.
+	schedNode := c.Topo.Partitions[0].Server
+	fmt.Printf("[%6.1fs] powering off the scheduler's node %v\n",
+		c.Engine.Elapsed().Seconds(), schedNode)
+	c.Host(schedNode).PowerOff()
+	c.RunFor(15 * time.Second)
+	printStat("after migration:")
+	fmt.Printf("          scheduler now on %v\n", c.Kernel.ServerNode(0))
+
+	// Drain everything.
+	deadline := c.Engine.Elapsed() + 10*time.Minute
+	for c.Engine.Elapsed() < deadline {
+		c.RunFor(10 * time.Second)
+		if st := printStat("draining:"); st.Completed == 7 {
+			fmt.Println("all 7 jobs completed across pools, policies, leasing and a scheduler migration")
+			return
+		}
+	}
+	log.Fatal("jobs did not drain")
+}

@@ -1,0 +1,76 @@
+// Quickstart: boot a 32-node Phoenix cluster, watch the kernel detect and
+// recover from a daemon failure, and read the cluster state through the
+// data bulletin federation — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func main() {
+	// 1. Build a cluster: 4 partitions of 8 nodes (1 server + 1 backup +
+	//    6 compute each), three networks per node, 1-second heartbeats.
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.WarmUp() // let every daemon finish its exec latency
+	fmt.Printf("booted %d nodes in %d partitions\n", c.Topo.NumNodes(), len(c.Topo.Partitions))
+
+	// 2. Spawn a client process that subscribes to failure/recovery
+	//    events through the event service.
+	events := make([]types.Event, 0)
+	client := core.NewClientProc("demo", 0, c.Topo.Partitions[0].Server)
+	client.OnStart = func(cp *core.ClientProc) {
+		cp.Events.Subscribe([]types.EventType{
+			types.EvProcFail, types.EvProcRecover, types.EvNodeFail, types.EvNodeRecover,
+		}, -1, "", func(ev types.Event) {
+			events = append(events, ev)
+			fmt.Printf("  [%5.1fs] event: %v\n", c.Engine.Elapsed().Seconds(), ev)
+		}, nil)
+	}
+	if _, err := c.Host(2).Spawn(client); err != nil {
+		log.Fatal(err)
+	}
+	c.RunFor(time.Second)
+
+	// 3. Kill a watch daemon. The partition's GSD misses its heartbeats,
+	//    probes the node's agent, diagnoses a process fault, and restarts
+	//    the daemon — all visible as kernel events.
+	victim := types.NodeID(12)
+	fmt.Printf("killing the watch daemon on %v\n", victim)
+	if err := c.Host(victim).Kill(types.SvcWD); err != nil {
+		log.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if !c.Host(victim).Running(types.SvcWD) {
+		log.Fatal("WD was not recovered")
+	}
+	fmt.Printf("watch daemon on %v is running again (%d events observed)\n", victim, len(events))
+
+	// 4. Query cluster-wide resource state through any bulletin instance
+	//    (single access point of the federation).
+	client2 := core.NewClientProc("query", 1, c.Topo.Partitions[1].Server)
+	client2.OnStart = func(cp *core.ClientProc) {
+		cp.Bulletin.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+			if !ok {
+				log.Fatal("bulletin query failed")
+			}
+			agg := bulletin.AggregateSnapshots(ack.Snapshots)
+			fmt.Printf("cluster state: %d nodes, avg CPU %.1f%%, avg mem %.1f%%, avg swap %.2f%%\n",
+				agg.Nodes, agg.AvgCPUPct, agg.AvgMemPct, agg.AvgSwapPct)
+		})
+	}
+	if _, err := c.Host(20).Spawn(client2); err != nil {
+		log.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	fmt.Println("quickstart done")
+}

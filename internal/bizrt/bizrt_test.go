@@ -1,0 +1,283 @@
+package bizrt_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bizrt"
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// bizClient drives an application: fetches frontends from the manager and
+// fires requests round-robin.
+type bizClient struct {
+	mgrNode types.NodeID
+	app     string
+	sla     bool // report latencies to the manager
+	h       *simhost.Handle
+	pending *rpc.Pending
+	fronts  []types.Addr
+	rr      int
+	nextID  uint64
+
+	oks, fails int
+	hops       [][]types.NodeID
+}
+
+func (c *bizClient) Service() string { return "bizclient" }
+func (c *bizClient) OnStop()         {}
+func (c *bizClient) Start(h *simhost.Handle) {
+	c.h = h
+	c.pending = rpc.NewPending(h)
+	c.refreshFronts()
+}
+func (c *bizClient) refreshFronts() {
+	tok := c.pending.New(time.Second, func(payload any) {
+		c.fronts = payload.(bizrt.FrontendsAck).Next
+	}, nil)
+	c.h.Send(types.Addr{Node: c.mgrNode, Service: "bizmgr/" + c.app}, types.AnyNIC,
+		bizrt.MsgFrontends, bizrt.FrontendsReq{Token: tok, App: c.app})
+}
+func (c *bizClient) fire() {
+	if len(c.fronts) == 0 {
+		c.refreshFronts()
+		return
+	}
+	c.nextID++
+	front := c.fronts[c.rr%len(c.fronts)]
+	c.rr++
+	c.h.Send(front, types.AnyNIC, bizrt.MsgRequest, bizrt.Request{
+		ID: c.nextID, App: c.app, ReplyTo: c.h.Self(), IssuedAt: c.h.Now(),
+	})
+}
+func (c *bizClient) Receive(msg types.Message) {
+	switch v := msg.Payload.(type) {
+	case bizrt.FrontendsAck:
+		c.pending.Resolve(v.Token, v)
+	case bizrt.Response:
+		if v.OK {
+			c.oks++
+			c.hops = append(c.hops, v.Hops)
+		} else {
+			c.fails++
+		}
+		if c.sla {
+			c.h.Send(types.Addr{Node: c.mgrNode, Service: "bizmgr/" + c.app}, types.AnyNIC,
+				bizrt.MsgLatency, bizrt.LatencyReport{
+					App: c.app, Latency: c.h.Now().Sub(v.IssuedAt), OK: v.OK,
+				})
+		}
+	}
+}
+
+func app() bizrt.AppSpec {
+	return bizrt.AppSpec{
+		Name: "shop",
+		Tiers: []bizrt.TierSpec{
+			{Name: "web", Replicas: 2, ServiceTime: 5 * time.Millisecond},
+			{Name: "logic", Replicas: 3, ServiceTime: 10 * time.Millisecond},
+			{Name: "db", Replicas: 2, ServiceTime: 8 * time.Millisecond},
+		},
+	}
+}
+
+func rig(t *testing.T) (*cluster.Cluster, *bizrt.Manager, *bizClient, []types.NodeID) {
+	t.Helper()
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range c.Topo.Nodes {
+		bizrt.RegisterInstanceFactory(c.Host(ni.ID))
+	}
+	candidates := c.Topo.ComputeNodes()[:8]
+	mgrNode := c.Topo.Partitions[0].Server
+	mgr := bizrt.NewManager(bizrt.ManagerSpec{
+		Partition: 0, App: app(), Candidates: candidates, CheckPeriod: time.Second,
+	})
+	if _, err := c.Host(mgrNode).Spawn(mgr); err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+	c.RunFor(2 * time.Second) // placement settles
+
+	cl := &bizClient{mgrNode: mgrNode, app: "shop"}
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(cl); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	return c, mgr, cl, candidates
+}
+
+func TestRequestsFlowThroughAllTiers(t *testing.T) {
+	c, _, cl, _ := rig(t)
+	for i := 0; i < 10; i++ {
+		cl.fire()
+		c.RunFor(100 * time.Millisecond)
+	}
+	if cl.oks != 10 || cl.fails != 0 {
+		t.Fatalf("oks=%d fails=%d", cl.oks, cl.fails)
+	}
+	for _, hops := range cl.hops {
+		if len(hops) != 3 {
+			t.Fatalf("request crossed %d tiers, want 3: %v", len(hops), hops)
+		}
+	}
+}
+
+func TestLoadBalancedAcrossReplicas(t *testing.T) {
+	c, _, cl, _ := rig(t)
+	for i := 0; i < 30; i++ {
+		cl.fire()
+		c.RunFor(50 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	if cl.oks < 28 {
+		t.Fatalf("oks=%d", cl.oks)
+	}
+	// Count distinct middle-tier nodes used: with 3 replicas and
+	// round-robin, all should serve.
+	middles := map[types.NodeID]bool{}
+	for _, hops := range cl.hops {
+		middles[hops[1]] = true
+	}
+	if len(middles) < 3 {
+		t.Fatalf("middle tier used %d replicas, want 3 (round-robin)", len(middles))
+	}
+}
+
+func TestInstanceProcessRestarted(t *testing.T) {
+	c, _, cl, candidates := rig(t)
+	// Find and kill one middle-tier instance process.
+	var victim types.NodeID = -1
+	var victimSvc string
+	for _, n := range candidates {
+		for _, svc := range c.Host(n).Procs() {
+			if len(svc) > 4 && svc[:4] == "biz/" && svc[len(svc)-3] == '1' {
+				victim, victimSvc = n, svc
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no middle-tier instance found")
+	}
+	if err := c.Host(victim).Kill(victimSvc); err != nil {
+		t.Fatal(err)
+	}
+	// The manager's reconcile respawns it within a couple of periods.
+	c.RunFor(3 * time.Second)
+	if !c.Host(victim).Running(victimSvc) {
+		t.Fatalf("instance %s not respawned on %v", victimSvc, victim)
+	}
+	cl.fire()
+	c.RunFor(time.Second)
+	if cl.oks == 0 {
+		t.Fatal("no successful request after instance restart")
+	}
+}
+
+func TestNodeDeathReplacesReplicas(t *testing.T) {
+	c, mgr, cl, candidates := rig(t)
+	// Kill a node hosting instances; the kernel's node-failure event
+	// reaches the manager, which re-places the replicas elsewhere.
+	victim := candidates[0]
+	c.Host(victim).PowerOff()
+	c.RunFor(10 * time.Second)
+	if mgr.Restarts == 0 {
+		t.Fatal("manager never re-placed replicas")
+	}
+	// Steady stream after recovery: all requests succeed and no hop
+	// touches the dead node.
+	cl.oks, cl.fails, cl.hops = 0, 0, nil
+	cl.refreshFronts()
+	c.RunFor(time.Second)
+	for i := 0; i < 10; i++ {
+		cl.fire()
+		c.RunFor(100 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	if cl.oks != 10 {
+		t.Fatalf("oks=%d fails=%d after node death", cl.oks, cl.fails)
+	}
+	for _, hops := range cl.hops {
+		for _, h := range hops {
+			if h == victim {
+				t.Fatalf("request routed through dead node: %v", hops)
+			}
+		}
+	}
+}
+
+func TestSLATracking(t *testing.T) {
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range c.Topo.Nodes {
+		bizrt.RegisterInstanceFactory(c.Host(ni.ID))
+	}
+	spec := app()
+	spec.SLA = 30 * time.Millisecond // 3 tiers × ~8ms service + hops fits
+	mgrNode := c.Topo.Partitions[0].Server
+	mgr := bizrt.NewManager(bizrt.ManagerSpec{
+		Partition: 0, App: spec, Candidates: c.Topo.ComputeNodes()[:8],
+		CheckPeriod: time.Second,
+	})
+	if _, err := c.Host(mgrNode).Spawn(mgr); err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+	c.RunFor(2 * time.Second)
+
+	cl := &bizClient{mgrNode: mgrNode, app: "shop", sla: true}
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(cl); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	for i := 0; i < 20; i++ {
+		cl.fire()
+		c.RunFor(100 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	if mgr.Requests < 20 {
+		t.Fatalf("manager saw %d latency reports", mgr.Requests)
+	}
+	// All three tiers total ~23ms service time plus sub-ms hops: inside
+	// the 30ms SLA.
+	if mgr.SLAViolations != 0 {
+		t.Fatalf("violations = %d (mean %v)", mgr.SLAViolations, mgr.MeanLatency())
+	}
+	if mean := mgr.MeanLatency(); mean < 20*time.Millisecond || mean > 30*time.Millisecond {
+		t.Fatalf("mean latency = %v, want ~23ms", mean)
+	}
+	// Tighten the agreement below the service floor: everything violates.
+	mgr2 := bizrt.NewManager(bizrt.ManagerSpec{
+		Partition: 0, App: func() bizrt.AppSpec { s := app(); s.Name = "tight"; s.SLA = time.Millisecond; return s }(),
+		Candidates: c.Topo.ComputeNodes()[8:16], CheckPeriod: time.Second,
+	})
+	if _, err := c.Host(mgrNode).Spawn(mgr2); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	cl2 := &bizClient{mgrNode: mgrNode, app: "tight", sla: true}
+	if _, err := c.Host(c.Topo.Partitions[1].Members[4]).Spawn(cl2); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	for i := 0; i < 10; i++ {
+		cl2.fire()
+		c.RunFor(100 * time.Millisecond)
+	}
+	c.RunFor(time.Second)
+	if mgr2.SLAViolations != mgr2.Requests-mgr2.FailedReqs || mgr2.SLAViolations == 0 {
+		t.Fatalf("tight SLA: violations=%d requests=%d failed=%d",
+			mgr2.SLAViolations, mgr2.Requests, mgr2.FailedReqs)
+	}
+}

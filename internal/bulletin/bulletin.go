@@ -1,0 +1,283 @@
+// Package bulletin implements the Phoenix data bulletin service (paper
+// §4.2, §4.4): an in-memory database storing the cluster-wide physical
+// resource and application state. One instance runs per partition; the
+// detectors of a partition export their samples to it. The instances form
+// a complete-graph federation: a client can query any instance and receive
+// cluster-wide information (single access point), assembled by
+// scatter-gather over the peers. If one instance is down, only its
+// partition's state is unavailable (paper Figure 5).
+package bulletin
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/federation"
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Message types of the data bulletin service.
+const (
+	MsgPut      = "db.put"
+	MsgQuery    = "db.query"
+	MsgResult   = "db.result"
+	MsgFetch    = "db.fetch"
+	MsgFetchAck = "db.fetch.ack"
+)
+
+// Scope selects how much of the cluster a query covers.
+type Scope int
+
+const (
+	ScopePartition Scope = iota // only the receiving instance's partition
+	ScopeCluster                // scatter-gather across the federation
+)
+
+// PutReq stores one sample. Exactly one of Res/App is meaningful,
+// according to Kind.
+type PutReq struct {
+	Kind string // "res" or "app"
+	Res  types.ResourceStats
+	App  types.AppState
+}
+
+// WireSize implements codec.Sizer: detector exports are the bulletin's hot
+// path.
+func (PutReq) WireSize() int { return 96 }
+
+// QueryReq asks for resource and application state.
+type QueryReq struct {
+	Token uint64
+	Scope Scope
+}
+
+// WireSize implements codec.Sizer.
+func (QueryReq) WireSize() int { return 16 }
+
+// Snapshot is one partition's worth of bulletin data.
+type Snapshot struct {
+	Partition types.PartitionID
+	Res       []types.ResourceStats
+	Apps      []types.AppState
+}
+
+// QueryAck answers a query. Missing lists partitions whose instance did
+// not answer (failed or unreachable).
+type QueryAck struct {
+	Token     uint64
+	Snapshots []Snapshot
+	Missing   []types.PartitionID
+	Stale     bool // served from the instance's federation cache
+}
+
+// FetchReq asks a peer for its partition snapshot.
+type FetchReq struct{ Token uint64 }
+
+// WireSize implements codec.Sizer.
+func (FetchReq) WireSize() int { return 8 }
+
+// FetchAck answers a fetch.
+type FetchAck struct {
+	Token uint64
+	Snap  Snapshot
+}
+
+func init() {
+	codec.Register(PutReq{})
+	codec.Register(QueryReq{})
+	codec.Register(QueryAck{})
+	codec.Register(FetchReq{})
+	codec.Register(FetchAck{})
+}
+
+// Config tunes an instance.
+type Config struct {
+	FetchTimeout time.Duration // per-peer scatter-gather deadline
+	CacheTTL     time.Duration // how long a federation snapshot is served from cache
+	EntryTTL     time.Duration // samples older than this are dropped from results; 0 = keep all
+}
+
+// Service is one data bulletin instance.
+type Service struct {
+	part types.PartitionID
+	view federation.View
+	cfg  Config
+
+	rt      rt.Runtime
+	pending *rpc.Pending
+
+	res  map[types.NodeID]types.ResourceStats
+	apps map[string]types.AppState // keyed by node/proc
+
+	cache     []Snapshot
+	cacheMiss []types.PartitionID
+	cacheAt   time.Time
+}
+
+// NewService builds a bulletin instance.
+func NewService(part types.PartitionID, view federation.View, cfg Config) *Service {
+	return &Service{
+		part: part, view: view.Clone(), cfg: cfg,
+		res:  make(map[types.NodeID]types.ResourceStats),
+		apps: make(map[string]types.AppState),
+	}
+}
+
+// Service implements simhost.Process.
+func (s *Service) Service() string { return types.SvcDB }
+
+// Start implements simhost.Process.
+func (s *Service) Start(h *simhost.Handle) {
+	s.rt = h
+	s.pending = rpc.NewPending(h)
+}
+
+// OnStop implements simhost.Process.
+func (s *Service) OnStop() {}
+
+// Entries reports the number of resource records held locally.
+func (s *Service) Entries() int { return len(s.res) }
+
+// Receive implements simhost.Process.
+func (s *Service) Receive(msg types.Message) {
+	switch msg.Type {
+	case MsgPut:
+		req, ok := msg.Payload.(PutReq)
+		if !ok {
+			return
+		}
+		switch req.Kind {
+		case "res":
+			s.res[req.Res.Node] = req.Res
+		case "app":
+			key := req.App.Node.String() + "/" + req.App.Name
+			if req.App.Alive {
+				s.apps[key] = req.App
+			} else {
+				delete(s.apps, key)
+			}
+		}
+	case MsgQuery:
+		req, ok := msg.Payload.(QueryReq)
+		if !ok {
+			return
+		}
+		s.query(msg.From, req)
+	case MsgFetch:
+		req, ok := msg.Payload.(FetchReq)
+		if !ok {
+			return
+		}
+		s.rt.Send(msg.From, types.AnyNIC, MsgFetchAck, FetchAck{Token: req.Token, Snap: s.local()})
+	case MsgFetchAck:
+		ack, ok := msg.Payload.(FetchAck)
+		if !ok {
+			return
+		}
+		s.pending.Resolve(ack.Token, ack)
+	case federation.MsgView:
+		if vm, ok := msg.Payload.(federation.ViewMsg); ok {
+			s.view.Adopt(vm.View)
+		}
+	}
+}
+
+// local assembles this instance's partition snapshot, applying the entry
+// TTL.
+func (s *Service) local() Snapshot {
+	snap := Snapshot{Partition: s.part}
+	now := s.rt.Now()
+	for _, r := range s.res {
+		if s.cfg.EntryTTL > 0 && now.Sub(r.Collected) > s.cfg.EntryTTL {
+			continue
+		}
+		snap.Res = append(snap.Res, r)
+	}
+	for _, a := range s.apps {
+		if s.cfg.EntryTTL > 0 && now.Sub(a.Updated) > s.cfg.EntryTTL {
+			continue
+		}
+		snap.Apps = append(snap.Apps, a)
+	}
+	return snap
+}
+
+func (s *Service) query(replyTo types.Addr, req QueryReq) {
+	if req.Scope == ScopePartition {
+		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
+			Token: req.Token, Snapshots: []Snapshot{s.local()},
+		})
+		return
+	}
+	// Cluster scope: serve from cache when fresh, else scatter-gather.
+	now := s.rt.Now()
+	if !s.cacheAt.IsZero() && now.Sub(s.cacheAt) <= s.cfg.CacheTTL {
+		snaps := append([]Snapshot{s.local()}, s.cache...)
+		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
+			Token: req.Token, Snapshots: snaps,
+			Missing: s.cacheMiss, Stale: true,
+		})
+		return
+	}
+	peers := s.view.PeerAddrs(s.part, types.SvcDB)
+	// Partitions absent from the view's alive set are missing a priori.
+	var missing []types.PartitionID
+	for _, p := range s.view.Partitions() {
+		if p == s.part {
+			continue
+		}
+		if e := s.view.Entries[p]; !e.Alive {
+			missing = append(missing, p)
+		}
+	}
+	if len(peers) == 0 {
+		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
+			Token: req.Token, Snapshots: []Snapshot{s.local()}, Missing: missing,
+		})
+		return
+	}
+	gathered := make([]Snapshot, 0, len(peers)+1)
+	remaining := len(peers)
+	finish := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		s.cache = gathered
+		s.cacheMiss = missing
+		s.cacheAt = s.rt.Now()
+		snaps := append([]Snapshot{s.local()}, gathered...)
+		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
+			Token: req.Token, Snapshots: snaps, Missing: missing,
+		})
+	}
+	for i, peer := range peers {
+		peerPart := s.peerPartition(peer)
+		_ = i
+		tok := s.pending.New(s.cfg.FetchTimeout,
+			func(payload any) {
+				ack := payload.(FetchAck)
+				gathered = append(gathered, ack.Snap)
+				finish()
+			},
+			func() {
+				missing = append(missing, peerPart)
+				finish()
+			})
+		s.rt.Send(peer, types.AnyNIC, MsgFetch, FetchReq{Token: tok})
+	}
+}
+
+func (s *Service) peerPartition(addr types.Addr) types.PartitionID {
+	for p, e := range s.view.Entries {
+		if e.Node == addr.Node {
+			return p
+		}
+	}
+	return -1
+}
+
+var _ simhost.Process = (*Service)(nil)

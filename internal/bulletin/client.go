@@ -1,0 +1,96 @@
+package bulletin
+
+import (
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Client is the query/export interface to the bulletin federation, embedded
+// in detectors (export) and user environments (query): GridView and PWS
+// "collect cluster-wide performance data by calling a single interface of
+// the data bulletin service federation" (paper §5.3).
+type Client struct {
+	rt      rt.Runtime
+	pending *rpc.Pending
+	target  func() (types.Addr, bool)
+	timeout time.Duration
+}
+
+// NewClient builds a client; target resolves the bulletin instance used as
+// the federation access point.
+func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout}
+}
+
+// ExportResources pushes a physical-resource sample (fire-and-forget).
+func (c *Client) ExportResources(res types.ResourceStats) {
+	if addr, ok := c.target(); ok {
+		c.rt.Send(addr, types.AnyNIC, MsgPut, PutReq{Kind: "res", Res: res})
+	}
+}
+
+// ExportApp pushes an application-state sample (fire-and-forget).
+func (c *Client) ExportApp(app types.AppState) {
+	if addr, ok := c.target(); ok {
+		c.rt.Send(addr, types.AnyNIC, MsgPut, PutReq{Kind: "app", App: app})
+	}
+}
+
+// Query requests resource/application state at the given scope; done
+// receives the answer, or ok=false on timeout.
+func (c *Client) Query(scope Scope, done func(ack QueryAck, ok bool)) {
+	addr, found := c.target()
+	if !found {
+		done(QueryAck{}, false)
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) { done(payload.(QueryAck), true) },
+		func() { done(QueryAck{}, false) })
+	c.rt.Send(addr, types.AnyNIC, MsgQuery, QueryReq{Token: tok, Scope: scope})
+}
+
+// Handle routes bulletin replies arriving at the owning daemon; it reports
+// whether the message was consumed.
+func (c *Client) Handle(msg types.Message) bool {
+	if msg.Type != MsgResult {
+		return false
+	}
+	if ack, ok := msg.Payload.(QueryAck); ok {
+		c.pending.Resolve(ack.Token, ack)
+	}
+	return true
+}
+
+// Aggregate summarises snapshots into the cluster-wide averages GridView
+// displays (paper Figure 6: average CPU, memory and swap usage).
+type Aggregate struct {
+	Nodes      int
+	AvgCPUPct  float64
+	AvgMemPct  float64
+	AvgSwapPct float64
+	Apps       int
+}
+
+// Aggregate computes usage averages over a query result.
+func AggregateSnapshots(snaps []Snapshot) Aggregate {
+	var agg Aggregate
+	for _, s := range snaps {
+		for _, r := range s.Res {
+			agg.Nodes++
+			agg.AvgCPUPct += r.CPUPct
+			agg.AvgMemPct += r.MemPct
+			agg.AvgSwapPct += r.SwapPct
+		}
+		agg.Apps += len(s.Apps)
+	}
+	if agg.Nodes > 0 {
+		agg.AvgCPUPct /= float64(agg.Nodes)
+		agg.AvgMemPct /= float64(agg.Nodes)
+		agg.AvgSwapPct /= float64(agg.Nodes)
+	}
+	return agg
+}

@@ -1,0 +1,283 @@
+// Package checkpoint implements the Phoenix checkpoint service (paper
+// §4.2): upper-layer services save their own state by calling the
+// checkpoint interface, and a recovered or migrated daemon retrieves that
+// state to resume where its predecessor stopped. One instance runs per
+// partition; instances replicate every save to their federation peers, so
+// a partition-server failure loses nothing.
+package checkpoint
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/federation"
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Message types of the checkpoint service.
+const (
+	MsgSave       = "ckpt.save"
+	MsgSaveAck    = "ckpt.save.ack"
+	MsgRestore    = "ckpt.restore"
+	MsgRestoreAck = "ckpt.restore.ack"
+	MsgDelete     = "ckpt.delete"
+	MsgDeleteAck  = "ckpt.delete.ack"
+	MsgRepl       = "ckpt.repl"
+	MsgFetch      = "ckpt.fetch"
+	MsgFetchAck   = "ckpt.fetch.ack"
+)
+
+// SaveReq stores a state snapshot under an owner key (e.g. "es/part3").
+// Version is the client's monotonic counter for the owner; the store keeps
+// the highest version, so saves that reorder in flight cannot roll state
+// back.
+type SaveReq struct {
+	Token   uint64
+	Owner   string
+	Version uint64
+	Data    []byte
+}
+
+// SaveAck confirms a save.
+type SaveAck struct {
+	Token uint64
+	Seq   uint64
+}
+
+// RestoreReq retrieves the latest snapshot for an owner.
+type RestoreReq struct {
+	Token uint64
+	Owner string
+}
+
+// RestoreAck returns the snapshot, if any instance of the federation holds
+// one.
+type RestoreAck struct {
+	Token uint64
+	Found bool
+	Seq   uint64
+	Data  []byte
+}
+
+// DeleteReq removes an owner's snapshots federation-wide. Version follows
+// the same monotonic rule as SaveReq.
+type DeleteReq struct {
+	Token   uint64
+	Owner   string
+	Version uint64
+}
+
+// DeleteAck confirms a delete.
+type DeleteAck struct{ Token uint64 }
+
+// Repl replicates a record (or tombstone) to peers.
+type Repl struct {
+	Owner   string
+	Seq     uint64
+	Data    []byte
+	Deleted bool
+}
+
+// FetchReq asks a peer for its newest record of an owner.
+type FetchReq struct {
+	Token uint64
+	Owner string
+}
+
+// FetchAck answers a fetch.
+type FetchAck struct {
+	Token uint64
+	Found bool
+	Seq   uint64
+	Data  []byte
+}
+
+func init() {
+	codec.Register(SaveReq{})
+	codec.Register(SaveAck{})
+	codec.Register(RestoreReq{})
+	codec.Register(RestoreAck{})
+	codec.Register(DeleteReq{})
+	codec.Register(DeleteAck{})
+	codec.Register(Repl{})
+	codec.Register(FetchReq{})
+	codec.Register(FetchAck{})
+}
+
+type record struct {
+	seq     uint64
+	data    []byte
+	deleted bool
+}
+
+// Service is one checkpoint instance.
+type Service struct {
+	part    types.PartitionID
+	view    federation.View
+	fetchTO time.Duration
+
+	rt      rt.Runtime
+	pending *rpc.Pending
+	store   map[string]record
+}
+
+// NewService builds a checkpoint instance for a partition with an initial
+// federation view.
+func NewService(part types.PartitionID, view federation.View, fetchTimeout time.Duration) *Service {
+	return &Service{part: part, view: view.Clone(), fetchTO: fetchTimeout,
+		store: make(map[string]record)}
+}
+
+// Service implements simhost.Process.
+func (s *Service) Service() string { return types.SvcCkpt }
+
+// Start implements simhost.Process.
+func (s *Service) Start(h *simhost.Handle) {
+	s.rt = h
+	s.pending = rpc.NewPending(h)
+}
+
+// OnStop implements simhost.Process.
+func (s *Service) OnStop() {}
+
+// Len reports the number of live (non-tombstone) records held locally.
+func (s *Service) Len() int {
+	n := 0
+	for _, r := range s.store {
+		if !r.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Receive implements simhost.Process.
+func (s *Service) Receive(msg types.Message) {
+	switch msg.Type {
+	case MsgSave:
+		req, ok := msg.Payload.(SaveReq)
+		if !ok {
+			return
+		}
+		seq := s.apply(req.Owner, req.Version, record{data: req.Data})
+		s.rt.Send(msg.From, types.AnyNIC, MsgSaveAck, SaveAck{Token: req.Token, Seq: seq})
+	case MsgDelete:
+		req, ok := msg.Payload.(DeleteReq)
+		if !ok {
+			return
+		}
+		s.apply(req.Owner, req.Version, record{deleted: true})
+		s.rt.Send(msg.From, types.AnyNIC, MsgDeleteAck, DeleteAck{Token: req.Token})
+	case MsgRepl:
+		rep, ok := msg.Payload.(Repl)
+		if !ok {
+			return
+		}
+		if cur := s.store[rep.Owner]; rep.Seq > cur.seq {
+			s.store[rep.Owner] = record{seq: rep.Seq, data: rep.Data, deleted: rep.Deleted}
+		}
+	case MsgRestore:
+		req, ok := msg.Payload.(RestoreReq)
+		if !ok {
+			return
+		}
+		s.restore(msg.From, req)
+	case MsgFetch:
+		req, ok := msg.Payload.(FetchReq)
+		if !ok {
+			return
+		}
+		rec, found := s.store[req.Owner]
+		s.rt.Send(msg.From, types.AnyNIC, MsgFetchAck, FetchAck{
+			Token: req.Token, Found: found && !rec.deleted, Seq: rec.seq, Data: rec.data,
+		})
+	case MsgFetchAck:
+		ack, ok := msg.Payload.(FetchAck)
+		if !ok {
+			return
+		}
+		s.pending.Resolve(ack.Token, ack)
+	case federation.MsgView:
+		if vm, ok := msg.Payload.(federation.ViewMsg); ok {
+			s.view.Adopt(vm.View)
+		}
+	}
+}
+
+// apply stores a record under the owner at the given version (0 means
+// "next"), ignoring versions at or below the current one, and replicates
+// accepted records. It returns the owner's current sequence.
+func (s *Service) apply(owner string, version uint64, rec record) uint64 {
+	cur := s.store[owner]
+	if version == 0 {
+		version = cur.seq + 1
+	}
+	if version <= cur.seq {
+		return cur.seq // stale or duplicate
+	}
+	rec.seq = version
+	s.store[owner] = rec
+	s.replicate(owner, rec)
+	return version
+}
+
+func (s *Service) replicate(owner string, rec record) {
+	rep := Repl{Owner: owner, Seq: rec.seq, Data: rec.data, Deleted: rec.deleted}
+	for _, peer := range s.view.PeerAddrs(s.part, types.SvcCkpt) {
+		s.rt.Send(peer, types.AnyNIC, MsgRepl, rep)
+	}
+}
+
+// restore serves a restore request: the local record if present, otherwise
+// the newest record any federation peer holds (the migration path — a
+// freshly spawned instance on a backup node starts empty).
+func (s *Service) restore(replyTo types.Addr, req RestoreReq) {
+	if rec, ok := s.store[req.Owner]; ok {
+		s.rt.Send(replyTo, types.AnyNIC, MsgRestoreAck, RestoreAck{
+			Token: req.Token, Found: !rec.deleted, Seq: rec.seq, Data: rec.data,
+		})
+		return
+	}
+	peers := s.view.PeerAddrs(s.part, types.SvcCkpt)
+	if len(peers) == 0 {
+		s.rt.Send(replyTo, types.AnyNIC, MsgRestoreAck, RestoreAck{Token: req.Token})
+		return
+	}
+	best := record{}
+	found := false
+	remaining := len(peers)
+	finish := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if found && !best.deleted {
+			// Adopt the fetched record locally so subsequent restores
+			// are served without refetching.
+			s.store[req.Owner] = best
+			s.rt.Send(replyTo, types.AnyNIC, MsgRestoreAck, RestoreAck{
+				Token: req.Token, Found: true, Seq: best.seq, Data: best.data,
+			})
+			return
+		}
+		s.rt.Send(replyTo, types.AnyNIC, MsgRestoreAck, RestoreAck{Token: req.Token})
+	}
+	for _, peer := range peers {
+		tok := s.pending.New(s.fetchTO,
+			func(payload any) {
+				ack := payload.(FetchAck)
+				if ack.Found && ack.Seq > best.seq {
+					best = record{seq: ack.Seq, data: ack.Data}
+					found = true
+				}
+				finish()
+			},
+			finish)
+		s.rt.Send(peer, types.AnyNIC, MsgFetch, FetchReq{Token: tok, Owner: req.Owner})
+	}
+}
+
+var _ simhost.Process = (*Service)(nil)

@@ -1,0 +1,218 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// ownerProc hosts a checkpoint client as a daemon.
+type ownerProc struct {
+	client *checkpoint.Client
+	target types.NodeID
+}
+
+func (p *ownerProc) Service() string { return "owner" }
+func (p *ownerProc) OnStop()         {}
+func (p *ownerProc) Start(h *simhost.Handle) {
+	p.client = checkpoint.NewClient(h, time.Second, func() (types.Addr, bool) {
+		return types.Addr{Node: p.target, Service: types.SvcCkpt}, true
+	})
+}
+func (p *ownerProc) Receive(msg types.Message) { p.client.Handle(msg) }
+
+// rig: 3 partition servers (nodes 0,1,2) each with a ckpt instance, plus an
+// owner client on node 3 talking to node 0's instance.
+func rig(t *testing.T) (*sim.Engine, []*simhost.Host, []*checkpoint.Service, *ownerProc) {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 4, simnet.DefaultParams(), metrics.NewRegistry())
+	view := federation.NewView(map[types.PartitionID]types.NodeID{0: 0, 1: 1, 2: 2})
+	hosts := make([]*simhost.Host, 4)
+	svcs := make([]*checkpoint.Service, 3)
+	for i := range hosts {
+		hosts[i] = simhost.New(types.NodeID(i), net, eng, eng.Rand(), simhost.DefaultCosts())
+	}
+	for i := 0; i < 3; i++ {
+		svcs[i] = checkpoint.NewService(types.PartitionID(i), view, 250*time.Millisecond)
+		if _, err := hosts[i].Spawn(svcs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner := &ownerProc{target: 0}
+	if _, err := hosts[3].Spawn(owner); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(500 * time.Millisecond)
+	return eng, hosts, svcs, owner
+}
+
+func TestSaveRestoreLocal(t *testing.T) {
+	eng, _, _, owner := rig(t)
+	saved := false
+	owner.client.Save("es/0", []byte("state-v1"), func(ok bool) { saved = ok })
+	eng.RunFor(time.Second)
+	if !saved {
+		t.Fatal("save not acked")
+	}
+	var got []byte
+	found := false
+	owner.client.Restore("es/0", func(data []byte, ok bool) { got, found = data, ok })
+	eng.RunFor(time.Second)
+	if !found || !bytes.Equal(got, []byte("state-v1")) {
+		t.Fatalf("restore: found=%v data=%q", found, got)
+	}
+}
+
+func TestSaveReplicatesToPeers(t *testing.T) {
+	eng, _, svcs, owner := rig(t)
+	owner.client.Save("pws/0", []byte("queue"), nil)
+	eng.RunFor(time.Second)
+	for i, s := range svcs {
+		if s.Len() != 1 {
+			t.Fatalf("instance %d holds %d records, want replicated copy", i, s.Len())
+		}
+	}
+}
+
+func TestRestoreFromPeersAfterLocalLoss(t *testing.T) {
+	eng, hosts, _, owner := rig(t)
+	owner.client.Save("es/0", []byte("precious"), nil)
+	eng.RunFor(time.Second)
+	// Kill instance 0 and start a fresh, empty one on the same node (the
+	// migration/restart path).
+	if err := hosts[0].Kill(types.SvcCkpt); err != nil {
+		t.Fatal(err)
+	}
+	view := federation.NewView(map[types.PartitionID]types.NodeID{0: 0, 1: 1, 2: 2})
+	fresh := checkpoint.NewService(0, view, 250*time.Millisecond)
+	if _, err := hosts[0].Spawn(fresh); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(time.Second)
+	var got []byte
+	found := false
+	owner.client.Restore("es/0", func(data []byte, ok bool) { got, found = data, ok })
+	eng.RunFor(2 * time.Second)
+	if !found || !bytes.Equal(got, []byte("precious")) {
+		t.Fatalf("peer restore: found=%v data=%q", found, got)
+	}
+	// The fetched record was adopted locally.
+	if fresh.Len() != 1 {
+		t.Fatalf("fresh instance did not adopt the fetched record: %d", fresh.Len())
+	}
+}
+
+func TestVersioningTolleratesReorder(t *testing.T) {
+	eng, _, _, owner := rig(t)
+	// Fire many saves back to back; network jitter may reorder them, but
+	// the client's versions make the newest content win.
+	for i := 0; i < 20; i++ {
+		owner.client.Save("es/0", []byte{byte(i)}, nil)
+	}
+	eng.RunFor(time.Second)
+	var got []byte
+	owner.client.Restore("es/0", func(data []byte, ok bool) { got = data })
+	eng.RunFor(time.Second)
+	if len(got) != 1 || got[0] != 19 {
+		t.Fatalf("restored %v, want the last save (19)", got)
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	eng, _, svcs, owner := rig(t)
+	owner.client.Save("es/0", []byte("x"), nil)
+	eng.RunFor(time.Second)
+	deleted := false
+	owner.client.Delete("es/0", func(ok bool) { deleted = ok })
+	eng.RunFor(time.Second)
+	if !deleted {
+		t.Fatal("delete not acked")
+	}
+	found := true
+	owner.client.Restore("es/0", func(data []byte, ok bool) { found = ok })
+	eng.RunFor(time.Second)
+	if found {
+		t.Fatal("deleted owner still restorable")
+	}
+	for i, s := range svcs {
+		if s.Len() != 0 {
+			t.Fatalf("instance %d still counts deleted record", i)
+		}
+	}
+}
+
+func TestRestoreMissingOwner(t *testing.T) {
+	eng, _, _, owner := rig(t)
+	found := true
+	owner.client.Restore("never/saved", func(data []byte, ok bool) { found = ok })
+	eng.RunFor(2 * time.Second)
+	if found {
+		t.Fatal("missing owner reported found")
+	}
+}
+
+func TestRestoreTimesOutAgainstDeadInstance(t *testing.T) {
+	eng, hosts, _, owner := rig(t)
+	// Kill the client's target instance entirely: Restore must report
+	// not-found via its timeout rather than hang.
+	if err := hosts[0].Kill(types.SvcCkpt); err != nil {
+		t.Fatal(err)
+	}
+	done, found := false, true
+	owner.client.Restore("es/0", func(data []byte, ok bool) { done, found = true, ok })
+	eng.RunFor(3 * time.Second)
+	if !done || found {
+		t.Fatalf("dead-instance restore: done=%v found=%v", done, found)
+	}
+}
+
+// simnetNew builds a single-node fabric with jitter for the property test.
+func simnetNew(eng *sim.Engine) *simnet.Network {
+	p := simnet.DefaultParams()
+	p.Jitter = 200 * time.Microsecond // widen reordering windows
+	return simnet.New(eng, eng.Rand(), 1, p, metrics.NewRegistry())
+}
+
+// Property: for any interleaving of versioned saves (modelled by shuffling
+// arrival order), the store converges to the highest version's content.
+func TestPropertyVersionedLWW(t *testing.T) {
+	f := func(order []uint8) bool {
+		eng := sim.New(3)
+		net := simnetNew(eng)
+		host := simhost.New(0, net, eng, eng.Rand(), simhost.DefaultCosts())
+		view := federation.NewView(map[types.PartitionID]types.NodeID{0: 0})
+		svc := checkpoint.NewService(0, view, 100*time.Millisecond)
+		if _, err := host.Spawn(svc); err != nil {
+			return false
+		}
+		owner := &ownerProc{target: 0}
+		if _, err := host.Spawn(owner); err != nil {
+			return false
+		}
+		eng.RunFor(500 * time.Millisecond)
+		// Issue versioned saves; the client numbers them 1..n in issue
+		// order regardless of the randomised delivery jitter.
+		n := len(order)%8 + 2
+		for i := 0; i < n; i++ {
+			owner.client.Save("x", []byte{byte(i)}, nil)
+		}
+		eng.RunFor(time.Second)
+		var got []byte
+		owner.client.Restore("x", func(data []byte, ok bool) { got = data })
+		eng.RunFor(time.Second)
+		return len(got) == 1 && got[0] == byte(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

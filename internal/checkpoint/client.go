@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Client is the checkpoint interface embedded in upper-layer daemons
+// (event service, PWS scheduler): the paper's model is that services save
+// and delete their own state by calling the checkpoint service.
+type Client struct {
+	rt       rt.Runtime
+	pending  *rpc.Pending
+	target   func() (types.Addr, bool) // current checkpoint instance to talk to
+	timeout  time.Duration
+	versions map[string]uint64 // per-owner monotonic save versions
+}
+
+// NewClient builds a client. target resolves the checkpoint instance at
+// call time (it changes when services migrate).
+func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout,
+		versions: make(map[string]uint64)}
+}
+
+// Save stores a snapshot; done (optional) reports success.
+func (c *Client) Save(owner string, data []byte, done func(ok bool)) {
+	addr, ok := c.target()
+	if !ok {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(any) {
+			if done != nil {
+				done(true)
+			}
+		},
+		func() {
+			if done != nil {
+				done(false)
+			}
+		})
+	c.versions[owner]++
+	c.rt.Send(addr, types.AnyNIC, MsgSave, SaveReq{
+		Token: tok, Owner: owner, Version: c.versions[owner], Data: data,
+	})
+}
+
+// Restore retrieves the newest snapshot; done receives (nil, false) when no
+// instance holds one or the request times out.
+func (c *Client) Restore(owner string, done func(data []byte, found bool)) {
+	addr, ok := c.target()
+	if !ok {
+		done(nil, false)
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) {
+			ack := payload.(RestoreAck)
+			// Resume versioning above the restored state so later saves
+			// supersede it.
+			if ack.Seq > c.versions[owner] {
+				c.versions[owner] = ack.Seq
+			}
+			done(ack.Data, ack.Found)
+		},
+		func() { done(nil, false) })
+	c.rt.Send(addr, types.AnyNIC, MsgRestore, RestoreReq{Token: tok, Owner: owner})
+}
+
+// Delete removes an owner's snapshots federation-wide.
+func (c *Client) Delete(owner string, done func(ok bool)) {
+	addr, ok := c.target()
+	if !ok {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(any) {
+			if done != nil {
+				done(true)
+			}
+		},
+		func() {
+			if done != nil {
+				done(false)
+			}
+		})
+	c.versions[owner]++
+	c.rt.Send(addr, types.AnyNIC, MsgDelete, DeleteReq{
+		Token: tok, Owner: owner, Version: c.versions[owner],
+	})
+}
+
+// Handle routes checkpoint acks arriving at the owning daemon; it reports
+// whether the message was consumed.
+func (c *Client) Handle(msg types.Message) bool {
+	switch msg.Type {
+	case MsgSaveAck:
+		if ack, ok := msg.Payload.(SaveAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgRestoreAck:
+		if ack, ok := msg.Payload.(RestoreAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgDeleteAck:
+		if ack, ok := msg.Payload.(DeleteAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	}
+	return false
+}

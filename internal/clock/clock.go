@@ -1,0 +1,92 @@
+// Package clock abstracts time so that every Phoenix kernel service can run
+// either under the deterministic discrete-event simulator (virtual time) or
+// under the real wall clock. Services never import package time for
+// scheduling; they take a Clock.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call stopped the
+	// timer before its callback ran (or started running).
+	Stop() bool
+}
+
+// Clock supplies the current time and one-shot callback scheduling. A
+// repeating tick is built from AfterFunc by re-arming inside the callback;
+// the ticker helper below does exactly that.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Real is a Clock backed by the runtime's wall clock.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc schedules f on the wall clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+// It is safe to stop from inside the callback.
+type Ticker struct {
+	mu      sync.Mutex
+	clk     Clock
+	period  time.Duration
+	fn      func()
+	timer   Timer
+	stopped bool
+}
+
+// NewTicker starts a ticker that calls fn every period. The first call
+// happens one period from now.
+func NewTicker(clk Clock, period time.Duration, fn func()) *Ticker {
+	t := &Ticker{clk: clk, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.timer = t.clk.AfterFunc(t.period, t.fire)
+}
+
+func (t *Ticker) fire() {
+	t.mu.Lock()
+	stopped := t.stopped
+	t.mu.Unlock()
+	if stopped {
+		return
+	}
+	t.fn()
+	t.arm()
+}
+
+// Stop cancels the ticker. No callbacks run after Stop returns when called
+// from outside the callback; when called from inside, the current callback
+// finishes but no further ones fire.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	timer := t.timer
+	t.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+}

@@ -1,0 +1,146 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealAfterFunc(t *testing.T) {
+	var clk Real
+	ch := make(chan struct{})
+	clk.AfterFunc(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	var clk Real
+	fired := make(chan struct{}, 1)
+	tm := clk.AfterFunc(50*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer reported false")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped real timer fired anyway")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestRealNowMonotone(t *testing.T) {
+	var clk Real
+	a := clk.Now()
+	b := clk.Now()
+	if b.Before(a) {
+		t.Fatalf("Now went backwards: %v then %v", a, b)
+	}
+}
+
+// fakeClock is a minimal manual clock for exercising Ticker without real
+// sleeps.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at      time.Time
+	fn      func()
+	stopped bool
+}
+
+func (ft *fakeTimer) Stop() bool {
+	if ft.stopped {
+		return false
+	}
+	ft.stopped = true
+	return true
+}
+
+func (fc *fakeClock) Now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.now
+}
+
+func (fc *fakeClock) AfterFunc(d time.Duration, f func()) Timer {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	ft := &fakeTimer{at: fc.now.Add(d), fn: f}
+	fc.timers = append(fc.timers, ft)
+	return ft
+}
+
+func (fc *fakeClock) advance(d time.Duration) {
+	fc.mu.Lock()
+	fc.now = fc.now.Add(d)
+	due := fc.timers[:0]
+	var fire []*fakeTimer
+	for _, ft := range fc.timers {
+		if !ft.stopped && !ft.at.After(fc.now) {
+			fire = append(fire, ft)
+		} else {
+			due = append(due, ft)
+		}
+	}
+	fc.timers = due
+	fc.mu.Unlock()
+	for _, ft := range fire {
+		ft.fn()
+	}
+}
+
+func TestTickerFiresRepeatedly(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	var count int
+	tk := NewTicker(fc, time.Second, func() { count++ })
+	for i := 0; i < 5; i++ {
+		fc.advance(time.Second)
+	}
+	if count != 5 {
+		t.Fatalf("ticker fired %d times in 5 periods, want 5", count)
+	}
+	tk.Stop()
+	fc.advance(10 * time.Second)
+	if count != 5 {
+		t.Fatalf("ticker fired after Stop: %d", count)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	var count int
+	var tk *Ticker
+	tk = NewTicker(fc, time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	for i := 0; i < 10; i++ {
+		fc.advance(time.Second)
+	}
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3 (stopped from callback)", count)
+	}
+}
+
+func TestTickerConcurrentStop(t *testing.T) {
+	var clk Real
+	var n atomic.Int64
+	tk := NewTicker(clk, time.Millisecond, func() { n.Add(1) })
+	time.Sleep(10 * time.Millisecond)
+	tk.Stop()
+	after := n.Load()
+	time.Sleep(20 * time.Millisecond)
+	// Allow at most one in-flight callback that raced with Stop.
+	if n.Load() > after+1 {
+		t.Fatalf("ticker kept firing after Stop: %d -> %d", after, n.Load())
+	}
+}

@@ -1,0 +1,18 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosMany widens the storm's seed coverage. The three fixed seeds in
+// TestChaosStorm run always; this sweep is skipped under -short.
+func TestChaosMany(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(100); seed < 115; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runChaos(t, seed) })
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// TestChaosStorm drives a cluster through minutes of randomized faults —
+// daemon kills, node power cycles, NIC flaps — then checks that the kernel
+// healed completely: every daemon back in its place, meta-group views
+// agreed, the bulletin federation covering every node, and failure
+// detection still live. Deterministic per seed.
+func TestChaosStorm(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runChaos(t, seed) })
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	spec := Small()
+	spec.Seed = seed
+	c, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+	rng := rand.New(rand.NewSource(seed * 977))
+
+	// Nodes eligible for power cycling: everything except the master
+	// (whose configuration/security singletons have no supervisor, as in
+	// the paper).
+	var cyclable []types.NodeID
+	for _, ni := range c.Topo.Nodes {
+		if ni.ID != c.Topo.Master {
+			cyclable = append(cyclable, ni.ID)
+		}
+	}
+
+	poweredOff := map[types.NodeID]bool{}
+	storm := 4 * time.Minute
+	end := c.Engine.Elapsed() + storm
+	injections := 0
+	for c.Engine.Elapsed() < end {
+		c.RunFor(time.Duration(2+rng.Intn(6)) * time.Second)
+		injections++
+		switch rng.Intn(10) {
+		case 0, 1, 2: // kill a random per-node daemon
+			node := cyclable[rng.Intn(len(cyclable))]
+			if poweredOff[node] {
+				continue
+			}
+			svc := []string{types.SvcWD, types.SvcDetector, types.SvcPPM}[rng.Intn(3)]
+			_ = c.Host(node).Kill(svc)
+		case 3, 4: // kill a partition service or the GSD on a live server
+			p := c.Topo.Partitions[rng.Intn(len(c.Topo.Partitions))]
+			server := c.Kernel.ServerNode(p.ID)
+			if poweredOff[server] || !c.Host(server).Up() {
+				continue
+			}
+			svc := []string{types.SvcGSD, types.SvcES, types.SvcDB, types.SvcCkpt}[rng.Intn(4)]
+			_ = c.Host(server).Kill(svc)
+		case 5, 6: // power-cycle a node
+			node := cyclable[rng.Intn(len(cyclable))]
+			if poweredOff[node] {
+				continue
+			}
+			poweredOff[node] = true
+			c.Host(node).PowerOff()
+			deadNode := node
+			c.Engine.AfterFunc(time.Duration(10+rng.Intn(20))*time.Second, func() {
+				c.Host(deadNode).PowerOn()
+				delete(poweredOff, deadNode)
+			})
+		case 7, 8: // NIC flap
+			node := cyclable[rng.Intn(len(cyclable))]
+			nic := rng.Intn(c.Topo.NICs)
+			_ = c.Net.SetNICUp(node, nic, false)
+			flapNode, flapNIC := node, nic
+			c.Engine.AfterFunc(time.Duration(5+rng.Intn(15))*time.Second, func() {
+				_ = c.Net.SetNICUp(flapNode, flapNIC, true)
+			})
+		case 9: // quiet tick
+		}
+	}
+
+	// Quiesce: restore any still-dark nodes and let every recovery loop
+	// finish (reintegration and dead-slot sweeps run on second-scale
+	// periods under FastParams).
+	c.RunFor(40 * time.Second)
+	for n := range poweredOff {
+		c.Host(n).PowerOn()
+	}
+	c.RunFor(90 * time.Second)
+
+	// Invariant 1: every node runs its per-node daemons.
+	for _, ni := range c.Topo.Nodes {
+		h := c.Host(ni.ID)
+		if !h.Up() {
+			t.Fatalf("seed %d: %v still down after quiesce", seed, ni.ID)
+		}
+		for _, svc := range []string{types.SvcWD, types.SvcDetector, types.SvcPPM} {
+			if !h.Running(svc) {
+				t.Fatalf("seed %d (%d injections): %v missing %s after quiesce",
+					seed, injections, ni.ID, svc)
+			}
+		}
+	}
+
+	// Invariant 2: every partition's kernel services run on its current
+	// server node.
+	for _, p := range c.Topo.Partitions {
+		server := c.Kernel.ServerNode(p.ID)
+		h := c.Host(server)
+		for _, svc := range []string{types.SvcGSD, types.SvcES, types.SvcDB, types.SvcCkpt} {
+			if !h.Running(svc) {
+				t.Fatalf("seed %d: %v services on %v missing %s", seed, p.ID, server, svc)
+			}
+		}
+	}
+
+	// Invariant 3: the meta-group views agree on liveness and leadership.
+	type viewSummary struct {
+		leader types.PartitionID
+		alive  int
+	}
+	var ref *viewSummary
+	for _, p := range c.Topo.Partitions {
+		g := c.Kernel.GSD(p.ID)
+		if g == nil || g.Member() == nil {
+			t.Fatalf("seed %d: no GSD handle for %v", seed, p.ID)
+		}
+		v := g.Member().View()
+		if v.AliveCount() != len(c.Topo.Partitions) {
+			t.Fatalf("seed %d: %v's view has %d alive members: %v",
+				seed, p.ID, v.AliveCount(), v)
+		}
+		cur := viewSummary{leader: v.Leader, alive: v.AliveCount()}
+		if ref == nil {
+			ref = &cur
+		} else if *ref != cur {
+			t.Fatalf("seed %d: views disagree: %+v vs %+v", seed, *ref, cur)
+		}
+	}
+
+	// Invariant 4: the bulletin federation covers the whole cluster.
+	var ack *bulletin.QueryAck
+	q := core.NewClientProc("chaosq", 1, c.Kernel.ServerNode(1))
+	q.OnStart = func(cp *core.ClientProc) {
+		cp.Bulletin.Query(bulletin.ScopeCluster, func(a bulletin.QueryAck, ok bool) {
+			if ok {
+				ack = &a
+			}
+		})
+	}
+	if _, err := c.Host(c.Topo.Partitions[1].Members[4]).Spawn(q); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if ack == nil {
+		t.Fatalf("seed %d: bulletin query unanswered", seed)
+	}
+	if len(ack.Missing) != 0 {
+		t.Fatalf("seed %d: partitions still dark: %v", seed, ack.Missing)
+	}
+	if agg := bulletin.AggregateSnapshots(ack.Snapshots); agg.Nodes != c.Topo.NumNodes() {
+		t.Fatalf("seed %d: bulletin covers %d of %d nodes", seed, agg.Nodes, c.Topo.NumNodes())
+	}
+
+	// Invariant 5: detection is still live — a fresh fault is noticed and
+	// healed.
+	victim := c.Topo.Partitions[2].Members[5]
+	if err := c.Host(victim).Kill(types.SvcWD); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	c.RunFor(6 * time.Second)
+	if !c.Host(victim).Running(types.SvcWD) {
+		t.Fatalf("seed %d: post-storm WD kill not recovered", seed)
+	}
+}

@@ -1,0 +1,45 @@
+package cluster_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Example boots a cluster, kills a watch daemon, and prints the kernel's
+// failure and recovery events. The simulation is deterministic, so the
+// event sequence is reproducible byte for byte.
+func Example() {
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c.WarmUp()
+
+	watcher := core.NewClientProc("watch", 0, c.Topo.Partitions[0].Server)
+	watcher.OnStart = func(cp *core.ClientProc) {
+		cp.Events.Subscribe([]types.EventType{
+			types.EvNodeSuspect, types.EvProcFail, types.EvProcRecover,
+		}, -1, "", func(ev types.Event) {
+			fmt.Printf("%s node=%v\n", ev.Type, ev.Node)
+		}, nil)
+	}
+	if _, err := c.Host(2).Spawn(watcher); err != nil {
+		fmt.Println(err)
+		return
+	}
+	c.RunFor(time.Second)
+
+	_ = c.Host(12).Kill(types.SvcWD) // the fault
+	c.RunFor(5 * time.Second)        // detection, diagnosis, restart
+	fmt.Println("wd running again:", c.Host(12).Running(types.SvcWD))
+	// Output:
+	// node.suspect node=node12
+	// proc.fail node=node12
+	// proc.recover node=node12
+	// wd running again: true
+}

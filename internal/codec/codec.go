@@ -1,0 +1,107 @@
+// Package codec defines the wire format of Phoenix kernel messages and the
+// size accounting the simulated network uses for bandwidth measurements.
+//
+// Inside the simulator, payloads travel as Go values; the codec is used to
+// (a) measure how many bytes a message would occupy on a real wire, which
+// feeds the PWS-versus-PBS bandwidth comparison of paper §5.4, and (b)
+// serialise messages for external tooling (scenario traces, cmd output).
+//
+// Hot-path payloads (heartbeats, resource samples) implement Sizer so the
+// simulator never pays for a full encode per message.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Sizer lets a payload report its wire size directly, bypassing the
+// reflective encoder on hot paths.
+type Sizer interface {
+	WireSize() int
+}
+
+// EnvelopeOverhead approximates the per-message framing cost on a real
+// wire: addresses, message type tag, and length framing.
+const EnvelopeOverhead = 32
+
+var registerOnce sync.Once
+
+// Register records a payload type with the underlying gob encoder.
+// Packages that define payload structs call Register from an init function.
+func Register(v any) {
+	gob.Register(v)
+}
+
+func registerBuiltins() {
+	gob.Register(types.Event{})
+	gob.Register(types.ResourceStats{})
+	gob.Register(types.AppState{})
+	gob.Register(map[string]string{})
+	gob.Register([]string{})
+}
+
+// Encode serialises a message with gob. It is not used on the simulator's
+// hot path; it exists for traces, golden tests and the command-line tools.
+func Encode(msg types.Message) ([]byte, error) {
+	registerOnce.Do(registerBuiltins)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wireMessage{
+		FromNode: int(msg.From.Node), FromSvc: msg.From.Service,
+		ToNode: int(msg.To.Node), ToSvc: msg.To.Service,
+		NIC: msg.NIC, Type: msg.Type, Payload: msg.Payload,
+	}); err != nil {
+		return nil, fmt.Errorf("codec: encode %s: %w", msg.Type, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a message produced by Encode.
+func Decode(data []byte) (types.Message, error) {
+	registerOnce.Do(registerBuiltins)
+	var wm wireMessage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wm); err != nil {
+		return types.Message{}, fmt.Errorf("codec: decode: %w", err)
+	}
+	return types.Message{
+		From: types.Addr{Node: types.NodeID(wm.FromNode), Service: wm.FromSvc},
+		To:   types.Addr{Node: types.NodeID(wm.ToNode), Service: wm.ToSvc},
+		NIC:  wm.NIC, Type: wm.Type, Payload: wm.Payload,
+	}, nil
+}
+
+// wireMessage is the gob-encodable projection of types.Message.
+type wireMessage struct {
+	FromNode int
+	FromSvc  string
+	ToNode   int
+	ToSvc    string
+	NIC      int
+	Type     string
+	Payload  any
+}
+
+// Size reports the approximate wire size of a message in bytes. Payloads
+// implementing Sizer are measured directly; nil payloads cost only the
+// envelope; everything else is gob-encoded (correct but slower — keep such
+// payloads off hot paths).
+func Size(msg types.Message) int {
+	switch p := msg.Payload.(type) {
+	case nil:
+		return EnvelopeOverhead
+	case Sizer:
+		return EnvelopeOverhead + p.WireSize()
+	default:
+		data, err := Encode(msg)
+		if err != nil {
+			// Unencodable payloads still occupy the envelope; the
+			// bandwidth figures treat them as minimum-size.
+			return EnvelopeOverhead
+		}
+		return len(data)
+	}
+}

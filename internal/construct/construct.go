@@ -1,0 +1,328 @@
+// Package construct implements the system construction tool of the
+// paper's §3: the user environment with which the system constructor
+// "configures, deploys and boots the cluster system", behaving "like the
+// BIOS and kernel booting module of a host operating system".
+//
+// Construction is a staged plan over the agents: each stage spawns a set
+// of daemons through the per-node OS agents, then verifies them by probing
+// before the next stage starts — master services first, then the group
+// service daemons, then each partition's kernel services, then the
+// per-node daemons. The same machinery drives verified shutdown and
+// rolling restarts (partition by partition, so the cluster never loses
+// monitoring everywhere at once).
+package construct
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/detector"
+	"repro/internal/federation"
+	"repro/internal/gsd"
+	"repro/internal/heartbeat"
+	"repro/internal/rpc"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// Target is one daemon to start: a service on a node with its spawn spec.
+type Target struct {
+	Node    types.NodeID
+	Service string
+	Spec    any
+}
+
+// Stage is a named set of targets started in parallel and verified
+// together.
+type Stage struct {
+	Name    string
+	Targets []Target
+}
+
+// Plan is an ordered list of stages.
+type Plan struct {
+	Stages []Stage
+}
+
+// StageResult records one stage's outcome.
+type StageResult struct {
+	Name     string
+	Started  int
+	Verified int
+	Failed   []Target
+	Took     time.Duration
+}
+
+// Report is a completed construction run.
+type Report struct {
+	Stages []StageResult
+	OK     bool
+}
+
+// Render draws the report like a boot log.
+func (r Report) Render() string {
+	var b strings.Builder
+	b.WriteString("system construction report\n")
+	for _, st := range r.Stages {
+		status := "ok"
+		if len(st.Failed) > 0 {
+			status = fmt.Sprintf("FAILED (%d)", len(st.Failed))
+		}
+		fmt.Fprintf(&b, "  %-28s started=%-4d verified=%-4d %-12s %v\n",
+			st.Name, st.Started, st.Verified, status, st.Took.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "overall: %v\n", r.OK)
+	return b.String()
+}
+
+// KernelPlan derives the standard Phoenix boot plan from a topology: the
+// stage order encodes the dependency chain (GSDs need nothing; partition
+// services need their GSD for supervision; per-node daemons heartbeat to
+// the GSDs).
+func KernelPlan(topo *config.Topology, params config.Params) Plan {
+	placement := make(map[types.PartitionID]types.NodeID)
+	for _, p := range topo.Partitions {
+		placement[p.ID] = p.Server
+	}
+	fed := federation.NewView(placement)
+
+	var gsds, services, perNode []Target
+	for _, p := range topo.Partitions {
+		gsds = append(gsds, Target{Node: p.Server, Service: types.SvcGSD,
+			Spec: gsd.SpawnSpec{Partition: p.ID}})
+		for _, svc := range []string{types.SvcES, types.SvcDB, types.SvcCkpt} {
+			services = append(services, Target{Node: p.Server, Service: svc,
+				Spec: gsd.ServiceSpawnSpec{Partition: p.ID, View: fed.Clone()}})
+		}
+	}
+	for _, ni := range topo.Nodes {
+		part, _ := topo.PartitionOf(ni.ID)
+		perNode = append(perNode,
+			Target{Node: ni.ID, Service: types.SvcWD, Spec: watchd.Spec{
+				Partition: part.ID, GSDNode: part.Server,
+				Interval: params.HeartbeatInterval, NICs: topo.NICs,
+				Supervise: true, DetectorSample: params.DetectorSampleInterval,
+			}},
+			Target{Node: ni.ID, Service: types.SvcDetector, Spec: detector.Spec{
+				Partition: part.ID, GSDNode: part.Server,
+				SampleInterval: params.DetectorSampleInterval,
+			}},
+			Target{Node: ni.ID, Service: types.SvcPPM, Spec: nil},
+		)
+	}
+	return Plan{Stages: []Stage{
+		{Name: "partition-services", Targets: services},
+		{Name: "group-service-daemons", Targets: gsds},
+		{Name: "per-node-daemons", Targets: perNode},
+	}}
+}
+
+// Constructor drives plans from a client process somewhere in the cluster
+// (the system constructor's console). It talks only to OS agents.
+type Constructor struct {
+	h       *simhost.Handle
+	pending *rpc.Pending
+	prober  *heartbeat.Prober
+	nics    int
+
+	// VerifyTimeout bounds each target's liveness probe.
+	VerifyTimeout time.Duration
+	// SettleTime waits between spawn acks and verification (exec latency).
+	SettleTime time.Duration
+}
+
+// Service implements simhost.Process.
+func (c *Constructor) Service() string { return "constructor" }
+
+// NewConstructor builds the console process. nics is the fabric's
+// interface count (probes go out on every plane).
+func NewConstructor(nics int) *Constructor {
+	return &Constructor{nics: nics, VerifyTimeout: time.Second, SettleTime: 3 * time.Second}
+}
+
+// Start implements simhost.Process.
+func (c *Constructor) Start(h *simhost.Handle) {
+	c.h = h
+	c.pending = rpc.NewPending(h)
+	c.prober = heartbeat.NewProber(h, c.nics)
+}
+
+// OnStop implements simhost.Process.
+func (c *Constructor) OnStop() {}
+
+// Receive implements simhost.Process.
+func (c *Constructor) Receive(msg types.Message) {
+	switch p := msg.Payload.(type) {
+	case simhost.SpawnAck:
+		c.pending.Resolve(p.Token, p)
+	case simhost.KillAck:
+		c.pending.Resolve(p.Token, p)
+	case simhost.ProbeAck:
+		c.prober.HandleProbeAck(p)
+	}
+}
+
+// Execute runs a plan stage by stage; done receives the report. A stage
+// with failures still proceeds (the report carries them), matching a BIOS
+// that flags a missing DIMM but keeps booting.
+func (c *Constructor) Execute(plan Plan, done func(Report)) {
+	report := &Report{OK: true}
+	c.runStage(plan.Stages, 0, report, done)
+}
+
+func (c *Constructor) runStage(stages []Stage, idx int, report *Report, done func(Report)) {
+	if idx >= len(stages) {
+		done(*report)
+		return
+	}
+	stage := stages[idx]
+	start := c.h.Now()
+	res := StageResult{Name: stage.Name}
+
+	if len(stage.Targets) == 0 {
+		report.Stages = append(report.Stages, res)
+		c.runStage(stages, idx+1, report, done)
+		return
+	}
+
+	// Phase 1: spawn everything through the agents.
+	remaining := len(stage.Targets)
+	spawnDone := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		// Phase 2: wait out exec latencies, then verify by probing.
+		c.h.After(c.SettleTime, func() {
+			c.verifyStage(stage, start, res, report, func() {
+				c.runStage(stages, idx+1, report, done)
+			})
+		})
+	}
+	for _, tgt := range stage.Targets {
+		tok := c.pending.New(2*time.Second,
+			func(payload any) {
+				if ack := payload.(simhost.SpawnAck); ack.OK ||
+					strings.Contains(ack.Err, "already present") {
+					res.Started++
+				}
+				spawnDone()
+			},
+			spawnDone)
+		c.h.Send(types.Addr{Node: tgt.Node, Service: types.SvcAgent}, types.AnyNIC,
+			simhost.MsgSpawn, simhost.SpawnReq{Service: tgt.Service, Spec: tgt.Spec, Token: tok})
+	}
+	report.Stages = append(report.Stages, res)
+	// res is copied into the report; verifyStage updates the slice entry.
+	_ = res
+}
+
+func (c *Constructor) verifyStage(stage Stage, start time.Time, res StageResult,
+	report *Report, next func()) {
+	slot := len(report.Stages) - 1
+	remaining := len(stage.Targets)
+	finish := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		report.Stages[slot].Took = c.h.Now().Sub(start)
+		if len(report.Stages[slot].Failed) > 0 {
+			report.OK = false
+		}
+		next()
+	}
+	for _, tgt := range stage.Targets {
+		tgt := tgt
+		c.prober.Probe(tgt.Node, tgt.Service, c.VerifyTimeout, func(r heartbeat.ProbeResult) {
+			if r.NodeAlive && r.ServiceRunning {
+				report.Stages[slot].Verified++
+			} else {
+				report.Stages[slot].Failed = append(report.Stages[slot].Failed, tgt)
+			}
+			finish()
+		})
+	}
+	report.Stages[slot].Started = res.Started
+}
+
+// Shutdown kills a set of targets through the agents (reverse of a boot
+// stage); done receives how many kills were acknowledged.
+func (c *Constructor) Shutdown(targets []Target, done func(acked int)) {
+	if len(targets) == 0 {
+		done(0)
+		return
+	}
+	acked := 0
+	remaining := len(targets)
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			done(acked)
+		}
+	}
+	for _, tgt := range targets {
+		tok := c.pending.New(2*time.Second,
+			func(payload any) {
+				if payload.(simhost.KillAck).OK {
+					acked++
+				}
+				finish()
+			},
+			finish)
+		c.h.Send(types.Addr{Node: tgt.Node, Service: types.SvcAgent}, types.AnyNIC,
+			simhost.MsgKill, simhost.KillReq{Service: tgt.Service, Token: tok})
+	}
+}
+
+// RollingRestart restarts one service across a list of nodes strictly one
+// node at a time — kill, respawn, verify, move on — so the service's
+// group never loses more than one member (how an operator upgrades WDs
+// without blinding a partition). done receives per-node success.
+func (c *Constructor) RollingRestart(nodes []types.NodeID, service string,
+	specFor func(types.NodeID) any, done func(ok map[types.NodeID]bool)) {
+	result := make(map[types.NodeID]bool, len(nodes))
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(nodes) {
+			done(result)
+			return
+		}
+		node := nodes[i]
+		killTok := c.pending.New(2*time.Second, func(any) {
+			c.respawnAndVerify(node, service, specFor(node), func(ok bool) {
+				result[node] = ok
+				step(i + 1)
+			})
+		}, func() {
+			result[node] = false
+			step(i + 1)
+		})
+		c.h.Send(types.Addr{Node: node, Service: types.SvcAgent}, types.AnyNIC,
+			simhost.MsgKill, simhost.KillReq{Service: service, Token: killTok})
+	}
+	step(0)
+}
+
+func (c *Constructor) respawnAndVerify(node types.NodeID, service string, spec any, done func(bool)) {
+	tok := c.pending.New(2*time.Second,
+		func(payload any) {
+			if ack := payload.(simhost.SpawnAck); !ack.OK {
+				done(false)
+				return
+			}
+			c.h.After(c.SettleTime, func() {
+				c.prober.Probe(node, service, c.VerifyTimeout, func(r heartbeat.ProbeResult) {
+					done(r.NodeAlive && r.ServiceRunning)
+				})
+			})
+		},
+		func() { done(false) })
+	c.h.Send(types.Addr{Node: node, Service: types.SvcAgent}, types.AnyNIC,
+		simhost.MsgSpawn, simhost.SpawnReq{Service: service, Spec: spec, Token: tok})
+}
+
+var _ simhost.Process = (*Constructor)(nil)

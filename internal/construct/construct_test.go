@@ -1,0 +1,195 @@
+package construct_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/construct"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// bareRig builds an unbooted cluster with a constructor console spawned on
+// a compute node.
+func bareRig(t *testing.T) (*cluster.Cluster, *construct.Constructor) {
+	t.Helper()
+	spec := cluster.Small()
+	spec.Bare = true
+	c, err := cluster.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con := construct.NewConstructor(c.Topo.NICs)
+	if _, err := c.Host(5).Spawn(con); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(500 * time.Millisecond)
+	return c, con
+}
+
+func TestStagedBootBringsUpTheKernel(t *testing.T) {
+	c, con := bareRig(t)
+	// Nothing but agents + master services is up on a bare cluster.
+	if c.Host(c.Topo.Partitions[1].Server).Running(types.SvcGSD) {
+		t.Fatal("bare cluster has a GSD")
+	}
+	plan := construct.KernelPlan(c.Topo, c.Spec.Params)
+	var report *construct.Report
+	con.Execute(plan, func(r construct.Report) { report = &r })
+	c.RunFor(time.Minute)
+	if report == nil {
+		t.Fatal("construction never completed")
+	}
+	if !report.OK {
+		t.Fatalf("construction failed:\n%s", report.Render())
+	}
+	if len(report.Stages) != 3 {
+		t.Fatalf("stages = %d", len(report.Stages))
+	}
+	for _, st := range report.Stages {
+		if st.Verified == 0 || len(st.Failed) != 0 {
+			t.Fatalf("stage %s: %+v", st.Name, st)
+		}
+	}
+	// The booted kernel behaves: kill a WD and watch the GSD recover it.
+	victim := types.NodeID(12)
+	if err := c.Host(victim).Kill(types.SvcWD); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if !c.Host(victim).Running(types.SvcWD) {
+		t.Fatal("constructed kernel did not recover a killed WD")
+	}
+}
+
+func TestBootReportsDeadNodes(t *testing.T) {
+	c, con := bareRig(t)
+	dead := types.NodeID(20)
+	c.Host(dead).PowerOff()
+	plan := construct.KernelPlan(c.Topo, c.Spec.Params)
+	var report *construct.Report
+	con.Execute(plan, func(r construct.Report) { report = &r })
+	c.RunFor(time.Minute)
+	if report == nil {
+		t.Fatal("construction never completed")
+	}
+	if report.OK {
+		t.Fatal("report claims OK despite a dead node")
+	}
+	// The per-node stage carries the failures; all of them on the dead
+	// node.
+	var failed []construct.Target
+	for _, st := range report.Stages {
+		failed = append(failed, st.Failed...)
+	}
+	if len(failed) != 3 { // wd, det, ppm
+		t.Fatalf("failed targets = %d, want 3: %+v", len(failed), failed)
+	}
+	for _, f := range failed {
+		if f.Node != dead {
+			t.Fatalf("failure on unexpected node: %+v", f)
+		}
+	}
+	if !contains(report.Render(), "FAILED") {
+		t.Fatal("render does not flag the failure")
+	}
+}
+
+func TestShutdownStage(t *testing.T) {
+	c, con := bareRig(t)
+	plan := construct.KernelPlan(c.Topo, c.Spec.Params)
+	done := false
+	con.Execute(plan, func(construct.Report) { done = true })
+	c.RunFor(time.Minute)
+	if !done {
+		t.Fatal("boot incomplete")
+	}
+	// Shut the per-node detectors of partition 3 down. Every kill is
+	// acknowledged — and then the watch daemons' local supervision brings
+	// the detectors back, which is exactly what a watchdog should do.
+	var targets []construct.Target
+	for _, n := range c.Topo.Partitions[3].Members {
+		targets = append(targets, construct.Target{Node: n, Service: types.SvcDetector})
+	}
+	acked := -1
+	con.Shutdown(targets, func(n int) { acked = n })
+	c.RunFor(200 * time.Millisecond)
+	if acked != len(targets) {
+		t.Fatalf("shutdown acked %d of %d", acked, len(targets))
+	}
+	c.RunFor(5 * time.Second)
+	for _, n := range c.Topo.Partitions[3].Members {
+		if !c.Host(n).Running(types.SvcDetector) {
+			t.Fatalf("WD supervision did not respawn the detector on %v", n)
+		}
+	}
+	// A real decommission kills the supervisor first: WD, then detector.
+	node := c.Topo.Partitions[3].Members[4]
+	seq := []construct.Target{
+		{Node: node, Service: types.SvcWD},
+		{Node: node, Service: types.SvcDetector},
+		{Node: node, Service: types.SvcPPM},
+	}
+	// The GSD would respawn the WD after a missed heartbeat; within one
+	// interval the node is daemon-free, which is when an operator powers
+	// it off.
+	con.Shutdown(seq, func(int) {})
+	c.RunFor(300 * time.Millisecond)
+	for _, tg := range seq {
+		if c.Host(node).Present(tg.Service) {
+			t.Fatalf("%s still present right after ordered shutdown", tg.Service)
+		}
+	}
+}
+
+func TestRollingRestartKeepsOthersRunning(t *testing.T) {
+	c, con := bareRig(t)
+	plan := construct.KernelPlan(c.Topo, c.Spec.Params)
+	con.Execute(plan, func(construct.Report) {})
+	c.RunFor(time.Minute)
+
+	part := c.Topo.Partitions[2]
+	nodes := part.Members[2:6]
+	specFor := func(n types.NodeID) any {
+		return watchd.Spec{Partition: part.ID, GSDNode: part.Server,
+			Interval: c.Spec.Params.HeartbeatInterval, NICs: c.Topo.NICs}
+	}
+	var result map[types.NodeID]bool
+	con.RollingRestart(nodes, types.SvcWD, specFor, func(ok map[types.NodeID]bool) {
+		result = ok
+	})
+	// While rolling, at most one of the nodes lacks its WD at any instant.
+	for i := 0; i < 200 && result == nil; i++ {
+		c.RunFor(200 * time.Millisecond)
+		downCount := 0
+		for _, n := range nodes {
+			if !c.Host(n).Present(types.SvcWD) {
+				downCount++
+			}
+		}
+		if downCount > 1 {
+			t.Fatalf("rolling restart took down %d WDs simultaneously", downCount)
+		}
+	}
+	if result == nil {
+		t.Fatal("rolling restart never completed")
+	}
+	for n, ok := range result {
+		if !ok {
+			t.Fatalf("restart of %v failed", n)
+		}
+		if !c.Host(n).Running(types.SvcWD) {
+			t.Fatalf("WD not running on %v after rolling restart", n)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

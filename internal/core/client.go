@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/checkpoint"
+	"repro/internal/events"
+	"repro/internal/heartbeat"
+	"repro/internal/ppm"
+	"repro/internal/rpc"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// ClientProc is a generic user-environment process: it bundles the client
+// sides of the kernel interfaces (event service, data bulletin, checkpoint
+// service, PPM) against a partition's service instances and follows GSD
+// migrations. Examples, experiment recorders and ad-hoc tools embed it
+// instead of reimplementing dispatch.
+type ClientProc struct {
+	Name      string
+	Partition types.PartitionID
+	Server    types.NodeID // current partition server node
+
+	H        *simhost.Handle
+	Events   *events.Client
+	Bulletin *bulletin.Client
+	Ckpt     *checkpoint.Client
+	Pending  *rpc.Pending
+
+	// OnStart runs once the process is up and the clients exist.
+	OnStart func(c *ClientProc)
+	// OnMessage sees messages not consumed by the built-in clients.
+	OnMessage func(c *ClientProc, msg types.Message)
+}
+
+// rpcTimeout is the client-side request deadline.
+const rpcTimeout = 3 * time.Second
+
+// NewClientProc builds a client process named name, homed on the given
+// partition whose services currently live on server.
+func NewClientProc(name string, partition types.PartitionID, server types.NodeID) *ClientProc {
+	return &ClientProc{Name: name, Partition: partition, Server: server}
+}
+
+// Service implements simhost.Process.
+func (c *ClientProc) Service() string { return c.Name }
+
+// Start implements simhost.Process.
+func (c *ClientProc) Start(h *simhost.Handle) {
+	c.H = h
+	c.Pending = rpc.NewPending(h)
+	c.Events = events.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+		return types.Addr{Node: c.Server, Service: types.SvcES}, true
+	})
+	c.Bulletin = bulletin.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+		return types.Addr{Node: c.Server, Service: types.SvcDB}, true
+	})
+	c.Ckpt = checkpoint.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+		return types.Addr{Node: c.Server, Service: types.SvcCkpt}, true
+	})
+	if c.OnStart != nil {
+		c.OnStart(c)
+	}
+}
+
+// Receive implements simhost.Process.
+func (c *ClientProc) Receive(msg types.Message) {
+	if msg.Type == heartbeat.MsgGSDAnnounce {
+		if a, ok := msg.Payload.(heartbeat.GSDAnnounce); ok && a.Partition == c.Partition {
+			c.Server = a.GSDNode
+		}
+		return
+	}
+	if c.Events.Handle(msg) || c.Bulletin.Handle(msg) || c.Ckpt.Handle(msg) {
+		return
+	}
+	if msg.Type == ppm.MsgLoadAck {
+		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
+			c.Pending.Resolve(ack.Token, ack)
+		}
+		return
+	}
+	if c.OnMessage != nil {
+		c.OnMessage(c, msg)
+	}
+}
+
+// OnStop implements simhost.Process.
+func (c *ClientProc) OnStop() {}
+
+// LoadJob loads a job onto a node through its PPM daemon; done (optional)
+// receives the ack.
+func (c *ClientProc) LoadJob(node types.NodeID, job ppm.JobSpec, signed string, done func(ppm.LoadAck)) {
+	job.Submitter = c.H.Self()
+	tok := c.Pending.New(rpcTimeout,
+		func(payload any) {
+			if done != nil {
+				done(payload.(ppm.LoadAck))
+			}
+		},
+		func() {
+			if done != nil {
+				done(ppm.LoadAck{Job: job.ID, Err: "timeout"})
+			}
+		})
+	c.H.Send(types.Addr{Node: node, Service: types.SvcPPM}, types.AnyNIC,
+		ppm.MsgLoad, ppm.LoadReq{Token: tok, Job: job, Signed: signed})
+}
+
+var _ simhost.Process = (*ClientProc)(nil)

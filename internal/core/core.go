@@ -1,0 +1,284 @@
+// Package core composes the Phoenix cluster operating system kernel: given
+// a cluster substrate (network + hosts) and a topology, it registers the
+// per-node process factories, boots every kernel daemon in its place —
+// configuration and security services on the master node; GSD, event
+// service, data bulletin and checkpoint instances on each partition server;
+// watch daemon, detectors and PPM on every node — and exposes the handles
+// user environments build on (paper §3, Figure 2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bulletin"
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/detector"
+	"repro/internal/events"
+	"repro/internal/federation"
+	"repro/internal/gsd"
+	"repro/internal/ppm"
+	"repro/internal/security"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// Kernel is a booted Phoenix kernel.
+type Kernel struct {
+	Topo      *config.Topology
+	Params    config.Params
+	Net       *simnet.Network
+	Hosts     map[types.NodeID]*simhost.Host
+	Config    *config.Service
+	Security  *security.Service
+	Authority *security.Authority
+
+	gsds map[types.PartitionID]*gsd.Daemon
+}
+
+// Options configures Boot.
+type Options struct {
+	Topo   *config.Topology
+	Params config.Params
+	// Authority is the security authority; nil builds one with a default
+	// key and no users (services then run unauthenticated, as the
+	// scientific-computing experiments do).
+	Authority *security.Authority
+	// EnforceAuth makes the PPM daemons require tokens on job operations.
+	EnforceAuth bool
+	// ExtraServices lists additional GSD-supervised services per
+	// partition (e.g. the PWS scheduler). The caller registers matching
+	// factories on the partition's server and backup hosts and spawns the
+	// initial instances itself.
+	ExtraServices map[types.PartitionID][]string
+}
+
+// Prepare wires a kernel without booting it: it registers the per-node
+// process factories and host commands, and spawns only the master-node
+// services (configuration + security, which have no factories). The
+// system construction tool boots the remaining daemons through the agents
+// (package construct); Boot does it directly.
+func Prepare(net *simnet.Network, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
+	topo, params := opts.Topo, opts.Params
+	if topo == nil {
+		return nil, fmt.Errorf("core: no topology")
+	}
+	auth := opts.Authority
+	if auth == nil {
+		auth = security.NewAuthority([]byte("phoenix-default-key"))
+	}
+	k := &Kernel{
+		Topo: topo, Params: params, Net: net, Hosts: hosts,
+		Authority: auth,
+		gsds:      make(map[types.PartitionID]*gsd.Daemon),
+	}
+
+	// Factories: every node can host every daemon kind, so recovery can
+	// respawn or migrate anything anywhere.
+	for _, ni := range topo.Nodes {
+		host, ok := hosts[ni.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: no host for %v", ni.ID)
+		}
+		registerFactories(host, k, opts)
+		registerCommands(host)
+	}
+
+	// Master services.
+	master, ok := hosts[topo.Master]
+	if !ok {
+		return nil, fmt.Errorf("core: no host for master %v", topo.Master)
+	}
+	k.Config = config.NewService(topo, params, nil)
+	if _, err := master.Spawn(k.Config); err != nil {
+		return nil, fmt.Errorf("core: spawn config service: %w", err)
+	}
+	k.Security = security.NewService(auth)
+	if _, err := master.Spawn(k.Security); err != nil {
+		return nil, fmt.Errorf("core: spawn security service: %w", err)
+	}
+	return k, nil
+}
+
+// Boot installs factories and spawns the whole kernel. The caller advances
+// the simulation afterwards; the kernel is fully up once the longest exec
+// latency (the GSD's) has elapsed.
+func Boot(net *simnet.Network, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
+	k, err := Prepare(net, hosts, opts)
+	if err != nil {
+		return nil, err
+	}
+	topo, params := opts.Topo, opts.Params
+
+	initialPlacement := make(map[types.PartitionID]types.NodeID)
+	for _, p := range topo.Partitions {
+		initialPlacement[p.ID] = p.Server
+	}
+	initialFed := federation.NewView(initialPlacement)
+
+	// Partition server daemons.
+	for _, p := range topo.Partitions {
+		server := hosts[p.Server]
+		g := gsd.New(gsd.Spec{Partition: p.ID, Topo: topo, Params: params,
+			Extra:   opts.ExtraServices[p.ID],
+			OnStart: k.trackGSD(p.ID)})
+		if _, err := server.Spawn(g); err != nil {
+			return nil, fmt.Errorf("core: spawn GSD for %v: %w", p.ID, err)
+		}
+		k.gsds[p.ID] = g
+		if _, err := server.Spawn(events.NewService(p.ID, initialFed, params.RPCTimeout, false)); err != nil {
+			return nil, fmt.Errorf("core: spawn ES for %v: %w", p.ID, err)
+		}
+		if _, err := server.Spawn(bulletin.NewService(p.ID, initialFed, bulletinConfig(params))); err != nil {
+			return nil, fmt.Errorf("core: spawn DB for %v: %w", p.ID, err)
+		}
+		if _, err := server.Spawn(checkpoint.NewService(p.ID, initialFed, params.BulletinFetchTimeout)); err != nil {
+			return nil, fmt.Errorf("core: spawn CKPT for %v: %w", p.ID, err)
+		}
+	}
+
+	// Per-node daemons.
+	for _, ni := range topo.Nodes {
+		host := hosts[ni.ID]
+		part, _ := topo.PartitionOf(ni.ID)
+		if _, err := host.Spawn(watchd.New(watchd.Spec{
+			Partition: part.ID, GSDNode: part.Server,
+			Interval: params.HeartbeatInterval, NICs: topo.NICs,
+			Supervise: true, DetectorSample: params.DetectorSampleInterval,
+		})); err != nil {
+			return nil, fmt.Errorf("core: spawn WD on %v: %w", ni.ID, err)
+		}
+		if _, err := host.Spawn(detector.New(detector.Spec{
+			Partition: part.ID, GSDNode: part.Server,
+			SampleInterval: params.DetectorSampleInterval,
+		})); err != nil {
+			return nil, fmt.Errorf("core: spawn detector on %v: %w", ni.ID, err)
+		}
+		if _, err := host.Spawn(newPPM(k, opts)); err != nil {
+			return nil, fmt.Errorf("core: spawn PPM on %v: %w", ni.ID, err)
+		}
+	}
+	return k, nil
+}
+
+func bulletinConfig(params config.Params) bulletin.Config {
+	return bulletin.Config{
+		FetchTimeout: params.BulletinFetchTimeout,
+		CacheTTL:     params.BulletinCacheTTL,
+		EntryTTL:     4 * params.DetectorSampleInterval,
+	}
+}
+
+func newPPM(k *Kernel, opts Options) *ppm.Daemon {
+	spec := ppm.Spec{SubtreeTimeout: k.Params.RPCTimeout}
+	if opts.EnforceAuth {
+		spec.Authority = k.Authority
+	}
+	return ppm.New(spec)
+}
+
+// registerFactories installs the spawn factories used by recovery,
+// migration, reintegration and job loading.
+func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
+	topo, params := k.Topo, k.Params
+	host.RegisterFactory(types.SvcGSD, func(spec any) simhost.Process {
+		s, ok := spec.(gsd.SpawnSpec)
+		if !ok {
+			return nil
+		}
+		return gsd.New(gsd.Spec{
+			Partition: s.Partition, Topo: topo, Params: params,
+			View: s.View, Migrated: s.Migrated,
+			Extra:   opts.ExtraServices[s.Partition],
+			OnStart: k.trackGSD(s.Partition),
+		})
+	})
+	host.RegisterFactory(types.SvcES, func(spec any) simhost.Process {
+		s, ok := spec.(gsd.ServiceSpawnSpec)
+		if !ok {
+			return nil
+		}
+		return events.NewService(s.Partition, s.View, params.RPCTimeout, s.Restart)
+	})
+	host.RegisterFactory(types.SvcDB, func(spec any) simhost.Process {
+		s, ok := spec.(gsd.ServiceSpawnSpec)
+		if !ok {
+			return nil
+		}
+		return bulletin.NewService(s.Partition, s.View, bulletinConfig(params))
+	})
+	host.RegisterFactory(types.SvcCkpt, func(spec any) simhost.Process {
+		s, ok := spec.(gsd.ServiceSpawnSpec)
+		if !ok {
+			return nil
+		}
+		return checkpoint.NewService(s.Partition, s.View, params.BulletinFetchTimeout)
+	})
+	host.RegisterFactory(types.SvcWD, func(spec any) simhost.Process {
+		s, ok := spec.(watchd.Spec)
+		if !ok {
+			return nil
+		}
+		return watchd.New(s)
+	})
+	host.RegisterFactory(types.SvcDetector, func(spec any) simhost.Process {
+		s, ok := spec.(detector.Spec)
+		if !ok {
+			return nil
+		}
+		return detector.New(s)
+	})
+	host.RegisterFactory(types.SvcPPM, func(spec any) simhost.Process {
+		return newPPM(k, opts)
+	})
+	host.RegisterFactory("job", func(spec any) simhost.Process {
+		s, ok := spec.(ppm.JobSpec)
+		if !ok {
+			return nil
+		}
+		return ppm.NewJobProc(s)
+	})
+}
+
+// registerCommands installs the host commands exercised by the kernel's
+// parallel command calls.
+func registerCommands(host *simhost.Host) {
+	id := host.ID()
+	host.RegisterCommand("hostname", func(args []string) (string, error) {
+		return id.String(), nil
+	})
+	host.RegisterCommand("uptime", func(args []string) (string, error) {
+		return fmt.Sprintf("%s up since %s", id, host.BootedAt().Format("15:04:05")), nil
+	})
+	host.RegisterCommand("procs", func(args []string) (string, error) {
+		return fmt.Sprintf("%d", len(host.Procs())), nil
+	})
+	host.RegisterCommand("uname", func(args []string) (string, error) {
+		return host.OS(), nil
+	})
+}
+
+// trackGSD records the currently executing GSD instance of a partition.
+func (k *Kernel) trackGSD(p types.PartitionID) func(*gsd.Daemon) {
+	return func(g *gsd.Daemon) { k.gsds[p] = g }
+}
+
+// GSD returns the most recently started GSD daemon for a partition
+// (observability for tests and tools).
+func (k *Kernel) GSD(p types.PartitionID) *gsd.Daemon { return k.gsds[p] }
+
+// ServerNode reports where a partition's kernel services currently run,
+// according to that partition's GSD federation view.
+func (k *Kernel) ServerNode(p types.PartitionID) types.NodeID {
+	if g := k.gsds[p]; g != nil {
+		if e, ok := g.FederationView().Entries[p]; ok {
+			return e.Node
+		}
+	}
+	if info, ok := k.Topo.Partition(p); ok {
+		return info.Server
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ppm"
+	"repro/internal/security"
+	"repro/internal/types"
+)
+
+func TestHostCommandsRegistered(t *testing.T) {
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Host(3)
+	out, err := h.RunCommand("hostname", nil)
+	if err != nil || out != "node3" {
+		t.Fatalf("hostname: %q %v", out, err)
+	}
+	out, err = h.RunCommand("uptime", nil)
+	if err != nil || !strings.Contains(out, "node3 up since") {
+		t.Fatalf("uptime: %q %v", out, err)
+	}
+	out, err = h.RunCommand("procs", nil)
+	if err != nil || out == "" {
+		t.Fatalf("procs: %q %v", out, err)
+	}
+	if _, err := h.RunCommand("nope", nil); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestServerNodeFallsBackToTopology(t *testing.T) {
+	spec := cluster.Small()
+	spec.Bare = true // no GSDs booted
+	c, err := cluster.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Topo.Partitions {
+		if got := c.Kernel.ServerNode(p.ID); got != p.Server {
+			t.Fatalf("%v server = %v, want topology's %v", p.ID, got, p.Server)
+		}
+	}
+}
+
+func TestEnforceAuthEndToEnd(t *testing.T) {
+	auth := security.NewAuthority([]byte("cluster-key"))
+	auth.AddUser("ops", "pw", security.RoleOperator)
+	spec := cluster.Small()
+	spec.Authority = auth
+	spec.EnforceAuth = true
+	c, err := cluster.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+
+	var unsigned, signed *ppm.LoadAck
+	client := core.NewClientProc("authed", 0, 0)
+	client.OnStart = func(cp *core.ClientProc) {
+		cp.LoadJob(10, ppm.JobSpec{ID: 1, Duration: time.Minute}, "",
+			func(a ppm.LoadAck) { unsigned = &a })
+		token, err := auth.Authenticate("ops", "pw", time.Hour, cp.H.Now())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cp.LoadJob(10, ppm.JobSpec{ID: 2, Duration: time.Minute}, token,
+			func(a ppm.LoadAck) { signed = &a })
+	}
+	if _, err := c.Host(2).Spawn(client); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	if unsigned == nil || unsigned.OK {
+		t.Fatalf("unsigned load: %+v", unsigned)
+	}
+	if signed == nil || !signed.OK {
+		t.Fatalf("signed load: %+v", signed)
+	}
+	if c.Host(10).Present("job/1") {
+		t.Fatal("unauthorized job ran")
+	}
+	if !c.Host(10).Present("job/2") {
+		t.Fatal("authorized job did not run")
+	}
+	_ = types.NodeID(0)
+}

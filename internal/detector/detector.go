@@ -1,0 +1,105 @@
+// Package detector implements the Phoenix detector services that run on
+// every node (paper §4.2): the physical-resource detector samples CPU,
+// memory, swap, disk I/O and network I/O and exports them to the data
+// bulletin (they are "fundamental for job management's schedulers"); the
+// application-state detector tracks the living status and resource
+// consumption of application processes for the business runtime. The node-
+// and network-state detectors are realised by the watch-daemon/GSD
+// heartbeat path (package heartbeat), whose verdicts this package's
+// consumers receive through the event service.
+package detector
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/heartbeat"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Spec configures a detector daemon.
+type Spec struct {
+	Partition      types.PartitionID
+	GSDNode        types.NodeID // bulletin instance location (co-located with GSD)
+	SampleInterval time.Duration
+	SLATag         string // tag attached to exported application states
+}
+
+// Daemon is the per-node detector process.
+type Daemon struct {
+	spec        Spec
+	h           *simhost.Handle
+	bulletin    *bulletin.Client
+	gsd         types.NodeID
+	cancelWatch func()
+
+	// Samples counts exported resource samples (observability for tests
+	// and the monitoring benchmarks).
+	Samples uint64
+}
+
+// New builds a detector daemon.
+func New(spec Spec) *Daemon { return &Daemon{spec: spec, gsd: spec.GSDNode} }
+
+// Service implements simhost.Process.
+func (d *Daemon) Service() string { return types.SvcDetector }
+
+// Start implements simhost.Process.
+func (d *Daemon) Start(h *simhost.Handle) {
+	d.h = h
+	d.bulletin = bulletin.NewClient(h, 0, func() (types.Addr, bool) {
+		return types.Addr{Node: d.gsd, Service: types.SvcDB}, true
+	})
+	// Application-state detector: export job lifecycle transitions as
+	// they happen.
+	d.cancelWatch = h.Host().Watch(func(ev simhost.ProcEvent) {
+		if !strings.HasPrefix(ev.Service, "job/") {
+			return
+		}
+		d.bulletin.ExportApp(types.AppState{
+			Node: h.Node(), Proc: ev.PID, Name: ev.Service,
+			Alive: ev.Started, SLATag: d.spec.SLATag, Updated: h.Now(),
+		})
+	})
+	d.sample()
+	h.Every(d.spec.SampleInterval, d.sample)
+}
+
+// OnStop implements simhost.Process.
+func (d *Daemon) OnStop() {
+	if d.cancelWatch != nil {
+		d.cancelWatch()
+	}
+}
+
+// Receive implements simhost.Process: the detector follows GSD migrations
+// so its exports reach the current bulletin instance.
+func (d *Daemon) Receive(msg types.Message) {
+	if msg.Type == heartbeat.MsgGSDAnnounce {
+		if a, ok := msg.Payload.(heartbeat.GSDAnnounce); ok && a.Partition == d.spec.Partition {
+			d.gsd = a.GSDNode
+		}
+	}
+}
+
+// sample exports one physical-resource reading and refreshes the state of
+// running application processes.
+func (d *Daemon) sample() {
+	host := d.h.Host()
+	usage := host.Usage()
+	d.bulletin.ExportResources(usage)
+	d.Samples++
+	for _, svc := range host.Procs() {
+		if !strings.HasPrefix(svc, "job/") || !host.Running(svc) {
+			continue
+		}
+		d.bulletin.ExportApp(types.AppState{
+			Node: d.h.Node(), Proc: host.PID(svc), Name: svc,
+			Alive: true, CPUPct: 12, SLATag: d.spec.SLATag, Updated: d.h.Now(),
+		})
+	}
+}
+
+var _ simhost.Process = (*Daemon)(nil)

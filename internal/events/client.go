@@ -1,0 +1,110 @@
+package events
+
+import (
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Client gives a daemon the consumer/supplier side of the event service:
+// subscribe with filters, receive real-time notifications, publish events.
+type Client struct {
+	rt      rt.Runtime
+	pending *rpc.Pending
+	target  func() (types.Addr, bool) // event-service instance to talk to
+	timeout time.Duration
+	onEvent map[uint64]func(types.Event)
+}
+
+// NewClient builds a client; target resolves the instance to address
+// (normally the caller's partition ES; the federation makes any instance a
+// valid access point).
+func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout,
+		onEvent: make(map[uint64]func(types.Event))}
+}
+
+// Subscribe registers interest in the given event types. handler runs for
+// every matching event; done (optional) receives the subscription ID or 0
+// on failure. Pass partition -1 and service "" for no filtering.
+func (c *Client) Subscribe(typesList []types.EventType, partition types.PartitionID, service string,
+	handler func(types.Event), done func(id uint64)) {
+	addr, ok := c.target()
+	if !ok {
+		if done != nil {
+			done(0)
+		}
+		return
+	}
+	sub := Subscription{
+		Consumer:        c.rt.Self(),
+		Types:           typesList,
+		PartitionFilter: partition,
+		ServiceFilter:   service,
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) {
+			ack := payload.(SubAck)
+			c.onEvent[ack.ID] = handler
+			if done != nil {
+				done(ack.ID)
+			}
+		},
+		func() {
+			if done != nil {
+				done(0)
+			}
+		})
+	c.rt.Send(addr, types.AnyNIC, MsgSubscribe, SubReq{Token: tok, Sub: sub})
+}
+
+// Unsubscribe removes a registration.
+func (c *Client) Unsubscribe(id uint64) {
+	delete(c.onEvent, id)
+	if addr, ok := c.target(); ok {
+		tok := c.pending.New(c.timeout, func(any) {}, nil)
+		c.rt.Send(addr, types.AnyNIC, MsgUnsubscribe, UnsubReq{Token: tok, ID: id})
+	}
+}
+
+// RegisterSupplier announces the event types this daemon produces.
+func (c *Client) RegisterSupplier(produced []types.EventType) {
+	if addr, ok := c.target(); ok {
+		c.rt.Send(addr, types.AnyNIC, MsgSupplier, SupplierReq{Supplier: c.rt.Self(), Types: produced})
+	}
+}
+
+// Publish pushes an event into the federation (fire-and-forget, like the
+// kernel's internal suppliers).
+func (c *Client) Publish(ev types.Event) {
+	if addr, ok := c.target(); ok {
+		c.rt.Send(addr, types.AnyNIC, MsgPublish, PubReq{Event: ev})
+	}
+}
+
+// Handle routes event-service messages arriving at the owning daemon;
+// it reports whether the message was consumed.
+func (c *Client) Handle(msg types.Message) bool {
+	switch msg.Type {
+	case MsgSubAck:
+		if ack, ok := msg.Payload.(SubAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgUnsubAck:
+		if ack, ok := msg.Payload.(UnsubAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgEvent:
+		if em, ok := msg.Payload.(EventMsg); ok {
+			if h, found := c.onEvent[em.SubID]; found {
+				h(em.Event)
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblationPartitioning(t *testing.T) {
+	res, err := RunAblationPartitioning([]int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.FlatMaxRx <= p.PartitionedMaxRx {
+			t.Fatalf("%d nodes: flat master (%.1f msg/s) should exceed partitioned max (%.1f msg/s)",
+				p.Nodes, p.FlatMaxRx, p.PartitionedMaxRx)
+		}
+	}
+	// Partitioned load stays roughly flat while flat-master load grows
+	// with the cluster.
+	a, b := res.Points[0], res.Points[1]
+	if b.PartitionedMaxRx > 1.8*a.PartitionedMaxRx {
+		t.Fatalf("partitioned load grew with cluster size: %.1f -> %.1f", a.PartitionedMaxRx, b.PartitionedMaxRx)
+	}
+	if b.FlatMaxRx < 1.5*a.FlatMaxRx {
+		t.Fatalf("flat master load did not grow with cluster size: %.1f -> %.1f", a.FlatMaxRx, b.FlatMaxRx)
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestIntervalSweep(t *testing.T) {
+	res, err := RunIntervalSweep([]time.Duration{5 * time.Second, 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	short, long := res.Points[0], res.Points[1]
+	if short.DetectTime >= long.DetectTime {
+		t.Fatalf("shorter interval should detect faster: %v vs %v", short.DetectTime, long.DetectTime)
+	}
+	if short.MsgsPerSec <= long.MsgsPerSec {
+		t.Fatalf("shorter interval should cost more traffic: %.1f vs %.1f", short.MsgsPerSec, long.MsgsPerSec)
+	}
+	// Detection ≈ the configured interval.
+	if short.DetectTime < 4*time.Second || short.DetectTime > 7*time.Second {
+		t.Fatalf("5s-interval detection = %v", short.DetectTime)
+	}
+	if !strings.Contains(res.Render(), "heartbeat interval") {
+		t.Fatal("render missing header")
+	}
+}

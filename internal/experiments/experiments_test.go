@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/types"
+)
+
+func TestRunFaultTables(t *testing.T) {
+	for _, comp := range []faultinject.Component{
+		faultinject.CompWD, faultinject.CompGSD, faultinject.CompES,
+	} {
+		table, err := RunFaultTable(comp)
+		if err != nil {
+			t.Fatalf("%s: %v", comp, err)
+		}
+		if len(table.Rows) != 3 {
+			t.Fatalf("%s rows = %d", comp, len(table.Rows))
+		}
+		for _, row := range table.Rows {
+			in := row.Measured.Incident
+			if !in.Complete() {
+				t.Fatalf("%s/%v incomplete", comp, row.Fault)
+			}
+			// Shape check against the paper reference: detection within
+			// 10% of the heartbeat interval; zero-recovery rows measure
+			// zero; recovery within 3x of the paper's figure otherwise.
+			if d := in.Detect(); d < 27*time.Second || d > 33*time.Second {
+				t.Fatalf("%s/%v detect = %v", comp, row.Fault, d)
+			}
+			if row.PaperRecover == 0 && in.Recover() != 0 {
+				t.Fatalf("%s/%v recover = %v, paper says 0", comp, row.Fault, in.Recover())
+			}
+			if row.PaperRecover > 0 {
+				if in.Recover() <= 0 || in.Recover() > 3*row.PaperRecover {
+					t.Fatalf("%s/%v recover = %v, paper %v", comp, row.Fault, in.Recover(), row.PaperRecover)
+				}
+			}
+		}
+		if !strings.Contains(table.Render(), "Table") {
+			t.Fatal("render missing header")
+		}
+	}
+}
+
+func TestRunTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time compute experiment")
+	}
+	tbl, err := RunTable4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Entries) != 4 {
+		t.Fatalf("entries = %d", len(tbl.Entries))
+	}
+	for _, e := range tbl.Entries {
+		if e.Row.Without.Residual > 16 || e.Row.With.Residual > 16 {
+			t.Fatalf("cpus=%d residuals %g/%g", e.CPUs, e.Row.Without.Residual, e.Row.With.Residual)
+		}
+		if e.Row.EfficiencyPct < 25 {
+			t.Fatalf("cpus=%d efficiency %.1f%% — daemons devastated the run", e.CPUs, e.Row.EfficiencyPct)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "Table 4") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunFig3Succession(t *testing.T) {
+	res, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	if res.Steps[0].Leader != 0 || res.Steps[0].Princess != 1 {
+		t.Fatalf("boot roles: %+v", res.Steps[0])
+	}
+	if res.Steps[1].Leader != 1 || res.Steps[1].Princess != 2 {
+		t.Fatalf("after leader death: %+v", res.Steps[1])
+	}
+	if res.Steps[2].Leader != 1 || res.Steps[2].Princess != 3 {
+		t.Fatalf("after princess death: %+v", res.Steps[2])
+	}
+	// Every failed member recovered: 0 and 2 migrated to their backup
+	// nodes and rejoined as ordinary members, 3 was restarted in place —
+	// and since 3 held the Princess role when its process died, member 4
+	// took it over. The full ring is alive again.
+	if res.Steps[3].Alive != 5 {
+		t.Fatalf("after member restart: %+v", res.Steps[3])
+	}
+	if res.Steps[3].Leader != 1 || res.Steps[3].Princess != 4 {
+		t.Fatalf("final roles: %+v", res.Steps[3])
+	}
+}
+
+func TestRunFig5Federation(t *testing.T) {
+	res, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CoverEveryone {
+		t.Fatal("not every access point answered cluster-wide")
+	}
+	if len(res.DarkMissing) != 1 || res.DarkMissing[0] != types.PartitionID(1) {
+		t.Fatalf("dark partitions = %v, want [part1]", res.DarkMissing)
+	}
+	if !res.RecoveredFull {
+		t.Fatal("federation did not recover full coverage")
+	}
+}
+
+func TestRunFig6Scalability(t *testing.T) {
+	res, err := RunFig6([]int{64, 136})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Covered != p.Nodes {
+			t.Fatalf("%d nodes: covered %d", p.Nodes, p.Covered)
+		}
+		if p.KernelMsgs <= 0 {
+			t.Fatalf("%d nodes: kernel msgs %.2f", p.Nodes, p.KernelMsgs)
+		}
+	}
+	// Scalability claim: per-node kernel traffic roughly flat (within 2x)
+	// as the cluster grows.
+	a, b := res.Points[0].KernelMsgs, res.Points[1].KernelMsgs
+	if b > 2*a {
+		t.Fatalf("per-node traffic grew superlinearly: %.2f -> %.2f", a, b)
+	}
+}
+
+func TestRunPWSvsPBS(t *testing.T) {
+	res, err := RunPWSvsPBS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PBSPollMsgs <= res.PWSMonMsgs {
+		t.Fatalf("PBS polling (%.0f msgs) should exceed PWS monitoring (%.0f msgs)",
+			res.PBSPollMsgs, res.PWSMonMsgs)
+	}
+	if res.PWSCompleted != res.JobsSubmitted {
+		t.Fatalf("PWS completed %d/%d after scheduler-node death", res.PWSCompleted, res.JobsSubmitted)
+	}
+	if res.PBSCompleted >= res.JobsSubmitted {
+		t.Fatalf("PBS completed %d/%d — it has no HA and should lose jobs", res.PBSCompleted, res.JobsSubmitted)
+	}
+	if res.LeaseMakespan >= res.NoLeaseMakespan {
+		t.Fatalf("leasing did not help: %v vs %v", res.LeaseMakespan, res.NoLeaseMakespan)
+	}
+	if !strings.Contains(res.Render(), "PWS") {
+		t.Fatal("render missing header")
+	}
+}

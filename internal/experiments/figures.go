@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gridview"
+	"repro/internal/types"
+)
+
+// Fig3Step is one event in the meta-group succession walk.
+type Fig3Step struct {
+	Action   string
+	View     string
+	Leader   types.PartitionID
+	Princess types.PartitionID
+	Alive    int
+}
+
+// Fig3Result is the Figure 3/4 reproduction: a five-member meta-group
+// driven through leader death, princess death and ordinary-member death,
+// with takeover and recovery at each step.
+type Fig3Result struct {
+	Steps []Fig3Step
+}
+
+// RunFig3 builds a five-partition cluster (the paper's Figure 3 shows five
+// members) and exercises the succession rules.
+func RunFig3() (Fig3Result, error) {
+	spec := cluster.Small()
+	spec.Partitions = 5
+	spec.PartitionSize = 4
+	c, err := cluster.Build(spec)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	c.WarmUp()
+	var out Fig3Result
+
+	// An always-alive observer: partition 4's GSD outlives every injected
+	// failure below.
+	observer := func() *Fig3Step {
+		g := c.Kernel.GSD(4)
+		v := g.Member().View()
+		return &Fig3Step{View: v.String(), Leader: v.Leader, Princess: v.Princess, Alive: v.AliveCount()}
+	}
+	record := func(action string) {
+		s := observer()
+		s.Action = action
+		out.Steps = append(out.Steps, *s)
+	}
+
+	record("boot: five members, member 0 leads, member 1 is Princess")
+
+	// Leader dies: the Princess takes over, member 2 becomes Princess.
+	c.Host(c.Topo.Partitions[0].Server).PowerOff()
+	c.RunFor(10 * time.Second)
+	record("leader (member 0) node fails")
+
+	// New Princess dies: member 3 takes the role.
+	c.Host(c.Topo.Partitions[2].Server).PowerOff()
+	c.RunFor(10 * time.Second)
+	record("princess (member 2) node fails")
+
+	// Ordinary member's GSD process dies: its ring successor restarts it
+	// in place; roles are unchanged.
+	_ = c.Host(c.Topo.Partitions[3].Server).Kill(types.SvcGSD)
+	c.RunFor(10 * time.Second)
+	record("ordinary member (3) process fails and is restarted in place")
+
+	return out, nil
+}
+
+// Render draws the walk.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3/4 — meta-group ring with five members: succession walk\n")
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "%d. %s\n   view=%s leader=%v princess=%v alive=%d\n",
+			i+1, s.Action, s.View, s.Leader, s.Princess, s.Alive)
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces the data-bulletin federation behaviour of Figure 5:
+// any instance answers cluster-wide; a failed instance blanks exactly one
+// partition until the GSD restarts it.
+type Fig5Result struct {
+	AccessPoints  int  // instances queried
+	CoverEveryone bool // every access point returned all partitions
+	DarkMissing   []types.PartitionID
+	RecoveredFull bool
+}
+
+// RunFig5 queries every bulletin instance, kills one, shows the single
+// dark partition, then shows recovery.
+func RunFig5() (Fig5Result, error) {
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	c.WarmUp()
+	c.RunFor(3 * time.Second)
+	var out Fig5Result
+	out.CoverEveryone = true
+
+	query := func(part types.PartitionID) (bulletin.QueryAck, bool) {
+		var got *bulletin.QueryAck
+		name := fmt.Sprintf("fig5-%d-%d", part, c.Engine.Steps())
+		proc := core.NewClientProc(name, part, c.Kernel.ServerNode(part))
+		proc.OnStart = func(cp *core.ClientProc) {
+			cp.Bulletin.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+				if ok {
+					got = &ack
+				}
+			})
+		}
+		info, _ := c.Topo.Partition(part)
+		if _, err := c.Host(info.Members[2]).Spawn(proc); err != nil {
+			return bulletin.QueryAck{}, false
+		}
+		c.RunFor(2 * time.Second)
+		if got == nil {
+			return bulletin.QueryAck{}, false
+		}
+		return *got, true
+	}
+
+	// Single access point: each instance answers for the whole cluster.
+	for _, p := range c.Topo.Partitions {
+		ack, ok := query(p.ID)
+		out.AccessPoints++
+		if !ok || len(ack.Missing) != 0 || len(ack.Snapshots) != len(c.Topo.Partitions) {
+			out.CoverEveryone = false
+		}
+	}
+
+	// Kill partition 1's instance; query elsewhere before it restarts.
+	_ = c.Host(c.Topo.Partitions[1].Server).Kill(types.SvcDB)
+	c.RunFor(300 * time.Millisecond)
+	if ack, ok := query(3); ok {
+		out.DarkMissing = ack.Missing
+	}
+
+	// The GSD restarts it; coverage returns.
+	c.RunFor(10 * time.Second)
+	if ack, ok := query(3); ok {
+		out.RecoveredFull = len(ack.Missing) == 0
+	}
+	return out, nil
+}
+
+// Render draws the result.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — data bulletin service federation\n")
+	fmt.Fprintf(&b, "access points queried            : %d\n", r.AccessPoints)
+	fmt.Fprintf(&b, "each answers cluster-wide        : %v\n", r.CoverEveryone)
+	fmt.Fprintf(&b, "missing while one instance down  : %v (exactly one partition)\n", r.DarkMissing)
+	fmt.Fprintf(&b, "full coverage after GSD restart  : %v\n", r.RecoveredFull)
+	return b.String()
+}
+
+// Fig6Point is one cluster size in the monitoring scalability sweep.
+type Fig6Point struct {
+	Nodes        int
+	Partitions   int
+	AvgCPUPct    float64
+	AvgMemPct    float64
+	AvgSwapPct   float64
+	Covered      int
+	QueryLatency time.Duration
+	KernelMsgs   float64 // kernel messages per node per second at steady state
+}
+
+// Fig6Result is the §5.3 scalability evaluation: GridView over growing
+// clusters up to the Dawning 4000A's 640 nodes.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// RunFig6 sweeps cluster sizes (the 640-node point is the paper's
+// Figure 6 snapshot) and measures monitoring coverage, latency and the
+// per-node kernel traffic.
+func RunFig6(sizes []int) (Fig6Result, error) {
+	if len(sizes) == 0 {
+		// 640 is the Dawning 4000A; 1024 shows headroom beyond the paper.
+		sizes = []int{136, 320, 640, 1024}
+	}
+	var out Fig6Result
+	for _, nodes := range sizes {
+		partitions := nodes / 16
+		if partitions < 2 {
+			partitions = 2
+		}
+		spec := cluster.Small()
+		spec.Partitions = partitions
+		spec.PartitionSize = nodes / partitions
+		c, err := cluster.Build(spec)
+		if err != nil {
+			return out, err
+		}
+		c.WarmUp()
+		gv := gridview.New(gridview.Spec{
+			Partition: 0, Server: c.Topo.Partitions[0].Server, Refresh: 2 * time.Second,
+		})
+		info := c.Topo.Partitions[0]
+		if _, err := c.Host(info.Members[3]).Spawn(gv); err != nil {
+			return out, err
+		}
+		c.RunFor(2 * time.Second)
+		msgsBefore := c.Metrics.Counter("net.msgs").Value()
+		window := 20 * time.Second
+		c.RunFor(window)
+		msgsAfter := c.Metrics.Counter("net.msgs").Value()
+		snap, ok := gv.Latest()
+		if !ok {
+			return out, fmt.Errorf("fig6: no snapshot at %d nodes", nodes)
+		}
+		out.Points = append(out.Points, Fig6Point{
+			Nodes:        c.Topo.NumNodes(),
+			Partitions:   partitions,
+			AvgCPUPct:    snap.Agg.AvgCPUPct,
+			AvgMemPct:    snap.Agg.AvgMemPct,
+			AvgSwapPct:   snap.Agg.AvgSwapPct,
+			Covered:      snap.Agg.Nodes,
+			QueryLatency: snap.Latency,
+			KernelMsgs:   (msgsAfter - msgsBefore) / window.Seconds() / float64(c.Topo.NumNodes()),
+		})
+	}
+	return out, nil
+}
+
+// Render draws the sweep; the paper's Figure 6 reference point is a
+// 640-node snapshot with average memory ~27%, CPU ~15% and swap ~0.72%.
+func (r Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 / §5.3 — monitoring scalability (GridView over the bulletin federation)\n")
+	fmt.Fprintf(&b, "%-7s %-6s %-9s %-8s %-8s %-8s %-10s %s\n",
+		"nodes", "parts", "covered", "cpu%", "mem%", "swap%", "latency", "kernel msgs/node/s")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 80))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-7d %-6d %-9d %-8.2f %-8.2f %-8.2f %-10v %.2f\n",
+			p.Nodes, p.Partitions, p.Covered, p.AvgCPUPct, p.AvgMemPct, p.AvgSwapPct,
+			p.QueryLatency.Round(100*time.Microsecond), p.KernelMsgs)
+	}
+	b.WriteString("(paper snapshot at 640 nodes: avg mem ~27%, avg CPU ~15%, avg swap ~0.72%;\n")
+	b.WriteString(" per-node kernel traffic stays flat as the cluster grows — that is the claim)\n")
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pbs"
+	"repro/internal/pws"
+	"repro/internal/types"
+)
+
+// PWSvsPBS is the §5.4 comparison: monitoring traffic, fault tolerance of
+// the scheduler, and multi-pool leasing.
+type PWSvsPBS struct {
+	Window time.Duration
+	Nodes  int
+
+	// Monitoring traffic attributable to resource discovery.
+	PBSPollMsgs  float64
+	PBSPollBytes float64
+	PWSMonMsgs   float64
+	PWSMonBytes  float64
+
+	// Scheduler failure behaviour: jobs completed out of submitted when
+	// the scheduler's node dies mid-stream.
+	JobsSubmitted int
+	PWSCompleted  int
+	PBSCompleted  int
+
+	// Leasing: completion time of a burst confined to one pool, with and
+	// without dynamic leasing.
+	LeaseMakespan   time.Duration
+	NoLeaseMakespan time.Duration
+}
+
+const monWindow = 60 * time.Second
+
+// RunPWSvsPBS runs the three §5.4 comparisons on identical 64-node
+// clusters.
+func RunPWSvsPBS() (PWSvsPBS, error) {
+	out := PWSvsPBS{Window: monWindow}
+
+	// --- monitoring traffic -------------------------------------------------
+	{
+		c, err := cluster.Build(smallSpec(nil))
+		if err != nil {
+			return out, err
+		}
+		out.Nodes = c.Topo.NumNodes()
+		nodes := c.Topo.ComputeNodes()
+		if _, err := pbs.Deploy(c, c.Topo.Partitions[1].Server, pbs.ServerSpec{
+			Nodes: nodes, PollInterval: time.Second, SchedPeriod: time.Second,
+		}); err != nil {
+			return out, err
+		}
+		c.WarmUp()
+		c.RunFor(2 * time.Second)
+		m := c.Metrics
+		polls0 := m.Counter("net.msgs."+pbs.MsgStatus).Value() + m.Counter("net.msgs."+pbs.MsgStatusAck).Value()
+		pollB0 := m.Counter("net.bytes."+pbs.MsgStatus).Value() + m.Counter("net.bytes."+pbs.MsgStatusAck).Value()
+		c.RunFor(monWindow)
+		out.PBSPollMsgs = m.Counter("net.msgs."+pbs.MsgStatus).Value() +
+			m.Counter("net.msgs."+pbs.MsgStatusAck).Value() - polls0
+		out.PBSPollBytes = m.Counter("net.bytes."+pbs.MsgStatus).Value() +
+			m.Counter("net.bytes."+pbs.MsgStatusAck).Value() - pollB0
+	}
+	{
+		c, err := cluster.Build(smallSpec(map[types.PartitionID][]string{0: {types.SvcPWS}}))
+		if err != nil {
+			return out, err
+		}
+		if _, err := pws.Deploy(c, pws.Spec{
+			Partition: 0, Pools: pws.UniformPools(c, 2),
+			SchedPeriod: time.Second, UseBulletin: true,
+		}); err != nil {
+			return out, err
+		}
+		c.WarmUp()
+		c.RunFor(2 * time.Second)
+		m := c.Metrics
+		monTypes := []string{"db.query", "db.result", "db.fetch", "db.fetch.ack", "es.event"}
+		sum := func(prefix string) float64 {
+			var v float64
+			for _, t := range monTypes {
+				v += m.Counter(prefix + t).Value()
+			}
+			return v
+		}
+		msgs0, bytes0 := sum("net.msgs."), sum("net.bytes.")
+		c.RunFor(monWindow)
+		out.PWSMonMsgs = sum("net.msgs.") - msgs0
+		out.PWSMonBytes = sum("net.bytes.") - bytes0
+	}
+
+	// --- scheduler failure --------------------------------------------------
+	out.JobsSubmitted = 8
+	{
+		// PWS: scheduler node dies mid-stream; the GSD migrates it and the
+		// jobs finish.
+		c, err := cluster.Build(smallSpec(map[types.PartitionID][]string{1: {types.SvcPWS}}))
+		if err != nil {
+			return out, err
+		}
+		pools := []pws.PoolSpec{{
+			Name: "main", Nodes: c.Topo.ComputeNodes()[:8], Policy: pws.PolicyFIFO,
+		}}
+		if _, err := pws.Deploy(c, pws.Spec{
+			Partition: 1, Pools: pools, SchedPeriod: time.Second,
+		}); err != nil {
+			return out, err
+		}
+		c.WarmUp()
+		var client *pws.Client
+		proc := core.NewClientProc("drv", 0, c.Topo.Partitions[0].Server)
+		proc.OnStart = func(cp *core.ClientProc) {
+			client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+				return types.Addr{Node: c.Kernel.ServerNode(1), Service: types.SvcPWS}, true
+			})
+			for i := 0; i < out.JobsSubmitted; i++ {
+				client.Submit(pws.Job{Pool: "main", Duration: 8 * time.Second, Width: 2}, nil)
+			}
+		}
+		proc.OnMessage = func(cp *core.ClientProc, msg types.Message) { client.Handle(msg) }
+		if _, err := c.Host(c.Topo.Partitions[0].Members[3]).Spawn(proc); err != nil {
+			return out, err
+		}
+		c.RunFor(3 * time.Second)
+		c.Host(c.Topo.Partitions[1].Server).PowerOff() // kills the scheduler's node
+		c.RunFor(3 * time.Minute)
+		var completed int
+		client.Stat(func(ack pws.StatAck, ok bool) {
+			if ok {
+				completed = ack.Completed
+			}
+		})
+		c.RunFor(2 * time.Second)
+		out.PWSCompleted = completed
+	}
+	{
+		// PBS: the server node dies mid-stream; everything not yet finished
+		// is lost.
+		c, err := cluster.Build(smallSpec(nil))
+		if err != nil {
+			return out, err
+		}
+		serverNode := c.Topo.Partitions[1].Server
+		srv, err := pbs.Deploy(c, serverNode, pbs.ServerSpec{
+			Nodes: c.Topo.ComputeNodes()[:8], PollInterval: time.Second, SchedPeriod: time.Second,
+		})
+		if err != nil {
+			return out, err
+		}
+		c.WarmUp()
+		proc := core.NewClientProc("drv", 0, c.Topo.Partitions[0].Server)
+		proc.OnStart = func(cp *core.ClientProc) {
+			for i := 0; i < out.JobsSubmitted; i++ {
+				cp.H.Send(types.Addr{Node: serverNode, Service: types.SvcPBS}, types.AnyNIC,
+					pbs.MsgSubmit, pbs.SubmitReq{Token: uint64(i + 1), Job: pbs.Job{
+						ID: types.JobID(i + 1), Duration: 8 * time.Second, Width: 2,
+					}})
+			}
+		}
+		if _, err := c.Host(c.Topo.Partitions[0].Members[3]).Spawn(proc); err != nil {
+			return out, err
+		}
+		c.RunFor(3 * time.Second)
+		c.Host(serverNode).PowerOff()
+		c.RunFor(3 * time.Minute)
+		out.PBSCompleted = srv.Completed
+	}
+
+	// --- leasing ------------------------------------------------------------
+	lease, err := leaseMakespan(true)
+	if err != nil {
+		return out, err
+	}
+	noLease, err := leaseMakespan(false)
+	if err != nil {
+		return out, err
+	}
+	out.LeaseMakespan, out.NoLeaseMakespan = lease, noLease
+	return out, nil
+}
+
+func smallSpec(extra map[types.PartitionID][]string) cluster.Spec {
+	spec := cluster.Small()
+	spec.Partitions = 4
+	spec.PartitionSize = 16 // 64 nodes
+	spec.ExtraServices = extra
+	return spec
+}
+
+// leaseMakespan submits a burst of 1-wide jobs into a 4-node pool while a
+// 12-node pool idles, and measures completion time with and without
+// dynamic leasing.
+func leaseMakespan(allowLease bool) (time.Duration, error) {
+	c, err := cluster.Build(smallSpec(map[types.PartitionID][]string{0: {types.SvcPWS}}))
+	if err != nil {
+		return 0, err
+	}
+	nodes := c.Topo.ComputeNodes()
+	pools := []pws.PoolSpec{
+		{Name: "busy", Nodes: nodes[:4], Policy: pws.PolicyBackfill},
+		{Name: "idle", Nodes: nodes[4:16], Policy: pws.PolicyFIFO, AllowLease: allowLease},
+	}
+	if _, err := pws.Deploy(c, pws.Spec{Partition: 0, Pools: pools, SchedPeriod: time.Second}); err != nil {
+		return 0, err
+	}
+	c.WarmUp()
+	const burst = 16
+	var client *pws.Client
+	proc := core.NewClientProc("lease", 1, c.Topo.Partitions[1].Server)
+	proc.OnStart = func(cp *core.ClientProc) {
+		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
+		})
+		for i := 0; i < burst; i++ {
+			client.Submit(pws.Job{Pool: "busy", Duration: 10 * time.Second, Width: 4}, nil)
+		}
+	}
+	proc.OnMessage = func(cp *core.ClientProc, msg types.Message) { client.Handle(msg) }
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(proc); err != nil {
+		return 0, err
+	}
+	start := c.Engine.Elapsed()
+	deadline := start + time.Hour
+	for c.Engine.Elapsed() < deadline {
+		c.RunFor(2 * time.Second)
+		done := -1
+		client.Stat(func(ack pws.StatAck, ok bool) {
+			if ok {
+				done = ack.Completed
+			}
+		})
+		c.RunFor(time.Second)
+		if done >= burst {
+			return c.Engine.Elapsed() - start, nil
+		}
+	}
+	return 0, fmt.Errorf("lease experiment: burst never completed")
+}
+
+// Render draws the comparison.
+func (r PWSvsPBS) Render() string {
+	var b strings.Builder
+	b.WriteString("§5.4 / Figures 7-9 — PWS (on Phoenix kernel) versus PBS baseline\n\n")
+	fmt.Fprintf(&b, "monitoring traffic over %v on %d nodes:\n", r.Window, r.Nodes)
+	fmt.Fprintf(&b, "  PBS continuous polling : %8.0f msgs  %10.0f bytes\n", r.PBSPollMsgs, r.PBSPollBytes)
+	fmt.Fprintf(&b, "  PWS bulletin + events  : %8.0f msgs  %10.0f bytes\n", r.PWSMonMsgs, r.PWSMonBytes)
+	if r.PWSMonMsgs > 0 {
+		fmt.Fprintf(&b, "  reduction              : %.1fx fewer messages\n", r.PBSPollMsgs/r.PWSMonMsgs)
+	}
+	fmt.Fprintf(&b, "\nscheduler-node death mid-stream (%d jobs submitted):\n", r.JobsSubmitted)
+	fmt.Fprintf(&b, "  PWS completed          : %d/%d (GSD migrates the scheduler, state from checkpoints)\n",
+		r.PWSCompleted, r.JobsSubmitted)
+	fmt.Fprintf(&b, "  PBS completed          : %d/%d (no HA: the system is down)\n",
+		r.PBSCompleted, r.JobsSubmitted)
+	fmt.Fprintf(&b, "\ndynamic leasing (16 x 4-wide jobs into a 4-node pool, 12-node pool idle):\n")
+	fmt.Fprintf(&b, "  makespan with leasing  : %v\n", r.LeaseMakespan.Round(time.Second))
+	fmt.Fprintf(&b, "  makespan without       : %v\n", r.NoLeaseMakespan.Round(time.Second))
+	return b.String()
+}

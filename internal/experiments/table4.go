@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/linpack"
+)
+
+// Table4Entry pairs the paper's efficiency figure with a measured row.
+type Table4Entry struct {
+	CPUs     int
+	PaperPct float64
+	Row      linpack.Table4Row
+}
+
+// Table4 is the Linpack-impact table.
+type Table4 struct {
+	Entries []Table4Entry
+}
+
+// paperTable4 holds the efficiency (with-Phoenix / without-Phoenix) the
+// paper's Table 4 implies; the exact GFLOPS cells are garbled in the
+// source text, but the stated conclusion is that "Phoenix kernel has
+// little impact on scientific computing" — efficiencies in the high
+// nineties at every CPU count.
+var paperTable4 = map[int]float64{4: 99, 16: 98, 64: 97, 128: 97}
+
+// RunTable4 measures Linpack throughput with and without the Phoenix
+// daemons at the paper's CPU counts. Quick mode shrinks the matrix so a
+// full sweep finishes in a few seconds.
+func RunTable4(quick bool) (Table4, error) {
+	var out Table4
+	for _, cpus := range []int{4, 16, 64, 128} {
+		n := linpack.DefaultProblemSize(cpus)
+		if quick {
+			n /= 2
+		}
+		row, err := linpack.MeasureRow(cpus, n, 1)
+		if err != nil {
+			return out, fmt.Errorf("table4 cpus=%d: %w", cpus, err)
+		}
+		out.Entries = append(out.Entries, Table4Entry{
+			CPUs: cpus, PaperPct: paperTable4[cpus], Row: row,
+		})
+	}
+	return out, nil
+}
+
+// Render draws the table.
+func (t Table4) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4 — Phoenix's impact on Linpack performance\n")
+	fmt.Fprintf(&b, "%-5s %-6s | %-10s %-10s %-9s | %-9s | %s\n",
+		"CPUs", "n", "gflops", "gflops+phx", "eff(meas)", "eff(paper)", "residual ok")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 78))
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "%-5d %-6d | %-10.3f %-10.3f %7.1f%%  | %7.1f%%  | %v\n",
+			e.CPUs, e.Row.N,
+			e.Row.Without.GFlops, e.Row.With.GFlops, e.Row.EfficiencyPct,
+			e.PaperPct,
+			e.Row.Without.Residual < 16 && e.Row.With.Residual < 16)
+	}
+	b.WriteString("(worker counts beyond the host's cores oversubscribe on purpose;\n")
+	b.WriteString(" the claim under test is the relative efficiency column)\n")
+	return b.String()
+}

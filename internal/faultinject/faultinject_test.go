@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// The shape assertions below mirror the paper's Tables 1-3: detection takes
+// one heartbeat interval; diagnosis is sub-second for process and NIC
+// faults and equals the probe timeout for node faults; recovery is zero
+// where the paper reports zero, small for process restarts, and includes
+// the migration cost for node faults of server daemons.
+
+func run(t *testing.T, comp Component, kind types.FaultKind) Result {
+	t.Helper()
+	res, err := Scenario(cluster.PaperTestbed(), comp, kind)
+	if err != nil {
+		t.Fatalf("%s/%v: %v (incident %+v)", comp, kind, err, res.Incident)
+	}
+	return res
+}
+
+func assertDetectOneInterval(t *testing.T, res Result) {
+	t.Helper()
+	d := res.Incident.Detect()
+	if d < 29*time.Second || d > 31*time.Second {
+		t.Fatalf("%s: detect = %v, want ~30s", res.Row(), d)
+	}
+}
+
+func TestTable1WDProcess(t *testing.T) {
+	res := run(t, CompWD, types.FaultProcess)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g < 250*time.Millisecond || g > time.Second {
+		t.Fatalf("diagnose = %v, want sub-second probe answer", g)
+	}
+	if r := res.Incident.Recover(); r <= 0 || r > 500*time.Millisecond {
+		t.Fatalf("recover = %v, want small respawn cost", r)
+	}
+}
+
+func TestTable1WDNode(t *testing.T) {
+	res := run(t, CompWD, types.FaultNode)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g != 2*time.Second {
+		t.Fatalf("diagnose = %v, want the 2s partition probe timeout", g)
+	}
+	if r := res.Incident.Recover(); r != 0 {
+		t.Fatalf("recover = %v, want 0 (a dead node's WD is not migrated)", r)
+	}
+}
+
+func TestTable1WDNetwork(t *testing.T) {
+	res := run(t, CompWD, types.FaultNIC)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g <= 0 || g > 10*time.Millisecond {
+		t.Fatalf("diagnose = %v, want microsecond-scale matrix analysis", g)
+	}
+	if r := res.Incident.Recover(); r != 0 {
+		t.Fatalf("recover = %v, want 0 (one NIC of three is not fatal)", r)
+	}
+}
+
+func TestTable2GSDProcess(t *testing.T) {
+	res := run(t, CompGSD, types.FaultProcess)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g < 250*time.Millisecond || g > 350*time.Millisecond {
+		t.Fatalf("diagnose = %v, want sub-0.35s meta probe answer", g)
+	}
+	// Recovery is dominated by the GSD's 2s exec latency plus rejoin.
+	if r := res.Incident.Recover(); r < 2*time.Second || r > 3*time.Second {
+		t.Fatalf("recover = %v, want ~2s respawn + rejoin", r)
+	}
+}
+
+func TestTable2GSDNode(t *testing.T) {
+	res := run(t, CompGSD, types.FaultNode)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g != 300*time.Millisecond {
+		t.Fatalf("diagnose = %v, want the 0.3s meta probe timeout", g)
+	}
+	if r := res.Incident.Recover(); r < 2*time.Second || r > 4*time.Second {
+		t.Fatalf("recover = %v, want migration ≈ spawn + join", r)
+	}
+}
+
+func TestTable2GSDNetwork(t *testing.T) {
+	res := run(t, CompGSD, types.FaultNIC)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g <= 0 || g > 10*time.Millisecond {
+		t.Fatalf("diagnose = %v, want matrix analysis", g)
+	}
+	if r := res.Incident.Recover(); r != 0 {
+		t.Fatalf("recover = %v, want 0", r)
+	}
+}
+
+func TestTable3ESProcess(t *testing.T) {
+	res := run(t, CompES, types.FaultProcess)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g <= 0 || g > time.Millisecond {
+		t.Fatalf("diagnose = %v, want the ~12µs process-table lookup", g)
+	}
+	// Restart + checkpoint restore.
+	if r := res.Incident.Recover(); r < 50*time.Millisecond || r > time.Second {
+		t.Fatalf("recover = %v, want ~0.1s restart+restore", r)
+	}
+}
+
+func TestTable3ESNode(t *testing.T) {
+	res := run(t, CompES, types.FaultNode)
+	assertDetectOneInterval(t, res)
+	if g := res.Incident.Diagnose(); g != 300*time.Millisecond {
+		t.Fatalf("diagnose = %v, want the meta probe timeout", g)
+	}
+	if r := res.Incident.Recover(); r < 2*time.Second || r > 4*time.Second {
+		t.Fatalf("recover = %v, want migration-scale recovery", r)
+	}
+}
+
+func TestTable3ESNetwork(t *testing.T) {
+	res := run(t, CompES, types.FaultNIC)
+	assertDetectOneInterval(t, res)
+	if r := res.Incident.Recover(); r != 0 {
+		t.Fatalf("recover = %v, want 0", r)
+	}
+}
+
+// The full-table helper runs all three situations.
+func TestTableHelper(t *testing.T) {
+	results, err := Table(cluster.Small(), CompWD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rows = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Incident.Complete() {
+			t.Fatalf("incomplete row: %s", r.Row())
+		}
+		if r.Row() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}

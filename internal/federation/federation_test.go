@@ -1,0 +1,124 @@
+package federation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func view3() View {
+	return NewView(map[types.PartitionID]types.NodeID{0: 0, 1: 17, 2: 34})
+}
+
+func TestNewViewAndPartitions(t *testing.T) {
+	v := view3()
+	if v.Version != 1 {
+		t.Fatalf("version = %d", v.Version)
+	}
+	parts := v.Partitions()
+	if len(parts) != 3 || parts[0] != 0 || parts[2] != 2 {
+		t.Fatalf("partitions = %v", parts)
+	}
+}
+
+func TestPeerAddrsExcludesSelfAndDead(t *testing.T) {
+	v := view3()
+	peers := v.PeerAddrs(1, types.SvcDB)
+	if len(peers) != 2 || peers[0].Node != 0 || peers[1].Node != 34 {
+		t.Fatalf("peers = %v", peers)
+	}
+	e := v.Entries[2]
+	e.Alive = false
+	v.Entries[2] = e
+	peers = v.PeerAddrs(1, types.SvcDB)
+	if len(peers) != 1 || peers[0].Node != 0 {
+		t.Fatalf("peers with dead member = %v", peers)
+	}
+}
+
+func TestAddr(t *testing.T) {
+	v := view3()
+	addr, ok := v.Addr(2, types.SvcES)
+	if !ok || addr != (types.Addr{Node: 34, Service: types.SvcES}) {
+		t.Fatalf("addr = %v ok=%v", addr, ok)
+	}
+	if _, ok := v.Addr(9, types.SvcES); ok {
+		t.Fatal("unknown partition resolved")
+	}
+	e := v.Entries[2]
+	e.Alive = false
+	v.Entries[2] = e
+	if _, ok := v.Addr(2, types.SvcES); ok {
+		t.Fatal("dead partition resolved")
+	}
+}
+
+func TestAdoptKeepsHigherVersion(t *testing.T) {
+	v := view3()
+	newer := view3()
+	newer.Version = 5
+	newer.Entries[0] = Entry{Node: 99, Alive: true}
+	if !v.Adopt(newer) {
+		t.Fatal("newer view rejected")
+	}
+	if v.Entries[0].Node != 99 || v.Version != 5 {
+		t.Fatalf("adopt result: %+v", v)
+	}
+	older := view3()
+	older.Version = 3
+	if v.Adopt(older) {
+		t.Fatal("older view adopted")
+	}
+	same := view3()
+	same.Version = 5
+	if v.Adopt(same) {
+		t.Fatal("equal-version view adopted")
+	}
+}
+
+func TestAdoptClones(t *testing.T) {
+	v := view3()
+	newer := view3()
+	newer.Version = 2
+	v.Adopt(newer)
+	// Mutating the source must not affect the adopter.
+	newer.Entries[1] = Entry{Node: 1000, Alive: false}
+	if v.Entries[1].Node == 1000 {
+		t.Fatal("Adopt aliased the source's entry map")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := view3()
+	c := v.Clone()
+	c.Entries[0] = Entry{Node: 77, Alive: false}
+	if v.Entries[0].Node == 77 {
+		t.Fatal("clone shares entries")
+	}
+}
+
+// Property: Partitions is always sorted and PeerAddrs respects its order.
+func TestPropertyPeerOrder(t *testing.T) {
+	f := func(raw []uint8) bool {
+		placement := make(map[types.PartitionID]types.NodeID)
+		for i, r := range raw {
+			placement[types.PartitionID(r%32)] = types.NodeID(i)
+		}
+		if len(placement) == 0 {
+			return true
+		}
+		v := NewView(placement)
+		parts := v.Partitions()
+		for i := 1; i < len(parts); i++ {
+			if parts[i] <= parts[i-1] {
+				return false
+			}
+		}
+		peers := v.PeerAddrs(parts[0], "x")
+		return len(peers) == len(parts)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

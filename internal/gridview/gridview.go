@@ -1,0 +1,192 @@
+// Package gridview reproduces the GridView monitoring module of the
+// paper's scalability evaluation (§5.3, Figure 6): it interacts with the
+// kernel only through the configuration service, the event service and the
+// data bulletin federation — registering for node/network events to get
+// real-time notifications, and collecting cluster-wide performance data
+// through the bulletin's single access point at a configurable refresh
+// rate.
+package gridview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/events"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Spec configures a GridView instance.
+type Spec struct {
+	Partition types.PartitionID // home partition (access point)
+	Server    types.NodeID      // its current server node
+	Refresh   time.Duration     // display refresh period
+	History   int               // snapshots retained (0 = 128)
+}
+
+// Snapshot is one refresh of the cluster view.
+type Snapshot struct {
+	At        time.Time
+	Agg       bulletin.Aggregate
+	Missing   []types.PartitionID
+	Latency   time.Duration // bulletin query round trip
+	FromCache bool
+}
+
+// Daemon is the GridView process.
+type Daemon struct {
+	spec     Spec
+	h        *simhost.Handle
+	events   *events.Client
+	bulletin *bulletin.Client
+
+	snapshots []Snapshot
+	nodeState map[types.NodeID]types.NodeState
+	nicState  map[[2]int]types.LinkState
+
+	// EventsSeen counts real-time notifications received.
+	EventsSeen uint64
+	// QueriesIssued counts bulletin refreshes.
+	QueriesIssued uint64
+	// QueriesMissed counts refreshes that timed out.
+	QueriesMissed uint64
+}
+
+// New builds a GridView daemon.
+func New(spec Spec) *Daemon {
+	if spec.History == 0 {
+		spec.History = 128
+	}
+	return &Daemon{
+		spec:      spec,
+		nodeState: make(map[types.NodeID]types.NodeState),
+		nicState:  make(map[[2]int]types.LinkState),
+	}
+}
+
+// Service implements simhost.Process.
+func (d *Daemon) Service() string { return types.SvcGridView }
+
+// Start implements simhost.Process.
+func (d *Daemon) Start(h *simhost.Handle) {
+	d.h = h
+	timeout := d.spec.Refresh
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	target := func() (types.Addr, bool) {
+		return types.Addr{Node: d.spec.Server, Service: types.SvcES}, true
+	}
+	d.events = events.NewClient(h, timeout, target)
+	d.bulletin = bulletin.NewClient(h, timeout, func() (types.Addr, bool) {
+		return types.Addr{Node: d.spec.Server, Service: types.SvcDB}, true
+	})
+	// Register the event types GridView displays (node and network
+	// failures/recoveries, per the paper).
+	d.events.Subscribe([]types.EventType{
+		types.EvNodeFail, types.EvNodeRecover, types.EvNetFail, types.EvNetRecover,
+	}, -1, "", d.onEvent, nil)
+	d.refresh()
+	h.Every(d.spec.Refresh, d.refresh)
+}
+
+// OnStop implements simhost.Process.
+func (d *Daemon) OnStop() {}
+
+// Receive implements simhost.Process.
+func (d *Daemon) Receive(msg types.Message) {
+	if d.events.Handle(msg) || d.bulletin.Handle(msg) {
+		return
+	}
+}
+
+func (d *Daemon) onEvent(ev types.Event) {
+	d.EventsSeen++
+	switch ev.Type {
+	case types.EvNodeFail:
+		d.nodeState[ev.Node] = types.NodeDown
+	case types.EvNodeRecover:
+		d.nodeState[ev.Node] = types.NodeUp
+	case types.EvNetFail:
+		d.nicState[[2]int{int(ev.Node), ev.NIC}] = types.LinkDown
+	case types.EvNetRecover:
+		d.nicState[[2]int{int(ev.Node), ev.NIC}] = types.LinkUp
+	}
+}
+
+func (d *Daemon) refresh() {
+	issued := d.h.Now()
+	d.QueriesIssued++
+	d.bulletin.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+		if !ok {
+			d.QueriesMissed++
+			return
+		}
+		snap := Snapshot{
+			At:        d.h.Now(),
+			Agg:       bulletin.AggregateSnapshots(ack.Snapshots),
+			Missing:   ack.Missing,
+			Latency:   d.h.Now().Sub(issued),
+			FromCache: ack.Stale,
+		}
+		d.snapshots = append(d.snapshots, snap)
+		if len(d.snapshots) > d.spec.History {
+			d.snapshots = d.snapshots[len(d.snapshots)-d.spec.History:]
+		}
+	})
+}
+
+// Latest returns the most recent snapshot.
+func (d *Daemon) Latest() (Snapshot, bool) {
+	if len(d.snapshots) == 0 {
+		return Snapshot{}, false
+	}
+	return d.snapshots[len(d.snapshots)-1], true
+}
+
+// Snapshots returns the retained history.
+func (d *Daemon) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(d.snapshots))
+	copy(out, d.snapshots)
+	return out
+}
+
+// DownNodes lists nodes currently believed down, sorted.
+func (d *Daemon) DownNodes() []types.NodeID {
+	var out []types.NodeID
+	for n, s := range d.nodeState {
+		if s == types.NodeDown {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Render draws the paper-Figure-6-style status panel as text.
+func (d *Daemon) Render() string {
+	var b strings.Builder
+	snap, ok := d.Latest()
+	if !ok {
+		return "gridview: no data yet\n"
+	}
+	fmt.Fprintf(&b, "=== GridView @ %s ===\n", snap.At.Format("15:04:05"))
+	fmt.Fprintf(&b, "nodes reporting : %d\n", snap.Agg.Nodes)
+	fmt.Fprintf(&b, "avg CPU usage   : %5.2f%%\n", snap.Agg.AvgCPUPct)
+	fmt.Fprintf(&b, "avg mem usage   : %5.2f%%\n", snap.Agg.AvgMemPct)
+	fmt.Fprintf(&b, "avg swap usage  : %5.2f%%\n", snap.Agg.AvgSwapPct)
+	fmt.Fprintf(&b, "apps running    : %d\n", snap.Agg.Apps)
+	fmt.Fprintf(&b, "query latency   : %v (cache=%v)\n", snap.Latency, snap.FromCache)
+	if len(snap.Missing) > 0 {
+		fmt.Fprintf(&b, "partitions dark : %v\n", snap.Missing)
+	}
+	if down := d.DownNodes(); len(down) > 0 {
+		fmt.Fprintf(&b, "nodes down      : %v\n", down)
+	}
+	return b.String()
+}
+
+var _ simhost.Process = (*Daemon)(nil)

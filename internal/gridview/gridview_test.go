@@ -1,0 +1,121 @@
+package gridview_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gridview"
+	"repro/internal/types"
+)
+
+func rig(t *testing.T) (*cluster.Cluster, *gridview.Daemon) {
+	t.Helper()
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+	gv := gridview.New(gridview.Spec{
+		Partition: 0,
+		Server:    c.Topo.Partitions[0].Server,
+		Refresh:   2 * time.Second,
+	})
+	// GridView runs on a compute node, like an operator's workstation
+	// process inside the cluster.
+	if _, err := c.Host(c.Topo.Partitions[0].Members[4]).Spawn(gv); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * time.Second)
+	return c, gv
+}
+
+func TestSnapshotsCoverCluster(t *testing.T) {
+	c, gv := rig(t)
+	c.RunFor(6 * time.Second)
+	snap, ok := gv.Latest()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.Agg.Nodes != c.Topo.NumNodes() {
+		t.Fatalf("snapshot covers %d nodes, want %d", snap.Agg.Nodes, c.Topo.NumNodes())
+	}
+	if snap.Agg.AvgCPUPct <= 0 || snap.Agg.AvgMemPct <= 0 {
+		t.Fatalf("implausible aggregates: %+v", snap.Agg)
+	}
+	if len(snap.Missing) != 0 {
+		t.Fatalf("missing partitions on healthy cluster: %v", snap.Missing)
+	}
+	if gv.QueriesIssued < 3 {
+		t.Fatalf("queries issued = %d", gv.QueriesIssued)
+	}
+}
+
+func TestEventNotificationsTracked(t *testing.T) {
+	c, gv := rig(t)
+	victim := types.NodeID(13)
+	c.Host(victim).PowerOff()
+	c.RunFor(6 * time.Second)
+	if gv.EventsSeen == 0 {
+		t.Fatal("no real-time notifications received")
+	}
+	down := gv.DownNodes()
+	if len(down) != 1 || down[0] != victim {
+		t.Fatalf("down nodes = %v, want [%v]", down, victim)
+	}
+	// Recovery clears the state.
+	c.Host(victim).PowerOn()
+	c.RunFor(8 * time.Second)
+	if len(gv.DownNodes()) != 0 {
+		t.Fatalf("down nodes after recovery = %v", gv.DownNodes())
+	}
+}
+
+func TestRenderPanel(t *testing.T) {
+	c, gv := rig(t)
+	c.RunFor(4 * time.Second)
+	out := gv.Render()
+	for _, want := range []string{"GridView", "avg CPU usage", "avg mem usage", "avg swap usage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	_ = c
+}
+
+func TestDarkPartitionReported(t *testing.T) {
+	c, gv := rig(t)
+	// Kill partition 2's bulletin instance and query before the GSD
+	// restarts it: exactly that partition's state is unavailable
+	// (paper Figure 5).
+	server := c.Topo.Partitions[2].Server
+	if err := c.Host(server).Kill(types.SvcDB); err != nil {
+		t.Fatal(err)
+	}
+	// Run less than the local-check period so the restart hasn't happened.
+	c.RunFor(2500 * time.Millisecond)
+	found := false
+	for _, snap := range gv.Snapshots() {
+		for _, m := range snap.Missing {
+			if m == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dark partition never reported while its bulletin was down")
+	}
+	// After the GSD restarts the instance and detectors repopulate it,
+	// the partition reappears.
+	c.RunFor(10 * time.Second)
+	snap, _ := gv.Latest()
+	for _, m := range snap.Missing {
+		if m == 2 {
+			t.Fatalf("partition still dark after restart: %v", snap.Missing)
+		}
+	}
+	if snap.Agg.Nodes != c.Topo.NumNodes() {
+		t.Fatalf("post-recovery coverage %d of %d", snap.Agg.Nodes, c.Topo.NumNodes())
+	}
+}

@@ -1,0 +1,737 @@
+// Package gsd implements the Phoenix group service daemon, the kernel
+// component that solves "scalability and high availability at the same
+// time" (paper §4.2-4.4). A GSD takes charge of one partition:
+//
+//   - it receives and analyses the heartbeats of the partition's watch
+//     daemons, diagnosing process, node and network-interface failures and
+//     driving their recovery;
+//   - it participates in the ring-structured meta-group of all GSDs
+//     (Leader/Princess succession, mutual monitoring, takeover);
+//   - it supervises the kernel service instances co-located with it (event
+//     service, data bulletin, checkpoint service), restarting them on
+//     process death and carrying them along when it migrates to a backup
+//     node after a server-node death;
+//   - acting as an event supplier, it publishes failure and recovery
+//     events through the event service.
+package gsd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/codec"
+	"repro/internal/config"
+	"repro/internal/detector"
+	"repro/internal/events"
+	"repro/internal/federation"
+	"repro/internal/heartbeat"
+	"repro/internal/membership"
+	"repro/internal/rpc"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// SpawnSpec is what travels in a remote GSD spawn request (takeover or
+// migration); node-local factories combine it with their captured topology
+// and parameters.
+type SpawnSpec struct {
+	Partition types.PartitionID
+	View      *membership.View
+	Migrated  bool
+}
+
+func init() { codec.Register(SpawnSpec{}) }
+
+// ServiceSpawnSpec travels in remote spawn requests for the partition
+// kernel services (es/db/ckpt) so a migrated instance knows to restore.
+type ServiceSpawnSpec struct {
+	Partition types.PartitionID
+	View      federation.View
+	Restart   bool
+}
+
+func init() { codec.Register(ServiceSpawnSpec{}) }
+
+// Spec configures a GSD.
+type Spec struct {
+	Partition types.PartitionID
+	Topo      *config.Topology
+	Params    config.Params
+	// View is the meta-group view to start from; nil derives the boot
+	// view from the topology.
+	View *membership.View
+	// Migrated marks a GSD spawned by a takeover: it announces itself to
+	// the meta-group and to its partition, and restarts missing local
+	// services in recovery mode.
+	Migrated bool
+	// OnStart, when set, runs as the daemon begins executing (after its
+	// exec latency) — the kernel uses it to track the current live GSD
+	// per partition. Registering at construction would leak handles to
+	// daemons whose duplicate spawn was rejected.
+	OnStart func(*Daemon)
+	// Extra lists additional co-located services this GSD supervises
+	// beyond the kernel trio — the paper's "scheduling service group":
+	// PWS registers itself here to get restart and migration for free.
+	Extra []string
+}
+
+// Daemon is the group service daemon process.
+type Daemon struct {
+	spec Spec
+	h    *simhost.Handle
+
+	mon        *heartbeat.Monitor
+	member     *membership.Member
+	reinProber *heartbeat.Prober
+	pending    *rpc.Pending
+	ckpt       *checkpoint.Client
+
+	fedView federation.View
+
+	// localSvcs are the kernel services supervised on this node.
+	localSvcs []string
+	// recovering maps local services being restarted to a deadline that
+	// suppresses re-detection; a restart that never reports ready (the
+	// new process was killed mid-exec) expires and the periodic check
+	// retries.
+	recovering map[string]time.Time
+	// wdRespawning marks partition nodes whose WD restart is in flight.
+	wdRespawning map[types.NodeID]bool
+	// reintegrating marks down nodes currently being probed/re-seeded.
+	reintegrating map[types.NodeID]bool
+	// takeoverPending maps partitions whose recovery this member drives
+	// to a deadline: their rejoin produces the member-recover event here,
+	// and an attempt that produces no rejoin by the deadline (for
+	// example the respawned daemon was killed mid-exec) expires so the
+	// dead-slot sweep retries.
+	takeoverPending map[types.PartitionID]time.Time
+
+	cancelWatch func()
+}
+
+// New builds a GSD.
+func New(spec Spec) *Daemon {
+	return &Daemon{
+		spec:            spec,
+		localSvcs:       append([]string{types.SvcES, types.SvcDB, types.SvcCkpt}, spec.Extra...),
+		recovering:      make(map[string]time.Time),
+		wdRespawning:    make(map[types.NodeID]bool),
+		reintegrating:   make(map[types.NodeID]bool),
+		takeoverPending: make(map[types.PartitionID]time.Time),
+	}
+}
+
+// Service implements simhost.Process.
+func (g *Daemon) Service() string { return types.SvcGSD }
+
+// Monitor exposes the partition monitor (read-only observability).
+func (g *Daemon) Monitor() *heartbeat.Monitor { return g.mon }
+
+// Member exposes the meta-group membership (read-only observability).
+func (g *Daemon) Member() *membership.Member { return g.member }
+
+// FederationView exposes the current service-federation view.
+func (g *Daemon) FederationView() federation.View { return g.fedView }
+
+// Start implements simhost.Process.
+func (g *Daemon) Start(h *simhost.Handle) {
+	g.h = h
+	p := g.spec.Params
+	if g.spec.OnStart != nil {
+		g.spec.OnStart(g)
+	}
+
+	view := g.spec.View
+	if view == nil {
+		placement := make(map[types.PartitionID]types.NodeID)
+		for _, part := range g.spec.Topo.Partitions {
+			placement[part.ID] = part.Server
+		}
+		view = membership.NewView(placement)
+	} else {
+		view = view.Clone()
+	}
+
+	g.pending = rpc.NewPending(h)
+	g.reinProber = heartbeat.NewProber(h, g.spec.Topo.NICs)
+	g.ckpt = checkpoint.NewClient(h, p.RPCTimeout, func() (types.Addr, bool) {
+		return types.Addr{Node: h.Node(), Service: types.SvcCkpt}, true
+	})
+
+	g.mon = heartbeat.NewMonitor(h, heartbeat.Config{
+		Interval:     p.HeartbeatInterval,
+		Grace:        p.HeartbeatGrace,
+		ProbeTimeout: p.PartitionProbeTimeout,
+		AnalysisCost: p.MatrixAnalysisCost,
+		NICs:         g.spec.Topo.NICs,
+		WatchService: types.SvcWD,
+	}, heartbeat.Callbacks{
+		OnSuspect:      g.onNodeSuspect,
+		OnNICSuspect:   g.onNICSuspect,
+		OnDiagnosed:    g.onPartitionDiagnosed,
+		OnRecovered:    g.onNodeRecovered,
+		OnNICRecovered: g.onNICRecovered,
+	})
+
+	g.member = membership.NewMember(h, membership.Config{
+		Interval:     p.MetaHeartbeatInterval,
+		Grace:        p.HeartbeatGrace,
+		ProbeTimeout: p.MetaProbeTimeout,
+		NICs:         g.spec.Topo.NICs,
+	}, g.spec.Partition, view, membership.Callbacks{
+		OnSuspect:    g.onMemberSuspect,
+		OnDiagnosed:  g.onMemberDiagnosed,
+		OnTakeover:   g.onTakeover,
+		OnJoin:       g.onMemberJoin,
+		OnViewChange: g.onViewChange,
+	})
+
+	g.syncFedView(g.member.View())
+
+	// Watch every node of the partition.
+	part, _ := g.spec.Topo.Partition(g.spec.Partition)
+	for _, n := range part.Members {
+		g.mon.Watch(n)
+	}
+
+	// Tell the partition where its GSD lives (WDs and detectors follow).
+	g.announcePartition()
+
+	// Local service supervision: the process-table watch notices exits,
+	// the periodic check (one heartbeat interval, paper Table 3) detects
+	// them.
+	g.cancelWatch = h.Host().Watch(g.onLocalProcEvent)
+	h.Every(p.LocalCheckPeriod, g.localCheck)
+
+	// Reintegration sweep: probe nodes diagnosed down and re-seed their
+	// daemons when they answer again.
+	h.Every(p.HeartbeatInterval, g.reintegrationSweep)
+	h.Every(p.MetaHeartbeatInterval+p.MetaHeartbeatInterval/2, g.deadSlotSweep)
+
+	if g.spec.Migrated {
+		// Migration path: bring the partition services up on this node,
+		// restore the predecessor's partition state from the checkpoint
+		// federation, then announce to the meta-group.
+		g.ensureLocalServices(true)
+		g.restorePartitionState(func() {
+			g.member.Start(true)
+			g.publishSupplierRegistration()
+		})
+		return
+	}
+	g.member.Start(false)
+
+	// Register as an event supplier (paper: the GSD "acts as an event
+	// supplier").
+	g.publishSupplierRegistration()
+}
+
+// OnStop implements simhost.Process.
+func (g *Daemon) OnStop() {
+	if g.cancelWatch != nil {
+		g.cancelWatch()
+	}
+	g.member.Stop()
+}
+
+// Receive implements simhost.Process.
+func (g *Daemon) Receive(msg types.Message) {
+	if g.ckpt != nil && g.ckpt.Handle(msg) {
+		return
+	}
+	if g.member.HandleMessage(msg) {
+		return
+	}
+	switch msg.Type {
+	case heartbeat.MsgHeartbeat:
+		if hb, ok := msg.Payload.(heartbeat.Heartbeat); ok {
+			g.mon.HandleHeartbeat(hb, msg.NIC)
+		}
+	case simhost.MsgProbeAck:
+		if ack, ok := msg.Payload.(simhost.ProbeAck); ok {
+			// Tokens are globally unique; only the owning table resolves.
+			g.mon.HandleProbeAck(ack)
+			g.reinProber.HandleProbeAck(ack)
+		}
+	case simhost.MsgSpawnAck:
+		if ack, ok := msg.Payload.(simhost.SpawnAck); ok {
+			g.pending.Resolve(ack.Token, ack)
+		}
+	case events.MsgReady:
+		if rm, ok := msg.Payload.(events.ReadyMsg); ok {
+			g.onServiceReady(rm.Service)
+		}
+	}
+}
+
+// --- event publication ----------------------------------------------------
+
+// esTarget picks the event-service instance to publish through: the local
+// instance when it runs, otherwise the nearest alive peer of the
+// federation — this is what keeps failure events flowing when the local ES
+// itself is the failed component.
+func (g *Daemon) esTarget() (types.Addr, bool) {
+	if g.h.Host().Running(types.SvcES) {
+		return types.Addr{Node: g.h.Node(), Service: types.SvcES}, true
+	}
+	peers := g.fedView.PeerAddrs(g.spec.Partition, types.SvcES)
+	if len(peers) > 0 {
+		return peers[0], true
+	}
+	return types.Addr{}, false
+}
+
+func (g *Daemon) publish(ev types.Event) {
+	ev.Partition = g.spec.Partition
+	ev.When = g.h.Now()
+	if addr, ok := g.esTarget(); ok {
+		g.h.Send(addr, types.AnyNIC, events.MsgPublish, events.PubReq{Event: ev})
+	}
+}
+
+func (g *Daemon) publishSupplierRegistration() {
+	if addr, ok := g.esTarget(); ok {
+		g.h.Send(addr, types.AnyNIC, events.MsgSupplier, events.SupplierReq{
+			Supplier: g.h.Self(),
+			Types: []types.EventType{
+				types.EvNodeSuspect, types.EvNodeFail, types.EvNodeRecover,
+				types.EvNetSuspect, types.EvNetFail, types.EvNetRecover,
+				types.EvProcFail, types.EvProcRecover,
+				types.EvServiceSuspect, types.EvServiceFail, types.EvServiceRecover,
+				types.EvMemberSuspect, types.EvMemberFail, types.EvMemberRecover,
+			},
+		})
+	}
+}
+
+// --- partition announcements and federation view ---------------------------
+
+func (g *Daemon) announcePartition() {
+	part, ok := g.spec.Topo.Partition(g.spec.Partition)
+	if !ok {
+		return
+	}
+	ann := heartbeat.GSDAnnounce{Partition: g.spec.Partition, GSDNode: g.h.Node()}
+	for _, n := range part.Members {
+		g.h.Send(types.Addr{Node: n, Service: types.SvcWD}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
+		g.h.Send(types.Addr{Node: n, Service: types.SvcDetector}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
+	}
+}
+
+// syncFedView mirrors the membership view into the service-federation view
+// and pushes it to the local service instances.
+func (g *Daemon) syncFedView(v *membership.View) {
+	fv := federation.View{Version: v.Version, Entries: make(map[types.PartitionID]federation.Entry)}
+	for p, m := range v.Members {
+		fv.Entries[p] = federation.Entry{Node: m.Node, Alive: m.Alive}
+	}
+	g.fedView = fv
+	for _, svc := range g.localSvcs {
+		g.h.Send(types.Addr{Node: g.h.Node(), Service: svc}, types.AnyNIC,
+			federation.MsgView, federation.ViewMsg{View: fv.Clone()})
+	}
+}
+
+func (g *Daemon) onViewChange(v *membership.View) { g.syncFedView(v) }
+
+// --- partition monitoring callbacks ----------------------------------------
+
+func (g *Daemon) onNodeSuspect(node types.NodeID) {
+	g.publish(types.Event{Type: types.EvNodeSuspect, Node: node})
+}
+
+func (g *Daemon) onNICSuspect(node types.NodeID, nic int) {
+	g.publish(types.Event{Type: types.EvNetSuspect, Node: node, NIC: nic})
+}
+
+func (g *Daemon) onPartitionDiagnosed(v heartbeat.Verdict) {
+	switch v.Kind {
+	case types.FaultProcess:
+		g.publish(types.Event{Type: types.EvProcFail, Node: v.Node, Service: types.SvcWD})
+		g.respawnWD(v.Node)
+	case types.FaultNode:
+		g.publish(types.Event{Type: types.EvNodeFail, Node: v.Node, Detail: "node silent on all interfaces"})
+		g.checkpointPartitionState()
+	case types.FaultNIC:
+		g.publish(types.Event{Type: types.EvNetFail, Node: v.Node, NIC: v.NIC})
+	}
+}
+
+func (g *Daemon) onNodeRecovered(node types.NodeID, wasDown bool) {
+	delete(g.wdRespawning, node)
+	delete(g.reintegrating, node)
+	if wasDown {
+		g.publish(types.Event{Type: types.EvNodeRecover, Node: node})
+		g.checkpointPartitionState()
+	} else {
+		g.publish(types.Event{Type: types.EvProcRecover, Node: node, Service: types.SvcWD})
+	}
+}
+
+func (g *Daemon) onNICRecovered(node types.NodeID, nic int) {
+	g.publish(types.Event{Type: types.EvNetRecover, Node: node, NIC: nic})
+}
+
+// respawnWD asks the node's agent to restart the watch daemon. Recovery
+// completes when the new WD's first heartbeat arrives (onNodeRecovered).
+func (g *Daemon) respawnWD(node types.NodeID) {
+	if g.wdRespawning[node] {
+		return
+	}
+	g.wdRespawning[node] = true
+	spec := watchd.Spec{
+		Partition: g.spec.Partition,
+		GSDNode:   g.h.Node(),
+		Interval:  g.spec.Params.HeartbeatInterval,
+		NICs:      g.spec.Topo.NICs,
+		Supervise: true, DetectorSample: g.spec.Params.DetectorSampleInterval,
+	}
+	tok := g.pending.New(g.spec.Params.RPCTimeout,
+		func(payload any) {
+			if ack := payload.(simhost.SpawnAck); !ack.OK {
+				delete(g.wdRespawning, node) // retry on the next detection
+			}
+		},
+		func() { delete(g.wdRespawning, node) })
+	g.h.Send(types.Addr{Node: node, Service: types.SvcAgent}, types.AnyNIC,
+		simhost.MsgSpawn, simhost.SpawnReq{Service: types.SvcWD, Spec: spec, Token: tok})
+}
+
+// reintegrationSweep probes nodes diagnosed down; when a node answers
+// again (rebooted), the GSD re-seeds its per-node daemons.
+func (g *Daemon) reintegrationSweep() {
+	for _, node := range g.mon.DownNodes() {
+		node := node
+		if g.reintegrating[node] {
+			continue
+		}
+		g.reintegrating[node] = true
+		g.reinProber.Probe(node, types.SvcWD, g.spec.Params.PartitionProbeTimeout,
+			func(res heartbeat.ProbeResult) {
+				if !res.NodeAlive {
+					delete(g.reintegrating, node)
+					return
+				}
+				if res.ServiceRunning {
+					// WD already back; its heartbeat will clear the state.
+					delete(g.reintegrating, node)
+					return
+				}
+				g.reseedNode(node)
+			})
+	}
+}
+
+// reseedNode restarts the per-node daemons (WD, detector, PPM) on a
+// rebooted node.
+func (g *Daemon) reseedNode(node types.NodeID) {
+	agent := types.Addr{Node: node, Service: types.SvcAgent}
+	wdSpec := watchd.Spec{
+		Partition: g.spec.Partition, GSDNode: g.h.Node(),
+		Interval: g.spec.Params.HeartbeatInterval, NICs: g.spec.Topo.NICs,
+		Supervise: true, DetectorSample: g.spec.Params.DetectorSampleInterval,
+	}
+	send := func(service string, spec any) {
+		tok := g.pending.New(g.spec.Params.RPCTimeout, func(any) {}, nil)
+		g.h.Send(agent, types.AnyNIC, simhost.MsgSpawn,
+			simhost.SpawnReq{Service: service, Spec: spec, Token: tok})
+	}
+	send(types.SvcWD, wdSpec)
+	send(types.SvcDetector, detector.Spec{
+		Partition: g.spec.Partition, GSDNode: g.h.Node(),
+		SampleInterval: g.spec.Params.DetectorSampleInterval,
+	})
+	send(types.SvcPPM, nil)
+}
+
+// --- local service supervision ---------------------------------------------
+
+func (g *Daemon) onLocalProcEvent(ev simhost.ProcEvent) {
+	// The exit itself is noticed here, but detection is credited to the
+	// periodic check (paper Table 3: detection takes one heartbeat
+	// interval even for co-located services).
+	_ = ev
+}
+
+// localCheck verifies each supervised service against the host's process
+// table; a missing service is detected now, diagnosed after the
+// process-table lookup cost, restarted, and declared recovered when it
+// reports ready.
+// recoveringActive reports whether an unexpired restart of svc is in
+// flight.
+func (g *Daemon) recoveringActive(svc string) bool {
+	deadline, ok := g.recovering[svc]
+	return ok && g.h.Now().Before(deadline)
+}
+
+// armRecovering marks a restart attempt with its expiry.
+func (g *Daemon) armRecovering(svc string) {
+	g.recovering[svc] = g.h.Now().Add(3*g.spec.Params.RPCTimeout + 5*time.Second)
+}
+
+func (g *Daemon) localCheck() {
+	host := g.h.Host()
+	for _, svc := range g.localSvcs {
+		svc := svc
+		if host.Present(svc) || g.recoveringActive(svc) {
+			continue
+		}
+		g.armRecovering(svc)
+		g.publish(types.Event{Type: types.EvServiceSuspect, Service: svc, Node: g.h.Node()})
+		g.h.After(g.spec.Params.LocalCheckCost, func() {
+			g.publish(types.Event{Type: types.EvServiceFail, Service: svc, Node: g.h.Node()})
+			g.restartLocalService(svc)
+		})
+	}
+}
+
+// readyHandshake marks services that announce their own recovery
+// completion (after restoring from the checkpoint service); others are
+// considered recovered once their process runs.
+var readyHandshake = map[string]bool{
+	types.SvcES:  true,
+	types.SvcPWS: true,
+}
+
+func (g *Daemon) restartLocalService(svc string) {
+	spec := ServiceSpawnSpec{Partition: g.spec.Partition, View: g.fedView.Clone(), Restart: true}
+	if _, err := g.h.Host().SpawnService(svc, spec); err != nil {
+		delete(g.recovering, svc)
+		return
+	}
+	if !readyHandshake[svc] {
+		// DB and checkpoint instances have no restore handshake; their
+		// start event completes recovery.
+		g.awaitServiceStart(svc)
+	}
+}
+
+// awaitServiceStart polls the process table until the restarted service
+// runs, then publishes its recovery.
+func (g *Daemon) awaitServiceStart(svc string) {
+	g.h.After(10*time.Millisecond, func() {
+		if g.h.Host().Running(svc) {
+			g.onServiceReady(svc)
+			return
+		}
+		if g.recoveringActive(svc) {
+			g.awaitServiceStart(svc)
+		}
+	})
+}
+
+func (g *Daemon) onServiceReady(svc string) {
+	if _, pending := g.recovering[svc]; !pending {
+		return
+	}
+	delete(g.recovering, svc)
+	// The service may have started from a stale spec view (it spawned
+	// while the membership was still converging); re-push the current one.
+	g.h.Send(types.Addr{Node: g.h.Node(), Service: svc}, types.AnyNIC,
+		federation.MsgView, federation.ViewMsg{View: g.fedView.Clone()})
+	g.publish(types.Event{Type: types.EvServiceRecover, Service: svc, Node: g.h.Node()})
+}
+
+// ensureLocalServices spawns any missing partition services on this node
+// (the migration path: a new server node starts bare).
+func (g *Daemon) ensureLocalServices(restart bool) {
+	host := g.h.Host()
+	for _, svc := range g.localSvcs {
+		if host.Present(svc) {
+			continue
+		}
+		spec := ServiceSpawnSpec{Partition: g.spec.Partition, View: g.fedView.Clone(), Restart: restart}
+		if _, err := host.SpawnService(svc, spec); err == nil && restart {
+			g.armRecovering(svc)
+			if !readyHandshake[svc] {
+				g.awaitServiceStart(svc)
+			}
+		}
+	}
+}
+
+// --- meta-group callbacks ---------------------------------------------------
+
+func (g *Daemon) onMemberSuspect(part types.PartitionID, node types.NodeID) {
+	g.publish(types.Event{Type: types.EvMemberSuspect, Node: node, Service: types.SvcGSD,
+		Detail: part.String()})
+}
+
+func (g *Daemon) onMemberDiagnosed(part types.PartitionID, node types.NodeID, kind types.FaultKind) {
+	g.publish(types.Event{Type: types.EvMemberFail, Node: node, Service: types.SvcGSD,
+		Detail: kind.String() + " " + part.String()})
+}
+
+// takeoverActive reports whether an unexpired recovery attempt for the
+// partition is in flight.
+func (g *Daemon) takeoverActive(part types.PartitionID) bool {
+	deadline, ok := g.takeoverPending[part]
+	return ok && g.h.Now().Before(deadline)
+}
+
+// armTakeover marks a recovery attempt with its expiry.
+func (g *Daemon) armTakeover(part types.PartitionID) {
+	g.takeoverPending[part] = g.h.Now().Add(
+		2*g.spec.Params.MetaHeartbeatInterval + g.spec.Params.RPCTimeout + 10*time.Second)
+}
+
+// onTakeover drives recovery of a failed peer GSD: restart in place for a
+// process fault, migrate to another of the partition's server-capable
+// nodes for a node fault, walking candidates until one answers.
+func (g *Daemon) onTakeover(part types.PartitionID, failed membership.MemberInfo, kind types.FaultKind) {
+	if g.takeoverActive(part) {
+		return
+	}
+	g.armTakeover(part)
+	switch kind {
+	case types.FaultProcess:
+		g.tryRecovery(part, []types.NodeID{failed.Node}, 0)
+	case types.FaultNode:
+		g.tryRecovery(part, g.recoveryCandidates(part, failed.Node), 0)
+	}
+}
+
+// recoveryCandidates lists the nodes a partition's GSD may run on — the
+// configured server and backups — excluding one known-dead node.
+func (g *Daemon) recoveryCandidates(part types.PartitionID, avoid types.NodeID) []types.NodeID {
+	info, ok := g.spec.Topo.Partition(part)
+	if !ok {
+		return nil
+	}
+	var out []types.NodeID
+	for _, n := range append([]types.NodeID{info.Server}, info.Backups...) {
+		if n != avoid {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// tryRecovery probes candidates[i] and spawns the GSD on the first that
+// answers; when the list is exhausted, the pending flag clears and the
+// dead-slot sweep retries later (a partition whose server and backups are
+// all dead recovers as soon as one reboots).
+func (g *Daemon) tryRecovery(part types.PartitionID, candidates []types.NodeID, i int) {
+	if _, pending := g.takeoverPending[part]; !pending {
+		return
+	}
+	if i >= len(candidates) {
+		delete(g.takeoverPending, part)
+		return
+	}
+	target := candidates[i]
+	g.reinProber.Probe(target, types.SvcAgent, g.spec.Params.MetaProbeTimeout,
+		func(res heartbeat.ProbeResult) {
+			if _, pending := g.takeoverPending[part]; !pending {
+				return
+			}
+			if !res.NodeAlive {
+				g.tryRecovery(part, candidates, i+1)
+				return
+			}
+			g.spawnGSD(part, target, func() { g.tryRecovery(part, candidates, i+1) })
+		})
+}
+
+// spawnGSD asks target's agent to start the partition's GSD; onFail runs
+// when the agent refuses or stays silent.
+func (g *Daemon) spawnGSD(part types.PartitionID, target types.NodeID, onFail func()) {
+	spec := SpawnSpec{Partition: part, View: g.member.View().Clone(), Migrated: true}
+	tok := g.pending.New(g.spec.Params.RPCTimeout,
+		func(payload any) {
+			if ack := payload.(simhost.SpawnAck); !ack.OK && onFail != nil {
+				onFail()
+			}
+		},
+		onFail)
+	g.h.Send(types.Addr{Node: target, Service: types.SvcAgent}, types.AnyNIC,
+		simhost.MsgSpawn, simhost.SpawnReq{Service: types.SvcGSD, Spec: spec, Token: tok})
+}
+
+// deadSlotSweep retries recovery of meta-group slots that stayed dead —
+// the ring successor of each dead slot (this member, when the sweep acts)
+// re-attempts the candidate walk, now including the node the GSD last died
+// on (it may have rebooted).
+func (g *Daemon) deadSlotSweep() {
+	v := g.member.View()
+	for _, part := range v.Order {
+		if part == g.spec.Partition || v.Alive(part) || g.takeoverActive(part) {
+			continue
+		}
+		succ, ok := v.Successor(part)
+		if !ok || succ != g.spec.Partition {
+			continue
+		}
+		g.armTakeover(part)
+		g.tryRecovery(part, g.recoveryCandidates(part, -1), 0)
+	}
+}
+
+func (g *Daemon) onMemberJoin(part types.PartitionID, node types.NodeID) {
+	if _, pending := g.takeoverPending[part]; !pending {
+		return
+	}
+	delete(g.takeoverPending, part)
+	g.publish(types.Event{Type: types.EvMemberRecover, Node: node, Service: types.SvcGSD,
+		Detail: part.String()})
+}
+
+// --- partition state checkpointing ------------------------------------------
+
+// partState is the GSD's checkpointed partition knowledge: which member
+// nodes were diagnosed down. A migrated GSD restores it so it resumes with
+// its predecessor's view instead of re-detecting every failure.
+type partState struct {
+	Down []types.NodeID
+}
+
+func init() { codec.Register(partState{}) }
+
+func (g *Daemon) ckptOwner() string { return fmt.Sprintf("gsd/%d", g.spec.Partition) }
+
+// checkpointPartitionState saves the down-node set after every change.
+func (g *Daemon) checkpointPartitionState() {
+	st := partState{Down: g.mon.DownNodes()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return
+	}
+	g.ckpt.Save(g.ckptOwner(), buf.Bytes(), nil)
+}
+
+// restorePartitionState loads the predecessor's down-node set (migration
+// path), marking those nodes down in the monitor, then runs done. The
+// co-located checkpoint instance may still be paying its exec latency, so
+// the restore waits for it rather than burning a full request timeout on a
+// dropped message.
+func (g *Daemon) restorePartitionState(done func()) {
+	g.restoreWhenCkptUp(done, 60)
+}
+
+func (g *Daemon) restoreWhenCkptUp(done func(), attempts int) {
+	if !g.h.Host().Running(types.SvcCkpt) {
+		if attempts <= 0 {
+			done()
+			return
+		}
+		g.h.After(50*time.Millisecond, func() { g.restoreWhenCkptUp(done, attempts-1) })
+		return
+	}
+	g.ckpt.Restore(g.ckptOwner(), func(data []byte, found bool) {
+		if found {
+			var st partState
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err == nil {
+				for _, n := range st.Down {
+					g.mon.MarkDown(n)
+				}
+			}
+		}
+		done()
+	})
+}
+
+var _ simhost.Process = (*Daemon)(nil)

@@ -1,0 +1,389 @@
+// Package heartbeat implements the Phoenix kernel's failure-detection
+// protocol (paper §4.3, evaluated in §5.1): watch daemons send heartbeats
+// to their partition's group service daemon over every network interface;
+// the GSD analyses the receipt pattern to detect failures, then diagnoses
+// them by probing the node's OS agent.
+//
+// Diagnosis follows the paper's three-way split:
+//
+//   - heartbeats missing on one NIC while arriving on others → NIC failure
+//     (diagnosed by receipt-matrix analysis, microseconds);
+//   - heartbeats missing on all NICs, agent answers a probe → daemon
+//     process failure (diagnosed in well under a second);
+//   - heartbeats missing on all NICs, agent silent until the probe timeout
+//     → node failure (diagnosis cost ≈ the probe timeout).
+package heartbeat
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/codec"
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// MsgHeartbeat is the WD -> GSD heartbeat message type.
+const MsgHeartbeat = "wd.hb"
+
+// MsgGSDAnnounce tells partition members where their GSD currently runs;
+// a migrated GSD re-announces itself so heartbeats and detector exports
+// follow it.
+const MsgGSDAnnounce = "gsd.announce"
+
+// GSDAnnounce is the announce payload.
+type GSDAnnounce struct {
+	Partition types.PartitionID
+	GSDNode   types.NodeID
+}
+
+// WireSize implements codec.Sizer.
+func (GSDAnnounce) WireSize() int { return 16 }
+
+// Heartbeat is the periodic liveness report. The boot time lets the
+// monitor recognise a restarted watch daemon.
+type Heartbeat struct {
+	Node     types.NodeID
+	Seq      uint64
+	Interval time.Duration
+	Boot     time.Time
+}
+
+// WireSize implements codec.Sizer; heartbeats dominate kernel traffic.
+func (Heartbeat) WireSize() int { return 48 }
+
+func init() {
+	codec.Register(Heartbeat{})
+	codec.Register(GSDAnnounce{})
+}
+
+// NodeStatus is the monitor's belief about one node.
+type NodeStatus int
+
+const (
+	StatusHealthy NodeStatus = iota
+	StatusSuspect            // heartbeats missed, diagnosis in progress
+	StatusDown               // diagnosed node failure
+)
+
+func (s NodeStatus) String() string {
+	switch s {
+	case StatusHealthy:
+		return "healthy"
+	case StatusSuspect:
+		return "suspect"
+	case StatusDown:
+		return "down"
+	default:
+		return "?"
+	}
+}
+
+// Verdict is a completed diagnosis.
+type Verdict struct {
+	Node types.NodeID
+	Kind types.FaultKind
+	NIC  int // for FaultNIC: which interface failed
+}
+
+// Callbacks let the monitor's owner (the GSD) react to the protocol's
+// milestones. Every callback runs on the simulation goroutine.
+type Callbacks struct {
+	// OnSuspect fires at detection time: heartbeats from the node have
+	// stopped on every interface.
+	OnSuspect func(node types.NodeID)
+	// OnNICSuspect fires at detection time for a single silent interface
+	// while others still deliver.
+	OnNICSuspect func(node types.NodeID, nic int)
+	// OnDiagnosed fires when a suspicion is classified.
+	OnDiagnosed func(v Verdict)
+	// OnRecovered fires when heartbeats resume from a node previously
+	// diagnosed as failed (process or node fault).
+	OnRecovered func(node types.NodeID, wasDown bool)
+	// OnNICRecovered fires when a previously failed interface delivers
+	// a heartbeat again.
+	OnNICRecovered func(node types.NodeID, nic int)
+}
+
+// Config tunes the monitor.
+type Config struct {
+	Interval     time.Duration // expected heartbeat period
+	Grace        time.Duration // slack before declaring a miss
+	ProbeTimeout time.Duration // agent-probe deadline for node-fault diagnosis
+	AnalysisCost time.Duration // receipt-matrix analysis cost (NIC diagnosis)
+	NICs         int
+	WatchService string // daemon whose liveness the probe queries (SvcWD)
+}
+
+type nodeTrack struct {
+	status          NodeStatus
+	lastBoot        time.Time
+	lastSeen        time.Time
+	lastPerNIC      []time.Time
+	nicDown         []bool
+	deadline        clock.Timer
+	diagnosing      bool
+	nicCheckPending bool
+}
+
+// Monitor is the GSD-side receipt tracker and diagnosis engine for the
+// nodes of one partition.
+type Monitor struct {
+	rt      rt.Runtime
+	cfg     Config
+	cb      Callbacks
+	pending *rpc.Pending
+	nodes   map[types.NodeID]*nodeTrack
+}
+
+// NewMonitor builds a monitor; the owner must route agent probe acks to
+// HandleProbeAck and heartbeats to HandleHeartbeat.
+func NewMonitor(r rt.Runtime, cfg Config, cb Callbacks) *Monitor {
+	if cfg.WatchService == "" {
+		cfg.WatchService = types.SvcWD
+	}
+	return &Monitor{
+		rt: r, cfg: cfg, cb: cb,
+		pending: rpc.NewPending(r),
+		nodes:   make(map[types.NodeID]*nodeTrack),
+	}
+}
+
+// Watch begins tracking a node. The first deadline allows one interval
+// plus grace for the node's WD to start heartbeating.
+func (m *Monitor) Watch(node types.NodeID) {
+	if _, ok := m.nodes[node]; ok {
+		return
+	}
+	tr := &nodeTrack{
+		lastSeen:   m.rt.Now(),
+		lastPerNIC: make([]time.Time, m.cfg.NICs),
+		nicDown:    make([]bool, m.cfg.NICs),
+	}
+	now := m.rt.Now()
+	for i := range tr.lastPerNIC {
+		tr.lastPerNIC[i] = now
+	}
+	m.nodes[node] = tr
+	m.armDeadline(node, tr)
+}
+
+// MarkDown records an externally known node failure (a migrated GSD
+// restoring its predecessor's partition state): the node is tracked as
+// down without re-running detection, and reintegration probing applies to
+// it as usual.
+func (m *Monitor) MarkDown(node types.NodeID) {
+	tr, ok := m.nodes[node]
+	if !ok {
+		m.Watch(node)
+		tr = m.nodes[node]
+	}
+	if tr.deadline != nil {
+		tr.deadline.Stop()
+		tr.deadline = nil
+	}
+	tr.status = StatusDown
+	tr.diagnosing = false
+}
+
+// Unwatch stops tracking a node (decommissioning).
+func (m *Monitor) Unwatch(node types.NodeID) {
+	tr, ok := m.nodes[node]
+	if !ok {
+		return
+	}
+	if tr.deadline != nil {
+		tr.deadline.Stop()
+	}
+	delete(m.nodes, node)
+}
+
+// Status reports the monitor's belief about a node.
+func (m *Monitor) Status(node types.NodeID) NodeStatus {
+	tr, ok := m.nodes[node]
+	if !ok {
+		return StatusDown
+	}
+	return tr.status
+}
+
+// NICDown reports whether the monitor believes the node's interface is
+// failed.
+func (m *Monitor) NICDown(node types.NodeID, nic int) bool {
+	tr, ok := m.nodes[node]
+	if !ok || nic < 0 || nic >= len(tr.nicDown) {
+		return false
+	}
+	return tr.nicDown[nic]
+}
+
+// Watched lists the tracked nodes.
+func (m *Monitor) Watched() []types.NodeID {
+	out := make([]types.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DownNodes lists nodes currently diagnosed as failed.
+func (m *Monitor) DownNodes() []types.NodeID {
+	var out []types.NodeID
+	for id, tr := range m.nodes {
+		if tr.status == StatusDown {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) armDeadline(node types.NodeID, tr *nodeTrack) {
+	if tr.deadline != nil {
+		tr.deadline.Stop()
+	}
+	tr.deadline = m.rt.After(m.cfg.Interval+m.cfg.Grace, func() { m.deadlineExpired(node) })
+}
+
+// HandleHeartbeat processes one received heartbeat. nic is the interface
+// it arrived on; at is the receive time.
+func (m *Monitor) HandleHeartbeat(hb Heartbeat, nic int) {
+	tr, ok := m.nodes[hb.Node]
+	if !ok || nic < 0 || nic >= m.cfg.NICs {
+		return
+	}
+	now := m.rt.Now()
+
+	// Recovery of a previously diagnosed node/process failure.
+	if tr.status != StatusHealthy && !tr.diagnosing {
+		wasDown := tr.status == StatusDown
+		tr.status = StatusHealthy
+		// A node that was down came back with a fresh boot; clear any
+		// per-NIC verdicts from before the failure.
+		for i := range tr.nicDown {
+			if tr.nicDown[i] {
+				tr.nicDown[i] = false
+			}
+			tr.lastPerNIC[i] = now
+		}
+		if m.cb.OnRecovered != nil {
+			m.cb.OnRecovered(hb.Node, wasDown)
+		}
+	}
+
+	// Per-NIC recovery.
+	if tr.nicDown[nic] {
+		tr.nicDown[nic] = false
+		if m.cb.OnNICRecovered != nil {
+			m.cb.OnNICRecovered(hb.Node, nic)
+		}
+	}
+
+	// Sibling-NIC analysis (the paper's receipt-matrix analysis): a beat
+	// arriving on this interface schedules a check one grace period
+	// later; by then every interface that carried this beat has
+	// delivered, so a sibling whose last heartbeat is older than the
+	// interval missed the beat — its interface has failed. The grace
+	// delay is what separates "in flight" from "missing" and keeps
+	// detection at one heartbeat interval.
+	if tr.status == StatusHealthy && !tr.nicCheckPending {
+		tr.nicCheckPending = true
+		node := hb.Node
+		m.rt.After(m.cfg.Grace, func() { m.siblingCheck(node) })
+	}
+
+	tr.lastSeen = now
+	tr.lastPerNIC[nic] = now
+	tr.lastBoot = hb.Boot
+	if tr.status == StatusHealthy {
+		m.armDeadline(hb.Node, tr)
+	}
+}
+
+// siblingCheck runs one grace period after a heartbeat arrival and flags
+// interfaces that missed the beat.
+func (m *Monitor) siblingCheck(node types.NodeID) {
+	tr, ok := m.nodes[node]
+	if !ok {
+		return
+	}
+	tr.nicCheckPending = false
+	if tr.status != StatusHealthy {
+		return
+	}
+	now := m.rt.Now()
+	for k := 0; k < m.cfg.NICs; k++ {
+		if tr.nicDown[k] || now.Sub(tr.lastPerNIC[k]) <= m.cfg.Interval {
+			continue
+		}
+		k := k
+		tr.nicDown[k] = true
+		if m.cb.OnNICSuspect != nil {
+			m.cb.OnNICSuspect(node, k)
+		}
+		m.rt.After(m.cfg.AnalysisCost, func() {
+			if m.cb.OnDiagnosed != nil {
+				m.cb.OnDiagnosed(Verdict{Node: node, Kind: types.FaultNIC, NIC: k})
+			}
+		})
+	}
+}
+
+// deadlineExpired is detection: no heartbeat on any interface for a full
+// interval plus grace.
+func (m *Monitor) deadlineExpired(node types.NodeID) {
+	tr, ok := m.nodes[node]
+	if !ok || tr.status != StatusHealthy {
+		return
+	}
+	tr.status = StatusSuspect
+	tr.diagnosing = true
+	if m.cb.OnSuspect != nil {
+		m.cb.OnSuspect(node)
+	}
+	m.probe(node, tr)
+}
+
+// probe performs diagnosis: ProbeReq on every interface; the first answer
+// settles process-vs-node, silence until the timeout means node failure.
+func (m *Monitor) probe(node types.NodeID, tr *nodeTrack) {
+	token := m.pending.New(m.cfg.ProbeTimeout,
+		func(payload any) {
+			ack := payload.(simhost.ProbeAck)
+			tr.diagnosing = false
+			if ack.Running {
+				// The daemon claims to run but its heartbeats do not
+				// arrive: treat as a network-level fault on all
+				// interfaces (not exercised by the paper's tables).
+				tr.status = StatusHealthy
+				m.armDeadline(node, tr)
+				if m.cb.OnDiagnosed != nil {
+					m.cb.OnDiagnosed(Verdict{Node: node, Kind: types.FaultNIC, NIC: types.AnyNIC})
+				}
+				return
+			}
+			// Process fault: node alive, daemon gone. Stay suspect until
+			// heartbeats resume (the owner restarts the daemon).
+			if m.cb.OnDiagnosed != nil {
+				m.cb.OnDiagnosed(Verdict{Node: node, Kind: types.FaultProcess})
+			}
+		},
+		func() {
+			tr.diagnosing = false
+			tr.status = StatusDown
+			if m.cb.OnDiagnosed != nil {
+				m.cb.OnDiagnosed(Verdict{Node: node, Kind: types.FaultNode})
+			}
+		})
+	for nic := 0; nic < m.cfg.NICs; nic++ {
+		m.rt.Send(types.Addr{Node: node, Service: types.SvcAgent}, nic,
+			simhost.MsgProbe, simhost.ProbeReq{Service: m.cfg.WatchService, Token: token})
+	}
+}
+
+// HandleProbeAck routes an agent probe ack into the diagnosis engine.
+// Late or duplicate acks are ignored.
+func (m *Monitor) HandleProbeAck(ack simhost.ProbeAck) {
+	m.pending.Resolve(ack.Token, ack)
+}

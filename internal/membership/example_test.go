@@ -1,0 +1,40 @@
+package membership_test
+
+import (
+	"fmt"
+
+	"repro/internal/membership"
+	"repro/internal/types"
+)
+
+// ExampleView walks the paper's succession rules on a five-member ring.
+func ExampleView() {
+	v := membership.NewView(map[types.PartitionID]types.NodeID{
+		0: 0, 1: 17, 2: 34, 3: 51, 4: 68,
+	})
+	fmt.Println("boot:           ", v.Leader, v.Princess)
+
+	v.MarkDead(0) // the Leader dies: the Princess takes over
+	fmt.Println("leader dead:    ", v.Leader, v.Princess)
+
+	v.MarkDead(2) // the new Princess dies: the next member takes her role
+	fmt.Println("princess dead:  ", v.Leader, v.Princess)
+
+	v.MarkAlive(0, 1) // member 0's GSD migrated to node 1 and rejoined
+	fmt.Println("after rejoin:   ", v.Leader, v.Princess, "alive:", v.AliveCount())
+	// Output:
+	// boot:            part0 part1
+	// leader dead:     part1 part2
+	// princess dead:   part1 part3
+	// after rejoin:    part1 part3 alive: 4
+}
+
+// ExampleView_successor shows ring navigation skipping dead members.
+func ExampleView_successor() {
+	v := membership.NewView(map[types.PartitionID]types.NodeID{0: 0, 1: 1, 2: 2})
+	v.MarkDead(1)
+	succ, _ := v.Successor(0)
+	pred, _ := v.Predecessor(0)
+	fmt.Println(succ, pred)
+	// Output: part2 part2
+}

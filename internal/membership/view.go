@@ -1,0 +1,213 @@
+// Package membership implements the Phoenix meta-group: the group service
+// daemons of all partitions form a ring-structured group managed by a
+// membership protocol (paper §4.3, Figure 3). The ring has a Leader and a
+// Princess (the leader's designated successor): if the Leader fails the
+// Princess takes over and the member next to the Princess becomes the new
+// Princess; if any member fails, the member next to it in the ring takes
+// over its responsibilities and drives recovery.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// MemberInfo is one ring slot: the partition's GSD location and liveness.
+type MemberInfo struct {
+	Node  types.NodeID
+	Alive bool
+}
+
+// View is the replicated meta-group state. Views are value-copied between
+// members; higher versions win.
+type View struct {
+	Version  uint64
+	Order    []types.PartitionID
+	Members  map[types.PartitionID]MemberInfo
+	Leader   types.PartitionID
+	Princess types.PartitionID
+}
+
+// NewView builds the boot view from the initial GSD placement, ring-ordered
+// by partition ID. The first member is the Leader, the second the Princess.
+func NewView(placement map[types.PartitionID]types.NodeID) *View {
+	v := &View{Version: 1, Members: make(map[types.PartitionID]MemberInfo, len(placement))}
+	for p, n := range placement {
+		v.Order = append(v.Order, p)
+		v.Members[p] = MemberInfo{Node: n, Alive: true}
+	}
+	sort.Slice(v.Order, func(i, j int) bool { return v.Order[i] < v.Order[j] })
+	if len(v.Order) > 0 {
+		v.Leader = v.Order[0]
+		v.Princess = v.Order[0]
+		if len(v.Order) > 1 {
+			v.Princess = v.Order[1]
+		}
+	}
+	return v
+}
+
+// Clone deep-copies a view.
+func (v *View) Clone() *View {
+	nv := &View{Version: v.Version, Leader: v.Leader, Princess: v.Princess}
+	nv.Order = append([]types.PartitionID(nil), v.Order...)
+	nv.Members = make(map[types.PartitionID]MemberInfo, len(v.Members))
+	for p, m := range v.Members {
+		nv.Members[p] = m
+	}
+	return nv
+}
+
+func (v *View) index(p types.PartitionID) int {
+	for i, q := range v.Order {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Successor returns the next alive member after p in ring order, skipping
+// dead slots. ok is false when no other member is alive.
+func (v *View) Successor(p types.PartitionID) (types.PartitionID, bool) {
+	i := v.index(p)
+	if i < 0 {
+		return 0, false
+	}
+	n := len(v.Order)
+	for k := 1; k < n; k++ {
+		q := v.Order[(i+k)%n]
+		if v.Members[q].Alive {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// Predecessor returns the previous alive member before p in ring order.
+func (v *View) Predecessor(p types.PartitionID) (types.PartitionID, bool) {
+	i := v.index(p)
+	if i < 0 {
+		return 0, false
+	}
+	n := len(v.Order)
+	for k := 1; k < n; k++ {
+		q := v.Order[(i-k+n)%n]
+		if v.Members[q].Alive {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// AliveCount reports the number of live members.
+func (v *View) AliveCount() int {
+	c := 0
+	for _, m := range v.Members {
+		if m.Alive {
+			c++
+		}
+	}
+	return c
+}
+
+// Alive reports whether the slot is marked alive.
+func (v *View) Alive(p types.PartitionID) bool { return v.Members[p].Alive }
+
+// MarkDead records a member failure and applies the paper's succession
+// rules, bumping the version. It is a no-op on already-dead slots.
+func (v *View) MarkDead(p types.PartitionID) {
+	m, ok := v.Members[p]
+	if !ok || !m.Alive {
+		return
+	}
+	m.Alive = false
+	v.Members[p] = m
+	v.Version++
+
+	switch p {
+	case v.Leader:
+		// The Princess takes over leadership; the member next to the new
+		// Leader becomes the Princess.
+		v.Leader = v.Princess
+		if next, ok := v.Successor(v.Leader); ok {
+			v.Princess = next
+		} else {
+			v.Princess = v.Leader
+		}
+	case v.Princess:
+		// The member next to the Princess takes over.
+		if next, ok := v.Successor(p); ok && next != v.Leader {
+			v.Princess = next
+		} else if next2, ok2 := v.Successor(v.Leader); ok2 {
+			v.Princess = next2
+		} else {
+			v.Princess = v.Leader
+		}
+	}
+	// Degenerate cases: leader slot may itself be dead (e.g. cascading
+	// failures); repair by electing the first alive member.
+	if !v.Members[v.Leader].Alive {
+		for _, q := range v.Order {
+			if v.Members[q].Alive {
+				v.Leader = q
+				break
+			}
+		}
+	}
+	if !v.Members[v.Princess].Alive || v.Princess == v.Leader {
+		if next, ok := v.Successor(v.Leader); ok {
+			v.Princess = next
+		} else {
+			v.Princess = v.Leader
+		}
+	}
+}
+
+// MarkAlive records a member (re)joining at the given node, bumping the
+// version. Roles are not restored to a rejoining member; it resumes as an
+// ordinary ring member.
+func (v *View) MarkAlive(p types.PartitionID, node types.NodeID) {
+	m, ok := v.Members[p]
+	if !ok {
+		return
+	}
+	m.Alive = true
+	m.Node = node
+	v.Members[p] = m
+	v.Version++
+	// If the ring had degenerated to a single member holding both roles,
+	// the joiner becomes the Princess.
+	if v.Princess == v.Leader && p != v.Leader {
+		v.Princess = p
+	}
+}
+
+// String renders the ring for logs: partitions in order with roles and
+// liveness.
+func (v *View) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d [", v.Version)
+	for i, p := range v.Order {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		m := v.Members[p]
+		mark := ""
+		if p == v.Leader {
+			mark = "*L"
+		} else if p == v.Princess {
+			mark = "*P"
+		}
+		state := "+"
+		if !m.Alive {
+			state = "-"
+		}
+		fmt.Fprintf(&b, "%v%s@%v%s", p, mark, m.Node, state)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func fiveMemberView() *View {
+	// The paper's Figure 3: a meta-group with five members.
+	return NewView(map[types.PartitionID]types.NodeID{
+		0: 0, 1: 17, 2: 34, 3: 51, 4: 68,
+	})
+}
+
+func TestNewViewRoles(t *testing.T) {
+	v := fiveMemberView()
+	if v.Leader != 0 || v.Princess != 1 {
+		t.Fatalf("leader=%v princess=%v", v.Leader, v.Princess)
+	}
+	if v.AliveCount() != 5 {
+		t.Fatalf("alive = %d", v.AliveCount())
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	v := fiveMemberView()
+	if s, _ := v.Successor(0); s != 1 {
+		t.Fatalf("succ(0) = %v", s)
+	}
+	if s, _ := v.Successor(4); s != 0 {
+		t.Fatalf("succ(4) = %v (wrap)", s)
+	}
+	if p, _ := v.Predecessor(0); p != 4 {
+		t.Fatalf("pred(0) = %v (wrap)", p)
+	}
+	v.MarkDead(1)
+	if s, _ := v.Successor(0); s != 2 {
+		t.Fatalf("succ(0) skipping dead = %v", s)
+	}
+	if p, _ := v.Predecessor(2); p != 0 {
+		t.Fatalf("pred(2) skipping dead = %v", p)
+	}
+}
+
+func TestLeaderFailure(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(0) // leader dies
+	if v.Leader != 1 {
+		t.Fatalf("princess did not take over: leader=%v", v.Leader)
+	}
+	if v.Princess != 2 {
+		t.Fatalf("next member did not become princess: princess=%v", v.Princess)
+	}
+	if v.Alive(0) {
+		t.Fatal("dead leader still alive")
+	}
+}
+
+func TestPrincessFailure(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(1) // princess dies
+	if v.Leader != 0 {
+		t.Fatalf("leader changed on princess death: %v", v.Leader)
+	}
+	if v.Princess != 2 {
+		t.Fatalf("member next to princess did not take over: %v", v.Princess)
+	}
+}
+
+func TestOrdinaryMemberFailure(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(3)
+	if v.Leader != 0 || v.Princess != 1 {
+		t.Fatalf("roles changed on ordinary member death: L=%v P=%v", v.Leader, v.Princess)
+	}
+}
+
+func TestCascadingFailures(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(0) // leader -> 1 leads, 2 princess
+	v.MarkDead(1) // new leader dies -> 2 leads, 3 princess
+	if v.Leader != 2 || v.Princess != 3 {
+		t.Fatalf("after two leader deaths: L=%v P=%v", v.Leader, v.Princess)
+	}
+	v.MarkDead(3)
+	v.MarkDead(4)
+	if v.Leader != 2 || v.Princess != 2 {
+		t.Fatalf("single survivor must hold both roles: L=%v P=%v", v.Leader, v.Princess)
+	}
+	if v.AliveCount() != 1 {
+		t.Fatalf("alive = %d", v.AliveCount())
+	}
+}
+
+func TestMarkDeadIdempotent(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(3)
+	ver := v.Version
+	v.MarkDead(3)
+	if v.Version != ver {
+		t.Fatal("double MarkDead bumped the version")
+	}
+}
+
+func TestRejoin(t *testing.T) {
+	v := fiveMemberView()
+	v.MarkDead(0)
+	v.MarkAlive(0, 99) // GSD migrated to node 99
+	if !v.Alive(0) || v.Members[0].Node != 99 {
+		t.Fatalf("rejoin: %+v", v.Members[0])
+	}
+	// Roles stay with the successors; the rejoined member is ordinary.
+	if v.Leader != 1 || v.Princess != 2 {
+		t.Fatalf("rejoin restored roles: L=%v P=%v", v.Leader, v.Princess)
+	}
+}
+
+func TestRejoinAfterTotalCollapse(t *testing.T) {
+	v := fiveMemberView()
+	for _, p := range []types.PartitionID{1, 2, 3, 4} {
+		v.MarkDead(p)
+	}
+	if v.Leader != 0 || v.Princess != 0 {
+		t.Fatalf("survivor roles: L=%v P=%v", v.Leader, v.Princess)
+	}
+	v.MarkAlive(2, 40)
+	if v.Princess != 2 {
+		t.Fatalf("joiner should become princess of a degenerate ring: %v", v.Princess)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := fiveMemberView()
+	c := v.Clone()
+	c.MarkDead(0)
+	if !v.Alive(0) {
+		t.Fatal("clone shares member map with original")
+	}
+	if v.Version == c.Version {
+		t.Fatal("clone mutation affected original version")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := fiveMemberView()
+	s := v.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// Property: under any sequence of failures leaving at least one member
+// alive, the Leader and Princess are always alive, and the Princess only
+// equals the Leader when a single member survives.
+func TestPropertyRolesAlwaysAlive(t *testing.T) {
+	f := func(kills []uint8) bool {
+		v := fiveMemberView()
+		for _, k := range kills {
+			p := types.PartitionID(k % 5)
+			if v.AliveCount() <= 1 {
+				break
+			}
+			// Never kill the last member.
+			if v.Alive(p) && v.AliveCount() > 1 {
+				v.MarkDead(p)
+			}
+		}
+		if v.AliveCount() == 0 {
+			return false
+		}
+		if !v.Alive(v.Leader) || !v.Alive(v.Princess) {
+			return false
+		}
+		if v.AliveCount() > 1 && v.Leader == v.Princess {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: successor/predecessor are inverse over alive members.
+func TestPropertySuccPredInverse(t *testing.T) {
+	f := func(kills []uint8) bool {
+		v := fiveMemberView()
+		for _, k := range kills {
+			if v.AliveCount() <= 2 {
+				break
+			}
+			v.MarkDead(types.PartitionID(k % 5))
+		}
+		for _, p := range v.Order {
+			if !v.Alive(p) {
+				continue
+			}
+			s, ok := v.Successor(p)
+			if !ok {
+				continue
+			}
+			back, ok2 := v.Predecessor(s)
+			if !ok2 || back != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

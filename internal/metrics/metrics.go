@@ -1,0 +1,207 @@
+// Package metrics provides the lightweight instrumentation used by the
+// Phoenix reproduction: counters, gauges and duration histograms, plus the
+// timeline recorder the fault-tolerance experiments use to split an
+// incident into the paper's detecting / diagnosing / recovery phases.
+//
+// The simulator is single-threaded, but the Linpack experiment and the
+// real-time clock run concurrently, so everything here is safe for
+// concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter by delta (which must be non-negative).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates duration observations and reports order statistics.
+type Histogram struct {
+	mu   sync.Mutex
+	obs  []time.Duration
+	sum  time.Duration
+	sort bool // obs currently sorted
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.obs = append(h.obs, d)
+	h.sum += d
+	h.sort = false
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.obs)
+}
+
+// Mean reports the mean observation, or zero with no observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.obs) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.obs))
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.obs) == 0 {
+		return 0
+	}
+	if !h.sort {
+		sort.Slice(h.obs, func(i, j int) bool { return h.obs[i] < h.obs[j] })
+		h.sort = true
+	}
+	if q <= 0 {
+		return h.obs[0]
+	}
+	if q >= 1 {
+		return h.obs[len(h.obs)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.obs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.obs[idx]
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Min reports the smallest observation.
+func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
+
+// Registry names and stores counters, gauges and histograms.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if necessary) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if necessary) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if necessary) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric as "name value" lines sorted by name,
+// suitable for test assertions and report dumps.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.ctrs {
+		lines = append(lines, fmt.Sprintf("counter %s %g", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("hist %s count=%d mean=%v", name, h.Count(), h.Mean()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,24 @@
+package pbs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// Deploy spawns a PBS server on serverNode and a mom on every managed
+// node. PBS brings its own monitoring (the polling under comparison) and
+// takes nothing from the Phoenix kernel.
+func Deploy(c *cluster.Cluster, serverNode types.NodeID, spec ServerSpec) (*Server, error) {
+	srv := NewServer(spec)
+	if _, err := c.Host(serverNode).Spawn(srv); err != nil {
+		return nil, fmt.Errorf("pbs: spawn server: %w", err)
+	}
+	for _, n := range spec.Nodes {
+		if _, err := c.Host(n).Spawn(NewMom(serverNode)); err != nil {
+			return nil, fmt.Errorf("pbs: spawn mom on %v: %w", n, err)
+		}
+	}
+	return srv, nil
+}

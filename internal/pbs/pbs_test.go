@@ -1,0 +1,140 @@
+package pbs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pbs"
+	"repro/internal/types"
+)
+
+func rig(t *testing.T) (*cluster.Cluster, *pbs.Server, types.NodeID, []types.NodeID) {
+	t.Helper()
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverNode := c.Topo.Partitions[0].Server
+	nodes := c.Topo.ComputeNodes()[:6]
+	srv, err := pbs.Deploy(c, serverNode, pbs.ServerSpec{
+		Nodes:        nodes,
+		PollInterval: time.Second,
+		SchedPeriod:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WarmUp()
+	return c, srv, serverNode, nodes
+}
+
+func submit(t *testing.T, c *cluster.Cluster, serverNode types.NodeID, jobs ...pbs.Job) {
+	t.Helper()
+	client := core.NewClientProc("qsub", 0, 0)
+	client.OnStart = func(cp *core.ClientProc) {
+		// Stagger submissions so network jitter cannot reorder the queue.
+		for i, j := range jobs {
+			i, j := i, j
+			cp.H.After(time.Duration(i)*50*time.Millisecond, func() {
+				cp.H.Send(types.Addr{Node: serverNode, Service: types.SvcPBS}, types.AnyNIC,
+					pbs.MsgSubmit, pbs.SubmitReq{Token: uint64(i + 1), Job: j})
+			})
+		}
+	}
+	node := c.Topo.Partitions[1].Members[2]
+	if _, err := c.Host(node).Spawn(client); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(500 * time.Millisecond)
+}
+
+func TestFIFOSchedulingAndCompletion(t *testing.T) {
+	c, srv, serverNode, _ := rig(t)
+	submit(t, c, serverNode,
+		pbs.Job{ID: 1, Name: "a", Duration: 2 * time.Second, Width: 2},
+		pbs.Job{ID: 2, Name: "b", Duration: 2 * time.Second, Width: 2},
+	)
+	c.RunFor(2 * time.Second)
+	if srv.Scheduled != 2 {
+		t.Fatalf("scheduled = %d", srv.Scheduled)
+	}
+	c.RunFor(5 * time.Second)
+	if srv.Completed != 2 {
+		t.Fatalf("completed = %d", srv.Completed)
+	}
+	if srv.QueueLen() != 0 {
+		t.Fatalf("queue = %d", srv.QueueLen())
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	c, srv, serverNode, nodes := rig(t)
+	submit(t, c, serverNode,
+		pbs.Job{ID: 1, Duration: 3 * time.Second, Width: len(nodes)},
+		pbs.Job{ID: 2, Duration: time.Second, Width: len(nodes) + 1}, // never fits... until strict FIFO blocks
+		pbs.Job{ID: 3, Duration: time.Second, Width: 1},
+	)
+	c.RunFor(2 * time.Second)
+	// Strict FIFO: job 2 cannot run (too wide even for an empty cluster),
+	// so job 3 never runs either.
+	if srv.Scheduled != 1 {
+		t.Fatalf("scheduled = %d, want only job 1 (strict FIFO)", srv.Scheduled)
+	}
+}
+
+func TestPollingTrafficScalesWithNodes(t *testing.T) {
+	c, _, _, nodes := rig(t)
+	before := c.Metrics.Counter("net.msgs." + pbs.MsgStatus).Value()
+	c.RunFor(10 * time.Second)
+	after := c.Metrics.Counter("net.msgs." + pbs.MsgStatus).Value()
+	polls := after - before
+	// ~1 poll per node per second for 10 s.
+	want := float64(len(nodes) * 10)
+	if polls < want*0.8 || polls > want*1.3 {
+		t.Fatalf("poll messages over 10s = %g, want ≈ %g", polls, want)
+	}
+}
+
+func TestServerDeathStopsScheduling(t *testing.T) {
+	c, srv, serverNode, _ := rig(t)
+	submit(t, c, serverNode, pbs.Job{ID: 1, Duration: time.Second, Width: 1})
+	c.RunFor(3 * time.Second)
+	if srv.Completed != 1 {
+		t.Fatalf("completed = %d", srv.Completed)
+	}
+	// Kill the server node: PBS has no HA, later jobs are lost.
+	c.Host(serverNode).PowerOff()
+	before := c.Metrics.Counter("net.msgs." + pbs.MsgStatus).Value()
+	c.RunFor(5 * time.Second)
+	after := c.Metrics.Counter("net.msgs." + pbs.MsgStatus).Value()
+	if after != before {
+		t.Fatalf("dead PBS server still polling: %g -> %g", before, after)
+	}
+}
+
+func TestMomReportsUsageAndJobs(t *testing.T) {
+	c, _, serverNode, nodes := rig(t)
+	var ack *pbs.StatusAck
+	client := core.NewClientProc("probe", 0, 0)
+	client.OnStart = func(cp *core.ClientProc) {
+		cp.H.Send(types.Addr{Node: nodes[0], Service: types.SvcPBSMom}, types.AnyNIC,
+			pbs.MsgStatus, pbs.StatusReq{Token: 99})
+	}
+	client.OnMessage = func(cp *core.ClientProc, msg types.Message) {
+		if a, ok := msg.Payload.(pbs.StatusAck); ok && a.Token == 99 {
+			ack = &a
+		}
+	}
+	if _, err := c.Host(serverNode).Spawn(client); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if ack == nil || ack.Node != nodes[0] {
+		t.Fatalf("status ack: %+v", ack)
+	}
+	if ack.Usage.CPUPct < 0 || ack.Usage.CPUPct > 100 {
+		t.Fatalf("usage: %+v", ack.Usage)
+	}
+}

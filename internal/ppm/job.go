@@ -1,0 +1,38 @@
+package ppm
+
+import (
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// JobProc is a job's process: it occupies a process-table slot (raising
+// the node's CPU usage as seen by the detectors), runs for its configured
+// duration, then exits normally. A zero duration means it runs until
+// killed.
+type JobProc struct {
+	spec JobSpec
+}
+
+// NewJobProc builds the process for a job spec.
+func NewJobProc(spec JobSpec) *JobProc { return &JobProc{spec: spec} }
+
+// Spec returns the job's spec.
+func (j *JobProc) Spec() JobSpec { return j.spec }
+
+// Service implements simhost.Process.
+func (j *JobProc) Service() string { return j.spec.JobService() }
+
+// Start implements simhost.Process.
+func (j *JobProc) Start(h *simhost.Handle) {
+	if j.spec.Duration > 0 {
+		h.After(j.spec.Duration, h.Exit)
+	}
+}
+
+// Receive implements simhost.Process.
+func (j *JobProc) Receive(msg types.Message) {}
+
+// OnStop implements simhost.Process.
+func (j *JobProc) OnStop() {}
+
+var _ simhost.Process = (*JobProc)(nil)

@@ -1,0 +1,230 @@
+package ppm_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ppm"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// mgrProc drives PPM daemons and records replies.
+type mgrProc struct {
+	h        *simhost.Handle
+	loadAcks []ppm.LoadAck
+	killAcks []ppm.KillAck
+	queries  []ppm.QueryAck
+	dones    []ppm.JobDone
+	pexecs   []ppm.PExecAck
+}
+
+func (p *mgrProc) Service() string         { return "mgr" }
+func (p *mgrProc) OnStop()                 {}
+func (p *mgrProc) Start(h *simhost.Handle) { p.h = h }
+func (p *mgrProc) Receive(msg types.Message) {
+	switch v := msg.Payload.(type) {
+	case ppm.LoadAck:
+		p.loadAcks = append(p.loadAcks, v)
+	case ppm.KillAck:
+		p.killAcks = append(p.killAcks, v)
+	case ppm.QueryAck:
+		p.queries = append(p.queries, v)
+	case ppm.JobDone:
+		p.dones = append(p.dones, v)
+	case ppm.PExecAck:
+		p.pexecs = append(p.pexecs, v)
+	}
+}
+
+func (p *mgrProc) send(node types.NodeID, typ string, payload any) {
+	p.h.Send(types.Addr{Node: node, Service: types.SvcPPM}, types.AnyNIC, typ, payload)
+}
+
+func rig(t *testing.T, nodes int, auth *security.Authority) (*sim.Engine, []*simhost.Host, *mgrProc) {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), nodes, simnet.DefaultParams(), metrics.NewRegistry())
+	hosts := make([]*simhost.Host, nodes)
+	for i := range hosts {
+		hosts[i] = simhost.New(types.NodeID(i), net, eng, eng.Rand(), simhost.DefaultCosts())
+		hosts[i].RegisterCommand("hostname", func(args []string) (string, error) {
+			return types.NodeID(i).String(), nil
+		})
+	}
+	for i := 1; i < nodes; i++ {
+		d := ppm.New(ppm.Spec{Authority: auth, SubtreeTimeout: time.Second})
+		if _, err := hosts[i].Spawn(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr := &mgrProc{}
+	if _, err := hosts[0].Spawn(mgr); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+	return eng, hosts, mgr
+}
+
+func TestLoadRunDoneNotification(t *testing.T) {
+	eng, hosts, mgr := rig(t, 3, nil)
+	job := ppm.JobSpec{ID: 5, Name: "hpl", Duration: time.Second,
+		Submitter: types.Addr{Node: 0, Service: "mgr"}}
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.loadAcks) != 1 || !mgr.loadAcks[0].OK {
+		t.Fatalf("load acks: %+v", mgr.loadAcks)
+	}
+	if !hosts[1].Running("job/5") {
+		t.Fatal("job not running")
+	}
+	eng.RunFor(2 * time.Second)
+	if len(mgr.dones) != 1 || !mgr.dones[0].Normal || mgr.dones[0].Job != 5 {
+		t.Fatalf("done notifications: %+v", mgr.dones)
+	}
+	if hosts[1].Running("job/5") {
+		t.Fatal("job survived its duration")
+	}
+}
+
+func TestKillNotifiesAbnormal(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	job := ppm.JobSpec{ID: 6, Duration: time.Hour,
+		Submitter: types.Addr{Node: 0, Service: "mgr"}}
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 2, Job: 6})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.killAcks) != 1 || !mgr.killAcks[0].OK {
+		t.Fatalf("kill acks: %+v", mgr.killAcks)
+	}
+	if len(mgr.dones) != 1 || mgr.dones[0].Normal {
+		t.Fatalf("killed job should report abnormal done: %+v", mgr.dones)
+	}
+}
+
+func TestKillUnknownJobFails(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 1, Job: 999})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.killAcks) != 1 || mgr.killAcks[0].OK {
+		t.Fatalf("kill of unknown job: %+v", mgr.killAcks)
+	}
+}
+
+func TestQueryReportsRunning(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	job := ppm.JobSpec{ID: 7, Duration: time.Second,
+		Submitter: types.Addr{Node: 0, Service: "mgr"}}
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	mgr.send(1, ppm.MsgQuery, ppm.QueryReq{Token: 2, Job: 7})
+	mgr.send(1, ppm.MsgQuery, ppm.QueryReq{Token: 3, Job: 8})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.queries) != 2 {
+		t.Fatalf("queries: %+v", mgr.queries)
+	}
+	byJob := map[types.JobID]bool{}
+	for _, q := range mgr.queries {
+		byJob[q.Job] = q.Running
+	}
+	if !byJob[7] || byJob[8] {
+		t.Fatalf("query results: %+v", byJob)
+	}
+}
+
+func TestCleanupKillsAllJobs(t *testing.T) {
+	eng, hosts, mgr := rig(t, 3, nil)
+	for i := 1; i <= 3; i++ {
+		mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: uint64(i), Job: ppm.JobSpec{
+			ID: types.JobID(i), Duration: time.Hour,
+		}})
+	}
+	eng.RunFor(300 * time.Millisecond)
+	mgr.send(1, ppm.MsgCleanup, ppm.CleanupReq{})
+	eng.RunFor(300 * time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		if hosts[1].Present(ppm.JobSpec{ID: types.JobID(i)}.JobService()) {
+			t.Fatalf("job %d survived cleanup", i)
+		}
+	}
+}
+
+func TestPExecSingleNode(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	mgr.send(1, ppm.MsgPExec, ppm.PExecReq{Token: 1, Cmd: "hostname",
+		Nodes: []types.NodeID{1}})
+	eng.RunFor(time.Second)
+	if len(mgr.pexecs) != 1 || len(mgr.pexecs[0].Results) != 1 {
+		t.Fatalf("pexec: %+v", mgr.pexecs)
+	}
+	if mgr.pexecs[0].Results[0].Output != "node1" {
+		t.Fatalf("output: %+v", mgr.pexecs[0].Results[0])
+	}
+}
+
+func TestPExecDeadSubtreeReported(t *testing.T) {
+	eng, hosts, mgr := rig(t, 6, nil)
+	hosts[4].PowerOff()
+	mgr.send(1, ppm.MsgPExec, ppm.PExecReq{Token: 1, Cmd: "hostname",
+		Nodes: []types.NodeID{1, 2, 3, 4, 5}, Fanout: 2})
+	eng.RunFor(5 * time.Second)
+	if len(mgr.pexecs) != 1 {
+		t.Fatalf("pexec acks: %+v", mgr.pexecs)
+	}
+	results := mgr.pexecs[0].Results
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5 (dead nodes reported as errors)", len(results))
+	}
+	errs := 0
+	for _, r := range results {
+		if r.Err != "" {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("dead subtree produced no errors")
+	}
+}
+
+func TestSecurityEnforcement(t *testing.T) {
+	auth := security.NewAuthority([]byte("k"))
+	auth.AddUser("op", "pw", security.RoleOperator)
+	eng, hosts, mgr := rig(t, 3, auth)
+	// Unsigned load is rejected.
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: ppm.JobSpec{ID: 1, Duration: time.Second}})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.loadAcks) != 1 || mgr.loadAcks[0].OK {
+		t.Fatalf("unsigned load: %+v", mgr.loadAcks)
+	}
+	if hosts[1].Present("job/1") {
+		t.Fatal("unauthorized job spawned")
+	}
+	// A signed load from an operator is accepted.
+	signed, err := auth.Authenticate("op", "pw", time.Hour, eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 2, Signed: signed,
+		Job: ppm.JobSpec{ID: 2, Duration: time.Second}})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.loadAcks) != 2 || !mgr.loadAcks[1].OK {
+		t.Fatalf("signed load: %+v", mgr.loadAcks)
+	}
+}
+
+func TestDuplicateLoadRejected(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	job := ppm.JobSpec{ID: 9, Duration: time.Hour}
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 2, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.loadAcks) != 2 || mgr.loadAcks[1].OK {
+		t.Fatalf("duplicate load: %+v", mgr.loadAcks)
+	}
+}

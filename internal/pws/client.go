@@ -1,0 +1,123 @@
+package pws
+
+import (
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Client is the user-facing interface to a PWS scheduler, embedded in
+// submission tools and experiments.
+type Client struct {
+	rt      rt.Runtime
+	pending *rpc.Pending
+	target  func() (types.Addr, bool)
+	timeout time.Duration
+}
+
+// NewClient builds a client; target resolves the scheduler's current
+// address (it moves with its partition's GSD on migration).
+func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout}
+}
+
+// Submit queues a job; done (optional) receives the ack.
+func (c *Client) Submit(job Job, done func(SubmitAck)) {
+	addr, ok := c.target()
+	if !ok {
+		if done != nil {
+			done(SubmitAck{Err: "pws: no scheduler"})
+		}
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) {
+			if done != nil {
+				done(payload.(SubmitAck))
+			}
+		},
+		func() {
+			if done != nil {
+				done(SubmitAck{Err: "pws: submit timeout"})
+			}
+		})
+	c.rt.Send(addr, types.AnyNIC, MsgSubmit, SubmitReq{Token: tok, Job: job})
+}
+
+// Stat fetches scheduler statistics; ok=false on timeout.
+func (c *Client) Stat(done func(StatAck, bool)) {
+	addr, found := c.target()
+	if !found {
+		done(StatAck{}, false)
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) { done(payload.(StatAck), true) },
+		func() { done(StatAck{}, false) })
+	c.rt.Send(addr, types.AnyNIC, MsgStat, StatReq{Token: tok})
+}
+
+// Delete cancels a job; done (optional) receives the ack.
+func (c *Client) Delete(id types.JobID, done func(DeleteAck)) {
+	addr, ok := c.target()
+	if !ok {
+		if done != nil {
+			done(DeleteAck{Err: "pws: no scheduler"})
+		}
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) {
+			if done != nil {
+				done(payload.(DeleteAck))
+			}
+		},
+		func() {
+			if done != nil {
+				done(DeleteAck{Err: "pws: delete timeout"})
+			}
+		})
+	c.rt.Send(addr, types.AnyNIC, MsgDelete, DeleteReq{Token: tok, ID: id})
+}
+
+// JobStat fetches one job's state; ok=false on timeout.
+func (c *Client) JobStat(id types.JobID, done func(JobStatAck, bool)) {
+	addr, found := c.target()
+	if !found {
+		done(JobStatAck{}, false)
+		return
+	}
+	tok := c.pending.New(c.timeout,
+		func(payload any) { done(payload.(JobStatAck), true) },
+		func() { done(JobStatAck{}, false) })
+	c.rt.Send(addr, types.AnyNIC, MsgJobStat, JobStatReq{Token: tok, ID: id})
+}
+
+// Handle routes scheduler replies arriving at the owning daemon.
+func (c *Client) Handle(msg types.Message) bool {
+	switch msg.Type {
+	case MsgSubmitAck:
+		if ack, ok := msg.Payload.(SubmitAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgStatAck:
+		if ack, ok := msg.Payload.(StatAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgDeleteAck:
+		if ack, ok := msg.Payload.(DeleteAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgJobStatAck:
+		if ack, ok := msg.Payload.(JobStatAck); ok {
+			c.pending.Resolve(ack.Token, ack)
+		}
+		return true
+	}
+	return false
+}

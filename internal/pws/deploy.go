@@ -1,0 +1,64 @@
+package pws
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gsd"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Deploy installs a PWS scheduler on a cluster: the factory is registered
+// on every node of the home partition (so the GSD can restart or migrate
+// the scheduler anywhere it itself can go) and the initial instance is
+// spawned on the partition's server node.
+//
+// The cluster must have been built with the scheduler's partition listed
+// in Spec.ExtraServices so its GSD supervises types.SvcPWS.
+func Deploy(c *cluster.Cluster, base Spec) (*Scheduler, error) {
+	part, ok := c.Topo.Partition(base.Partition)
+	if !ok {
+		return nil, fmt.Errorf("pws: unknown partition %v", base.Partition)
+	}
+	factory := func(spec any) simhost.Process {
+		s := base
+		if ss, ok := spec.(gsd.ServiceSpawnSpec); ok {
+			s.Restart = ss.Restart
+		}
+		return New(s)
+	}
+	for _, ni := range c.Topo.Nodes {
+		c.Host(ni.ID).RegisterFactory(types.SvcPWS, factory)
+	}
+	sched := New(base)
+	if _, err := c.Host(part.Server).Spawn(sched); err != nil {
+		return nil, fmt.Errorf("pws: spawn scheduler: %w", err)
+	}
+	return sched, nil
+}
+
+// UniformPools splits the cluster's compute nodes into count equal pools
+// named pool0..pool{count-1}, all FIFO, all lendable.
+func UniformPools(c *cluster.Cluster, count int) []PoolSpec {
+	nodes := c.Topo.ComputeNodes()
+	if count < 1 {
+		count = 1
+	}
+	pools := make([]PoolSpec, count)
+	per := len(nodes) / count
+	for i := range pools {
+		lo := i * per
+		hi := lo + per
+		if i == count-1 {
+			hi = len(nodes)
+		}
+		pools[i] = PoolSpec{
+			Name:       fmt.Sprintf("pool%d", i),
+			Nodes:      append([]types.NodeID(nil), nodes[lo:hi]...),
+			Policy:     PolicyFIFO,
+			AllowLease: true,
+		}
+	}
+	return pools
+}

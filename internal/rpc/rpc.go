@@ -1,0 +1,89 @@
+// Package rpc layers request/reply correlation over the kernel's datagram
+// messaging. Every kernel RPC payload carries a Token; a daemon keeps one
+// Pending table, registers a callback per outgoing request, and resolves
+// replies from its Receive dispatch. Timeouts fire the failure callback,
+// which is how probers implement the paper's node-fault diagnosis.
+package rpc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// tokenCounter is process-global so tokens are unique across every Pending
+// table: a daemon owning several tables (the GSD runs a partition monitor
+// and a meta-group prober) can route replies to whichever table knows the
+// token without ambiguity.
+var tokenCounter atomic.Uint64
+
+// Pending correlates outstanding requests with their replies.
+type Pending struct {
+	rt rt.Runtime
+	m  map[uint64]*entry
+}
+
+type entry struct {
+	onReply   func(payload any)
+	onTimeout func()
+	timer     interface{ Stop() bool }
+}
+
+// NewPending builds a table bound to a runtime (for its timers).
+func NewPending(r rt.Runtime) *Pending {
+	return &Pending{rt: r, m: make(map[uint64]*entry)}
+}
+
+// New allocates a token, arming a timeout. Exactly one of onReply and
+// onTimeout will run (unless Cancel intervenes). A zero timeout means no
+// timeout is armed.
+func (p *Pending) New(timeout time.Duration, onReply func(payload any), onTimeout func()) uint64 {
+	token := tokenCounter.Add(1)
+	e := &entry{onReply: onReply, onTimeout: onTimeout}
+	if timeout > 0 {
+		e.timer = p.rt.After(timeout, func() {
+			if _, live := p.m[token]; !live {
+				return
+			}
+			delete(p.m, token)
+			if onTimeout != nil {
+				onTimeout()
+			}
+		})
+	}
+	p.m[token] = e
+	return token
+}
+
+// Resolve completes the request identified by token with the given reply
+// payload. It reports whether the token was outstanding.
+func (p *Pending) Resolve(token uint64, payload any) bool {
+	e, ok := p.m[token]
+	if !ok {
+		return false
+	}
+	delete(p.m, token)
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	if e.onReply != nil {
+		e.onReply(payload)
+	}
+	return true
+}
+
+// Cancel abandons an outstanding request without running either callback.
+func (p *Pending) Cancel(token uint64) {
+	e, ok := p.m[token]
+	if !ok {
+		return
+	}
+	delete(p.m, token)
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+}
+
+// Outstanding reports how many requests are awaiting replies.
+func (p *Pending) Outstanding() int { return len(p.m) }

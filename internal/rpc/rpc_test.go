@@ -1,0 +1,95 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/sim"
+)
+
+func TestResolveBeforeTimeout(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	var got any
+	timedOut := false
+	tok := p.New(time.Second, func(v any) { got = v }, func() { timedOut = true })
+	eng.RunFor(500 * time.Millisecond)
+	if !p.Resolve(tok, "reply") {
+		t.Fatal("Resolve reported token unknown")
+	}
+	eng.Run()
+	if got != "reply" || timedOut {
+		t.Fatalf("got=%v timedOut=%v", got, timedOut)
+	}
+	if p.Outstanding() != 0 {
+		t.Fatal("entry leaked after resolve")
+	}
+}
+
+func TestTimeoutFires(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	replied, timedOut := false, false
+	tok := p.New(time.Second, func(any) { replied = true }, func() { timedOut = true })
+	eng.RunFor(2 * time.Second)
+	if replied || !timedOut {
+		t.Fatalf("replied=%v timedOut=%v", replied, timedOut)
+	}
+	if p.Resolve(tok, "late") {
+		t.Fatal("late resolve succeeded after timeout")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	replied, timedOut := false, false
+	tok := p.New(time.Second, func(any) { replied = true }, func() { timedOut = true })
+	p.Cancel(tok)
+	eng.RunFor(5 * time.Second)
+	if replied || timedOut {
+		t.Fatal("cancelled request ran a callback")
+	}
+}
+
+func TestZeroTimeoutNeverExpires(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	timedOut := false
+	tok := p.New(0, func(any) {}, func() { timedOut = true })
+	eng.RunFor(time.Hour)
+	if timedOut {
+		t.Fatal("zero-timeout request expired")
+	}
+	if !p.Resolve(tok, nil) {
+		t.Fatal("token not outstanding")
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		tok := p.New(0, nil, nil)
+		if seen[tok] {
+			t.Fatal("duplicate token")
+		}
+		seen[tok] = true
+	}
+}
+
+func TestResolveUnknownToken(t *testing.T) {
+	eng := sim.New(1)
+	f := rt.NewFake(0, "x", eng, eng.Rand())
+	p := NewPending(f)
+	if p.Resolve(999, nil) {
+		t.Fatal("unknown token resolved")
+	}
+}

@@ -1,0 +1,33 @@
+// Package rt defines the runtime interface Phoenix kernel daemons are
+// written against. The simulated host's process handle implements it, and
+// tests substitute lightweight fakes, so protocol logic (heartbeat
+// analysis, membership, federation) never depends on the simulator
+// directly.
+package rt
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/types"
+)
+
+// Runtime is the execution environment of one daemon: identity, messaging,
+// and timers. Implementations cancel outstanding timers when the daemon
+// dies, so protocol code does not need death checks in callbacks.
+type Runtime interface {
+	// Node is the hosting node's ID.
+	Node() types.NodeID
+	// Self is the daemon's network address.
+	Self() types.Addr
+	// Now reads the clock.
+	Now() time.Time
+	// Rand is a deterministic random source.
+	Rand() *rand.Rand
+	// Send transmits a message; delivery is best-effort (datagram
+	// semantics). nic selects the network plane, or types.AnyNIC.
+	Send(to types.Addr, nic int, typ string, payload any)
+	// After schedules a callback, cancelled automatically at daemon death.
+	After(d time.Duration, f func()) clock.Timer
+}

@@ -1,0 +1,35 @@
+package security_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/security"
+)
+
+// ExampleAuthority shows the kernel's authenticate → authorize flow.
+func ExampleAuthority() {
+	auth := security.NewAuthority([]byte("cluster-signing-key"))
+	auth.AddUser("alice", "s3cret", security.RoleScientist)
+
+	t0 := time.Date(2005, 9, 1, 0, 0, 0, 0, time.UTC)
+	token, err := auth.Authenticate("alice", "s3cret", time.Hour, t0)
+	if err != nil {
+		fmt.Println("auth:", err)
+		return
+	}
+	if _, err := auth.Authorize(token, security.OpJobSubmit, t0); err == nil {
+		fmt.Println("job.submit: allowed")
+	}
+	if _, err := auth.Authorize(token, security.OpReconfig, t0); errors.Is(err, security.ErrDenied) {
+		fmt.Println("config.reconfig: denied")
+	}
+	if _, err := auth.Verify(token, t0.Add(2*time.Hour)); errors.Is(err, security.ErrExpired) {
+		fmt.Println("after 2h: expired")
+	}
+	// Output:
+	// job.submit: allowed
+	// config.reconfig: denied
+	// after 2h: expired
+}

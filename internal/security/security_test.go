@@ -1,0 +1,205 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+var t0 = time.Date(2005, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newAuth() *Authority {
+	a := NewAuthority([]byte("phoenix-signing-key"))
+	a.AddUser("alice", "s3cret", RoleScientist)
+	a.AddUser("root", "toor", RoleAdmin)
+	return a
+}
+
+func TestAuthenticateIssueVerify(t *testing.T) {
+	a := newAuth()
+	signed, err := a.Authenticate("alice", "s3cret", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := a.Verify(signed, t0.Add(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Principal != "alice" || tok.Role != RoleScientist {
+		t.Fatalf("claims: %+v", tok)
+	}
+}
+
+func TestAuthenticateBadCreds(t *testing.T) {
+	a := newAuth()
+	if _, err := a.Authenticate("alice", "wrong", time.Hour, t0); !errors.Is(err, ErrBadCreds) {
+		t.Fatalf("wrong secret: %v", err)
+	}
+	if _, err := a.Authenticate("mallory", "x", time.Hour, t0); !errors.Is(err, ErrBadCreds) {
+		t.Fatalf("unknown principal: %v", err)
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	a := newAuth()
+	signed, _ := a.Authenticate("alice", "s3cret", time.Hour, t0)
+	if _, err := a.Verify(signed, t0.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired token: %v", err)
+	}
+}
+
+func TestVerifyTamperedSignature(t *testing.T) {
+	a := newAuth()
+	signed, _ := a.Authenticate("alice", "s3cret", time.Hour, t0)
+	// Flip a character in the body.
+	tampered := "A" + signed[1:]
+	if _, err := a.Verify(tampered, t0); err == nil {
+		t.Fatal("tampered token verified")
+	}
+	// Token signed by a different key fails.
+	other := NewAuthority([]byte("other-key"))
+	otherSigned, _ := other.Issue(Token{Principal: "alice", Role: RoleAdmin, Expires: t0.Add(time.Hour)})
+	if _, err := a.Verify(otherSigned, t0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("cross-key token: %v", err)
+	}
+}
+
+func TestVerifyMalformed(t *testing.T) {
+	a := newAuth()
+	for _, bad := range []string{"", "nodot", "a.b", "!!!.???"} {
+		if _, err := a.Verify(bad, t0); err == nil {
+			t.Fatalf("malformed token %q verified", bad)
+		}
+	}
+}
+
+func TestAuthorizeRoles(t *testing.T) {
+	a := newAuth()
+	sci, _ := a.Authenticate("alice", "s3cret", time.Hour, t0)
+	adm, _ := a.Authenticate("root", "toor", time.Hour, t0)
+	if _, err := a.Authorize(sci, OpJobSubmit, t0); err != nil {
+		t.Fatalf("scientist job.submit: %v", err)
+	}
+	if _, err := a.Authorize(sci, OpReconfig, t0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("scientist reconfig should be denied: %v", err)
+	}
+	if _, err := a.Authorize(adm, OpReconfig, t0); err != nil {
+		t.Fatalf("admin reconfig: %v", err)
+	}
+	// Grant and recheck.
+	a.Allow(RoleScientist, OpReconfig)
+	if _, err := a.Authorize(sci, OpReconfig, t0); err != nil {
+		t.Fatalf("granted op still denied: %v", err)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	pt := []byte("partition 3 server credentials")
+	ct, err := Encrypt(key, pt, []byte("msg-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, pt) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	got, err := Decrypt(key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip: %q", got)
+	}
+	// Wrong key fails.
+	if _, err := Decrypt(bytes.Repeat([]byte{8}, 32), ct); err == nil {
+		t.Fatal("wrong key decrypted")
+	}
+	// Truncated ciphertext fails.
+	if _, err := Decrypt(key, ct[:5]); err == nil {
+		t.Fatal("short ciphertext decrypted")
+	}
+	// Bad key size fails.
+	if _, err := Encrypt([]byte("short"), pt, []byte("n")); err == nil {
+		t.Fatal("bad key size accepted")
+	}
+}
+
+// Property: every issued token verifies before expiry, for arbitrary
+// principals.
+func TestPropertyIssueVerify(t *testing.T) {
+	a := newAuth()
+	f := func(principal string, ttlMin uint8) bool {
+		if strings.ContainsRune(principal, 0) {
+			principal = "p"
+		}
+		ttl := time.Duration(ttlMin%100+1) * time.Minute
+		signed, err := a.Issue(Token{Principal: principal, Role: RoleOperator, Expires: t0.Add(ttl)})
+		if err != nil {
+			return false
+		}
+		tok, err := a.Verify(signed, t0)
+		return err == nil && tok.Principal == principal && tok.Role == RoleOperator
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceDaemon(t *testing.T) {
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 2, simnet.DefaultParams(), metrics.NewRegistry())
+	host := simhost.New(0, net, eng, eng.Rand(), simhost.DefaultCosts())
+	svc := NewService(newAuth())
+	if _, err := host.Spawn(svc); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	var authAck *AuthAck
+	var checkAcks []CheckAck
+	net.Register(types.Addr{Node: 1, Service: "client"}, func(m types.Message) {
+		switch p := m.Payload.(type) {
+		case AuthAck:
+			authAck = &p
+		case CheckAck:
+			checkAcks = append(checkAcks, p)
+		}
+	})
+	client := types.Addr{Node: 1, Service: "client"}
+	secAddr := types.Addr{Node: 0, Service: types.SvcSecurity}
+
+	_ = net.Send(types.Message{From: client, To: secAddr, NIC: 0, Type: MsgAuth,
+		Payload: AuthReq{Token: 1, Principal: "alice", Secret: "s3cret", TTL: time.Hour}})
+	eng.Run()
+	if authAck == nil || !authAck.OK || authAck.Signed == "" {
+		t.Fatalf("auth ack: %+v", authAck)
+	}
+
+	_ = net.Send(types.Message{From: client, To: secAddr, NIC: 0, Type: MsgCheck,
+		Payload: CheckReq{Token: 2, Signed: authAck.Signed, Op: OpJobSubmit}})
+	_ = net.Send(types.Message{From: client, To: secAddr, NIC: 0, Type: MsgCheck,
+		Payload: CheckReq{Token: 3, Signed: authAck.Signed, Op: OpReconfig}})
+	eng.Run()
+	if len(checkAcks) != 2 {
+		t.Fatalf("check acks: %d", len(checkAcks))
+	}
+	byToken := map[uint64]CheckAck{}
+	for _, a := range checkAcks {
+		byToken[a.Token] = a
+	}
+	if a := byToken[2]; !a.OK || a.Principal != "alice" {
+		t.Fatalf("job.submit check: %+v", a)
+	}
+	if a := byToken[3]; a.OK {
+		t.Fatalf("reconfig check should fail for scientist: %+v", a)
+	}
+}

@@ -1,0 +1,188 @@
+// Package sim implements the deterministic discrete-event engine that the
+// Phoenix reproduction uses as its hardware substrate. Virtual time advances
+// only when events run, so a 640-node scenario with 30-second heartbeat
+// intervals executes in milliseconds of real time and is bit-for-bit
+// reproducible from its seed.
+//
+// All kernel services are written in event-driven style against
+// clock.Clock; the engine satisfies that interface with virtual time.
+// The engine is single-threaded: callbacks run one at a time in
+// (time, sequence) order, which eliminates data races inside scenarios and
+// makes failures replayable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Epoch is the virtual time origin. Using a fixed epoch makes timestamps in
+// logs and bulletin records stable across runs.
+var Epoch = time.Date(2005, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+type event struct {
+	at    time.Duration // virtual time offset from Epoch
+	seq   uint64        // tiebreaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use; scenario code and all service
+// callbacks run on the same goroutine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	running bool
+	steps   uint64
+	// MaxSteps bounds a single Run to guard against runaway scenarios
+	// (for example a ticker that re-arms with zero period). Zero means
+	// the default of 50 million events.
+	MaxSteps uint64
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return Epoch.Add(e.now) }
+
+// Elapsed returns the virtual time elapsed since the epoch.
+func (e *Engine) Elapsed() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source. All randomness in
+// a scenario (latency jitter, load profiles, fault schedules) must come from
+// here to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// AfterFunc schedules f to run d from now in virtual time. Negative d is
+// treated as zero. It implements clock.Clock.
+func (e *Engine) AfterFunc(d time.Duration, f func()) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: f}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &simTimer{eng: e, ev: ev}
+}
+
+type simTimer struct {
+	eng *Engine
+	ev  *event
+}
+
+func (t *simTimer) Stop() bool {
+	if t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.queue, t.ev.index)
+	t.ev.index = -1
+	return true
+}
+
+// Pending reports the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+func (e *Engine) maxSteps() uint64 {
+	if e.MaxSteps > 0 {
+		return e.MaxSteps
+	}
+	return 50_000_000
+}
+
+// Step runs the earliest pending event, advancing virtual time to its
+// deadline. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or MaxSteps is exceeded.
+func (e *Engine) Run() {
+	e.guardReentry()
+	defer func() { e.running = false }()
+	limit := e.maxSteps()
+	for e.Step() {
+		if e.steps >= limit {
+			panic(fmt.Sprintf("sim: exceeded %d events; runaway scenario?", limit))
+		}
+	}
+}
+
+// RunUntil executes events with deadlines at or before the given virtual
+// offset from the epoch, then sets the clock to exactly that offset.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.guardReentry()
+	defer func() { e.running = false }()
+	limit := e.maxSteps()
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+		if e.steps >= limit {
+			panic(fmt.Sprintf("sim: exceeded %d events; runaway scenario?", limit))
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances virtual time by d, executing everything due in between.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+func (e *Engine) guardReentry() {
+	if e.running {
+		panic("sim: Run called re-entrantly from inside an event callback")
+	}
+	e.running = true
+}
+
+var _ clock.Clock = (*Engine)(nil)

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterFuncOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	e.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	e.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestSameDeadlineFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-deadline events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	e := New(1)
+	var at time.Time
+	e.AfterFunc(90*time.Second, func() { at = e.Now() })
+	e.Run()
+	if want := Epoch.Add(90 * time.Second); !at.Equal(want) {
+		t.Fatalf("Now inside callback = %v, want %v", at, want)
+	}
+	if e.Elapsed() != 90*time.Second {
+		t.Fatalf("Elapsed = %v, want 90s", e.Elapsed())
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.AfterFunc(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Elapsed() != 0 {
+		t.Fatalf("negative delay advanced the clock to %v", e.Elapsed())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	ran := false
+	tm := e.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("stopped timer still fired")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.AfterFunc(time.Second, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported true")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := New(1)
+	var ran []int
+	e.AfterFunc(1*time.Second, func() { ran = append(ran, 1) })
+	e.AfterFunc(2*time.Second, func() { ran = append(ran, 2) })
+	e.AfterFunc(3*time.Second, func() { ran = append(ran, 3) })
+	e.RunUntil(2 * time.Second)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(2s) ran %v, want events 1,2", ran)
+	}
+	if e.Elapsed() != 2*time.Second {
+		t.Fatalf("clock after RunUntil = %v, want 2s", e.Elapsed())
+	}
+	e.Run()
+	if len(ran) != 3 {
+		t.Fatalf("remaining event did not run: %v", ran)
+	}
+}
+
+func TestRunForAdvancesEvenWhenIdle(t *testing.T) {
+	e := New(1)
+	e.RunFor(time.Minute)
+	if e.Elapsed() != time.Minute {
+		t.Fatalf("RunFor on empty queue left clock at %v", e.Elapsed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 5 {
+			e.AfterFunc(time.Second, schedule)
+		}
+	}
+	e.AfterFunc(time.Second, schedule)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("nested scheduling depth = %d, want 5", depth)
+	}
+	if e.Elapsed() != 5*time.Second {
+		t.Fatalf("elapsed = %v, want 5s", e.Elapsed())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed engines diverged")
+		}
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := New(1)
+	e.MaxSteps = 100
+	var loop func()
+	loop = func() { e.AfterFunc(0, loop) }
+	e.AfterFunc(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway scenario did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := New(1)
+	panicked := false
+	e.AfterFunc(0, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("re-entrant Run did not panic")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// deadline order and the clock ends at the max deadline.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		e := New(7)
+		var fired []time.Duration
+		var max time.Duration
+		for _, ms := range delaysMs {
+			d := time.Duration(ms) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			e.AfterFunc(d, func() { fired = append(fired, e.Elapsed()) })
+		}
+		e.Run()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Elapsed() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

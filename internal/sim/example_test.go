@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ExampleEngine shows virtual time: thirty simulated seconds execute
+// instantly and deterministically.
+func ExampleEngine() {
+	eng := sim.New(1)
+	eng.AfterFunc(30*time.Second, func() {
+		fmt.Println("heartbeat deadline at", eng.Elapsed())
+	})
+	eng.AfterFunc(10*time.Second, func() {
+		fmt.Println("tick at", eng.Elapsed())
+	})
+	eng.Run()
+	// Output:
+	// tick at 10s
+	// heartbeat deadline at 30s
+}

@@ -1,0 +1,97 @@
+package simhost
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/types"
+)
+
+// RandomWalkUsage generates smooth, bounded synthetic resource utilisation:
+// each metric follows a mean-reverting random walk around a per-node
+// baseline, evaluated lazily at sample time. This stands in for the real
+// /proc sampling the paper's physical-resource detector performed; the
+// monitoring experiments (Fig. 6) only need plausible, time-varying values.
+type RandomWalkUsage struct {
+	rng      *rand.Rand
+	last     time.Time
+	cpu, mem float64
+	swap     float64
+	diskBps  float64
+	netBps   float64
+	baseCPU  float64
+	baseMem  float64
+	baseSwap float64
+}
+
+// NewRandomWalkUsage seeds a walk whose baselines are derived
+// deterministically from the node ID, so a cluster shows the spread of
+// utilisation visible in the paper's Figure 6 snapshot (average CPU around
+// the low tens of percent, swap near zero).
+func NewRandomWalkUsage(id types.NodeID, rng *rand.Rand) *RandomWalkUsage {
+	n := float64(id)
+	return &RandomWalkUsage{
+		rng:      rng,
+		baseCPU:  10 + 15*math.Abs(math.Sin(n*0.7)),
+		baseMem:  25 + 20*math.Abs(math.Cos(n*0.3)),
+		baseSwap: 0.5 + 0.5*math.Abs(math.Sin(n*1.3)),
+		cpu:      10, mem: 25, swap: 0.7,
+		diskBps: 1 << 20, netBps: 2 << 20,
+	}
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// Sample advances the walk to now and returns the node's utilisation.
+func (u *RandomWalkUsage) Sample(now time.Time) types.ResourceStats {
+	steps := 1
+	if !u.last.IsZero() {
+		steps = int(now.Sub(u.last) / (5 * time.Second))
+		if steps < 1 {
+			steps = 1
+		}
+		if steps > 20 {
+			steps = 20
+		}
+	}
+	u.last = now
+	for i := 0; i < steps; i++ {
+		u.cpu += 0.1*(u.baseCPU-u.cpu) + u.rng.NormFloat64()*2
+		u.mem += 0.05*(u.baseMem-u.mem) + u.rng.NormFloat64()*1
+		u.swap += 0.1*(u.baseSwap-u.swap) + u.rng.NormFloat64()*0.1
+		u.diskBps += u.rng.NormFloat64() * (64 << 10)
+		u.netBps += u.rng.NormFloat64() * (128 << 10)
+	}
+	u.cpu, u.mem, u.swap = clampPct(u.cpu), clampPct(u.mem), clampPct(u.swap)
+	if u.diskBps < 0 {
+		u.diskBps = 0
+	}
+	if u.netBps < 0 {
+		u.netBps = 0
+	}
+	return types.ResourceStats{
+		CPUPct: u.cpu, MemPct: u.mem, SwapPct: u.swap,
+		DiskIOBps: u.diskBps, NetIOBps: u.netBps,
+		Collected: now,
+	}
+}
+
+// FixedUsage always reports the same utilisation; tests use it for exact
+// aggregate assertions.
+type FixedUsage struct{ Stats types.ResourceStats }
+
+// Sample returns the fixed stats with the collection time updated.
+func (f FixedUsage) Sample(now time.Time) types.ResourceStats {
+	s := f.Stats
+	s.Collected = now
+	return s
+}

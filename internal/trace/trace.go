@@ -1,0 +1,156 @@
+// Package trace records and summarises the kernel's message traffic. A
+// Recorder hooks the simulated fabric's delivery tap, keeps a bounded ring
+// of recent messages and running per-type statistics, and renders either a
+// human-readable summary (what phoenix-sim -trace prints) or CSV for
+// external analysis. The §5.4 bandwidth comparisons use the same
+// per-type counters at the metrics level; this package is the
+// message-granular view for debugging protocols.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Entry is one delivered message.
+type Entry struct {
+	At    time.Duration // virtual time of delivery
+	Type  string
+	From  types.Addr
+	To    types.Addr
+	NIC   int
+	Bytes int
+}
+
+// TypeStat aggregates one message type.
+type TypeStat struct {
+	Type  string
+	Count int
+	Bytes int
+}
+
+// Recorder collects entries. It is not safe for concurrent use; it lives
+// on the simulation goroutine like everything it observes.
+type Recorder struct {
+	limit   int
+	elapsed func() time.Duration
+	ring    []Entry
+	next    int
+	wrapped bool
+	stats   map[string]*TypeStat
+	total   int
+}
+
+// NewRecorder builds a recorder keeping the last limit entries (default
+// 4096). elapsed supplies virtual time (e.g. engine.Elapsed).
+func NewRecorder(limit int, elapsed func() time.Duration) *Recorder {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Recorder{
+		limit:   limit,
+		elapsed: elapsed,
+		ring:    make([]Entry, 0, limit),
+		stats:   make(map[string]*TypeStat),
+	}
+}
+
+// Observe records a delivered message; install it as (or chain it into)
+// simnet's Trace hook.
+func (r *Recorder) Observe(msg types.Message) {
+	e := Entry{
+		At:   r.elapsed(),
+		Type: msg.Type,
+		From: msg.From, To: msg.To,
+		NIC:   msg.NIC,
+		Bytes: codec.Size(msg),
+	}
+	if len(r.ring) < r.limit {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.next] = e
+		r.next = (r.next + 1) % r.limit
+		r.wrapped = true
+	}
+	st := r.stats[msg.Type]
+	if st == nil {
+		st = &TypeStat{Type: msg.Type}
+		r.stats[msg.Type] = st
+	}
+	st.Count++
+	st.Bytes += e.Bytes
+	r.total++
+}
+
+// Total reports how many messages were observed (including ones evicted
+// from the ring).
+func (r *Recorder) Total() int { return r.total }
+
+// Stats returns the per-type aggregates, largest count first.
+func (r *Recorder) Stats() []TypeStat {
+	out := make([]TypeStat, 0, len(r.stats))
+	for _, st := range r.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// Tail returns up to n most recent entries, oldest first.
+func (r *Recorder) Tail(n int) []Entry {
+	var ordered []Entry
+	if r.wrapped {
+		ordered = append(ordered, r.ring[r.next:]...)
+		ordered = append(ordered, r.ring[:r.next]...)
+	} else {
+		ordered = append(ordered, r.ring...)
+	}
+	if n < len(ordered) {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+// Summary renders the per-type table.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "message trace: %d delivered\n", r.total)
+	fmt.Fprintf(&b, "%-22s %10s %12s\n", "type", "count", "bytes")
+	for _, st := range r.Stats() {
+		fmt.Fprintf(&b, "%-22s %10d %12d\n", st.Type, st.Count, st.Bytes)
+	}
+	return b.String()
+}
+
+// WriteCSV dumps the retained entries.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_seconds", "type", "from", "to", "nic", "bytes"}); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, e := range r.Tail(r.limit) {
+		rec := []string{
+			strconv.FormatFloat(e.At.Seconds(), 'f', 6, 64),
+			e.Type, e.From.String(), e.To.String(),
+			strconv.Itoa(e.NIC), strconv.Itoa(e.Bytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

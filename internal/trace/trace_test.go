@@ -1,0 +1,97 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+func TestRecorderAgainstLiveCluster(t *testing.T) {
+	c, err := cluster.Build(cluster.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1000, c.Engine.Elapsed)
+	c.Net.Trace = rec.Observe
+	c.WarmUp()
+	c.RunFor(5 * time.Second)
+	if rec.Total() == 0 {
+		t.Fatal("no messages observed")
+	}
+	stats := rec.Stats()
+	if len(stats) == 0 {
+		t.Fatal("no per-type stats")
+	}
+	// Heartbeats dominate a quiet cluster.
+	found := false
+	for _, st := range stats {
+		if st.Type == "wd.hb" {
+			found = true
+			if st.Count == 0 || st.Bytes == 0 {
+				t.Fatalf("heartbeat stat empty: %+v", st)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no heartbeat stats: %+v", stats)
+	}
+	// Stats are sorted by count descending.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Count > stats[i-1].Count {
+			t.Fatal("stats not sorted")
+		}
+	}
+	if !strings.Contains(rec.Summary(), "wd.hb") {
+		t.Fatal("summary missing heartbeat row")
+	}
+}
+
+func TestRingEvictionAndTail(t *testing.T) {
+	at := time.Duration(0)
+	rec := trace.NewRecorder(4, func() time.Duration { at += time.Second; return at })
+	for i := 0; i < 10; i++ {
+		rec.Observe(types.Message{Type: "m", From: types.Addr{Node: types.NodeID(i)}})
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	tail := rec.Tail(4)
+	if len(tail) != 4 {
+		t.Fatalf("tail = %d entries", len(tail))
+	}
+	// Oldest-first, holding the last four observations (nodes 6..9).
+	for i, e := range tail {
+		if e.From.Node != types.NodeID(6+i) {
+			t.Fatalf("tail[%d].From = %v", i, e.From)
+		}
+	}
+	if short := rec.Tail(2); len(short) != 2 || short[1].From.Node != 9 {
+		t.Fatalf("tail(2) = %+v", short)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec := trace.NewRecorder(16, func() time.Duration { return 1500 * time.Millisecond })
+	rec.Observe(types.Message{Type: "hb", From: types.Addr{Node: 1, Service: "wd"},
+		To: types.Addr{Node: 0, Service: "gsd"}, NIC: 2})
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "at_seconds,type,from") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.500000,hb,node1/wd,node0/gsd,2,") {
+		t.Fatalf("row: %s", lines[1])
+	}
+}

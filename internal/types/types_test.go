@@ -1,0 +1,55 @@
+package types
+
+import "testing"
+
+func TestStringers(t *testing.T) {
+	if NodeID(3).String() != "node3" {
+		t.Fatal(NodeID(3).String())
+	}
+	if PartitionID(2).String() != "part2" {
+		t.Fatal(PartitionID(2).String())
+	}
+	a := Addr{Node: 1, Service: SvcGSD}
+	if a.String() != "node1/gsd" {
+		t.Fatal(a.String())
+	}
+	for s, want := range map[string]NodeState{"up": NodeUp, "down": NodeDown, "unknown": NodeUnknown} {
+		if want.String() != s {
+			t.Fatalf("NodeState %v = %q", want, want.String())
+		}
+	}
+	for s, want := range map[string]LinkState{"up": LinkUp, "down": LinkDown, "unknown": LinkUnknown} {
+		if want.String() != s {
+			t.Fatalf("LinkState %v = %q", want, want.String())
+		}
+	}
+	for s, want := range map[string]FaultKind{"process": FaultProcess, "node": FaultNode, "network": FaultNIC} {
+		if want.String() != s {
+			t.Fatalf("FaultKind %v = %q", want, want.String())
+		}
+	}
+	for s, want := range map[string]Role{"compute": RoleCompute, "server": RoleServer, "backup": RoleBackup, "master": RoleMaster} {
+		if want.String() != s {
+			t.Fatalf("Role %v = %q", want, want.String())
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Type: EvNodeFail, Node: 5, Partition: 1, Service: SvcWD, Detail: "x"}
+	s := ev.String()
+	for _, want := range []string{"node.fail", "node5", "part1", "wd"} {
+		if !contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

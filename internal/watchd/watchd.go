@@ -1,0 +1,108 @@
+// Package watchd implements the Phoenix watch daemon (WD). One WD runs on
+// every node and sends a heartbeat to its partition's group service daemon
+// through all network interfaces of the node (paper §4.3). The WD is the
+// representative of its hosting node: if the node dies, the WD is not
+// migrated, because a heartbeat source for a dead node is meaningless
+// (paper §5.1).
+package watchd
+
+import (
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/heartbeat"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Spec configures a watch daemon.
+type Spec struct {
+	Partition types.PartitionID
+	GSDNode   types.NodeID // initial GSD location (partition server node)
+	Interval  time.Duration
+	NICs      int
+	// Supervise makes the WD watch over its node's other per-node
+	// daemons (detector, PPM) and respawn them locally when they die —
+	// the WD is the node's watchdog, not only its heartbeat source.
+	Supervise bool
+	// DetectorSample is the sampling period used when respawning the
+	// detector.
+	DetectorSample time.Duration
+}
+
+// WD is the watch daemon process.
+type WD struct {
+	spec Spec
+	h    *simhost.Handle
+	seq  uint64
+	boot time.Time
+	gsd  types.NodeID
+}
+
+// New builds a watch daemon.
+func New(spec Spec) *WD { return &WD{spec: spec, gsd: spec.GSDNode} }
+
+// Service implements simhost.Process.
+func (w *WD) Service() string { return types.SvcWD }
+
+// Start implements simhost.Process: heartbeat immediately (so a restarted
+// WD signals recovery at once), then every interval; the local-daemon
+// check shares the heartbeat tick.
+func (w *WD) Start(h *simhost.Handle) {
+	w.h = h
+	w.boot = h.Now()
+	w.beat()
+	h.Every(w.spec.Interval, func() {
+		w.beat()
+		if w.spec.Supervise {
+			w.checkLocalDaemons()
+		}
+	})
+}
+
+// checkLocalDaemons respawns the node's detector and PPM daemons when they
+// have left the process table (their factories are registered on every
+// host by the kernel).
+func (w *WD) checkLocalDaemons() {
+	host := w.h.Host()
+	if !host.Present(types.SvcDetector) {
+		_, _ = host.SpawnService(types.SvcDetector, detector.Spec{
+			Partition: w.spec.Partition, GSDNode: w.gsd,
+			SampleInterval: w.spec.DetectorSample,
+		})
+	}
+	if !host.Present(types.SvcPPM) {
+		_, _ = host.SpawnService(types.SvcPPM, nil)
+	}
+}
+
+// OnStop implements simhost.Process.
+func (w *WD) OnStop() {}
+
+// Receive implements simhost.Process.
+func (w *WD) Receive(msg types.Message) {
+	if msg.Type == heartbeat.MsgGSDAnnounce {
+		if a, ok := msg.Payload.(heartbeat.GSDAnnounce); ok && a.Partition == w.spec.Partition {
+			w.gsd = a.GSDNode
+		}
+	}
+}
+
+// GSDNode reports the WD's current heartbeat target.
+func (w *WD) GSDNode() types.NodeID { return w.gsd }
+
+func (w *WD) beat() {
+	w.seq++
+	hb := heartbeat.Heartbeat{
+		Node:     w.h.Node(),
+		Seq:      w.seq,
+		Interval: w.spec.Interval,
+		Boot:     w.boot,
+	}
+	to := types.Addr{Node: w.gsd, Service: types.SvcGSD}
+	for nic := 0; nic < w.spec.NICs; nic++ {
+		w.h.Send(to, nic, heartbeat.MsgHeartbeat, hb)
+	}
+}
+
+var _ simhost.Process = (*WD)(nil)

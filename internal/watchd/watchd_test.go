@@ -1,0 +1,117 @@
+package watchd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+func rig(t *testing.T) (*sim.Engine, *simnet.Network, []*simhost.Host, *watchd.WD, *[]types.Message) {
+	t.Helper()
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 3, simnet.DefaultParams(), metrics.NewRegistry())
+	hosts := make([]*simhost.Host, 3)
+	for i := range hosts {
+		hosts[i] = simhost.New(types.NodeID(i), net, eng, eng.Rand(), simhost.DefaultCosts())
+	}
+	var got []types.Message
+	net.Register(types.Addr{Node: 0, Service: types.SvcGSD}, func(m types.Message) {
+		got = append(got, m)
+	})
+	net.Register(types.Addr{Node: 2, Service: types.SvcGSD}, func(m types.Message) {
+		got = append(got, m)
+	})
+	wd := watchd.New(watchd.Spec{Partition: 0, GSDNode: 0, Interval: time.Second, NICs: 3})
+	if _, err := hosts[1].Spawn(wd); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, hosts, wd, &got
+}
+
+func TestBeatsOnAllNICsWithIncreasingSeq(t *testing.T) {
+	eng, _, _, _, got := rig(t)
+	eng.RunFor(3500 * time.Millisecond) // start + ~3 periods
+	// First beat fires immediately at start, then every interval: 4 beats
+	// of 3 NIC copies each.
+	if len(*got) != 12 {
+		t.Fatalf("heartbeats received = %d, want 12", len(*got))
+	}
+	nics := map[int]int{}
+	var lastSeq uint64
+	perSeq := map[uint64]int{}
+	for _, m := range *got {
+		hb, ok := m.Payload.(heartbeat.Heartbeat)
+		if !ok {
+			t.Fatalf("payload %T", m.Payload)
+		}
+		if hb.Node != 1 || hb.Interval != time.Second {
+			t.Fatalf("heartbeat contents: %+v", hb)
+		}
+		nics[m.NIC]++
+		perSeq[hb.Seq]++
+		if hb.Seq > lastSeq {
+			lastSeq = hb.Seq
+		}
+	}
+	if len(nics) != 3 {
+		t.Fatalf("heartbeats used %d NICs, want all 3", len(nics))
+	}
+	if lastSeq != 4 {
+		t.Fatalf("last seq = %d, want 4", lastSeq)
+	}
+	for seq, n := range perSeq {
+		if n != 3 {
+			t.Fatalf("seq %d sent on %d NICs", seq, n)
+		}
+	}
+}
+
+func TestRetargetsAfterAnnounce(t *testing.T) {
+	eng, net, _, wd, got := rig(t)
+	eng.RunFor(1200 * time.Millisecond)
+	countTo2 := 0
+	*got = nil
+	// Announce a migration of the partition's GSD to node 2.
+	_ = net.Send(types.Message{
+		From: types.Addr{Node: 2, Service: types.SvcGSD},
+		To:   types.Addr{Node: 1, Service: types.SvcWD},
+		NIC:  types.AnyNIC, Type: heartbeat.MsgGSDAnnounce,
+		Payload: heartbeat.GSDAnnounce{Partition: 0, GSDNode: 2},
+	})
+	eng.RunFor(2500 * time.Millisecond)
+	if wd.GSDNode() != 2 {
+		t.Fatalf("WD target = %v, want 2", wd.GSDNode())
+	}
+	for _, m := range *got {
+		if m.To.Node == 2 {
+			countTo2++
+		}
+	}
+	if countTo2 == 0 {
+		t.Fatal("no heartbeats to the migrated GSD")
+	}
+}
+
+func TestBootTimeStableAcrossBeats(t *testing.T) {
+	eng, _, _, _, got := rig(t)
+	eng.RunFor(2500 * time.Millisecond)
+	var boot time.Time
+	for i, m := range *got {
+		hb := m.Payload.(heartbeat.Heartbeat)
+		if i == 0 {
+			boot = hb.Boot
+		} else if !hb.Boot.Equal(boot) {
+			t.Fatal("boot time changed between beats")
+		}
+	}
+	if boot.IsZero() {
+		t.Fatal("boot time not stamped")
+	}
+}
