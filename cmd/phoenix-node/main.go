@@ -1,0 +1,143 @@
+// phoenix-node runs one Phoenix cluster node as an OS process on real UDP
+// sockets: the production counterpart of the simulator. Every node of a
+// cluster runs the same binary with the same address book and topology
+// flags, differing only in -node.
+//
+// Generate an address book for a loopback cluster (3 nodes × 2 planes):
+//
+//	phoenix-node -gen-book -partitions 1 -partition-size 3 -planes 2 -base-port 9000 > book.txt
+//
+// Then boot each node in its own terminal (or with & in one shell):
+//
+//	phoenix-node -node 0 -book book.txt -partitions 1 -partition-size 3 -planes 2
+//	phoenix-node -node 1 -book book.txt -partitions 1 -partition-size 3 -planes 2
+//	phoenix-node -node 2 -book book.txt -partitions 1 -partition-size 3 -planes 2
+//
+// SIGINT/SIGTERM shuts the node down gracefully (daemons killed, timers
+// cancelled, sockets closed); to the surviving nodes this looks like a
+// node fault, which the kernel diagnoses and recovers from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/noded"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		nodeID   = flag.Int("node", -1, "this node's ID in the topology")
+		bookPath = flag.String("book", "", "address book file (node <id> plane <idx> <host:port> per line)")
+		nParts   = flag.Int("partitions", 1, "number of partitions")
+		partSize = flag.Int("partition-size", 3, "nodes per partition (>= 2: server + backup)")
+		planes   = flag.Int("planes", 2, "network planes (NICs) per node")
+		preset   = flag.String("preset", "fast", "timing preset: fast (1s heartbeats) or paper (30s heartbeats)")
+		seed     = flag.Int64("seed", 0, "random seed (0 derives one from the node ID)")
+		status   = flag.Duration("status", 10*time.Second, "status log period (0 disables)")
+		genBook  = flag.Bool("gen-book", false, "print a loopback address book for the topology and exit")
+		basePort = flag.Int("base-port", 9000, "first UDP port for -gen-book")
+	)
+	flag.Parse()
+
+	topo, err := config.Uniform(*nParts, *partSize, *planes)
+	if err != nil {
+		log.Fatalf("phoenix-node: %v", err)
+	}
+
+	if *genBook {
+		book, err := wire.LoopbackBook(topo.NumNodes(), *planes, *basePort)
+		if err != nil {
+			log.Fatalf("phoenix-node: %v", err)
+		}
+		fmt.Printf("# phoenix address book: %d nodes x %d planes from port %d\n", topo.NumNodes(), *planes, *basePort)
+		fmt.Print(book.String())
+		return
+	}
+
+	if *nodeID < 0 {
+		log.Fatal("phoenix-node: -node is required (or use -gen-book)")
+	}
+	if *bookPath == "" {
+		log.Fatal("phoenix-node: -book is required")
+	}
+	var params config.Params
+	switch *preset {
+	case "fast":
+		params = config.FastParams()
+	case "paper":
+		params = config.DefaultParams()
+	default:
+		log.Fatalf("phoenix-node: unknown preset %q (want fast or paper)", *preset)
+	}
+	book, err := wire.LoadBook(*bookPath)
+	if err != nil {
+		log.Fatalf("phoenix-node: %v", err)
+	}
+
+	id := types.NodeID(*nodeID)
+	reg := metrics.NewRegistry()
+	n, err := noded.Start(noded.Options{
+		Node: id, Topo: topo, Params: params, Seed: *seed,
+		Book: book, Metrics: reg,
+	})
+	if err != nil {
+		log.Fatalf("phoenix-node: %v", err)
+	}
+	ni, _ := topo.Node(id)
+	log.Printf("phoenix-node: %v up (role %v, partition %v, %d planes, preset %s)",
+		id, ni.Role, ni.Partition, *planes, *preset)
+
+	var ticker *time.Ticker
+	if *status > 0 {
+		ticker = time.NewTicker(*status)
+		defer ticker.Stop()
+	} else {
+		ticker = time.NewTicker(time.Hour)
+		ticker.Stop()
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	for {
+		select {
+		case sig := <-sigs:
+			log.Printf("phoenix-node: %v: received %v, shutting down", id, sig)
+			n.Stop()
+			log.Printf("phoenix-node: %v down (tx %d datagrams, rx %d datagrams)",
+				id, int(reg.Counter("wire.tx.datagrams").Value()),
+				int(reg.Counter("wire.rx.datagrams").Value()))
+			return
+		case <-ticker.C:
+			logStatus(n, reg, ni)
+		}
+	}
+}
+
+// logStatus prints one status line: what is running here, the membership
+// view when this node hosts a GSD, and transport totals.
+func logStatus(n *noded.Node, reg *metrics.Registry, ni config.NodeInfo) {
+	n.Do(func() {
+		host, kernel := n.Host(), n.Kernel()
+		line := fmt.Sprintf("phoenix-node: %v: %d procs", host.ID(), len(host.Procs()))
+		if host.Running(types.SvcGSD) {
+			if g := kernel.GSD(ni.Partition); g != nil {
+				v := g.Member().View()
+				line += fmt.Sprintf(", gsd view: %d/%d partitions alive", v.AliveCount(), len(v.Order))
+			}
+		}
+		line += fmt.Sprintf(", tx %d, rx %d datagrams",
+			int(reg.Counter("wire.tx.datagrams").Value()),
+			int(reg.Counter("wire.rx.datagrams").Value()))
+		log.Print(line)
+	})
+}

@@ -31,18 +31,36 @@ const EnvelopeOverhead = 32
 
 var registerOnce sync.Once
 
+var (
+	regMu      sync.Mutex
+	registered []any
+)
+
 // Register records a payload type with the underlying gob encoder.
 // Packages that define payload structs call Register from an init function.
 func Register(v any) {
 	gob.Register(v)
+	regMu.Lock()
+	registered = append(registered, v)
+	regMu.Unlock()
+}
+
+// Registered returns one exemplar value per payload type passed to
+// Register, in registration order. The wire-format round-trip test walks
+// this list so no payload type can reach a real socket unencodable.
+func Registered() []any {
+	registerOnce.Do(registerBuiltins)
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]any(nil), registered...)
 }
 
 func registerBuiltins() {
-	gob.Register(types.Event{})
-	gob.Register(types.ResourceStats{})
-	gob.Register(types.AppState{})
-	gob.Register(map[string]string{})
-	gob.Register([]string{})
+	Register(types.Event{})
+	Register(types.ResourceStats{})
+	Register(types.AppState{})
+	Register(map[string]string{})
+	Register([]string{})
 }
 
 // Encode serialises a message with gob. It is not used on the simulator's

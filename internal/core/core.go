@@ -20,16 +20,17 @@ import (
 	"repro/internal/ppm"
 	"repro/internal/security"
 	"repro/internal/simhost"
-	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/watchd"
 )
 
-// Kernel is a booted Phoenix kernel.
+// Kernel is a booted Phoenix kernel. Under the simulator one Kernel spans
+// the whole cluster; under the phoenix-node daemon each OS process holds a
+// Kernel covering only its own host (Hosts then has a single entry).
 type Kernel struct {
 	Topo      *config.Topology
 	Params    config.Params
-	Net       *simnet.Network
+	Net       simhost.Fabric
 	Hosts     map[types.NodeID]*simhost.Host
 	Config    *config.Service
 	Security  *security.Service
@@ -60,24 +61,14 @@ type Options struct {
 // services (configuration + security, which have no factories). The
 // system construction tool boots the remaining daemons through the agents
 // (package construct); Boot does it directly.
-func Prepare(net *simnet.Network, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
-	topo, params := opts.Topo, opts.Params
-	if topo == nil {
-		return nil, fmt.Errorf("core: no topology")
+func Prepare(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
+	k, err := newKernel(net, hosts, opts)
+	if err != nil {
+		return nil, err
 	}
-	auth := opts.Authority
-	if auth == nil {
-		auth = security.NewAuthority([]byte("phoenix-default-key"))
-	}
-	k := &Kernel{
-		Topo: topo, Params: params, Net: net, Hosts: hosts,
-		Authority: auth,
-		gsds:      make(map[types.PartitionID]*gsd.Daemon),
-	}
-
 	// Factories: every node can host every daemon kind, so recovery can
 	// respawn or migrate anything anywhere.
-	for _, ni := range topo.Nodes {
+	for _, ni := range k.Topo.Nodes {
 		host, ok := hosts[ni.ID]
 		if !ok {
 			return nil, fmt.Errorf("core: no host for %v", ni.ID)
@@ -85,82 +76,158 @@ func Prepare(net *simnet.Network, hosts map[types.NodeID]*simhost.Host, opts Opt
 		registerFactories(host, k, opts)
 		registerCommands(host)
 	}
-
-	// Master services.
-	master, ok := hosts[topo.Master]
+	master, ok := hosts[k.Topo.Master]
 	if !ok {
-		return nil, fmt.Errorf("core: no host for master %v", topo.Master)
+		return nil, fmt.Errorf("core: no host for master %v", k.Topo.Master)
 	}
-	k.Config = config.NewService(topo, params, nil)
-	if _, err := master.Spawn(k.Config); err != nil {
-		return nil, fmt.Errorf("core: spawn config service: %w", err)
-	}
-	k.Security = security.NewService(auth)
-	if _, err := master.Spawn(k.Security); err != nil {
-		return nil, fmt.Errorf("core: spawn security service: %w", err)
+	if err := k.spawnMasterServices(master); err != nil {
+		return nil, err
 	}
 	return k, nil
+}
+
+func newKernel(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
+	if opts.Topo == nil {
+		return nil, fmt.Errorf("core: no topology")
+	}
+	auth := opts.Authority
+	if auth == nil {
+		auth = security.NewAuthority([]byte("phoenix-default-key"))
+	}
+	return &Kernel{
+		Topo: opts.Topo, Params: opts.Params, Net: net, Hosts: hosts,
+		Authority: auth,
+		gsds:      make(map[types.PartitionID]*gsd.Daemon),
+	}, nil
+}
+
+// spawnMasterServices boots the configuration and security services on the
+// master node's host.
+func (k *Kernel) spawnMasterServices(master *simhost.Host) error {
+	k.Config = config.NewService(k.Topo, k.Params, nil)
+	if _, err := master.Spawn(k.Config); err != nil {
+		return fmt.Errorf("core: spawn config service: %w", err)
+	}
+	k.Security = security.NewService(k.Authority)
+	if _, err := master.Spawn(k.Security); err != nil {
+		return fmt.Errorf("core: spawn security service: %w", err)
+	}
+	return nil
 }
 
 // Boot installs factories and spawns the whole kernel. The caller advances
 // the simulation afterwards; the kernel is fully up once the longest exec
 // latency (the GSD's) has elapsed.
-func Boot(net *simnet.Network, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
+func Boot(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
 	k, err := Prepare(net, hosts, opts)
 	if err != nil {
 		return nil, err
 	}
-	topo, params := opts.Topo, opts.Params
-
-	initialPlacement := make(map[types.PartitionID]types.NodeID)
-	for _, p := range topo.Partitions {
-		initialPlacement[p.ID] = p.Server
-	}
-	initialFed := federation.NewView(initialPlacement)
-
 	// Partition server daemons.
-	for _, p := range topo.Partitions {
-		server := hosts[p.Server]
-		g := gsd.New(gsd.Spec{Partition: p.ID, Topo: topo, Params: params,
-			Extra:   opts.ExtraServices[p.ID],
-			OnStart: k.trackGSD(p.ID)})
-		if _, err := server.Spawn(g); err != nil {
-			return nil, fmt.Errorf("core: spawn GSD for %v: %w", p.ID, err)
-		}
-		k.gsds[p.ID] = g
-		if _, err := server.Spawn(events.NewService(p.ID, initialFed, params.RPCTimeout, false)); err != nil {
-			return nil, fmt.Errorf("core: spawn ES for %v: %w", p.ID, err)
-		}
-		if _, err := server.Spawn(bulletin.NewService(p.ID, initialFed, bulletinConfig(params))); err != nil {
-			return nil, fmt.Errorf("core: spawn DB for %v: %w", p.ID, err)
-		}
-		if _, err := server.Spawn(checkpoint.NewService(p.ID, initialFed, params.BulletinFetchTimeout)); err != nil {
-			return nil, fmt.Errorf("core: spawn CKPT for %v: %w", p.ID, err)
+	for _, p := range k.Topo.Partitions {
+		if err := k.spawnServerDaemons(hosts[p.Server], p, opts); err != nil {
+			return nil, err
 		}
 	}
-
 	// Per-node daemons.
-	for _, ni := range topo.Nodes {
-		host := hosts[ni.ID]
-		part, _ := topo.PartitionOf(ni.ID)
-		if _, err := host.Spawn(watchd.New(watchd.Spec{
-			Partition: part.ID, GSDNode: part.Server,
-			Interval: params.HeartbeatInterval, NICs: topo.NICs,
-			Supervise: true, DetectorSample: params.DetectorSampleInterval,
-		})); err != nil {
-			return nil, fmt.Errorf("core: spawn WD on %v: %w", ni.ID, err)
-		}
-		if _, err := host.Spawn(detector.New(detector.Spec{
-			Partition: part.ID, GSDNode: part.Server,
-			SampleInterval: params.DetectorSampleInterval,
-		})); err != nil {
-			return nil, fmt.Errorf("core: spawn detector on %v: %w", ni.ID, err)
-		}
-		if _, err := host.Spawn(newPPM(k, opts)); err != nil {
-			return nil, fmt.Errorf("core: spawn PPM on %v: %w", ni.ID, err)
+	for _, ni := range k.Topo.Nodes {
+		if err := k.spawnNodeDaemons(hosts[ni.ID], ni.ID, opts); err != nil {
+			return nil, err
 		}
 	}
 	return k, nil
+}
+
+// BootNode wires and boots the kernel daemons belonging to a single host —
+// the phoenix-node daemon path, where every node of the cluster is its own
+// OS process and only the local slice of the kernel can be spawned
+// directly. The host receives the full factory set (so recovery can
+// migrate any daemon kind here later), the master services when it is the
+// topology's master, the partition server daemons when it is a partition's
+// server node, and the per-node daemons always.
+func BootNode(net simhost.Fabric, host *simhost.Host, opts Options) (*Kernel, error) {
+	k, err := newKernel(net, map[types.NodeID]*simhost.Host{host.ID(): host}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := k.Topo.Node(host.ID()); !ok {
+		return nil, fmt.Errorf("core: %v is not in the topology", host.ID())
+	}
+	registerFactories(host, k, opts)
+	registerCommands(host)
+	if k.Topo.Master == host.ID() {
+		if err := k.spawnMasterServices(host); err != nil {
+			return nil, err
+		}
+	}
+	part, _ := k.Topo.PartitionOf(host.ID())
+	if part.Server == host.ID() {
+		if err := k.spawnServerDaemons(host, part, opts); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.spawnNodeDaemons(host, host.ID(), opts); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// initialFedView derives the boot-time service-federation placement from
+// the topology: every partition's services start on its server node.
+func (k *Kernel) initialFedView() federation.View {
+	initialPlacement := make(map[types.PartitionID]types.NodeID)
+	for _, p := range k.Topo.Partitions {
+		initialPlacement[p.ID] = p.Server
+	}
+	return federation.NewView(initialPlacement)
+}
+
+// spawnServerDaemons boots a partition's server-side daemons (GSD, event
+// service, data bulletin, checkpoint service) on the given host.
+func (k *Kernel) spawnServerDaemons(server *simhost.Host, p config.PartitionInfo, opts Options) error {
+	topo, params := k.Topo, k.Params
+	initialFed := k.initialFedView()
+	g := gsd.New(gsd.Spec{Partition: p.ID, Topo: topo, Params: params,
+		Extra:   opts.ExtraServices[p.ID],
+		OnStart: k.trackGSD(p.ID)})
+	if _, err := server.Spawn(g); err != nil {
+		return fmt.Errorf("core: spawn GSD for %v: %w", p.ID, err)
+	}
+	k.gsds[p.ID] = g
+	if _, err := server.Spawn(events.NewService(p.ID, initialFed, params.RPCTimeout, false)); err != nil {
+		return fmt.Errorf("core: spawn ES for %v: %w", p.ID, err)
+	}
+	if _, err := server.Spawn(bulletin.NewService(p.ID, initialFed, bulletinConfig(params))); err != nil {
+		return fmt.Errorf("core: spawn DB for %v: %w", p.ID, err)
+	}
+	if _, err := server.Spawn(checkpoint.NewService(p.ID, initialFed, params.BulletinFetchTimeout)); err != nil {
+		return fmt.Errorf("core: spawn CKPT for %v: %w", p.ID, err)
+	}
+	return nil
+}
+
+// spawnNodeDaemons boots the daemons that run on every node: watch daemon,
+// detector, and parallel process manager.
+func (k *Kernel) spawnNodeDaemons(host *simhost.Host, id types.NodeID, opts Options) error {
+	params := k.Params
+	part, _ := k.Topo.PartitionOf(id)
+	if _, err := host.Spawn(watchd.New(watchd.Spec{
+		Partition: part.ID, GSDNode: part.Server,
+		Interval: params.HeartbeatInterval, NICs: k.Topo.NICs,
+		Supervise: true, DetectorSample: params.DetectorSampleInterval,
+	})); err != nil {
+		return fmt.Errorf("core: spawn WD on %v: %w", id, err)
+	}
+	if _, err := host.Spawn(detector.New(detector.Spec{
+		Partition: part.ID, GSDNode: part.Server,
+		SampleInterval: params.DetectorSampleInterval,
+	})); err != nil {
+		return fmt.Errorf("core: spawn detector on %v: %w", id, err)
+	}
+	if _, err := host.Spawn(newPPM(k, opts)); err != nil {
+		return fmt.Errorf("core: spawn PPM on %v: %w", id, err)
+	}
+	return nil
 }
 
 func bulletinConfig(params config.Params) bulletin.Config {

@@ -14,10 +14,15 @@ import (
 	"time"
 
 	"repro/internal/bulletin"
+	"repro/internal/codec"
 	"repro/internal/heartbeat"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
+
+// Spec travels inside agent spawn requests (detector respawn, node
+// reseeding), so it must be wire-encodable.
+func init() { codec.Register(Spec{}) }
 
 // Spec configures a detector daemon.
 type Spec struct {

@@ -1,0 +1,140 @@
+// Package noded bootstraps one Phoenix node as a standalone runtime: a
+// wire transport bound to the node's address-book endpoints, a host whose
+// timers run on the wall clock, and the node's slice of the kernel booted
+// through core.BootNode. It is the library behind cmd/phoenix-node — one
+// OS process per cluster node — and behind in-process multi-node tests,
+// which run several Nodes on ephemeral loopback ports.
+package noded
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Options configures Start.
+type Options struct {
+	// Node is this process's identity in the topology.
+	Node types.NodeID
+	// Topo is the cluster layout, shared verbatim by every node.
+	Topo *config.Topology
+	// Params are the kernel timing constants; the zero value means
+	// config.DefaultParams.
+	Params config.Params
+	// Costs model agent/exec latencies; the zero value means
+	// simhost.DefaultCosts.
+	Costs simhost.Costs
+	// Seed fixes the node's random stream; 0 derives one from the node ID.
+	Seed int64
+	// Book maps every (node, plane) to its UDP endpoint. Required unless
+	// Transport is set.
+	Book *wire.Book
+	// Transport optionally supplies a pre-bound transport — the
+	// ephemeral-port path, where tests bind first and assemble the Book
+	// afterwards. The transport must already have its book attached.
+	Transport *wire.Transport
+	// Metrics receives transport counters; nil creates a private registry.
+	// Ignored when Transport is set.
+	Metrics *metrics.Registry
+	// EnforceAuth makes the PPM require security tokens on job operations.
+	EnforceAuth bool
+}
+
+// Node is one running phoenix node.
+type Node struct {
+	tr     *wire.Transport
+	loop   *wire.Loop
+	host   *simhost.Host
+	kernel *core.Kernel
+}
+
+// Start binds the transport (unless one was supplied), builds the host and
+// boots the node's kernel daemons. On return heartbeats are flowing and
+// the node is answering its agent.
+func Start(opts Options) (*Node, error) {
+	if opts.Topo == nil {
+		return nil, fmt.Errorf("noded: no topology")
+	}
+	if opts.Params.HeartbeatInterval == 0 {
+		opts.Params = config.DefaultParams()
+	}
+	if opts.Costs.ExecLatency == nil && opts.Costs.DefaultExec == 0 {
+		opts.Costs = simhost.DefaultCosts()
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1 + int64(opts.Node)
+	}
+
+	tr := opts.Transport
+	if tr == nil {
+		if opts.Book == nil {
+			return nil, fmt.Errorf("noded: need an address book or a transport")
+		}
+		if opts.Book.Planes() != opts.Topo.NICs {
+			return nil, fmt.Errorf("noded: book has %d planes, topology has %d NICs",
+				opts.Book.Planes(), opts.Topo.NICs)
+		}
+		var err error
+		tr, err = wire.Listen(opts.Node, opts.Book, wire.NewLoop(), opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if tr.Node() != opts.Node {
+			return nil, fmt.Errorf("noded: transport is bound as %v, not %v", tr.Node(), opts.Node)
+		}
+		if tr.Planes() != opts.Topo.NICs {
+			return nil, fmt.Errorf("noded: transport has %d planes, topology has %d NICs",
+				tr.Planes(), opts.Topo.NICs)
+		}
+	}
+
+	n := &Node{tr: tr, loop: tr.Loop()}
+	clk := wire.NewLoopClock(n.loop, clock.Real{})
+	rng := rand.New(rand.NewSource(seed))
+	var bootErr error
+	// Host construction and kernel boot run inside the loop: spawning
+	// daemons arms wall-clock timers and registers handlers, and inbound
+	// datagrams may start dispatching the moment the agent registers.
+	n.loop.Run(func() {
+		n.host = simhost.New(opts.Node, tr, clk, rng, opts.Costs)
+		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
+			Topo: opts.Topo, Params: opts.Params, EnforceAuth: opts.EnforceAuth,
+		})
+	})
+	if bootErr != nil {
+		tr.Close()
+		return nil, bootErr
+	}
+	return n, nil
+}
+
+// Do runs f inside the node's serialisation loop — the only safe way for
+// outside goroutines (main, signal handlers, tests) to touch the host or
+// kernel of a running node.
+func (n *Node) Do(f func()) { n.loop.Run(f) }
+
+// Host returns the node's host. Touch it only via Do.
+func (n *Node) Host() *simhost.Host { return n.host }
+
+// Kernel returns the node's kernel slice. Touch it only via Do.
+func (n *Node) Kernel() *core.Kernel { return n.kernel }
+
+// Transport returns the node's wire transport (safe from any goroutine).
+func (n *Node) Transport() *wire.Transport { return n.tr }
+
+// Stop powers the node off — every daemon is killed and its timers
+// cancelled — and closes the sockets. A stopped node is what the rest of
+// the cluster sees as a node fault.
+func (n *Node) Stop() {
+	n.loop.Run(func() { n.host.PowerOff() })
+	n.tr.Close()
+}

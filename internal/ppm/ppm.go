@@ -133,6 +133,7 @@ type PExecAck struct {
 }
 
 func init() {
+	codec.Register(JobSpec{}) // travels inside agent spawn requests (job loading)
 	codec.Register(LoadReq{})
 	codec.Register(LoadAck{})
 	codec.Register(KillReq{})

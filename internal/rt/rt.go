@@ -14,8 +14,18 @@ import (
 )
 
 // Runtime is the execution environment of one daemon: identity, messaging,
-// and timers. Implementations cancel outstanding timers when the daemon
-// dies, so protocol code does not need death checks in callbacks.
+// and timers.
+//
+// Timer-cancellation contract: when the daemon shuts down (killed,
+// exited, node power-off, or Runtime closed), every timer armed through
+// After is cancelled, and a callback of an already-fired timer that has
+// not yet run is suppressed — it must never observe the daemon's state
+// after death. Daemon implementations therefore need no death checks in
+// callbacks, and a wall-clock Runtime (internal/wire) is drop-in safe for
+// the simulator's: both guarantee that no After callback runs after
+// shutdown. The one intentional exception is rt.Fake, whose timers run on
+// the bare test clock so unit tests can drive protocol code past its
+// lifetime explicitly.
 type Runtime interface {
 	// Node is the hosting node's ID.
 	Node() types.NodeID

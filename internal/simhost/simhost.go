@@ -20,9 +20,31 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/codec"
-	"repro/internal/simnet"
 	"repro/internal/types"
 )
+
+// Fabric is the message substrate a host is attached to: the simulated
+// multi-NIC network (*simnet.Network) or the real-socket transport
+// (*wire.Transport). The host registers its agent and every hosted
+// process on it, and reports its power state so the fabric stops
+// carrying traffic for a dead node.
+//
+// Implementations must deliver handler callbacks on the same logical
+// thread that drives the host's clock callbacks: the simulator's event
+// goroutine, or the per-node serialisation loop of the wire transport.
+// Host and Process code is written single-threaded and holds no locks.
+type Fabric interface {
+	// Register binds a handler to an address; re-registering replaces
+	// the handler (a restarted daemon reclaims its address).
+	Register(addr types.Addr, h func(msg types.Message))
+	// Unregister removes the binding for addr, if any.
+	Unregister(addr types.Addr)
+	// Send transmits a message with datagram semantics: local failures
+	// return an error, in-flight losses are silent.
+	Send(msg types.Message) error
+	// SetNodeUp powers a node's network presence on or off.
+	SetNodeUp(id types.NodeID, up bool)
+}
 
 // Process is a daemon or job hosted on a node. Implementations are
 // event-driven: Start registers timers and the host routes incoming
@@ -135,10 +157,13 @@ type procEntry struct {
 	starting bool
 }
 
-// Host is one simulated node.
+// Host is one cluster node: a process table and OS agent attached to a
+// fabric. Under the simulator the fabric is a *simnet.Network on virtual
+// time; under the phoenix-node daemon it is a *wire.Transport on the
+// wall clock — the hosted daemons cannot tell the difference.
 type Host struct {
 	id    types.NodeID
-	net   *simnet.Network
+	net   Fabric
 	clk   clock.Clock
 	rng   *rand.Rand
 	costs Costs
@@ -154,8 +179,8 @@ type Host struct {
 	bootedAt   time.Time
 }
 
-// New creates a powered-on host and registers its OS agent on the network.
-func New(id types.NodeID, net *simnet.Network, clk clock.Clock, rng *rand.Rand, costs Costs) *Host {
+// New creates a powered-on host and registers its OS agent on the fabric.
+func New(id types.NodeID, net Fabric, clk clock.Clock, rng *rand.Rand, costs Costs) *Host {
 	h := &Host{
 		id:        id,
 		net:       net,

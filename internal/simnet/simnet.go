@@ -20,8 +20,10 @@ import (
 	"repro/internal/types"
 )
 
-// Handler consumes a delivered message.
-type Handler func(msg types.Message)
+// Handler consumes a delivered message. It is an alias (not a defined
+// type) so that *Network satisfies the substrate-neutral simhost.Fabric
+// interface, whose methods are declared against the plain func type.
+type Handler = func(msg types.Message)
 
 // Params configures the network fabric.
 type Params struct {

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Book is the address book of a real-socket cluster: it maps every
+// (node, network plane) pair to the UDP endpoint where that node's
+// transport listens on that plane. The plane index plays the role of the
+// paper's NIC index — the Dawning 4000A nodes heartbeated over three
+// physical networks; a Book with three planes per node reproduces that
+// on three sockets (on one machine: three loopback ports; on a real
+// cluster: one address per physical interface).
+//
+// The on-disk format is line-oriented text; blank lines and #-comments
+// are ignored:
+//
+//	# node <id> plane <index> <host:port>
+//	node 0 plane 0 127.0.0.1:9000
+//	node 0 plane 1 127.0.0.1:9001
+//	node 1 plane 0 127.0.0.1:9010
+//	node 1 plane 1 127.0.0.1:9011
+//
+// Every node must list the same set of plane indices, dense from 0.
+// Books are immutable once built and safe to share across transports.
+type Book struct {
+	planes int
+	eps    map[bookKey]*net.UDPAddr
+}
+
+type bookKey struct {
+	node  types.NodeID
+	plane int
+}
+
+// NewBook creates an empty book for the given number of planes per node.
+func NewBook(planes int) *Book {
+	if planes <= 0 {
+		planes = 1
+	}
+	return &Book{planes: planes, eps: make(map[bookKey]*net.UDPAddr)}
+}
+
+// Planes reports the number of network planes per node.
+func (b *Book) Planes() int { return b.planes }
+
+// Set records a node's endpoint on one plane.
+func (b *Book) Set(node types.NodeID, plane int, hostport string) error {
+	if plane < 0 || plane >= b.planes {
+		return fmt.Errorf("wire: plane %d out of range (book has %d planes)", plane, b.planes)
+	}
+	addr, err := net.ResolveUDPAddr("udp", hostport)
+	if err != nil {
+		return fmt.Errorf("wire: endpoint %q for %v plane %d: %w", hostport, node, plane, err)
+	}
+	b.eps[bookKey{node, plane}] = addr
+	return nil
+}
+
+// Endpoint resolves a node's listening address on one plane.
+func (b *Book) Endpoint(node types.NodeID, plane int) (*net.UDPAddr, bool) {
+	a, ok := b.eps[bookKey{node, plane}]
+	return a, ok
+}
+
+// Nodes lists the node IDs present in the book, ascending.
+func (b *Book) Nodes() []types.NodeID {
+	seen := make(map[types.NodeID]bool)
+	for k := range b.eps {
+		seen[k.node] = true
+	}
+	out := make([]types.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that every listed node has an endpoint on every plane.
+func (b *Book) Validate() error {
+	for _, n := range b.Nodes() {
+		for p := 0; p < b.planes; p++ {
+			if _, ok := b.Endpoint(n, p); !ok {
+				return fmt.Errorf("wire: book is missing %v plane %d", n, p)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the book in its on-disk format.
+func (b *Book) String() string {
+	var sb strings.Builder
+	for _, n := range b.Nodes() {
+		for p := 0; p < b.planes; p++ {
+			if a, ok := b.Endpoint(n, p); ok {
+				fmt.Fprintf(&sb, "node %d plane %d %s\n", int(n), p, a.String())
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ParseBook reads the book format from r. The plane count is inferred
+// from the highest plane index seen.
+func ParseBook(r io.Reader) (*Book, error) {
+	type entry struct {
+		node     types.NodeID
+		plane    int
+		hostport string
+	}
+	var entries []entry
+	maxPlane := 0
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 || f[0] != "node" || f[2] != "plane" {
+			return nil, fmt.Errorf("wire: book line %d: want \"node <id> plane <index> <host:port>\", got %q", lineNo, line)
+		}
+		id, err := strconv.Atoi(f[1])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("wire: book line %d: bad node id %q", lineNo, f[1])
+		}
+		plane, err := strconv.Atoi(f[3])
+		if err != nil || plane < 0 {
+			return nil, fmt.Errorf("wire: book line %d: bad plane index %q", lineNo, f[3])
+		}
+		if plane > maxPlane {
+			maxPlane = plane
+		}
+		entries = append(entries, entry{types.NodeID(id), plane, f[4]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wire: book: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("wire: book is empty")
+	}
+	b := NewBook(maxPlane + 1)
+	for _, e := range entries {
+		if _, dup := b.Endpoint(e.node, e.plane); dup {
+			return nil, fmt.Errorf("wire: book lists %v plane %d twice", e.node, e.plane)
+		}
+		if err := b.Set(e.node, e.plane, e.hostport); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LoadBook reads a book file from disk.
+func LoadBook(path string) (*Book, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	defer f.Close()
+	return ParseBook(f)
+}
+
+// LoopbackBook builds a book for an all-on-one-machine cluster: nodes×
+// planes consecutive ports on 127.0.0.1 starting at basePort (node n,
+// plane p listens on basePort + n*planes + p). It is what the
+// phoenix-node quickstart and the realnet example use.
+func LoopbackBook(nodes, planes, basePort int) (*Book, error) {
+	if nodes <= 0 || planes <= 0 {
+		return nil, fmt.Errorf("wire: loopback book needs nodes > 0 and planes > 0")
+	}
+	if basePort <= 0 || basePort+nodes*planes > 65536 {
+		return nil, fmt.Errorf("wire: loopback book port range [%d, %d) is invalid", basePort, basePort+nodes*planes)
+	}
+	b := NewBook(planes)
+	for n := 0; n < nodes; n++ {
+		for p := 0; p < planes; p++ {
+			port := basePort + n*planes + p
+			if err := b.Set(types.NodeID(n), p, fmt.Sprintf("127.0.0.1:%d", port)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}

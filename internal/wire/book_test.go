@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestBookParseRoundTrip(t *testing.T) {
+	in := `
+# two nodes, two planes
+node 0 plane 0 127.0.0.1:9000
+node 0 plane 1 127.0.0.1:9001
+
+node 1 plane 0 127.0.0.1:9010
+node 1 plane 1 127.0.0.1:9011
+`
+	b, err := ParseBook(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Planes() != 2 {
+		t.Fatalf("planes = %d, want 2", b.Planes())
+	}
+	if got := b.Nodes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("nodes = %v", got)
+	}
+	ep, ok := b.Endpoint(1, 1)
+	if !ok || ep.Port != 9011 || ep.IP.String() != "127.0.0.1" {
+		t.Fatalf("endpoint(1,1) = %v, %v", ep, ok)
+	}
+	// String renders the same book back.
+	b2, err := ParseBook(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if b2.String() != b.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", b.String(), b2.String())
+	}
+}
+
+func TestBookParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "# nothing\n",
+		"bad shape":     "node 0 127.0.0.1:9000\n",
+		"bad id":        "node x plane 0 127.0.0.1:9000\n",
+		"bad plane":     "node 0 plane -1 127.0.0.1:9000\n",
+		"bad endpoint":  "node 0 plane 0 not-an-endpoint::::\n",
+		"duplicate":     "node 0 plane 0 127.0.0.1:1\nnode 0 plane 0 127.0.0.1:2\n",
+		"missing plane": "node 0 plane 0 127.0.0.1:1\nnode 0 plane 1 127.0.0.1:2\nnode 1 plane 0 127.0.0.1:3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseBook(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestLoopbackBook(t *testing.T) {
+	b, err := LoopbackBook(3, 2, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := b.Endpoint(types.NodeID(2), 1)
+	if ep.Port != 9000+2*2+1 {
+		t.Fatalf("node 2 plane 1 port = %d", ep.Port)
+	}
+	if _, err := LoopbackBook(0, 2, 9000); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := LoopbackBook(100, 2, 65500); err == nil {
+		t.Error("port overflow accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Datagram framing. Every datagram carries one kernel message:
+//
+//	offset  size  field
+//	0       2     magic "PX"
+//	2       1     format version (currently 1)
+//	3       1     plane index the sender transmitted on
+//	4       4     payload length, big endian
+//	8       n     gob body (codec.Encode of the message)
+//
+// UDP already delimits datagrams, so the length field is not needed to
+// find the frame end; it exists to reject truncated or padded datagrams
+// before the gob decoder sees them, and to leave room for multi-message
+// batching in a later version.
+const (
+	frameMagic0  = 'P'
+	frameMagic1  = 'X'
+	frameVersion = 1
+	headerSize   = 8
+
+	// maxFrameSize bounds a datagram: a safe UDP payload size given the
+	// kernel's messages are small (the largest, a spawn request carrying
+	// a membership view, is well under 4 KiB).
+	maxFrameSize = 60 * 1024
+)
+
+// encodeFrame serialises a message for the given plane.
+func encodeFrame(msg types.Message, plane int) ([]byte, error) {
+	body, err := codec.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	if headerSize+len(body) > maxFrameSize {
+		return nil, fmt.Errorf("wire: message %s is %d bytes, exceeds frame limit %d", msg.Type, headerSize+len(body), maxFrameSize)
+	}
+	out := make([]byte, headerSize+len(body))
+	out[0], out[1], out[2], out[3] = frameMagic0, frameMagic1, frameVersion, byte(plane)
+	binary.BigEndian.PutUint32(out[4:8], uint32(len(body)))
+	copy(out[headerSize:], body)
+	return out, nil
+}
+
+// decodeFrame parses one datagram. It never panics, whatever the input:
+// a live node must survive any byte sequence thrown at its sockets, so
+// decoder panics (possible on adversarial gob streams) are converted to
+// errors.
+func decodeFrame(data []byte) (msg types.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wire: decode panic: %v", r)
+		}
+	}()
+	if len(data) < headerSize {
+		return types.Message{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
+	}
+	if data[0] != frameMagic0 || data[1] != frameMagic1 {
+		return types.Message{}, fmt.Errorf("wire: bad magic %#x%#x", data[0], data[1])
+	}
+	if data[2] != frameVersion {
+		return types.Message{}, fmt.Errorf("wire: unsupported frame version %d", data[2])
+	}
+	n := binary.BigEndian.Uint32(data[4:8])
+	if int(n) != len(data)-headerSize {
+		return types.Message{}, fmt.Errorf("wire: length header %d, body %d", n, len(data)-headerSize)
+	}
+	return codec.Decode(data[headerSize:])
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func validFrame(t testing.TB) []byte {
+	msg := types.Message{
+		From: types.Addr{Node: 0, Service: "cli"},
+		To:   types.Addr{Node: 1, Service: "svc"},
+		NIC:  1, Type: "ping",
+		Payload: types.ResourceStats{Node: 0, CPUPct: 50},
+	}
+	data, err := encodeFrame(msg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	data := validFrame(t)
+	msg, err := decodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != "ping" || msg.To.Service != "svc" || msg.NIC != 1 {
+		t.Fatalf("round trip mangled message: %+v", msg)
+	}
+	if rs, ok := msg.Payload.(types.ResourceStats); !ok || rs.CPUPct != 50 {
+		t.Fatalf("payload: %#v", msg.Payload)
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	valid := validFrame(t)
+	bad := map[string][]byte{
+		"empty":       {},
+		"short":       valid[:headerSize-1],
+		"bad magic":   append([]byte{'X', 'P'}, valid[2:]...),
+		"bad version": append([]byte{'P', 'X', 99}, valid[3:]...),
+		"truncated":   valid[:len(valid)-3],
+		"padded":      append(append([]byte{}, valid...), 0, 0, 0),
+		"header only": valid[:headerSize],
+		"junk body":   append(append([]byte{}, valid[:headerSize]...), make([]byte, len(valid)-headerSize)...),
+	}
+	for name, data := range bad {
+		if _, err := decodeFrame(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// FuzzDecode asserts the hard invariant of a live node: no datagram, however
+// malformed or adversarial, may panic the transport. decodeFrame either
+// returns a message or an error.
+func FuzzDecode(f *testing.F) {
+	f.Add(validFrame(f))
+	f.Add([]byte{})
+	f.Add([]byte{'P', 'X'})
+	f.Add([]byte{'P', 'X', 1, 0, 0, 0, 0, 0})
+	f.Add([]byte{'P', 'X', 1, 0, 0, 0, 0, 4, 1, 2, 3, 4})
+	tampered := validFrame(f)
+	tampered[len(tampered)/2] ^= 0xff
+	f.Add(tampered)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeFrame(data) // must not panic
+	})
+}

@@ -1,0 +1,234 @@
+package wire_test
+
+// The end-to-end proof of the wire transport: a four-node, two-partition,
+// two-plane Phoenix cluster runs entirely on real UDP loopback sockets —
+// every heartbeat, probe, spawn, membership broadcast and bulletin fetch
+// crosses actual datagrams. The cluster must form, elect the meta-group
+// leader, answer a cluster-scope bulletin query, and recover partition 1's
+// kernel services onto the backup node after its server is killed.
+//
+// The test uses wall-clock time with accelerated kernel parameters; it is
+// skipped under -short.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/noded"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// fastWireParams accelerates kernel timing to wall-clock test scale.
+// Probe timeouts must stay well above the agent costs below, or process
+// faults are misdiagnosed as node faults (same constraint the simulator's
+// FastParams documents).
+func fastWireParams() config.Params {
+	p := config.FastParams()
+	p.HeartbeatInterval = 150 * time.Millisecond
+	p.HeartbeatGrace = 300 * time.Millisecond
+	p.MetaHeartbeatInterval = 150 * time.Millisecond
+	p.PartitionProbeTimeout = 500 * time.Millisecond
+	p.MetaProbeTimeout = 400 * time.Millisecond
+	p.LocalCheckPeriod = 250 * time.Millisecond
+	p.DetectorSampleInterval = 250 * time.Millisecond
+	p.BulletinFetchTimeout = 500 * time.Millisecond
+	p.BulletinCacheTTL = 300 * time.Millisecond
+	p.RPCTimeout = 2 * time.Second
+	return p
+}
+
+func fastWireCosts() simhost.Costs {
+	c := simhost.DefaultCosts()
+	c.ExecLatency = map[string]time.Duration{types.SvcGSD: 50 * time.Millisecond}
+	c.DefaultExec = 20 * time.Millisecond
+	c.AgentProbeDelay = 20 * time.Millisecond
+	c.AgentExecDelay = 2 * time.Millisecond
+	return c
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClusterOverLoopbackUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket integration test; skipped under -short")
+	}
+	const planes = 2
+	// Two partitions of two nodes: p0 = {0 server, 1 backup},
+	// p1 = {2 server, 3 backup}; node 0 is cluster master.
+	topo, err := config.Uniform(2, 2, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, costs := fastWireParams(), fastWireCosts()
+
+	// Bind every node on ephemeral loopback ports first, then assemble
+	// the address book from the kernel-assigned endpoints.
+	regs := make([]*metrics.Registry, topo.NumNodes())
+	transports := make([]*wire.Transport, topo.NumNodes())
+	book := wire.NewBook(planes)
+	for i := range transports {
+		regs[i] = metrics.NewRegistry()
+		tr, err := wire.ListenEphemeral(types.NodeID(i), planes, wire.NewLoop(), regs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		for p, ep := range tr.Endpoints() {
+			if err := book.Set(tr.Node(), p, ep.String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := book.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := make([]*noded.Node, len(transports))
+	stopped := make([]bool, len(transports))
+	stop := func(i int) {
+		if !stopped[i] {
+			stopped[i] = true
+			nodes[i].Stop()
+		}
+	}
+	for i, tr := range transports {
+		tr.SetBook(book)
+		n, err := noded.Start(noded.Options{
+			Node: tr.Node(), Topo: topo, Params: params, Costs: costs, Transport: tr,
+		})
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		for i := range nodes {
+			stop(i)
+		}
+	}()
+
+	// memberView reads one partition's meta-group state from the GSD that
+	// node idx currently hosts.
+	memberView := func(idx int, part types.PartitionID) (alive int, leader types.PartitionID, members map[types.PartitionID]types.NodeID, ok bool) {
+		nodes[idx].Do(func() {
+			g := nodes[idx].Kernel().GSD(part)
+			if g == nil || !nodes[idx].Host().Running(types.SvcGSD) {
+				return
+			}
+			v := g.Member().View()
+			alive, leader, ok = v.AliveCount(), v.Leader, true
+			members = make(map[types.PartitionID]types.NodeID)
+			for p, m := range v.Members {
+				if m.Alive {
+					members[p] = m.Node
+				}
+			}
+		})
+		return
+	}
+
+	// Phase 1: both GSDs see the full two-member meta-group, with
+	// partition 0 as ring leader.
+	waitFor(t, "stable membership on both GSDs", 30*time.Second, func() bool {
+		a0, l0, _, ok0 := memberView(0, 0)
+		a1, _, _, ok1 := memberView(2, 1)
+		return ok0 && ok1 && a0 == 2 && a1 == 2 && l0 == 0
+	})
+
+	// Phase 2: a cluster-scope bulletin query from an external client (a
+	// wire.Runtime, not a kernel daemon) aggregates detector samples from
+	// at least three nodes across both partitions.
+	cli := wire.NewRuntime(transports[0], "cli", 42)
+	defer cli.Close()
+	bc := bulletin.NewClient(cli, params.RPCTimeout, func() (types.Addr, bool) {
+		return types.Addr{Node: topo.Partitions[0].Server, Service: types.SvcDB}, true
+	})
+	cli.Attach(func(msg types.Message) { bc.Handle(msg) })
+	query := func() (bulletin.QueryAck, bool) {
+		type answer struct {
+			ack bulletin.QueryAck
+			ok  bool
+		}
+		ch := make(chan answer, 1)
+		cli.Do(func() {
+			bc.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+				ch <- answer{ack, ok}
+			})
+		})
+		select {
+		case a := <-ch:
+			return a.ack, a.ok
+		case <-time.After(10 * time.Second):
+			t.Fatal("bulletin query never resolved")
+			return bulletin.QueryAck{}, false
+		}
+	}
+	waitFor(t, "cluster-scope bulletin data from both partitions", 30*time.Second, func() bool {
+		ack, ok := query()
+		agg := bulletin.AggregateSnapshots(ack.Snapshots)
+		return ok && len(ack.Missing) == 0 && agg.Nodes >= 3
+	})
+
+	// Phase 3: kill partition 1's server outright (daemons, timers,
+	// sockets). The meta-group must diagnose the node fault over the wire
+	// and migrate partition 1's GSD to its backup, node 3.
+	t.Log("killing node 2 (partition 1 server)")
+	stop(2)
+	waitFor(t, "partition 1 services migrated to node 3", 45*time.Second, func() bool {
+		_, _, members, ok := memberView(0, 0)
+		if !ok || members[1] != 3 {
+			return false
+		}
+		running := false
+		nodes[3].Do(func() { running = nodes[3].Host().Running(types.SvcGSD) })
+		return running
+	})
+
+	// The cluster still answers queries after the takeover.
+	waitFor(t, "bulletin recovery after takeover", 30*time.Second, func() bool {
+		ack, ok := query()
+		return ok && len(ack.Snapshots) > 0
+	})
+
+	// Phase 4: the transport accounted real traffic on both planes. Every
+	// surviving node transmits on every plane (watch daemons heartbeat
+	// across all NICs); nodes hosting a GSD also receive on every plane.
+	for i, reg := range regs {
+		if i == 2 {
+			continue // killed mid-test
+		}
+		for _, name := range []string{
+			"wire.tx.datagrams", "wire.rx.datagrams", "wire.tx.bytes", "wire.rx.bytes",
+			"wire.tx.datagrams.plane0", "wire.tx.datagrams.plane1",
+			"wire.tx.bytes.plane0", "wire.tx.bytes.plane1",
+		} {
+			if reg.Counter(name).Value() == 0 {
+				t.Errorf("node %d: %s is zero after integration run", i, name)
+			}
+		}
+	}
+	for _, i := range []int{0, 3} { // GSD hosts after the takeover
+		reg := regs[i]
+		waitFor(t, "per-plane receive traffic on GSD hosts", 10*time.Second, func() bool {
+			return reg.Counter("wire.rx.datagrams.plane0").Value() > 0 &&
+				reg.Counter("wire.rx.datagrams.plane1").Value() > 0
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Loop serialises all kernel activity of one node onto a single logical
+// thread. The Phoenix daemons were written under the simulator's
+// single-threaded discipline — no locks, plain maps, callbacks that
+// assume nothing runs concurrently — and the loop preserves exactly that
+// discipline on a real machine: inbound datagrams (transport reader
+// goroutines) and expiring wall-clock timers (runtime timer goroutines)
+// all enter daemon code through Run, one at a time.
+//
+// The lock is not reentrant: code already running inside the loop must
+// not call Run again. Nothing in the kernel does — daemon code only
+// *schedules* future work (Send, After), it never blocks on it.
+type Loop struct {
+	mu sync.Mutex
+}
+
+// NewLoop creates a ready loop.
+func NewLoop() *Loop { return &Loop{} }
+
+// Run executes f exclusively with respect to every other Run on this loop.
+func (l *Loop) Run(f func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f()
+}
+
+// LoopClock is a wall clock whose callbacks run inside a Loop: the
+// substrate handed to simhost.Host so that host and daemon timers respect
+// the node's serialisation discipline. Now reads the base clock directly.
+type LoopClock struct {
+	loop *Loop
+	base clock.Clock
+}
+
+// NewLoopClock wraps base (typically clock.Real{}) so AfterFunc callbacks
+// run inside loop.
+func NewLoopClock(loop *Loop, base clock.Clock) LoopClock {
+	return LoopClock{loop: loop, base: base}
+}
+
+// Now implements clock.Clock.
+func (c LoopClock) Now() time.Time { return c.base.Now() }
+
+// AfterFunc implements clock.Clock; f runs inside the loop.
+func (c LoopClock) AfterFunc(d time.Duration, f func()) clock.Timer {
+	loop := c.loop
+	return c.base.AfterFunc(d, func() { loop.Run(f) })
+}
+
+var _ clock.Clock = LoopClock{}

@@ -1,0 +1,323 @@
+// Package wire is the production transport of the Phoenix reproduction:
+// real UDP sockets instead of the simulated fabric. One Transport runs
+// inside each phoenix-node OS process and binds one socket per network
+// plane (the paper's per-NIC heartbeat channels, §4.3), so a message sent
+// on NIC k genuinely leaves on plane k's socket and arrives on the peer's
+// plane-k socket. Messages are framed with a version/length header around
+// the gob wire format of internal/codec.
+//
+// The package deliberately mirrors internal/simnet's surface — Register /
+// Unregister / Send with datagram semantics — so that *Transport and
+// *simnet.Network are interchangeable behind simhost.Fabric: the entire
+// kernel (watch daemons, GSDs, event/bulletin/checkpoint federations,
+// detectors, PPM) runs unmodified on either. What the simulator schedules
+// on its event goroutine, the transport serialises through a per-node
+// Loop, preserving the single-threaded discipline daemon code assumes.
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/simhost"
+	"repro/internal/types"
+)
+
+// Transport is one node's real-socket attachment: a set of bound UDP
+// sockets (one per plane), a handler table equivalent to
+// simnet.Network.Register, and the address book naming every peer.
+type Transport struct {
+	node types.NodeID
+	loop *Loop
+	reg  *metrics.Registry
+	clk  clock.Clock
+
+	conns []*net.UDPConn
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	book     *Book
+	handlers map[types.Addr]func(types.Message)
+	up       bool
+	closed   bool
+}
+
+// Listen binds one UDP socket per plane at the node's address-book
+// endpoints and starts receiving. The returned transport has the book
+// attached and is ready to Send.
+func Listen(node types.NodeID, book *Book, loop *Loop, reg *metrics.Registry) (*Transport, error) {
+	if book == nil {
+		return nil, fmt.Errorf("wire: nil address book")
+	}
+	laddrs := make([]*net.UDPAddr, book.Planes())
+	for p := range laddrs {
+		a, ok := book.Endpoint(node, p)
+		if !ok {
+			return nil, fmt.Errorf("wire: book has no endpoint for %v plane %d", node, p)
+		}
+		laddrs[p] = a
+	}
+	t, err := listen(node, laddrs, loop, reg)
+	if err != nil {
+		return nil, err
+	}
+	t.SetBook(book)
+	return t, nil
+}
+
+// ListenEphemeral binds the given number of planes to ephemeral loopback
+// ports — the in-process test and example path, where the address book
+// can only be assembled after every node has bound. The caller collects
+// Endpoints from all transports into a Book and attaches it with SetBook
+// before any traffic flows.
+func ListenEphemeral(node types.NodeID, planes int, loop *Loop, reg *metrics.Registry) (*Transport, error) {
+	if planes <= 0 {
+		return nil, fmt.Errorf("wire: need at least one plane")
+	}
+	laddrs := make([]*net.UDPAddr, planes)
+	for p := range laddrs {
+		laddrs[p] = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+	}
+	return listen(node, laddrs, loop, reg)
+}
+
+func listen(node types.NodeID, laddrs []*net.UDPAddr, loop *Loop, reg *metrics.Registry) (*Transport, error) {
+	if loop == nil {
+		loop = NewLoop()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	t := &Transport{
+		node: node, loop: loop, reg: reg, clk: clock.Real{},
+		handlers: make(map[types.Addr]func(types.Message)),
+		up:       true,
+	}
+	for p, laddr := range laddrs {
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("wire: bind %v plane %d at %v: %w", node, p, laddr, err)
+		}
+		t.conns = append(t.conns, conn)
+	}
+	for p, conn := range t.conns {
+		t.wg.Add(1)
+		go t.readLoop(p, conn)
+	}
+	return t, nil
+}
+
+// Node reports the transport's node ID.
+func (t *Transport) Node() types.NodeID { return t.node }
+
+// Planes reports the number of bound planes.
+func (t *Transport) Planes() int { return len(t.conns) }
+
+// Loop returns the node's serialisation loop.
+func (t *Transport) Loop() *Loop { return t.loop }
+
+// Metrics exposes the registry the transport accounts into.
+func (t *Transport) Metrics() *metrics.Registry { return t.reg }
+
+// Endpoints reports the actually-bound local address of every plane —
+// after ListenEphemeral these carry the kernel-assigned ports that go
+// into the shared Book.
+func (t *Transport) Endpoints() []*net.UDPAddr {
+	out := make([]*net.UDPAddr, len(t.conns))
+	for p, c := range t.conns {
+		out[p] = c.LocalAddr().(*net.UDPAddr)
+	}
+	return out
+}
+
+// SetBook attaches (or replaces) the address book used to route sends.
+func (t *Transport) SetBook(book *Book) {
+	t.mu.Lock()
+	t.book = book
+	t.mu.Unlock()
+}
+
+// Register implements simhost.Fabric: it binds a handler to an address.
+// Handlers are invoked inside the node's Loop. Registering an
+// already-bound address replaces the handler (a restarted daemon reclaims
+// its address).
+func (t *Transport) Register(addr types.Addr, h func(msg types.Message)) {
+	if h == nil {
+		panic("wire: nil handler for " + addr.String())
+	}
+	if addr.Node != t.node {
+		panic(fmt.Sprintf("wire: cannot register %v on %v's transport", addr, t.node))
+	}
+	t.mu.Lock()
+	t.handlers[addr] = h
+	t.mu.Unlock()
+}
+
+// Unregister implements simhost.Fabric.
+func (t *Transport) Unregister(addr types.Addr) {
+	t.mu.Lock()
+	delete(t.handlers, addr)
+	t.mu.Unlock()
+}
+
+// Registered reports whether a handler is bound at addr.
+func (t *Transport) Registered(addr types.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.handlers[addr]
+	return ok
+}
+
+// SetNodeUp implements simhost.Fabric. A transport only controls its own
+// node's presence: powering it off silences both directions (datagrams
+// are still drained from the sockets but dropped before dispatch), which
+// is what simhost.Host.PowerOff expects from the fabric.
+func (t *Transport) SetNodeUp(id types.NodeID, up bool) {
+	if id != t.node {
+		return
+	}
+	t.mu.Lock()
+	t.up = up
+	t.mu.Unlock()
+}
+
+// Send implements simhost.Fabric with the same local-failure semantics as
+// the simulated fabric: a down or unroutable sender returns an error;
+// once a datagram is on the wire, losses are silent. A message with
+// NIC == types.AnyNIC leaves on the first plane that has an endpoint for
+// the destination.
+func (t *Transport) Send(msg types.Message) error {
+	t.mu.Lock()
+	book, up, closed := t.book, t.up, t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("wire: transport closed")
+	}
+	if !up {
+		return fmt.Errorf("wire: source %v is down", t.node)
+	}
+	if book == nil {
+		t.reg.Counter("wire.tx.drop.noroute").Inc()
+		return fmt.Errorf("wire: no address book attached")
+	}
+
+	plane := msg.NIC
+	if plane == types.AnyNIC {
+		plane = -1
+		for p := 0; p < len(t.conns); p++ {
+			if _, ok := book.Endpoint(msg.To.Node, p); ok {
+				plane = p
+				break
+			}
+		}
+		if plane == -1 {
+			t.reg.Counter("wire.tx.drop.noroute").Inc()
+			return fmt.Errorf("wire: no endpoint for %v in address book", msg.To.Node)
+		}
+	} else if plane < 0 || plane >= len(t.conns) {
+		return fmt.Errorf("wire: invalid NIC %d", plane)
+	}
+	ep, ok := book.Endpoint(msg.To.Node, plane)
+	if !ok {
+		t.reg.Counter("wire.tx.drop.noroute").Inc()
+		return fmt.Errorf("wire: no endpoint for %v plane %d in address book", msg.To.Node, plane)
+	}
+
+	msg.NIC = plane
+	msg.Sent = t.clk.Now()
+	frame, err := encodeFrame(msg, plane)
+	if err != nil {
+		t.reg.Counter("wire.tx.drop.encode").Inc()
+		return err
+	}
+	if _, err := t.conns[plane].WriteToUDP(frame, ep); err != nil {
+		t.reg.Counter("wire.tx.drop.write").Inc()
+		return fmt.Errorf("wire: send %s to %v: %w", msg.Type, msg.To, err)
+	}
+	t.reg.Counter("wire.tx.datagrams").Inc()
+	t.reg.Counter("wire.tx.bytes").Add(float64(len(frame)))
+	t.reg.Counter(fmt.Sprintf("wire.tx.datagrams.plane%d", plane)).Inc()
+	t.reg.Counter(fmt.Sprintf("wire.tx.bytes.plane%d", plane)).Add(float64(len(frame)))
+	t.reg.Counter("wire.tx.msgs." + msg.Type).Inc()
+	return nil
+}
+
+// readLoop drains one plane's socket until the transport closes. Each
+// datagram is decoded off-loop (CPU-bound, holds no state) and dispatched
+// inside the loop, mirroring the delivery discipline of the simulator.
+func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, maxFrameSize+1)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			t.reg.Counter("wire.rx.read_errors").Inc()
+			continue
+		}
+		t.reg.Counter("wire.rx.datagrams").Inc()
+		t.reg.Counter("wire.rx.bytes").Add(float64(n))
+		t.reg.Counter(fmt.Sprintf("wire.rx.datagrams.plane%d", plane)).Inc()
+		t.reg.Counter(fmt.Sprintf("wire.rx.bytes.plane%d", plane)).Add(float64(n))
+		msg, err := decodeFrame(buf[:n])
+		if err != nil {
+			t.reg.Counter("wire.rx.decode_errors").Inc()
+			continue
+		}
+		// The receiving socket, not the sender's claim, names the plane.
+		msg.NIC = plane
+		t.dispatch(msg)
+	}
+}
+
+// dispatch delivers one message inside the loop.
+func (t *Transport) dispatch(msg types.Message) {
+	t.loop.Run(func() {
+		t.mu.Lock()
+		h, ok := t.handlers[msg.To]
+		up := t.up
+		t.mu.Unlock()
+		switch {
+		case !up:
+			t.reg.Counter("wire.rx.dropped").Inc()
+		case !ok:
+			t.reg.Counter("wire.rx.no_handler").Inc()
+		default:
+			t.reg.Counter("wire.rx.delivered").Inc()
+			t.reg.Counter("wire.rx.msgs." + msg.Type).Inc()
+			h(msg)
+		}
+	})
+}
+
+// Close shuts the sockets down and waits for the reader goroutines to
+// drain. Pending loop callbacks may still run after Close; daemon-level
+// shutdown (Host.PowerOff, Runtime.Close) is what guarantees they find
+// only dead handlers.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	t.wg.Wait()
+}
+
+var _ simhost.Fabric = (*Transport)(nil)
