@@ -10,7 +10,7 @@ GO ?= go
 
 .PHONY: ci vet build test race fuzz
 
-ci: vet build test race
+ci: vet build test race fuzz
 	@echo "ci: all gates passed"
 
 vet:
@@ -29,6 +29,9 @@ race:
 	$(GO) test -race ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
-# Short fuzz pass over the datagram decoder (not part of ci; run ad hoc).
+# The fuzz gate: a short engine run per wire fuzz target, starting from the
+# checked-in seed corpus (internal/wire/testdata/fuzz/). The engine accepts
+# one -fuzz target per invocation, hence two runs.
 fuzz:
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz '^FuzzParseBook$$' -fuzztime 10s -run '^$$' ./internal/wire/

@@ -86,10 +86,12 @@ func main() {
 
 	id := types.NodeID(*nodeID)
 	reg := metrics.NewRegistry()
-	n, err := noded.Start(noded.Options{
-		Node: id, Topo: topo, Params: params, Seed: *seed,
-		Book: book, Metrics: reg,
-	})
+	n, err := noded.Start(id, topo,
+		noded.WithParams(params),
+		noded.WithSeed(*seed),
+		noded.WithBook(book),
+		noded.WithMetrics(reg),
+	)
 	if err != nil {
 		log.Fatalf("phoenix-node: %v", err)
 	}
@@ -113,9 +115,11 @@ func main() {
 		case sig := <-sigs:
 			log.Printf("phoenix-node: %v: received %v, shutting down", id, sig)
 			n.Stop()
-			log.Printf("phoenix-node: %v down (tx %d datagrams, rx %d datagrams)",
+			log.Printf("phoenix-node: %v down (tx %d datagrams, rx %d datagrams, retx %d, dup %d)",
 				id, int(reg.Counter("wire.tx.datagrams").Value()),
-				int(reg.Counter("wire.rx.datagrams").Value()))
+				int(reg.Counter("wire.rx.datagrams").Value()),
+				int(reg.Counter("wire.tx.retransmits").Value()),
+				int(reg.Counter("wire.rx.dup_drops").Value()))
 			return
 		case <-ticker.C:
 			logStatus(n, reg, ni)
@@ -135,9 +139,15 @@ func logStatus(n *noded.Node, reg *metrics.Registry, ni config.NodeInfo) {
 				line += fmt.Sprintf(", gsd view: %d/%d partitions alive", v.AliveCount(), len(v.Order))
 			}
 		}
-		line += fmt.Sprintf(", tx %d, rx %d datagrams",
+		line += fmt.Sprintf(", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d",
 			int(reg.Counter("wire.tx.datagrams").Value()),
-			int(reg.Counter("wire.rx.datagrams").Value()))
+			int(reg.Counter("wire.rx.datagrams").Value()),
+			int(reg.Counter("wire.tx.retransmits").Value()),
+			int(reg.Counter("wire.rx.dup_drops").Value()),
+			int(reg.Counter("wire.tx.frags").Value()),
+			int(reg.Counter("wire.rx.frags").Value()),
+			int(reg.Counter("wire.tx.acks").Value()),
+			int(reg.Counter("wire.tx.peer_faults").Value()))
 		log.Print(line)
 	})
 }

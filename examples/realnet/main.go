@@ -51,16 +51,16 @@ func main() {
 	// address book from the kernel-assigned endpoints and share it.
 	reg := metrics.NewRegistry()
 	transports := make([]*wire.Transport, topo.NumNodes())
-	book := wire.NewBook(planes)
+	book := wire.NewBook()
 	for i := range transports {
-		tr, err := wire.ListenEphemeral(types.NodeID(i), planes, wire.NewLoop(), reg)
+		tr, err := wire.New(types.NodeID(i), nil, wire.WithPlanes(planes), wire.WithMetrics(reg))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer tr.Close()
 		transports[i] = tr
 		for p, ep := range tr.Endpoints() {
-			if err := book.Set(tr.Node(), p, ep.String()); err != nil {
+			if err := book.Add(tr.Node(), p, ep); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -68,9 +68,8 @@ func main() {
 	nodes := make([]*noded.Node, len(transports))
 	for i, tr := range transports {
 		tr.SetBook(book)
-		n, err := noded.Start(noded.Options{
-			Node: tr.Node(), Topo: topo, Params: params, Costs: costs, Transport: tr,
-		})
+		n, err := noded.Start(tr.Node(), topo,
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,9 +115,12 @@ func main() {
 		time.Sleep(100 * time.Millisecond)
 	}
 
-	fmt.Printf("wire traffic: %d datagrams sent, %d received, %d delivered\n",
+	fmt.Printf("wire traffic: %d datagrams sent, %d received, %d delivered, %d retransmits, %d dup drops, %d acks\n",
 		int(reg.Counter("wire.tx.datagrams").Value()),
 		int(reg.Counter("wire.rx.datagrams").Value()),
-		int(reg.Counter("wire.rx.delivered").Value()))
+		int(reg.Counter("wire.rx.delivered").Value()),
+		int(reg.Counter("wire.tx.retransmits").Value()),
+		int(reg.Counter("wire.rx.dup_drops").Value()),
+		int(reg.Counter("wire.tx.acks").Value()))
 	fmt.Println("realnet done")
 }

@@ -103,6 +103,18 @@ type wireMessage struct {
 	Payload  any
 }
 
+// EncodedSize reports the exact gob body size of a message in bytes —
+// what the wire transport fragments against its MTU. Unlike Size it never
+// approximates through Sizer, so it is the right input for fragment-count
+// math (and the wrong one for simulator hot paths).
+func EncodedSize(msg types.Message) (int, error) {
+	data, err := Encode(msg)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
 // Size reports the approximate wire size of a message in bytes. Payloads
 // implementing Sizer are measured directly; nil payloads cost only the
 // envelope; everything else is gob-encoded (correct but slower — keep such

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bulletin"
@@ -22,6 +23,17 @@ import (
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/watchd"
+)
+
+// Sentinel errors of kernel composition. Callers assert with errors.Is;
+// the constructors always return them wrapped with context.
+var (
+	// ErrNoTopology marks a boot attempt with no cluster topology.
+	ErrNoTopology = errors.New("core: no topology")
+
+	// ErrNoHost marks a boot attempt whose topology names a node that has
+	// no host in the substrate (or a host that is not in the topology).
+	ErrNoHost = errors.New("core: no host")
 )
 
 // Kernel is a booted Phoenix kernel. Under the simulator one Kernel spans
@@ -71,14 +83,14 @@ func Prepare(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Opti
 	for _, ni := range k.Topo.Nodes {
 		host, ok := hosts[ni.ID]
 		if !ok {
-			return nil, fmt.Errorf("core: no host for %v", ni.ID)
+			return nil, fmt.Errorf("%w for %v", ErrNoHost, ni.ID)
 		}
 		registerFactories(host, k, opts)
 		registerCommands(host)
 	}
 	master, ok := hosts[k.Topo.Master]
 	if !ok {
-		return nil, fmt.Errorf("core: no host for master %v", k.Topo.Master)
+		return nil, fmt.Errorf("%w for master %v", ErrNoHost, k.Topo.Master)
 	}
 	if err := k.spawnMasterServices(master); err != nil {
 		return nil, err
@@ -88,7 +100,7 @@ func Prepare(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Opti
 
 func newKernel(net simhost.Fabric, hosts map[types.NodeID]*simhost.Host, opts Options) (*Kernel, error) {
 	if opts.Topo == nil {
-		return nil, fmt.Errorf("core: no topology")
+		return nil, ErrNoTopology
 	}
 	auth := opts.Authority
 	if auth == nil {
@@ -151,7 +163,7 @@ func BootNode(net simhost.Fabric, host *simhost.Host, opts Options) (*Kernel, er
 		return nil, err
 	}
 	if _, ok := k.Topo.Node(host.ID()); !ok {
-		return nil, fmt.Errorf("core: %v is not in the topology", host.ID())
+		return nil, fmt.Errorf("%w: %v is not in the topology", ErrNoHost, host.ID())
 	}
 	registerFactories(host, k, opts)
 	registerCommands(host)

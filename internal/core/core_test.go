@@ -1,14 +1,17 @@
 package core_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/ppm"
 	"repro/internal/security"
+	"repro/internal/simhost"
 	"repro/internal/types"
 )
 
@@ -91,4 +94,26 @@ func TestEnforceAuthEndToEnd(t *testing.T) {
 		t.Fatal("authorized job did not run")
 	}
 	_ = types.NodeID(0)
+}
+
+// TestBootSentinelErrors pins the kernel-composition error contract:
+// constructors return the core sentinels wrapped, and callers can classify
+// failures with errors.Is without matching message strings.
+func TestBootSentinelErrors(t *testing.T) {
+	if _, err := core.Prepare(nil, nil, core.Options{}); !errors.Is(err, core.ErrNoTopology) {
+		t.Errorf("Prepare without topology: got %v, want ErrNoTopology", err)
+	}
+	if _, err := core.Boot(nil, nil, core.Options{}); !errors.Is(err, core.ErrNoTopology) {
+		t.Errorf("Boot without topology: got %v, want ErrNoTopology", err)
+	}
+	topo, err := config.Uniform(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Prepare(nil, map[types.NodeID]*simhost.Host{}, core.Options{Topo: topo}); !errors.Is(err, core.ErrNoHost) {
+		t.Errorf("Prepare with no hosts: got %v, want ErrNoHost", err)
+	}
+	if errors.Is(core.ErrNoHost, core.ErrNoTopology) {
+		t.Error("sentinels are not distinct")
+	}
 }

@@ -8,6 +8,7 @@ package noded
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"repro/internal/clock"
@@ -19,32 +20,55 @@ import (
 	"repro/internal/wire"
 )
 
-// Options configures Start.
-type Options struct {
-	// Node is this process's identity in the topology.
-	Node types.NodeID
-	// Topo is the cluster layout, shared verbatim by every node.
-	Topo *config.Topology
-	// Params are the kernel timing constants; the zero value means
-	// config.DefaultParams.
-	Params config.Params
-	// Costs model agent/exec latencies; the zero value means
-	// simhost.DefaultCosts.
-	Costs simhost.Costs
-	// Seed fixes the node's random stream; 0 derives one from the node ID.
-	Seed int64
-	// Book maps every (node, plane) to its UDP endpoint. Required unless
-	// Transport is set.
-	Book *wire.Book
-	// Transport optionally supplies a pre-bound transport — the
-	// ephemeral-port path, where tests bind first and assemble the Book
-	// afterwards. The transport must already have its book attached.
-	Transport *wire.Transport
-	// Metrics receives transport counters; nil creates a private registry.
-	// Ignored when Transport is set.
-	Metrics *metrics.Registry
-	// EnforceAuth makes the PPM require security tokens on job operations.
-	EnforceAuth bool
+// settings collects everything Start can be configured with.
+type settings struct {
+	params      config.Params
+	costs       simhost.Costs
+	seed        int64
+	book        *wire.Book
+	transport   *wire.Transport
+	reg         *metrics.Registry
+	enforceAuth bool
+	wireOpts    []wire.Option
+}
+
+// Option configures Start.
+type Option func(*settings)
+
+// WithParams sets the kernel timing constants; the default is
+// config.DefaultParams.
+func WithParams(p config.Params) Option { return func(s *settings) { s.params = p } }
+
+// WithCosts models agent/exec latencies; the default is
+// simhost.DefaultCosts.
+func WithCosts(c simhost.Costs) Option { return func(s *settings) { s.costs = c } }
+
+// WithSeed fixes the node's random stream; the default derives one from
+// the node ID.
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithBook maps every (node, plane) to its UDP endpoint. Required unless
+// WithTransport is used.
+func WithBook(b *wire.Book) Option { return func(s *settings) { s.book = b } }
+
+// WithTransport supplies a pre-bound transport — the ephemeral-port path,
+// where tests bind first and assemble the Book afterwards. The transport
+// must already have its book attached. Mutually exclusive with WithBook
+// and WithWireOptions.
+func WithTransport(tr *wire.Transport) Option { return func(s *settings) { s.transport = tr } }
+
+// WithMetrics supplies the registry that receives transport counters; the
+// default is a private one.
+func WithMetrics(reg *metrics.Registry) Option { return func(s *settings) { s.reg = reg } }
+
+// WithEnforceAuth makes the PPM require security tokens on job operations.
+func WithEnforceAuth() Option { return func(s *settings) { s.enforceAuth = true } }
+
+// WithWireOptions forwards options (retransmission policy, MTU, window,
+// fault handler, …) to the transport Start constructs. Later options win,
+// so a custom wire.WithPeerFaultHandler overrides the default logger.
+func WithWireOptions(opts ...wire.Option) Option {
+	return func(s *settings) { s.wireOpts = append(s.wireOpts, opts...) }
 }
 
 // Node is one running phoenix node.
@@ -58,56 +82,62 @@ type Node struct {
 // Start binds the transport (unless one was supplied), builds the host and
 // boots the node's kernel daemons. On return heartbeats are flowing and
 // the node is answering its agent.
-func Start(opts Options) (*Node, error) {
-	if opts.Topo == nil {
-		return nil, fmt.Errorf("noded: no topology")
+func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, error) {
+	if topo == nil {
+		return nil, core.ErrNoTopology
 	}
-	if opts.Params.HeartbeatInterval == 0 {
-		opts.Params = config.DefaultParams()
-	}
-	if opts.Costs.ExecLatency == nil && opts.Costs.DefaultExec == 0 {
-		opts.Costs = simhost.DefaultCosts()
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1 + int64(opts.Node)
+	s := settings{params: config.DefaultParams(), costs: simhost.DefaultCosts(), seed: 1 + int64(node)}
+	for _, opt := range opts {
+		opt(&s)
 	}
 
-	tr := opts.Transport
+	tr := s.transport
 	if tr == nil {
-		if opts.Book == nil {
-			return nil, fmt.Errorf("noded: need an address book or a transport")
+		if s.book == nil {
+			return nil, fmt.Errorf("noded: need WithBook or WithTransport")
 		}
-		if opts.Book.Planes() != opts.Topo.NICs {
+		if s.book.Planes() != topo.NICs {
 			return nil, fmt.Errorf("noded: book has %d planes, topology has %d NICs",
-				opts.Book.Planes(), opts.Topo.NICs)
+				s.book.Planes(), topo.NICs)
 		}
+		// Default fault surfacing: a lane that exhausts its retransmission
+		// budget is logged like a suspected node fault; the kernel's own
+		// diagnosis (missed heartbeats, probes) confirms and recovers it.
+		wopts := append([]wire.Option{
+			wire.WithMetrics(s.reg),
+			wire.WithPeerFaultHandler(func(peer types.NodeID, plane int, err error) {
+				log.Printf("noded: %v: transport fault: %v", node, err)
+			}),
+		}, s.wireOpts...)
 		var err error
-		tr, err = wire.Listen(opts.Node, opts.Book, wire.NewLoop(), opts.Metrics)
+		tr, err = wire.New(node, s.book, wopts...)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		if tr.Node() != opts.Node {
-			return nil, fmt.Errorf("noded: transport is bound as %v, not %v", tr.Node(), opts.Node)
+		if len(s.wireOpts) > 0 || s.book != nil {
+			return nil, fmt.Errorf("noded: WithTransport excludes WithBook and WithWireOptions")
 		}
-		if tr.Planes() != opts.Topo.NICs {
+		if tr.Node() != node {
+			return nil, fmt.Errorf("noded: transport is bound as %v, not %v", tr.Node(), node)
+		}
+		if tr.Planes() != topo.NICs {
 			return nil, fmt.Errorf("noded: transport has %d planes, topology has %d NICs",
-				tr.Planes(), opts.Topo.NICs)
+				tr.Planes(), topo.NICs)
 		}
 	}
 
 	n := &Node{tr: tr, loop: tr.Loop()}
 	clk := wire.NewLoopClock(n.loop, clock.Real{})
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(s.seed))
 	var bootErr error
 	// Host construction and kernel boot run inside the loop: spawning
 	// daemons arms wall-clock timers and registers handlers, and inbound
 	// datagrams may start dispatching the moment the agent registers.
 	n.loop.Run(func() {
-		n.host = simhost.New(opts.Node, tr, clk, rng, opts.Costs)
+		n.host = simhost.New(node, tr, clk, rng, s.costs)
 		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
-			Topo: opts.Topo, Params: opts.Params, EnforceAuth: opts.EnforceAuth,
+			Topo: topo, Params: s.params, EnforceAuth: s.enforceAuth,
 		})
 	})
 	if bootErr != nil {

@@ -21,8 +21,10 @@ import (
 // on three sockets (on one machine: three loopback ports; on a real
 // cluster: one address per physical interface).
 //
-// The on-disk format is line-oriented text; blank lines and #-comments
-// are ignored:
+// Books are built programmatically — NewBook then Add (or Set for
+// string endpoints) per (node, plane) — or parsed from the line-oriented
+// text format, which Add round-trips with via String. Blank lines and
+// #-comments are ignored:
 //
 //	# node <id> plane <index> <host:port>
 //	node 0 plane 0 127.0.0.1:9000
@@ -30,8 +32,9 @@ import (
 //	node 1 plane 0 127.0.0.1:9010
 //	node 1 plane 1 127.0.0.1:9011
 //
-// Every node must list the same set of plane indices, dense from 0.
-// Books are immutable once built and safe to share across transports.
+// The plane count is the highest plane index added plus one; Validate
+// checks every node lists every plane, dense from 0. Populate a book
+// fully before sharing it across transports — lookups are not locked.
 type Book struct {
 	planes int
 	eps    map[bookKey]*net.UDPAddr
@@ -42,28 +45,41 @@ type bookKey struct {
 	plane int
 }
 
-// NewBook creates an empty book for the given number of planes per node.
-func NewBook(planes int) *Book {
-	if planes <= 0 {
-		planes = 1
-	}
-	return &Book{planes: planes, eps: make(map[bookKey]*net.UDPAddr)}
+// NewBook creates an empty book.
+func NewBook() *Book {
+	return &Book{eps: make(map[bookKey]*net.UDPAddr)}
 }
 
-// Planes reports the number of network planes per node.
+// Planes reports the number of network planes per node (highest plane
+// index added plus one).
 func (b *Book) Planes() int { return b.planes }
 
-// Set records a node's endpoint on one plane.
-func (b *Book) Set(node types.NodeID, plane int, hostport string) error {
-	if plane < 0 || plane >= b.planes {
-		return fmt.Errorf("wire: plane %d out of range (book has %d planes)", plane, b.planes)
+// Add records a node's endpoint on one plane. Re-adding a pair replaces
+// its endpoint.
+func (b *Book) Add(node types.NodeID, plane int, addr *net.UDPAddr) error {
+	if node < 0 {
+		return fmt.Errorf("wire: negative node id %d", int(node))
 	}
+	if plane < 0 || plane > 255 {
+		return fmt.Errorf("wire: plane %d out of range (frame header carries one byte)", plane)
+	}
+	if addr == nil || addr.Port == 0 {
+		return fmt.Errorf("wire: endpoint for %v plane %d must name a concrete port", node, plane)
+	}
+	if plane >= b.planes {
+		b.planes = plane + 1
+	}
+	b.eps[bookKey{node, plane}] = addr
+	return nil
+}
+
+// Set is Add for string endpoints ("host:port").
+func (b *Book) Set(node types.NodeID, plane int, hostport string) error {
 	addr, err := net.ResolveUDPAddr("udp", hostport)
 	if err != nil {
 		return fmt.Errorf("wire: endpoint %q for %v plane %d: %w", hostport, node, plane, err)
 	}
-	b.eps[bookKey{node, plane}] = addr
-	return nil
+	return b.Add(node, plane, addr)
 }
 
 // Endpoint resolves a node's listening address on one plane.
@@ -86,8 +102,12 @@ func (b *Book) Nodes() []types.NodeID {
 	return out
 }
 
-// Validate checks that every listed node has an endpoint on every plane.
+// Validate checks that the book is non-empty and every listed node has an
+// endpoint on every plane.
 func (b *Book) Validate() error {
+	if len(b.eps) == 0 {
+		return fmt.Errorf("wire: book is empty")
+	}
 	for _, n := range b.Nodes() {
 		for p := 0; p < b.planes; p++ {
 			if _, ok := b.Endpoint(n, p); !ok {
@@ -98,7 +118,7 @@ func (b *Book) Validate() error {
 	return nil
 }
 
-// String renders the book in its on-disk format.
+// String renders the book in its on-disk format; ParseBook reads it back.
 func (b *Book) String() string {
 	var sb strings.Builder
 	for _, n := range b.Nodes() {
@@ -111,16 +131,9 @@ func (b *Book) String() string {
 	return sb.String()
 }
 
-// ParseBook reads the book format from r. The plane count is inferred
-// from the highest plane index seen.
+// ParseBook reads the book format from r.
 func ParseBook(r io.Reader) (*Book, error) {
-	type entry struct {
-		node     types.NodeID
-		plane    int
-		hostport string
-	}
-	var entries []entry
-	maxPlane := 0
+	b := NewBook()
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -141,25 +154,15 @@ func ParseBook(r io.Reader) (*Book, error) {
 		if err != nil || plane < 0 {
 			return nil, fmt.Errorf("wire: book line %d: bad plane index %q", lineNo, f[3])
 		}
-		if plane > maxPlane {
-			maxPlane = plane
+		if _, dup := b.Endpoint(types.NodeID(id), plane); dup {
+			return nil, fmt.Errorf("wire: book line %d: lists node%d plane %d twice", lineNo, id, plane)
 		}
-		entries = append(entries, entry{types.NodeID(id), plane, f[4]})
+		if err := b.Set(types.NodeID(id), plane, f[4]); err != nil {
+			return nil, fmt.Errorf("wire: book line %d: %w", lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("wire: book: %w", err)
-	}
-	if len(entries) == 0 {
-		return nil, fmt.Errorf("wire: book is empty")
-	}
-	b := NewBook(maxPlane + 1)
-	for _, e := range entries {
-		if _, dup := b.Endpoint(e.node, e.plane); dup {
-			return nil, fmt.Errorf("wire: book lists %v plane %d twice", e.node, e.plane)
-		}
-		if err := b.Set(e.node, e.plane, e.hostport); err != nil {
-			return nil, err
-		}
 	}
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -188,11 +191,11 @@ func LoopbackBook(nodes, planes, basePort int) (*Book, error) {
 	if basePort <= 0 || basePort+nodes*planes > 65536 {
 		return nil, fmt.Errorf("wire: loopback book port range [%d, %d) is invalid", basePort, basePort+nodes*planes)
 	}
-	b := NewBook(planes)
+	b := NewBook()
 	for n := 0; n < nodes; n++ {
 		for p := 0; p < planes; p++ {
-			port := basePort + n*planes + p
-			if err := b.Set(types.NodeID(n), p, fmt.Sprintf("127.0.0.1:%d", port)); err != nil {
+			addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: basePort + n*planes + p}
+			if err := b.Add(types.NodeID(n), p, addr); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"net"
 	"strings"
 	"testing"
 
@@ -40,6 +41,60 @@ node 1 plane 1 127.0.0.1:9011
 	}
 }
 
+// TestBookBuilderRoundTrip pins the programmatic builder against the text
+// format: a book assembled with Add renders to text that parses back into
+// an identical book — no hand-formatted lines anywhere.
+func TestBookBuilderRoundTrip(t *testing.T) {
+	b := NewBook()
+	for n := 0; n < 3; n++ {
+		for p := 0; p < 2; p++ {
+			addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9100 + n*2 + p}
+			if err := b.Add(types.NodeID(n), p, addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if b.Planes() != 2 {
+		t.Fatalf("planes = %d, want 2", b.Planes())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBook(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("builder output failed to parse: %v", err)
+	}
+	if parsed.String() != b.String() {
+		t.Fatalf("builder/text round trip mismatch:\n%s\nvs\n%s", b.String(), parsed.String())
+	}
+	// Re-adding a pair replaces its endpoint.
+	if err := b.Add(0, 0, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}); err != nil {
+		t.Fatal(err)
+	}
+	if ep, _ := b.Endpoint(0, 0); ep.Port != 9999 {
+		t.Fatalf("replacement endpoint = %v", ep)
+	}
+}
+
+func TestBookBuilderRejectsBadEntries(t *testing.T) {
+	b := NewBook()
+	if err := b.Add(-1, 0, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := b.Add(0, 256, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}); err == nil {
+		t.Error("plane 256 accepted (frame header carries one byte)")
+	}
+	if err := b.Add(0, 0, nil); err == nil {
+		t.Error("nil endpoint accepted")
+	}
+	if err := b.Add(0, 0, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}); err == nil {
+		t.Error("port-zero endpoint accepted")
+	}
+	if err := b.Validate(); err == nil {
+		t.Error("empty book validated")
+	}
+}
+
 func TestBookParseErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":         "# nothing\n",
@@ -47,6 +102,7 @@ func TestBookParseErrors(t *testing.T) {
 		"bad id":        "node x plane 0 127.0.0.1:9000\n",
 		"bad plane":     "node 0 plane -1 127.0.0.1:9000\n",
 		"bad endpoint":  "node 0 plane 0 not-an-endpoint::::\n",
+		"port zero":     "node 0 plane 0 127.0.0.1:0\n",
 		"duplicate":     "node 0 plane 0 127.0.0.1:1\nnode 0 plane 0 127.0.0.1:2\n",
 		"missing plane": "node 0 plane 0 127.0.0.1:1\nnode 0 plane 1 127.0.0.1:2\nnode 1 plane 0 127.0.0.1:3\n",
 	}

@@ -4,73 +4,164 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/codec"
 	"repro/internal/types"
 )
 
-// Datagram framing. Every datagram carries one kernel message:
+// Datagram framing, version 2. Version 1 framed exactly one fire-and-forget
+// kernel message per datagram; version 2 adds the fields the reliability
+// layer needs — sequence numbers, piggybacked acks, and fragmentation — so
+// that any registered payload crosses the wire and lost datagrams are
+// retransmitted. Old v1 frames are rejected cleanly (a version check before
+// anything else), so mixed-version clusters fail loudly instead of
+// misparsing each other.
 //
 //	offset  size  field
 //	0       2     magic "PX"
-//	2       1     format version (currently 1)
+//	2       1     format version (currently 2)
 //	3       1     plane index the sender transmitted on
-//	4       4     payload length, big endian
-//	8       n     gob body (codec.Encode of the message)
+//	4       1     flags (data / ack / frag, see below)
+//	5       3     reserved, must be zero
+//	8       4     source node ID, big endian
+//	12      4     sequence number (flagData; 0 otherwise)
+//	16      4     ack: highest peer sequence seen (flagAck)
+//	20      4     ackBits: bit i set = seq ack-1-i also seen (flagAck)
+//	24      2     fragment index (flagFrag; 0 otherwise)
+//	26      2     fragment count (flagFrag; 1 for unfragmented data)
+//	28      4     payload length, big endian
+//	32      n     payload: one gob body (codec.Encode) or one fragment of it
 //
-// UDP already delimits datagrams, so the length field is not needed to
-// find the frame end; it exists to reject truncated or padded datagrams
-// before the gob decoder sees them, and to leave room for multi-message
-// batching in a later version.
+// The source node is in the header — not inferred from the UDP source
+// address — because acks must be routed through the address book and
+// ack-only frames carry no decodable body to name their sender.
+//
+// UDP already delimits datagrams, so the length field is not needed to find
+// the frame end; it exists to reject truncated or padded datagrams before
+// the reassembly buffers or the gob decoder see them.
 const (
 	frameMagic0  = 'P'
 	frameMagic1  = 'X'
-	frameVersion = 1
-	headerSize   = 8
+	frameVersion = 2
+	headerSize   = 32
 
-	// maxFrameSize bounds a datagram: a safe UDP payload size given the
-	// kernel's messages are small (the largest, a spawn request carrying
-	// a membership view, is well under 4 KiB).
+	// flagData marks a frame that carries (a fragment of) a kernel message
+	// and occupies a sequence number; the receiver acks it and suppresses
+	// duplicates. flagAck marks the ack/ackBits fields as valid — set on
+	// standalone ack frames and piggybacked on return data traffic.
+	// flagFrag marks the fragment fields as valid; fragments of one message
+	// occupy consecutive sequence numbers, so seq-fragIndex identifies the
+	// group.
+	flagData = 0x01
+	flagAck  = 0x02
+	flagFrag = 0x04
+
+	// maxFrameSize bounds a datagram: the largest UDP payload that reliably
+	// survives loopback and well-configured LANs. The transport's MTU
+	// option may only shrink below this; larger kernel messages fragment.
 	maxFrameSize = 60 * 1024
+
+	// maxFragments bounds one message's fragment count (and with it the
+	// memory a reassembly buffer can pin): 4096 × ~60 KiB ≈ 240 MiB worst
+	// case, far above any kernel payload.
+	maxFragments = 4096
 )
 
-// encodeFrame serialises a message for the given plane.
-func encodeFrame(msg types.Message, plane int) ([]byte, error) {
-	body, err := codec.Encode(msg)
-	if err != nil {
-		return nil, err
-	}
-	if headerSize+len(body) > maxFrameSize {
-		return nil, fmt.Errorf("wire: message %s is %d bytes, exceeds frame limit %d", msg.Type, headerSize+len(body), maxFrameSize)
-	}
-	out := make([]byte, headerSize+len(body))
-	out[0], out[1], out[2], out[3] = frameMagic0, frameMagic1, frameVersion, byte(plane)
-	binary.BigEndian.PutUint32(out[4:8], uint32(len(body)))
-	copy(out[headerSize:], body)
-	return out, nil
+// frame is the parsed form of one datagram.
+type frame struct {
+	plane     int
+	flags     byte
+	src       types.NodeID
+	seq       uint32
+	ack       uint32
+	ackBits   uint32
+	fragIndex uint16
+	fragCount uint16
+	payload   []byte
 }
 
-// decodeFrame parses one datagram. It never panics, whatever the input:
-// a live node must survive any byte sequence thrown at its sockets, so
-// decoder panics (possible on adversarial gob streams) are converted to
-// errors.
-func decodeFrame(data []byte) (msg types.Message, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("wire: decode panic: %v", r)
-		}
-	}()
-	if len(data) < headerSize {
-		return types.Message{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
+func (f *frame) isData() bool { return f.flags&flagData != 0 }
+func (f *frame) hasAck() bool { return f.flags&flagAck != 0 }
+
+// encodeFrame serialises a frame. The payload is copied into the returned
+// buffer, so retransmissions can hold the bytes without aliasing caller
+// state.
+func encodeFrame(f frame) []byte {
+	out := make([]byte, headerSize+len(f.payload))
+	out[0], out[1], out[2], out[3] = frameMagic0, frameMagic1, frameVersion, byte(f.plane)
+	out[4] = f.flags
+	binary.BigEndian.PutUint32(out[8:12], uint32(f.src))
+	binary.BigEndian.PutUint32(out[12:16], f.seq)
+	binary.BigEndian.PutUint32(out[16:20], f.ack)
+	binary.BigEndian.PutUint32(out[20:24], f.ackBits)
+	binary.BigEndian.PutUint16(out[24:26], f.fragIndex)
+	binary.BigEndian.PutUint16(out[26:28], f.fragCount)
+	binary.BigEndian.PutUint32(out[28:32], uint32(len(f.payload)))
+	copy(out[headerSize:], f.payload)
+	return out
+}
+
+// parseFrame validates one datagram. It never panics, whatever the input: a
+// live node must survive any byte sequence thrown at its sockets. The
+// returned frame's payload aliases data.
+func parseFrame(data []byte) (frame, error) {
+	// Magic and version come before the length check: a v1 frame is shorter
+	// than a v2 header, and it must be rejected as the wrong version, not as
+	// a truncated v2 frame.
+	if len(data) < 3 {
+		return frame{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
 	}
 	if data[0] != frameMagic0 || data[1] != frameMagic1 {
-		return types.Message{}, fmt.Errorf("wire: bad magic %#x%#x", data[0], data[1])
+		return frame{}, fmt.Errorf("wire: bad magic %#x%#x", data[0], data[1])
 	}
 	if data[2] != frameVersion {
-		return types.Message{}, fmt.Errorf("wire: unsupported frame version %d", data[2])
+		return frame{}, fmt.Errorf("wire: unsupported frame version %d (want %d)", data[2], frameVersion)
 	}
-	n := binary.BigEndian.Uint32(data[4:8])
-	if int(n) != len(data)-headerSize {
-		return types.Message{}, fmt.Errorf("wire: length header %d, body %d", n, len(data)-headerSize)
+	if len(data) < headerSize {
+		return frame{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
 	}
-	return codec.Decode(data[headerSize:])
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return frame{}, fmt.Errorf("wire: nonzero reserved bytes")
+	}
+	f := frame{
+		plane:     int(data[3]),
+		flags:     data[4],
+		src:       types.NodeID(binary.BigEndian.Uint32(data[8:12])),
+		seq:       binary.BigEndian.Uint32(data[12:16]),
+		ack:       binary.BigEndian.Uint32(data[16:20]),
+		ackBits:   binary.BigEndian.Uint32(data[20:24]),
+		fragIndex: binary.BigEndian.Uint16(data[24:26]),
+		fragCount: binary.BigEndian.Uint16(data[26:28]),
+		payload:   data[headerSize:],
+	}
+	if f.flags&^(flagData|flagAck|flagFrag) != 0 {
+		return frame{}, fmt.Errorf("wire: unknown flags %#x", f.flags)
+	}
+	if n := binary.BigEndian.Uint32(data[28:32]); int(n) != len(f.payload) {
+		return frame{}, fmt.Errorf("wire: length header %d, body %d", n, len(f.payload))
+	}
+	switch {
+	case f.isData():
+		if f.seq == 0 {
+			return frame{}, fmt.Errorf("wire: data frame with zero sequence")
+		}
+		if len(f.payload) == 0 {
+			return frame{}, fmt.Errorf("wire: data frame with empty payload")
+		}
+		if f.flags&flagFrag != 0 {
+			if f.fragCount < 2 || f.fragCount > maxFragments || f.fragIndex >= f.fragCount {
+				return frame{}, fmt.Errorf("wire: bad fragment %d/%d", f.fragIndex, f.fragCount)
+			}
+			if uint32(f.fragIndex) > f.seq-1 {
+				return frame{}, fmt.Errorf("wire: fragment index %d exceeds sequence %d", f.fragIndex, f.seq)
+			}
+		} else if f.fragIndex != 0 || f.fragCount != 1 {
+			return frame{}, fmt.Errorf("wire: unfragmented frame with fragment fields %d/%d", f.fragIndex, f.fragCount)
+		}
+	case f.hasAck():
+		if len(f.payload) != 0 || f.seq != 0 || f.fragIndex != 0 || f.fragCount != 0 {
+			return frame{}, fmt.Errorf("wire: malformed ack-only frame")
+		}
+	default:
+		return frame{}, fmt.Errorf("wire: frame carries neither data nor ack")
+	}
+	return f, nil
 }

@@ -82,16 +82,16 @@ func TestClusterOverLoopbackUDP(t *testing.T) {
 	// the address book from the kernel-assigned endpoints.
 	regs := make([]*metrics.Registry, topo.NumNodes())
 	transports := make([]*wire.Transport, topo.NumNodes())
-	book := wire.NewBook(planes)
+	book := wire.NewBook()
 	for i := range transports {
 		regs[i] = metrics.NewRegistry()
-		tr, err := wire.ListenEphemeral(types.NodeID(i), planes, wire.NewLoop(), regs[i])
+		tr, err := wire.New(types.NodeID(i), nil, wire.WithPlanes(planes), wire.WithMetrics(regs[i]))
 		if err != nil {
 			t.Fatal(err)
 		}
 		transports[i] = tr
 		for p, ep := range tr.Endpoints() {
-			if err := book.Set(tr.Node(), p, ep.String()); err != nil {
+			if err := book.Add(tr.Node(), p, ep); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -110,9 +110,8 @@ func TestClusterOverLoopbackUDP(t *testing.T) {
 	}
 	for i, tr := range transports {
 		tr.SetBook(book)
-		n, err := noded.Start(noded.Options{
-			Node: tr.Node(), Topo: topo, Params: params, Costs: costs, Transport: tr,
-		})
+		n, err := noded.Start(tr.Node(), topo,
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr))
 		if err != nil {
 			t.Fatalf("start node %d: %v", i, err)
 		}

@@ -1,0 +1,469 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/types"
+)
+
+// The reliability layer sits between Send/dispatch and the UDP sockets.
+// Sequence numbers, ack state, retransmit windows and reassembly buffers
+// are all kept per (peer node, plane): the planes are independent physical
+// networks in the paper's design, so a plane losing packets must not stall
+// traffic on its siblings.
+//
+// Sender side: every data frame occupies one sequence number (starting at
+// 1; 0 means "no sequence") and stays in a bounded in-flight window until
+// the peer acks it. Frames that do not fit the window queue in order;
+// retransmission backs off exponentially from the base RTO, and a frame
+// that exhausts its retries declares the whole (peer, plane) unreachable —
+// pending traffic is dropped and the fault surfaces through the
+// WithPeerFaultHandler callback wrapping ErrPeerUnreachable.
+//
+// Receiver side: acks are cumulative-plus-bitmap (ack = highest sequence
+// seen, ackBits bit i = sequence ack-1-i also seen), piggybacked on return
+// data traffic or sent standalone after a short delay. Duplicates — from
+// retransmission races or the wire itself — are counted and dropped, with
+// a dupWindow-deep memory below the highest sequence seen. Fragments of
+// one message occupy consecutive sequence numbers; seq-fragIndex keys the
+// reassembly buffer, which expires if the remaining fragments never arrive
+// (their retransmission having faulted the peer).
+//
+// All reliability state lives behind relMu, never the node's Loop: acks
+// and retransmissions must flow even while daemon code holds the loop.
+
+// peerKey names one directed traffic lane.
+type peerKey struct {
+	node  types.NodeID
+	plane int
+}
+
+// pending is one transmitted-but-unacked frame.
+type pending struct {
+	data     []byte
+	attempts int
+	timer    clock.Timer
+}
+
+// queued is an encoded frame (sequence already assigned) waiting for
+// window space.
+type queued struct {
+	seq  uint32
+	data []byte
+}
+
+// txState is the sender's view of one (peer, plane) lane.
+type txState struct {
+	nextSeq  uint32
+	inflight map[uint32]*pending
+	queue    []queued
+}
+
+// rxState is the receiver's view of one (peer, plane) lane.
+type rxState struct {
+	latest     uint32
+	seen       map[uint32]bool
+	ackPending bool
+	ackTimer   clock.Timer
+	reasm      map[uint32]*reassembly
+}
+
+// reassembly collects the fragments of one message.
+type reassembly struct {
+	parts [][]byte
+	have  int
+	size  int
+	timer clock.Timer
+}
+
+const (
+	// dupWindow is how far below the highest sequence seen the receiver
+	// remembers deliveries; anything older is assumed (and counted as) a
+	// duplicate. It must exceed the send window, or slow retransmissions
+	// of old frames would be re-delivered.
+	dupWindow = 512
+
+	// reassemblyExpiry bounds how long a partial message pins memory. It
+	// comfortably exceeds the full retransmission budget of the default
+	// retransmit policy, so it only fires once the sender has given up.
+	reassemblyExpiry = 30 * time.Second
+)
+
+func (t *Transport) txFor(key peerKey) *txState {
+	tx := t.tx[key]
+	if tx == nil {
+		tx = &txState{nextSeq: 1, inflight: make(map[uint32]*pending)}
+		t.tx[key] = tx
+	}
+	return tx
+}
+
+func (t *Transport) rxFor(key peerKey) *rxState {
+	rx := t.rx[key]
+	if rx == nil {
+		rx = &rxState{seen: make(map[uint32]bool), reasm: make(map[uint32]*reassembly)}
+		t.rx[key] = rx
+	}
+	return rx
+}
+
+// sendReliable fragments one encoded message body onto the (dst, plane)
+// lane and transmits what fits the window. Called with no locks held.
+func (t *Transport) sendReliable(dst types.NodeID, plane int, ep *net.UDPAddr, body []byte, msgType string) error {
+	maxPayload := t.opt.mtu - headerSize
+	nfrag := (len(body) + maxPayload - 1) / maxPayload
+	if nfrag > maxFragments {
+		t.reg.Counter("wire.tx.drop.oversize").Inc()
+		return fmt.Errorf("wire: message %s is %d bytes, exceeds %d fragments of %d-byte MTU",
+			msgType, len(body), maxFragments, t.opt.mtu)
+	}
+	key := peerKey{dst, plane}
+
+	t.relMu.Lock()
+	tx := t.txFor(key)
+	avail := t.opt.window - len(tx.inflight)
+	if avail < 0 {
+		avail = 0
+	}
+	if over := nfrag - avail; over > 0 && len(tx.queue)+over > t.opt.queueMax {
+		t.relMu.Unlock()
+		t.reg.Counter("wire.tx.drop.overflow").Inc()
+		return fmt.Errorf("wire: send queue to %v plane %d is full (%d frames): %w",
+			dst, plane, t.opt.queueMax, ErrPeerUnreachable)
+	}
+	ack, ackBits, ackFlag := t.takeAckLocked(key)
+	var sendNow [][]byte
+	stalled := 0
+	for i := 0; i < nfrag; i++ {
+		seq := tx.nextSeq
+		tx.nextSeq++
+		f := frame{
+			plane: plane, flags: flagData | ackFlag, src: t.node,
+			seq: seq, ack: ack, ackBits: ackBits,
+			fragCount: 1,
+		}
+		if nfrag > 1 {
+			f.flags |= flagFrag
+			f.fragIndex, f.fragCount = uint16(i), uint16(nfrag)
+			t.reg.Counter("wire.tx.frags").Inc()
+		}
+		lo := i * maxPayload
+		hi := lo + maxPayload
+		if hi > len(body) {
+			hi = len(body)
+		}
+		f.payload = body[lo:hi]
+		data := encodeFrame(f)
+		if len(tx.inflight) < t.opt.window {
+			t.armLocked(tx, key, seq, data)
+			sendNow = append(sendNow, data)
+		} else {
+			tx.queue = append(tx.queue, queued{seq: seq, data: data})
+			stalled++
+		}
+	}
+	t.relMu.Unlock()
+
+	if stalled > 0 {
+		t.reg.Counter("wire.tx.window_stalls").Add(float64(stalled))
+	}
+	for _, data := range sendNow {
+		t.transmit(plane, ep, data)
+	}
+	return nil
+}
+
+// armLocked registers a frame in the in-flight window and starts its
+// retransmit timer. relMu must be held.
+func (t *Transport) armLocked(tx *txState, key peerKey, seq uint32, data []byte) {
+	p := &pending{data: data}
+	tx.inflight[seq] = p
+	p.timer = t.clk.AfterFunc(t.opt.rto, func() { t.retransmit(key, seq) })
+}
+
+// retransmit is the timer callback of one in-flight frame.
+func (t *Transport) retransmit(key peerKey, seq uint32) {
+	t.mu.Lock()
+	up, closed, book := t.up, t.closed, t.book
+	t.mu.Unlock()
+
+	t.relMu.Lock()
+	tx := t.tx[key]
+	if tx == nil {
+		t.relMu.Unlock()
+		return
+	}
+	p := tx.inflight[seq]
+	if p == nil {
+		t.relMu.Unlock()
+		return
+	}
+	if closed || !up || book == nil {
+		// A dead or down node transmits nothing; abandon silently.
+		delete(tx.inflight, seq)
+		t.relMu.Unlock()
+		return
+	}
+	p.attempts++
+	if p.attempts > t.opt.retries {
+		t.dropLaneLocked(key)
+		fn := t.opt.onPeerFault
+		t.relMu.Unlock()
+		t.reg.Counter("wire.tx.peer_faults").Inc()
+		if fn != nil {
+			fn(key.node, key.plane, fmt.Errorf("wire: %v plane %d: no ack after %d retransmits: %w",
+				key.node, key.plane, t.opt.retries, ErrPeerUnreachable))
+		}
+		return
+	}
+	backoff := t.opt.rto << uint(p.attempts)
+	if backoff > t.opt.rtoMax {
+		backoff = t.opt.rtoMax
+	}
+	p.timer = t.clk.AfterFunc(backoff, func() { t.retransmit(key, seq) })
+	data := p.data
+	t.relMu.Unlock()
+
+	ep, ok := book.Endpoint(key.node, key.plane)
+	if !ok {
+		return
+	}
+	t.reg.Counter("wire.tx.retransmits").Inc()
+	t.transmit(key.plane, ep, data)
+}
+
+// dropLaneLocked abandons all traffic queued or in flight to one lane.
+// relMu must be held.
+func (t *Transport) dropLaneLocked(key peerKey) {
+	tx := t.tx[key]
+	if tx == nil {
+		return
+	}
+	for _, p := range tx.inflight {
+		p.timer.Stop()
+	}
+	// Keep nextSeq: if the peer returns, its dup window is keyed to the
+	// highest sequence it saw, so sequence numbers must not restart.
+	tx.inflight = make(map[uint32]*pending)
+	tx.queue = nil
+}
+
+// handleAck processes the ack fields of one inbound frame and promotes
+// queued frames into the freed window. Called with no locks held.
+func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
+	t.relMu.Lock()
+	tx := t.tx[key]
+	if tx == nil {
+		t.relMu.Unlock()
+		return
+	}
+	settle := func(seq uint32) {
+		if p := tx.inflight[seq]; p != nil {
+			p.timer.Stop()
+			delete(tx.inflight, seq)
+		}
+	}
+	settle(ack)
+	for i := uint32(0); i < 32; i++ {
+		if ackBits&(1<<i) != 0 && ack > i+1 {
+			settle(ack - 1 - i)
+		}
+	}
+	var sendNow [][]byte
+	for len(tx.queue) > 0 && len(tx.inflight) < t.opt.window {
+		q := tx.queue[0]
+		tx.queue = tx.queue[1:]
+		t.armLocked(tx, key, q.seq, q.data)
+		sendNow = append(sendNow, q.data)
+	}
+	t.relMu.Unlock()
+
+	if len(sendNow) > 0 {
+		t.mu.Lock()
+		book := t.book
+		t.mu.Unlock()
+		if book == nil {
+			return
+		}
+		ep, ok := book.Endpoint(key.node, key.plane)
+		if !ok {
+			return
+		}
+		for _, data := range sendNow {
+			t.transmit(key.plane, ep, data)
+		}
+	}
+}
+
+// handleData runs the receive side of the state machine for one data
+// frame: duplicate suppression, ack scheduling, reassembly. It returns the
+// complete message body when this frame finishes a message, nil otherwise.
+// Called with no locks held; the frame's payload aliases the read buffer,
+// so anything retained is copied.
+func (t *Transport) handleData(key peerKey, f frame) []byte {
+	t.relMu.Lock()
+	rx := t.rxFor(key)
+	dup := false
+	switch {
+	case f.seq > rx.latest:
+		rx.seen[f.seq] = true
+		for s := range rx.seen {
+			if f.seq-s >= dupWindow {
+				delete(rx.seen, s)
+			}
+		}
+		rx.latest = f.seq
+	case rx.latest-f.seq >= dupWindow || rx.seen[f.seq]:
+		dup = true
+	default:
+		rx.seen[f.seq] = true
+	}
+	// Schedule an ack either way: a duplicate means the sender missed it.
+	if !rx.ackPending {
+		rx.ackPending = true
+		rx.ackTimer = t.clk.AfterFunc(t.opt.ackDelay, func() { t.sendAck(key) })
+	}
+	if dup {
+		t.relMu.Unlock()
+		t.reg.Counter("wire.rx.dup_drops").Inc()
+		return nil
+	}
+	if f.flags&flagFrag == 0 {
+		t.relMu.Unlock()
+		return append([]byte(nil), f.payload...)
+	}
+
+	t.reg.Counter("wire.rx.frags").Inc()
+	base := f.seq - uint32(f.fragIndex)
+	r := rx.reasm[base]
+	if r == nil {
+		r = &reassembly{parts: make([][]byte, f.fragCount)}
+		rx.reasm[base] = r
+		r.timer = t.clk.AfterFunc(reassemblyExpiry, func() { t.expireReassembly(key, base) })
+	}
+	if int(f.fragCount) != len(r.parts) || r.parts[f.fragIndex] != nil {
+		t.relMu.Unlock()
+		t.reg.Counter("wire.rx.frag_mismatch").Inc()
+		return nil
+	}
+	r.parts[f.fragIndex] = append([]byte(nil), f.payload...)
+	r.have++
+	r.size += len(f.payload)
+	if r.have < len(r.parts) {
+		t.relMu.Unlock()
+		return nil
+	}
+	r.timer.Stop()
+	delete(rx.reasm, base)
+	body := make([]byte, 0, r.size)
+	for _, part := range r.parts {
+		body = append(body, part...)
+	}
+	t.relMu.Unlock()
+	t.reg.Counter("wire.rx.frag_reassembled").Inc()
+	return body
+}
+
+// expireReassembly discards a partial message whose remaining fragments
+// never arrived.
+func (t *Transport) expireReassembly(key peerKey, base uint32) {
+	t.relMu.Lock()
+	rx := t.rx[key]
+	if rx == nil {
+		t.relMu.Unlock()
+		return
+	}
+	if _, ok := rx.reasm[base]; !ok {
+		t.relMu.Unlock()
+		return
+	}
+	delete(rx.reasm, base)
+	t.relMu.Unlock()
+	t.reg.Counter("wire.rx.frag_timeouts").Inc()
+}
+
+// takeAckLocked reads the current ack fields for piggybacking on an
+// outbound data frame and cancels any pending standalone ack. relMu must
+// be held.
+func (t *Transport) takeAckLocked(key peerKey) (ack, ackBits uint32, flag byte) {
+	rx := t.rx[key]
+	if rx == nil || rx.latest == 0 {
+		return 0, 0, 0
+	}
+	if rx.ackPending {
+		rx.ackPending = false
+		rx.ackTimer.Stop()
+		t.reg.Counter("wire.tx.ack_piggybacked").Inc()
+	}
+	ack, ackBits = ackFieldsLocked(rx)
+	return ack, ackBits, flagAck
+}
+
+// ackFieldsLocked derives the cumulative-plus-bitmap ack from the receive
+// state. relMu must be held.
+func ackFieldsLocked(rx *rxState) (ack, bits uint32) {
+	ack = rx.latest
+	for i := uint32(0); i < 32 && ack > i+1; i++ {
+		if rx.seen[ack-1-i] {
+			bits |= 1 << i
+		}
+	}
+	return ack, bits
+}
+
+// sendAck emits one standalone ack frame for a lane whose delayed-ack
+// timer fired before return traffic could piggyback it.
+func (t *Transport) sendAck(key peerKey) {
+	t.mu.Lock()
+	up, closed, book := t.up, t.closed, t.book
+	t.mu.Unlock()
+
+	t.relMu.Lock()
+	rx := t.rx[key]
+	if rx == nil || !rx.ackPending {
+		t.relMu.Unlock()
+		return
+	}
+	rx.ackPending = false
+	if closed || !up || book == nil {
+		t.relMu.Unlock()
+		return
+	}
+	ack, bits := ackFieldsLocked(rx)
+	t.relMu.Unlock()
+
+	ep, ok := book.Endpoint(key.node, key.plane)
+	if !ok {
+		return
+	}
+	data := encodeFrame(frame{plane: key.plane, flags: flagAck, src: t.node, ack: ack, ackBits: bits})
+	t.reg.Counter("wire.tx.acks").Inc()
+	t.transmit(key.plane, ep, data)
+}
+
+// resetReliability stops every reliability timer and discards all lane
+// state — the transport-level meaning of node death (Close) or power-off.
+func (t *Transport) resetReliability() {
+	t.relMu.Lock()
+	defer t.relMu.Unlock()
+	for _, tx := range t.tx {
+		for _, p := range tx.inflight {
+			p.timer.Stop()
+		}
+		tx.inflight = make(map[uint32]*pending)
+		tx.queue = nil
+	}
+	for _, rx := range t.rx {
+		if rx.ackPending {
+			rx.ackPending = false
+			rx.ackTimer.Stop()
+		}
+		for base, r := range rx.reasm {
+			r.timer.Stop()
+			delete(rx.reasm, base)
+		}
+	}
+}

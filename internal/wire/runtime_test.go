@@ -13,14 +13,14 @@ import (
 
 func testRuntime(t *testing.T) (*Runtime, *Transport) {
 	t.Helper()
-	tr, err := ListenEphemeral(0, 1, NewLoop(), nil)
+	tr, err := New(0, nil, WithPlanes(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(tr.Close)
-	book := NewBook(1)
+	book := NewBook()
 	for p, ep := range tr.Endpoints() {
-		if err := book.Set(0, p, ep.String()); err != nil {
+		if err := book.Add(0, p, ep); err != nil {
 			t.Fatal(err)
 		}
 	}

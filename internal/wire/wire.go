@@ -3,8 +3,17 @@
 // inside each phoenix-node OS process and binds one socket per network
 // plane (the paper's per-NIC heartbeat channels, §4.3), so a message sent
 // on NIC k genuinely leaves on plane k's socket and arrives on the peer's
-// plane-k socket. Messages are framed with a version/length header around
-// the gob wire format of internal/codec.
+// plane-k socket.
+//
+// Unlike raw UDP, the transport delivers: a reliability layer between the
+// kernel and the sockets (frame format v2) sequences every message,
+// retransmits with exponential backoff inside a bounded per-peer window,
+// suppresses duplicates on receive, and fragments bodies larger than the
+// MTU — the paper's kernel assumes its channels deliver (heartbeat
+// analysis, diagnosis probing and federation queries all sit on top of
+// messaging), and the Microsoft Cluster Service regroup protocol makes the
+// same requirement explicit. Peers that exhaust the retransmission budget
+// surface as transport-level faults through WithPeerFaultHandler.
 //
 // The package deliberately mirrors internal/simnet's surface — Register /
 // Unregister / Send with datagram semantics — so that *Transport and
@@ -21,19 +30,22 @@ import (
 	"sync"
 
 	"repro/internal/clock"
+	"repro/internal/codec"
 	"repro/internal/metrics"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
 
 // Transport is one node's real-socket attachment: a set of bound UDP
-// sockets (one per plane), a handler table equivalent to
-// simnet.Network.Register, and the address book naming every peer.
+// sockets (one per plane), the reliability state of every traffic lane, a
+// handler table equivalent to simnet.Network.Register, and the address
+// book naming every peer.
 type Transport struct {
 	node types.NodeID
 	loop *Loop
 	reg  *metrics.Registry
 	clk  clock.Clock
+	opt  options
 
 	conns []*net.UDPConn
 	wg    sync.WaitGroup
@@ -43,58 +55,51 @@ type Transport struct {
 	handlers map[types.Addr]func(types.Message)
 	up       bool
 	closed   bool
+
+	relMu sync.Mutex
+	tx    map[peerKey]*txState
+	rx    map[peerKey]*rxState
 }
 
-// Listen binds one UDP socket per plane at the node's address-book
-// endpoints and starts receiving. The returned transport has the book
-// attached and is ready to Send.
-func Listen(node types.NodeID, book *Book, loop *Loop, reg *metrics.Registry) (*Transport, error) {
-	if book == nil {
-		return nil, fmt.Errorf("wire: nil address book")
-	}
-	laddrs := make([]*net.UDPAddr, book.Planes())
-	for p := range laddrs {
-		a, ok := book.Endpoint(node, p)
-		if !ok {
-			return nil, fmt.Errorf("wire: book has no endpoint for %v plane %d", node, p)
-		}
-		laddrs[p] = a
-	}
-	t, err := listen(node, laddrs, loop, reg)
+// New binds a transport for one node. With a non-nil book it binds the
+// node's address-book endpoints (one socket per plane) and is ready to
+// Send on return. With a nil book it needs WithPlanes(n) and binds n
+// ephemeral loopback ports — the in-process test path, where the caller
+// collects Endpoints from every transport into a shared Book and attaches
+// it with SetBook before traffic flows.
+func New(node types.NodeID, book *Book, opts ...Option) (*Transport, error) {
+	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	t.SetBook(book)
-	return t, nil
-}
+	var laddrs []*net.UDPAddr
+	switch {
+	case book != nil && o.planes != 0:
+		return nil, fmt.Errorf("wire: WithPlanes is for bookless (ephemeral) transports")
+	case book != nil:
+		laddrs = make([]*net.UDPAddr, book.Planes())
+		for p := range laddrs {
+			a, ok := book.Endpoint(node, p)
+			if !ok {
+				return nil, fmt.Errorf("wire: book has no endpoint for %v plane %d: %w", node, p, ErrUnknownPeer)
+			}
+			laddrs[p] = a
+		}
+	case o.planes > 0:
+		laddrs = make([]*net.UDPAddr, o.planes)
+		for p := range laddrs {
+			laddrs[p] = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+		}
+	default:
+		return nil, fmt.Errorf("wire: need an address book or WithPlanes(n)")
+	}
 
-// ListenEphemeral binds the given number of planes to ephemeral loopback
-// ports — the in-process test and example path, where the address book
-// can only be assembled after every node has bound. The caller collects
-// Endpoints from all transports into a Book and attaches it with SetBook
-// before any traffic flows.
-func ListenEphemeral(node types.NodeID, planes int, loop *Loop, reg *metrics.Registry) (*Transport, error) {
-	if planes <= 0 {
-		return nil, fmt.Errorf("wire: need at least one plane")
-	}
-	laddrs := make([]*net.UDPAddr, planes)
-	for p := range laddrs {
-		laddrs[p] = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
-	}
-	return listen(node, laddrs, loop, reg)
-}
-
-func listen(node types.NodeID, laddrs []*net.UDPAddr, loop *Loop, reg *metrics.Registry) (*Transport, error) {
-	if loop == nil {
-		loop = NewLoop()
-	}
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
 	t := &Transport{
-		node: node, loop: loop, reg: reg, clk: clock.Real{},
+		node: node, loop: o.loop, reg: o.reg, clk: clock.Real{}, opt: o,
 		handlers: make(map[types.Addr]func(types.Message)),
 		up:       true,
+		tx:       make(map[peerKey]*txState),
+		rx:       make(map[peerKey]*rxState),
 	}
 	for p, laddr := range laddrs {
 		conn, err := net.ListenUDP("udp", laddr)
@@ -103,6 +108,9 @@ func listen(node types.NodeID, laddrs []*net.UDPAddr, loop *Loop, reg *metrics.R
 			return nil, fmt.Errorf("wire: bind %v plane %d at %v: %w", node, p, laddr, err)
 		}
 		t.conns = append(t.conns, conn)
+	}
+	if book != nil {
+		t.book = book
 	}
 	for p, conn := range t.conns {
 		t.wg.Add(1)
@@ -124,7 +132,7 @@ func (t *Transport) Loop() *Loop { return t.loop }
 func (t *Transport) Metrics() *metrics.Registry { return t.reg }
 
 // Endpoints reports the actually-bound local address of every plane —
-// after ListenEphemeral these carry the kernel-assigned ports that go
+// after an ephemeral New these carry the kernel-assigned ports that go
 // into the shared Book.
 func (t *Transport) Endpoints() []*net.UDPAddr {
 	out := make([]*net.UDPAddr, len(t.conns))
@@ -173,9 +181,12 @@ func (t *Transport) Registered(addr types.Addr) bool {
 }
 
 // SetNodeUp implements simhost.Fabric. A transport only controls its own
-// node's presence: powering it off silences both directions (datagrams
-// are still drained from the sockets but dropped before dispatch), which
-// is what simhost.Host.PowerOff expects from the fabric.
+// node's presence: powering it off silences both directions — datagrams
+// are still drained from the sockets but dropped before acking or
+// dispatch, retransmission timers abandon their frames, and no ack leaves
+// the node — which is what simhost.Host.PowerOff expects from the fabric:
+// to every peer, a powered-off node is indistinguishable from a dead one,
+// and their retransmissions to it eventually fault the lane.
 func (t *Transport) SetNodeUp(id types.NodeID, up bool) {
 	if id != t.node {
 		return
@@ -183,13 +194,18 @@ func (t *Transport) SetNodeUp(id types.NodeID, up bool) {
 	t.mu.Lock()
 	t.up = up
 	t.mu.Unlock()
+	if !up {
+		t.resetReliability()
+	}
 }
 
-// Send implements simhost.Fabric with the same local-failure semantics as
-// the simulated fabric: a down or unroutable sender returns an error;
-// once a datagram is on the wire, losses are silent. A message with
-// NIC == types.AnyNIC leaves on the first plane that has an endpoint for
-// the destination.
+// Send implements simhost.Fabric. Local failures — a down or unroutable
+// sender, an unknown destination (ErrUnknownPeer), a full send queue — are
+// returned synchronously; once a message is accepted, the reliability
+// layer owns it: the message is fragmented to the MTU, sequenced,
+// retransmitted until acked, and a peer that never acks is reported
+// through the fault handler. A message with NIC == types.AnyNIC leaves on
+// the first plane that has an endpoint for the destination.
 func (t *Transport) Send(msg types.Message) error {
 	t.mu.Lock()
 	book, up, closed := t.book, t.up, t.closed
@@ -216,7 +232,7 @@ func (t *Transport) Send(msg types.Message) error {
 		}
 		if plane == -1 {
 			t.reg.Counter("wire.tx.drop.noroute").Inc()
-			return fmt.Errorf("wire: no endpoint for %v in address book", msg.To.Node)
+			return fmt.Errorf("wire: no endpoint for %v in address book: %w", msg.To.Node, ErrUnknownPeer)
 		}
 	} else if plane < 0 || plane >= len(t.conns) {
 		return fmt.Errorf("wire: invalid NIC %d", plane)
@@ -224,30 +240,50 @@ func (t *Transport) Send(msg types.Message) error {
 	ep, ok := book.Endpoint(msg.To.Node, plane)
 	if !ok {
 		t.reg.Counter("wire.tx.drop.noroute").Inc()
-		return fmt.Errorf("wire: no endpoint for %v plane %d in address book", msg.To.Node, plane)
+		return fmt.Errorf("wire: no endpoint for %v plane %d in address book: %w", msg.To.Node, plane, ErrUnknownPeer)
 	}
 
 	msg.NIC = plane
 	msg.Sent = t.clk.Now()
-	frame, err := encodeFrame(msg, plane)
+	body, err := codec.Encode(msg)
 	if err != nil {
 		t.reg.Counter("wire.tx.drop.encode").Inc()
 		return err
 	}
-	if _, err := t.conns[plane].WriteToUDP(frame, ep); err != nil {
-		t.reg.Counter("wire.tx.drop.write").Inc()
-		return fmt.Errorf("wire: send %s to %v: %w", msg.Type, msg.To, err)
+	if err := t.sendReliable(msg.To.Node, plane, ep, body, msg.Type); err != nil {
+		return err
 	}
-	t.reg.Counter("wire.tx.datagrams").Inc()
-	t.reg.Counter("wire.tx.bytes").Add(float64(len(frame)))
-	t.reg.Counter(fmt.Sprintf("wire.tx.datagrams.plane%d", plane)).Inc()
-	t.reg.Counter(fmt.Sprintf("wire.tx.bytes.plane%d", plane)).Add(float64(len(frame)))
+	t.reg.Counter("wire.tx.msgs").Inc()
 	t.reg.Counter("wire.tx.msgs." + msg.Type).Inc()
 	return nil
 }
 
-// readLoop drains one plane's socket until the transport closes. Each
-// datagram is decoded off-loop (CPU-bound, holds no state) and dispatched
+// transmit puts one datagram on the wire, routing it through the outbound
+// filter when one is installed.
+func (t *Transport) transmit(plane int, ep *net.UDPAddr, data []byte) {
+	if t.opt.filter != nil {
+		t.opt.filter(plane, data, func() { t.rawWrite(plane, ep, data) })
+		return
+	}
+	t.rawWrite(plane, ep, data)
+}
+
+// rawWrite is the socket write plus traffic accounting. Safe after Close
+// (the write fails and is counted); plane is trusted to be in range.
+func (t *Transport) rawWrite(plane int, ep *net.UDPAddr, data []byte) {
+	if _, err := t.conns[plane].WriteToUDP(data, ep); err != nil {
+		t.reg.Counter("wire.tx.drop.write").Inc()
+		return
+	}
+	t.reg.Counter("wire.tx.datagrams").Inc()
+	t.reg.Counter("wire.tx.bytes").Add(float64(len(data)))
+	t.reg.Counter(fmt.Sprintf("wire.tx.datagrams.plane%d", plane)).Inc()
+	t.reg.Counter(fmt.Sprintf("wire.tx.bytes.plane%d", plane)).Add(float64(len(data)))
+}
+
+// readLoop drains one plane's socket until the transport closes. Frame
+// parsing, the reliability state machine and gob decoding all run on this
+// goroutine (CPU-bound, loop-free); completed messages are dispatched
 // inside the loop, mirroring the delivery discipline of the simulator.
 func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
 	defer t.wg.Done()
@@ -268,15 +304,60 @@ func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
 		t.reg.Counter("wire.rx.bytes").Add(float64(n))
 		t.reg.Counter(fmt.Sprintf("wire.rx.datagrams.plane%d", plane)).Inc()
 		t.reg.Counter(fmt.Sprintf("wire.rx.bytes.plane%d", plane)).Add(float64(n))
-		msg, err := decodeFrame(buf[:n])
+		f, err := parseFrame(buf[:n])
 		if err != nil {
 			t.reg.Counter("wire.rx.decode_errors").Inc()
 			continue
 		}
-		// The receiving socket, not the sender's claim, names the plane.
-		msg.NIC = plane
-		t.dispatch(msg)
+		t.receive(plane, f)
 	}
+}
+
+// receive runs one parsed frame through the reliability layer and, when it
+// completes a message, decodes and dispatches it. The receiving socket,
+// not the sender's header, names the plane.
+func (t *Transport) receive(plane int, f frame) {
+	t.mu.Lock()
+	up := t.up
+	t.mu.Unlock()
+	if !up {
+		// A powered-off node neither acks nor delivers: to its peers it
+		// must look dead, so their retransmissions fault the lane.
+		t.reg.Counter("wire.rx.dropped").Inc()
+		return
+	}
+	key := peerKey{f.src, plane}
+	if f.hasAck() {
+		t.reg.Counter("wire.rx.acks").Inc()
+		t.handleAck(key, f.ack, f.ackBits)
+	}
+	if !f.isData() {
+		return
+	}
+	body := t.handleData(key, f)
+	if body == nil {
+		return
+	}
+	msg, err := decodeBody(body)
+	if err != nil {
+		t.reg.Counter("wire.rx.decode_errors").Inc()
+		return
+	}
+	msg.NIC = plane
+	t.dispatch(msg)
+}
+
+// decodeBody gob-decodes a reassembled message body. It never panics,
+// whatever the bytes: a live node must survive any datagram thrown at its
+// sockets, so decoder panics (possible on adversarial gob streams) are
+// converted to errors.
+func decodeBody(body []byte) (msg types.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wire: decode panic: %v", r)
+		}
+	}()
+	return codec.Decode(body)
 }
 
 // dispatch delivers one message inside the loop.
@@ -299,10 +380,10 @@ func (t *Transport) dispatch(msg types.Message) {
 	})
 }
 
-// Close shuts the sockets down and waits for the reader goroutines to
-// drain. Pending loop callbacks may still run after Close; daemon-level
-// shutdown (Host.PowerOff, Runtime.Close) is what guarantees they find
-// only dead handlers.
+// Close shuts the sockets down, stops every reliability timer and waits
+// for the reader goroutines to drain. Pending loop callbacks may still run
+// after Close; daemon-level shutdown (Host.PowerOff, Runtime.Close) is
+// what guarantees they find only dead handlers.
 func (t *Transport) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -312,6 +393,7 @@ func (t *Transport) Close() {
 	t.closed = true
 	conns := t.conns
 	t.mu.Unlock()
+	t.resetReliability()
 	for _, c := range conns {
 		if c != nil {
 			_ = c.Close()

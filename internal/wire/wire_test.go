@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -10,30 +11,27 @@ import (
 
 // pair binds two transports on ephemeral loopback ports and cross-wires
 // their address books.
-func pair(t *testing.T, planes int) (*Transport, *Transport) {
+func pair(t *testing.T, planes int, opts ...Option) (*Transport, *Transport) {
 	t.Helper()
-	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
-	a, err := ListenEphemeral(0, planes, NewLoop(), regA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(a.Close)
-	b, err := ListenEphemeral(1, planes, NewLoop(), regB)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(b.Close)
-	book := NewBook(planes)
-	for _, tr := range []*Transport{a, b} {
+	trs := make([]*Transport, 2)
+	book := NewBook()
+	for i := range trs {
+		tr, err := New(types.NodeID(i), nil,
+			append([]Option{WithPlanes(planes), WithMetrics(metrics.NewRegistry())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		trs[i] = tr
 		for p, ep := range tr.Endpoints() {
-			if err := book.Set(tr.Node(), p, ep.String()); err != nil {
+			if err := book.Add(tr.Node(), p, ep); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	a.SetBook(book)
-	b.SetBook(book)
-	return a, b
+	trs[0].SetBook(book)
+	trs[1].SetBook(book)
+	return trs[0], trs[1]
 }
 
 func recvAddr() types.Addr { return types.Addr{Node: 1, Service: "svc"} }
@@ -106,8 +104,12 @@ func TestTransportSendErrors(t *testing.T) {
 
 	msg.To = types.Addr{Node: 9, Service: "svc"}
 	msg.NIC = types.AnyNIC
-	if err := a.Send(msg); err == nil {
-		t.Error("send to unknown node succeeded")
+	if err := a.Send(msg); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to unknown node: got %v, want ErrUnknownPeer", err)
+	}
+	msg.NIC = 1
+	if err := a.Send(msg); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to unknown node on fixed plane: got %v, want ErrUnknownPeer", err)
 	}
 	if a.Metrics().Counter("wire.tx.drop.noroute").Value() == 0 {
 		t.Error("noroute drop not counted")
@@ -115,8 +117,8 @@ func TestTransportSendErrors(t *testing.T) {
 
 	msg.To = recvAddr()
 	msg.NIC = 7
-	if err := a.Send(msg); err == nil {
-		t.Error("send on invalid NIC succeeded")
+	if err := a.Send(msg); err == nil || errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send on invalid NIC: got %v", err)
 	}
 
 	a.SetNodeUp(0, false)
@@ -154,8 +156,9 @@ func TestTransportDropsWhenReceiverDownOrUnbound(t *testing.T) {
 	send()
 	waitCounter("wire.rx.no_handler")
 
-	// Receiver powered off: datagrams drain but are dropped pre-dispatch.
-	got := make(chan types.Message, 1)
+	// Receiver powered off: datagrams drain but are dropped before the
+	// reliability layer sees them — no ack leaves a downed node.
+	got := make(chan types.Message, 4)
 	b.Register(recvAddr(), func(m types.Message) { got <- m })
 	b.SetNodeUp(1, false)
 	send()
@@ -187,4 +190,32 @@ func TestTransportRejectsForeignRegistration(t *testing.T) {
 		}
 	}()
 	a.Register(types.Addr{Node: 5, Service: "svc"}, func(types.Message) {})
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("bookless New without WithPlanes accepted")
+	}
+	if _, err := New(0, nil, WithPlanes(1), WithMTU(16)); err == nil {
+		t.Error("MTU below header size accepted")
+	}
+	if _, err := New(0, nil, WithPlanes(1), WithWindow(0)); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(0, nil, WithPlanes(1), WithRetransmit(0, 3)); err == nil {
+		t.Error("zero RTO accepted")
+	}
+	if _, err := New(0, nil, WithPlanes(1), WithAckDelay(time.Second)); err == nil {
+		t.Error("ack delay above RTO accepted")
+	}
+	book, err := LoopbackBook(1, 1, 19700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(0, book, WithPlanes(1)); err == nil {
+		t.Error("book plus WithPlanes accepted")
+	}
+	if _, err := New(5, book); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("New for a node missing from the book: got %v, want ErrUnknownPeer", err)
+	}
 }
