@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz
+.PHONY: ci vet build test race fuzz admin-smoke
 
-ci: vet build test race fuzz
+ci: vet build test race fuzz admin-smoke
 	@echo "ci: all gates passed"
 
 vet:
@@ -35,3 +35,9 @@ race:
 fuzz:
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz '^FuzzParseBook$$' -fuzztime 10s -run '^$$' ./internal/wire/
+
+# The operations-plane gate: build the shipped binaries, boot one real
+# node with its admin server enabled, scrape /healthz + /metrics through
+# phoenix-admin, and grep for known metric names.
+admin-smoke:
+	sh ./scripts/admin_smoke.sh

@@ -1,0 +1,122 @@
+// phoenix-admin is the cluster-wide introspection CLI of the real-network
+// path: the paper's GridView, but over actual sockets. It reads the same
+// wire address book the nodes run on, derives every node's admin HTTP
+// address (plane-0 endpoint, port shifted by -admin-offset — the
+// convention phoenix-node's "-admin auto" binds), fans out to all of them
+// concurrently, and prints one table: topology role, GSD standing
+// (leader/princess/member), meta-group view, readiness, and per-node wire
+// traffic/fault counters. Nodes that do not answer within -timeout are
+// shown as DOWN — a dead node is data too.
+//
+//	phoenix-admin -book book.txt
+//	phoenix-admin -book book.txt -json
+//	phoenix-admin -scrape http://127.0.0.1:10000     # healthz + metrics dump
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/opshttp"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		bookPath = flag.String("book", "", "wire address book file (same file the nodes run on)")
+		offset   = flag.Int("admin-offset", opshttp.DefaultAdminOffset,
+			"admin HTTP port = plane-0 UDP port + this offset")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-node scrape timeout")
+		asJSON  = flag.Bool("json", false, "emit the raw per-node reports as JSON instead of a table")
+		strict  = flag.Bool("strict", false, "exit non-zero if any node is unreachable or no leader is found")
+		scrape  = flag.String("scrape", "", "scrape one admin server (URL or host:port): check /healthz, dump /metrics, exit")
+	)
+	flag.Parse()
+
+	if *scrape != "" {
+		if err := scrapeOne(*scrape, *timeout); err != nil {
+			log.Fatalf("phoenix-admin: %v", err)
+		}
+		return
+	}
+
+	if *bookPath == "" {
+		log.Fatal("phoenix-admin: -book is required (or use -scrape)")
+	}
+	book, err := wire.LoadBook(*bookPath)
+	if err != nil {
+		log.Fatalf("phoenix-admin: %v", err)
+	}
+	targets, err := opshttp.Targets(book, *offset)
+	if err != nil {
+		log.Fatalf("phoenix-admin: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout+time.Second)
+	defer cancel()
+	reports := opshttp.Gather(ctx, targets, *timeout)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			log.Fatalf("phoenix-admin: %v", err)
+		}
+	} else {
+		opshttp.RenderTable(os.Stdout, reports)
+	}
+
+	if *strict {
+		_, haveLeader := opshttp.Leader(reports)
+		down := 0
+		for _, r := range reports {
+			if !r.Reachable() {
+				down++
+			}
+		}
+		if down > 0 || !haveLeader {
+			log.Fatalf("phoenix-admin: strict: %d/%d nodes unreachable, leader found: %v",
+				down, len(reports), haveLeader)
+		}
+	}
+}
+
+// scrapeOne is the smoke-test mode `make ci` drives: it fails unless the
+// target's /healthz answers 200 ok, then copies /metrics to stdout for
+// the caller to grep.
+func scrapeOne(target string, timeout time.Duration) error {
+	base := target
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: timeout}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/healthz: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/metrics: %s", base, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/noded"
+	"repro/internal/opshttp"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -46,6 +47,9 @@ func main() {
 		status   = flag.Duration("status", 10*time.Second, "status log period (0 disables)")
 		genBook  = flag.Bool("gen-book", false, "print a loopback address book for the topology and exit")
 		basePort = flag.Int("base-port", 9000, "first UDP port for -gen-book")
+		admin    = flag.String("admin", "", "operations HTTP server: host:port, or \"auto\" to derive from the book (plane-0 port + admin-offset); empty disables")
+		adminOff = flag.Int("admin-offset", opshttp.DefaultAdminOffset, "admin port offset for -admin auto (phoenix-admin must use the same)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof on the admin server (needs -admin)")
 	)
 	flag.Parse()
 
@@ -86,18 +90,37 @@ func main() {
 
 	id := types.NodeID(*nodeID)
 	reg := metrics.NewRegistry()
-	n, err := noded.Start(id, topo,
+	opts := []noded.Option{
 		noded.WithParams(params),
 		noded.WithSeed(*seed),
 		noded.WithBook(book),
 		noded.WithMetrics(reg),
-	)
+	}
+	adminAddr := *admin
+	if adminAddr == "auto" {
+		adminAddr, err = opshttp.AdminAddr(book, id, *adminOff)
+		if err != nil {
+			log.Fatalf("phoenix-node: %v", err)
+		}
+	}
+	if adminAddr != "" {
+		opts = append(opts, noded.WithAdmin(adminAddr))
+		if *pprofOn {
+			opts = append(opts, noded.WithAdminPprof())
+		}
+	} else if *pprofOn {
+		log.Fatal("phoenix-node: -pprof needs -admin")
+	}
+	n, err := noded.Start(id, topo, opts...)
 	if err != nil {
 		log.Fatalf("phoenix-node: %v", err)
 	}
 	ni, _ := topo.Node(id)
 	log.Printf("phoenix-node: %v up (role %v, partition %v, %d planes, preset %s)",
 		id, ni.Role, ni.Partition, *planes, *preset)
+	if a := n.AdminAddr(); a != "" {
+		log.Printf("phoenix-node: %v admin endpoints at http://%s/{metrics,healthz,readyz,statusz}", id, a)
+	}
 
 	var ticker *time.Ticker
 	if *status > 0 {
@@ -114,40 +137,15 @@ func main() {
 		select {
 		case sig := <-sigs:
 			log.Printf("phoenix-node: %v: received %v, shutting down", id, sig)
+			w := n.Transport().Stats()
 			n.Stop()
 			log.Printf("phoenix-node: %v down (tx %d datagrams, rx %d datagrams, retx %d, dup %d)",
-				id, int(reg.Counter("wire.tx.datagrams").Value()),
-				int(reg.Counter("wire.rx.datagrams").Value()),
-				int(reg.Counter("wire.tx.retransmits").Value()),
-				int(reg.Counter("wire.rx.dup_drops").Value()))
+				id, w.TxDatagrams, w.RxDatagrams, w.Retransmits, w.DupDrops)
 			return
 		case <-ticker.C:
-			logStatus(n, reg, ni)
+			// The periodic status line renders the same snapshot struct
+			// the admin server serves at /statusz — one source of truth.
+			log.Printf("phoenix-node: %s", n.Status().Line())
 		}
 	}
-}
-
-// logStatus prints one status line: what is running here, the membership
-// view when this node hosts a GSD, and transport totals.
-func logStatus(n *noded.Node, reg *metrics.Registry, ni config.NodeInfo) {
-	n.Do(func() {
-		host, kernel := n.Host(), n.Kernel()
-		line := fmt.Sprintf("phoenix-node: %v: %d procs", host.ID(), len(host.Procs()))
-		if host.Running(types.SvcGSD) {
-			if g := kernel.GSD(ni.Partition); g != nil {
-				v := g.Member().View()
-				line += fmt.Sprintf(", gsd view: %d/%d partitions alive", v.AliveCount(), len(v.Order))
-			}
-		}
-		line += fmt.Sprintf(", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d",
-			int(reg.Counter("wire.tx.datagrams").Value()),
-			int(reg.Counter("wire.rx.datagrams").Value()),
-			int(reg.Counter("wire.tx.retransmits").Value()),
-			int(reg.Counter("wire.rx.dup_drops").Value()),
-			int(reg.Counter("wire.tx.frags").Value()),
-			int(reg.Counter("wire.rx.frags").Value()),
-			int(reg.Counter("wire.tx.acks").Value()),
-			int(reg.Counter("wire.tx.peer_faults").Value()))
-		log.Print(line)
-	})
 }

@@ -4,20 +4,27 @@
 // samples to reach the bulletin board over the wire, and answers a
 // cluster-scope bulletin query — the same daemons and protocols every
 // other example runs in virtual time, here on wall clocks and datagrams.
+// Each node also exposes its operations plane (an opshttp admin server on
+// an ephemeral port), and the example finishes by doing what
+// phoenix-admin does: fan out to every node's /statusz and print the
+// cluster table.
 //
 // Unlike the simulator examples this one takes real time (a few seconds):
 // heartbeats actually traverse sockets.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/bulletin"
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/noded"
+	"repro/internal/opshttp"
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -69,7 +76,8 @@ func main() {
 	for i, tr := range transports {
 		tr.SetBook(book)
 		n, err := noded.Start(tr.Node(), topo,
-			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr))
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr),
+			noded.WithAdmin("127.0.0.1:0"))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,6 +85,9 @@ func main() {
 		nodes[i] = n
 	}
 	fmt.Printf("booted %d phoenix nodes on UDP loopback:\n%s", len(nodes), book.String())
+	for _, n := range nodes {
+		fmt.Printf("%v admin: http://%s/statusz\n", n.Transport().Node(), n.AdminAddr())
+	}
 
 	// A bulletin client outside any host: a wire.Runtime at node 0's
 	// "cli" service, talking to the partition's bulletin instance.
@@ -115,12 +126,22 @@ func main() {
 		time.Sleep(100 * time.Millisecond)
 	}
 
+	// Both transports share one registry here, so either node's Stats()
+	// snapshot carries the example's combined traffic totals.
+	w := nodes[0].Transport().Stats()
 	fmt.Printf("wire traffic: %d datagrams sent, %d received, %d delivered, %d retransmits, %d dup drops, %d acks\n",
-		int(reg.Counter("wire.tx.datagrams").Value()),
-		int(reg.Counter("wire.rx.datagrams").Value()),
-		int(reg.Counter("wire.rx.delivered").Value()),
-		int(reg.Counter("wire.tx.retransmits").Value()),
-		int(reg.Counter("wire.rx.dup_drops").Value()),
-		int(reg.Counter("wire.tx.acks").Value()))
+		w.TxDatagrams, w.RxDatagrams, w.RxDelivered, w.Retransmits, w.DupDrops, w.TxAcks)
+
+	// The operations plane: gather every node's /statusz — exactly what
+	// `phoenix-admin -book <file>` does across a real cluster — and
+	// render the cluster table.
+	targets := make(map[types.NodeID]string, len(nodes))
+	for _, n := range nodes {
+		targets[n.Transport().Node()] = n.AdminAddr()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fmt.Println("cluster table over the admin plane:")
+	opshttp.RenderTable(os.Stdout, opshttp.Gather(ctx, targets, 2*time.Second))
 	fmt.Println("realnet done")
 }

@@ -134,6 +134,9 @@ func (g *Daemon) Monitor() *heartbeat.Monitor { return g.mon }
 // Member exposes the meta-group membership (read-only observability).
 func (g *Daemon) Member() *membership.Member { return g.member }
 
+// Partition reports which partition this GSD is in charge of.
+func (g *Daemon) Partition() types.PartitionID { return g.spec.Partition }
+
 // FederationView exposes the current service-federation view.
 func (g *Daemon) FederationView() federation.View { return g.fedView }
 

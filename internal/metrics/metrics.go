@@ -134,6 +134,53 @@ func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
 // Min reports the smallest observation.
 func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
 
+// HistSummary is a point-in-time summary of a histogram. An empty
+// histogram summarises to the zero value — every field 0, never NaN —
+// so exporters can render it without special-casing (Prometheus summary
+// quantiles are simply omitted when Count is 0).
+type HistSummary struct {
+	Count int           `json:"count"`
+	Sum   time.Duration `json:"sum"`
+	Mean  time.Duration `json:"mean"`
+	Min   time.Duration `json:"min"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Summary computes the full summary under one lock and one sort — the
+// order-statistics counterpart of calling Quantile four times.
+func (h *Histogram) Summary() HistSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.obs)
+	if n == 0 {
+		return HistSummary{}
+	}
+	if !h.sort {
+		sort.Slice(h.obs, func(i, j int) bool { return h.obs[i] < h.obs[j] })
+		h.sort = true
+	}
+	rank := func(q float64) time.Duration {
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return h.obs[idx]
+	}
+	return HistSummary{
+		Count: n,
+		Sum:   h.sum,
+		Mean:  h.sum / time.Duration(n),
+		Min:   h.obs[0],
+		P50:   rank(0.5),
+		P90:   rank(0.9),
+		P99:   rank(0.99),
+		Max:   h.obs[n-1],
+	}
+}
+
 // Registry names and stores counters, gauges and histograms.
 type Registry struct {
 	mu     sync.Mutex
@@ -187,20 +234,87 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot renders every metric as "name value" lines sorted by name,
-// suitable for test assertions and report dumps.
-func (r *Registry) Snapshot() string {
+// Sample is one named counter or gauge value.
+type Sample struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSample is one named histogram summary.
+type HistSample struct {
+	Name string `json:"name"`
+	HistSummary
+}
+
+// Snapshot is a point-in-time copy of a registry, each section sorted by
+// name — the stable order exporters, status lines and tests rely on.
+type Snapshot struct {
+	Counters []Sample     `json:"counters"`
+	Gauges   []Sample     `json:"gauges"`
+	Hists    []HistSample `json:"hists"`
+}
+
+// Snapshot captures every metric. It allocates only the three result
+// slices (presized); per-metric locks are taken one at a time, so a
+// scrape never blocks writers for long.
+func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make([]Sample, 0, len(r.ctrs)),
+		Gauges:   make([]Sample, 0, len(r.gauges)),
+		Hists:    make([]HistSample, 0, len(r.hists)),
+	}
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for n, c := range r.ctrs {
+		ctrs[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	for n, c := range ctrs {
+		s.Counters = append(s.Counters, Sample{Name: n, Value: c.Value()})
+	}
+	for n, g := range gauges {
+		s.Gauges = append(s.Gauges, Sample{Name: n, Value: g.Value()})
+	}
+	for n, h := range hists {
+		s.Hists = append(s.Hists, HistSample{Name: n, HistSummary: h.Summary()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// Counter returns the sample for a named counter, or false.
+func (s Snapshot) Counter(name string) (float64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the snapshot as "kind name value" lines sorted by name,
+// suitable for test assertions and report dumps.
+func (s Snapshot) String() string {
 	var lines []string
-	for name, c := range r.ctrs {
-		lines = append(lines, fmt.Sprintf("counter %s %g", name, c.Value()))
+	for _, c := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s %g", c.Name, c.Value))
 	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s %g", name, g.Value()))
+	for _, g := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", g.Name, g.Value))
 	}
-	for name, h := range r.hists {
-		lines = append(lines, fmt.Sprintf("hist %s count=%d mean=%v", name, h.Count(), h.Mean()))
+	for _, h := range s.Hists {
+		lines = append(lines, fmt.Sprintf("hist %s count=%d mean=%v", h.Name, h.Count, h.Mean))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

@@ -128,11 +128,80 @@ func TestRegistryReuse(t *testing.T) {
 	}
 	r.Gauge("g").Set(1)
 	r.Histogram("h").Observe(time.Second)
-	snap := r.Snapshot()
+	snap := r.Snapshot().String()
 	for _, want := range []string{"counter x 2", "gauge g 1", "hist h count=1"} {
 		if !strings.Contains(snap, want) {
 			t.Fatalf("snapshot missing %q:\n%s", want, snap)
 		}
+	}
+}
+
+func TestSnapshotStableOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid.dle", "alpha.2"} {
+		r.Counter(n).Inc()
+		r.Gauge(n + ".g").Set(1)
+		r.Histogram(n + ".h").Observe(time.Millisecond)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 4 || len(s.Gauges) != 4 || len(s.Hists) != 4 {
+		t.Fatalf("snapshot sizes = %d/%d/%d, want 4/4/4", len(s.Counters), len(s.Gauges), len(s.Hists))
+	}
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q >= %q", s.Counters[i-1].Name, s.Counters[i].Name)
+		}
+	}
+	// A second snapshot must list the same names in the same order.
+	s2 := r.Snapshot()
+	for i := range s.Counters {
+		if s.Counters[i].Name != s2.Counters[i].Name {
+			t.Fatalf("snapshot order unstable at %d: %q vs %q", i, s.Counters[i].Name, s2.Counters[i].Name)
+		}
+	}
+	if v, ok := s.Counter("zeta"); !ok || v != 1 {
+		t.Fatalf("Counter(zeta) = %g, %v", v, ok)
+	}
+	if _, ok := s.Counter("nope"); ok {
+		t.Fatal("Counter(nope) should be absent")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 50*time.Millisecond || s.P90 != 90*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("quantiles = p50 %v p90 %v p99 %v", s.P50, s.P90, s.P99)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Sum != 5050*time.Millisecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// An empty histogram must summarise to all-zero — never NaN or a panic —
+// so /metrics can always render it.
+func TestHistogramSummaryEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", s)
+	}
+	r := NewRegistry()
+	r.Histogram("empty") // registered but never observed
+	snap := r.Snapshot()
+	if len(snap.Hists) != 1 || snap.Hists[0].Count != 0 || snap.Hists[0].Mean != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", snap.Hists)
+	}
+	if strings.Contains(snap.String(), "NaN") {
+		t.Fatalf("snapshot rendered NaN:\n%s", snap.String())
 	}
 }
 

@@ -1,0 +1,237 @@
+package noded_test
+
+// The acceptance proof of the operations plane: a four-node, two-plane
+// Phoenix cluster on real UDP loopback sockets exposes /metrics,
+// /healthz, /readyz and /statusz on every node's admin server; the
+// cluster-wide gather (the logic behind phoenix-admin) identifies the
+// meta-group leader and sees per-node wire traffic counters. Wall-clock
+// test; skipped under -short.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/noded"
+	"repro/internal/opshttp"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func fastAdminParams() config.Params {
+	p := config.FastParams()
+	p.HeartbeatInterval = 150 * time.Millisecond
+	p.HeartbeatGrace = 300 * time.Millisecond
+	p.MetaHeartbeatInterval = 150 * time.Millisecond
+	p.PartitionProbeTimeout = 500 * time.Millisecond
+	p.MetaProbeTimeout = 400 * time.Millisecond
+	p.LocalCheckPeriod = 250 * time.Millisecond
+	p.DetectorSampleInterval = 250 * time.Millisecond
+	p.RPCTimeout = 2 * time.Second
+	return p
+}
+
+func fastAdminCosts() simhost.Costs {
+	c := simhost.DefaultCosts()
+	c.ExecLatency = map[string]time.Duration{types.SvcGSD: 50 * time.Millisecond}
+	c.DefaultExec = 20 * time.Millisecond
+	c.AgentProbeDelay = 20 * time.Millisecond
+	c.AgentExecDelay = 2 * time.Millisecond
+	return c
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestAdminPlaneOverLoopbackCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket integration test; skipped under -short")
+	}
+	const planes = 2
+	// Two partitions of two nodes: p0 = {0 server, 1 backup},
+	// p1 = {2 server, 3 backup}.
+	topo, err := config.Uniform(2, 2, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, costs := fastAdminParams(), fastAdminCosts()
+
+	transports := make([]*wire.Transport, topo.NumNodes())
+	book := wire.NewBook()
+	for i := range transports {
+		tr, err := wire.New(types.NodeID(i), nil,
+			wire.WithPlanes(planes), wire.WithMetrics(metrics.NewRegistry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		for p, ep := range tr.Endpoints() {
+			if err := book.Add(tr.Node(), p, ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	nodes := make([]*noded.Node, len(transports))
+	for i, tr := range transports {
+		tr.SetBook(book)
+		n, err := noded.Start(tr.Node(), topo,
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr),
+			noded.WithAdmin("127.0.0.1:0"))
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	targets := make(map[types.NodeID]string, len(nodes))
+	for _, n := range nodes {
+		addr := n.AdminAddr()
+		if addr == "" {
+			t.Fatal("WithAdmin produced no bound address")
+		}
+		targets[n.Transport().Node()] = addr
+	}
+
+	client := &http.Client{Timeout: time.Second}
+	getOK := func(node types.NodeID, path string) (int, string) {
+		resp, err := client.Get("http://" + targets[node] + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Every node must become healthy and ready: the GSD hosts once their
+	// membership stabilises, the compute/backup nodes once their WD runs.
+	waitFor(t, "all nodes ready via /readyz", 30*time.Second, func() bool {
+		for id := range targets {
+			if code, _ := getOK(id, "/healthz"); code != http.StatusOK {
+				return false
+			}
+			if code, _ := getOK(id, "/readyz"); code != http.StatusOK {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The cluster gather must identify exactly one meta-group leader —
+	// partition 0's GSD on node 0 — and real wire traffic on every node.
+	ctx := context.Background()
+	waitFor(t, "cluster table shows one leader and wire traffic", 30*time.Second, func() bool {
+		reports := opshttp.Gather(ctx, targets, time.Second)
+		if len(reports) != 4 {
+			return false
+		}
+		leaders := 0
+		for _, r := range reports {
+			if !r.Reachable() {
+				return false
+			}
+			st := r.Status
+			if st.Wire.TxDatagrams == 0 || st.Wire.RxDatagrams == 0 {
+				return false
+			}
+			if len(st.Wire.Planes) != planes {
+				t.Fatalf("node %v reports %d planes, want %d", r.Node, len(st.Wire.Planes), planes)
+			}
+			if st.GSDRole == opshttp.GSDLeader {
+				leaders++
+				if st.Node != 0 {
+					return false // leadership not settled on partition 0's server yet
+				}
+			}
+		}
+		return leaders == 1
+	})
+
+	// Spot-check the two GSD hosts' snapshots: meta view spans both
+	// partitions, the bulletin instance reports rows, and the leader is
+	// agreed across them.
+	waitFor(t, "GSD snapshots agree on the leader", 15*time.Second, func() bool {
+		for _, id := range []types.NodeID{0, 2} {
+			st, err := opshttp.Fetch(ctx, client, targets[id])
+			if err != nil {
+				return false
+			}
+			if st.MetaSize != 2 || st.MetaAlive != 2 {
+				return false
+			}
+			if st.LeaderPartition != 0 || st.LeaderNode != 0 {
+				return false
+			}
+			if st.BulletinRows < 0 {
+				return false
+			}
+			if st.Peers != 4 {
+				t.Fatalf("node %v sees %d peers, want 4", id, st.Peers)
+			}
+		}
+		return true
+	})
+
+	// /metrics on every node speaks the Prometheus exposition format and
+	// carries both the wire counters and the status-derived gauges.
+	for id := range targets {
+		resp, err := client.Get("http://" + targets[id] + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape node %v: %v", id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != opshttp.PromContentType {
+			t.Fatalf("node %v content-type = %q", id, ct)
+		}
+		for _, want := range []string{
+			"wire_tx_datagrams_total", "wire_rx_datagrams_total",
+			"wire_tx_datagrams_plane0_total", "wire_tx_datagrams_plane1_total",
+			"phoenix_node_info", "phoenix_ready 1", "phoenix_uptime_seconds",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("node %v /metrics missing %q", id, want)
+			}
+		}
+	}
+
+	// A stopped node disappears from the admin plane: its port refuses,
+	// and the gather reports it DOWN while the rest still answer.
+	nodes[3].Stop()
+	waitFor(t, "stopped node reported DOWN", 10*time.Second, func() bool {
+		reports := opshttp.Gather(ctx, targets, 500*time.Millisecond)
+		up := 0
+		var downSeen bool
+		for _, r := range reports {
+			switch {
+			case r.Node == 3 && !r.Reachable():
+				downSeen = true
+			case r.Node != 3 && r.Reachable():
+				up++
+			}
+		}
+		return downSeen && up == 3
+	})
+}

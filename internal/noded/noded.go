@@ -10,11 +10,16 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
+	"time"
 
+	"repro/internal/bulletin"
 	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/gsd"
 	"repro/internal/metrics"
+	"repro/internal/opshttp"
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -30,6 +35,8 @@ type settings struct {
 	reg         *metrics.Registry
 	enforceAuth bool
 	wireOpts    []wire.Option
+	adminAddr   string
+	adminPprof  bool
 }
 
 // Option configures Start.
@@ -71,12 +78,25 @@ func WithWireOptions(opts ...wire.Option) Option {
 	return func(s *settings) { s.wireOpts = append(s.wireOpts, opts...) }
 }
 
+// WithAdmin starts the node's operations HTTP server (package opshttp:
+// /metrics, /healthz, /readyz, /statusz) on addr — "host:port", with
+// port 0 binding ephemerally; the bound address is reported by
+// Node.AdminAddr. Without this option no admin server runs.
+func WithAdmin(addr string) Option { return func(s *settings) { s.adminAddr = addr } }
+
+// WithAdminPprof additionally mounts net/http/pprof on the admin server.
+// It only takes effect together with WithAdmin.
+func WithAdminPprof() Option { return func(s *settings) { s.adminPprof = true } }
+
 // Node is one running phoenix node.
 type Node struct {
-	tr     *wire.Transport
-	loop   *wire.Loop
-	host   *simhost.Host
-	kernel *core.Kernel
+	tr      *wire.Transport
+	loop    *wire.Loop
+	host    *simhost.Host
+	kernel  *core.Kernel
+	ni      config.NodeInfo
+	admin   *opshttp.Server
+	started time.Time
 }
 
 // Start binds the transport (unless one was supplied), builds the host and
@@ -127,7 +147,8 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		}
 	}
 
-	n := &Node{tr: tr, loop: tr.Loop()}
+	n := &Node{tr: tr, loop: tr.Loop(), started: time.Now()}
+	n.ni, _ = topo.Node(node)
 	clk := wire.NewLoopClock(n.loop, clock.Real{})
 	rng := rand.New(rand.NewSource(s.seed))
 	var bootErr error
@@ -144,7 +165,105 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		tr.Close()
 		return nil, bootErr
 	}
+	if s.adminAddr != "" {
+		admin, err := opshttp.New(opshttp.Config{
+			Addr:     s.adminAddr,
+			Status:   n.Status,
+			Snapshot: tr.Metrics().Snapshot,
+			Pprof:    s.adminPprof,
+		})
+		if err != nil {
+			n.Stop()
+			return nil, err
+		}
+		n.admin = admin
+	}
 	return n, nil
+}
+
+// AdminAddr reports the bound address of the node's operations HTTP
+// server, or "" when WithAdmin was not used.
+func (n *Node) AdminAddr() string {
+	if n.admin == nil {
+		return ""
+	}
+	return n.admin.Addr()
+}
+
+// Status collects the node's operational snapshot — the single source of
+// truth behind /statusz, /metrics' phoenix_* gauges and phoenix-node's
+// status line. Safe from any goroutine: kernel state is read inside the
+// node's loop, transport counters from their own locks.
+func (n *Node) Status() opshttp.Status {
+	st := opshttp.Status{
+		Node:            int(n.tr.Node()),
+		Partition:       int(n.ni.Partition),
+		Role:            n.ni.Role.String(),
+		GSDRole:         opshttp.GSDNone,
+		LeaderPartition: -1,
+		LeaderNode:      -1,
+		BulletinRows:    -1,
+		UptimeSeconds:   time.Since(n.started).Seconds(),
+	}
+	n.loop.Run(func() {
+		host, kernel := n.host, n.kernel
+		if host == nil || kernel == nil {
+			return
+		}
+		st.Booted = host.Up()
+		st.Procs = host.Procs()
+		sort.Strings(st.Procs)
+		// The process table names the GSD actually running here (the
+		// kernel's per-partition tracking can go stale across
+		// migrations), and its partition may differ from the node's own
+		// after a takeover.
+		if g, ok := host.Proc(types.SvcGSD).(*gsd.Daemon); ok && g.Member() != nil {
+			v := g.Member().View()
+			st.MetaAlive, st.MetaSize = v.AliveCount(), len(v.Order)
+			switch {
+			case v.Leader == g.Partition():
+				st.GSDRole = opshttp.GSDLeader
+			case v.Princess == g.Partition():
+				st.GSDRole = opshttp.GSDPrincess
+			default:
+				st.GSDRole = opshttp.GSDMember
+			}
+			if m, ok := v.Members[v.Leader]; ok && m.Alive {
+				st.LeaderPartition, st.LeaderNode = int(v.Leader), int(m.Node)
+			}
+		}
+		if db, ok := host.Proc(types.SvcDB).(*bulletin.Service); ok {
+			st.BulletinRows = db.Entries()
+		}
+	})
+	if book := n.tr.Book(); book != nil {
+		st.Peers = len(book.Nodes())
+	}
+	st.Wire = n.tr.Stats()
+	st.Ready, st.ReadyReason = readiness(st)
+	return st
+}
+
+// readiness derives /readyz from a snapshot: the kernel slice must be
+// booted, and the node must be serving its cluster role — a GSD host
+// must know a live meta-group leader, any other node must have its watch
+// daemon heartbeating.
+func readiness(st opshttp.Status) (bool, string) {
+	if !st.Booted {
+		return false, "kernel not booted"
+	}
+	if st.GSDRole != opshttp.GSDNone {
+		if st.LeaderPartition < 0 {
+			return false, "meta-group leader unknown"
+		}
+		return true, ""
+	}
+	for _, p := range st.Procs {
+		if p == types.SvcWD {
+			return true, ""
+		}
+	}
+	return false, "watch daemon not running"
 }
 
 // Do runs f inside the node's serialisation loop — the only safe way for
@@ -162,9 +281,16 @@ func (n *Node) Kernel() *core.Kernel { return n.kernel }
 func (n *Node) Transport() *wire.Transport { return n.tr }
 
 // Stop powers the node off — every daemon is killed and its timers
-// cancelled — and closes the sockets. A stopped node is what the rest of
-// the cluster sees as a node fault.
+// cancelled — closes the admin server, and closes the sockets. A stopped
+// node is what the rest of the cluster sees as a node fault.
 func (n *Node) Stop() {
-	n.loop.Run(func() { n.host.PowerOff() })
+	if n.admin != nil {
+		_ = n.admin.Close()
+	}
+	n.loop.Run(func() {
+		if n.host != nil {
+			n.host.PowerOff()
+		}
+	})
 	n.tr.Close()
 }

@@ -1,0 +1,181 @@
+package opshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// DefaultAdminOffset is the conventional distance between a node's
+// plane-0 UDP port and its admin HTTP port: a node whose plane 0 listens
+// on 127.0.0.1:9000 serves admin on 127.0.0.1:10000. phoenix-node
+// (-admin auto) and phoenix-admin share the convention, so one address
+// book describes both the data and the operations plane.
+const DefaultAdminOffset = 1000
+
+// AdminAddr derives a node's admin HTTP address from its plane-0 wire
+// endpoint: same host, port shifted by offset.
+func AdminAddr(book *wire.Book, node types.NodeID, offset int) (string, error) {
+	ep, ok := book.Endpoint(node, 0)
+	if !ok {
+		return "", fmt.Errorf("opshttp: book has no plane-0 endpoint for %v", node)
+	}
+	port := ep.Port + offset
+	if port <= 0 || port > 65535 {
+		return "", fmt.Errorf("opshttp: admin port %d for %v out of range", port, node)
+	}
+	host := ep.IP.String()
+	if host == "<nil>" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}
+
+// Targets derives every book node's admin address.
+func Targets(book *wire.Book, offset int) (map[types.NodeID]string, error) {
+	out := make(map[types.NodeID]string)
+	for _, n := range book.Nodes() {
+		addr, err := AdminAddr(book, n, offset)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = addr
+	}
+	return out, nil
+}
+
+// Fetch retrieves one node's /statusz snapshot. base is "host:port" or
+// "http://host:port".
+func Fetch(ctx context.Context, client *http.Client, base string) (Status, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := base
+	if len(url) < 7 || url[:7] != "http://" {
+		url = "http://" + url
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/statusz", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Status{}, fmt.Errorf("opshttp: %s/statusz: %s: %s", base, resp.Status, body)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("opshttp: %s/statusz: %w", base, err)
+	}
+	return st, nil
+}
+
+// NodeReport is one node's row in a cluster gather: its snapshot, or the
+// error that prevented one.
+type NodeReport struct {
+	Node   types.NodeID `json:"node"`
+	Target string       `json:"target"`
+	Status Status       `json:"status"`
+	Err    string       `json:"err,omitempty"`
+}
+
+// Reachable reports whether the gather got a snapshot from the node.
+func (r NodeReport) Reachable() bool { return r.Err == "" }
+
+// Gather fans out to every target's admin server concurrently, each
+// request bounded by timeout, and returns one report per node sorted by
+// node ID. Unreachable nodes are reported, not dropped — a dead node is
+// exactly what a cluster table must show.
+func Gather(ctx context.Context, targets map[types.NodeID]string, timeout time.Duration) []NodeReport {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	reports := make([]NodeReport, 0, len(targets))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for node, target := range targets {
+		wg.Add(1)
+		go func(node types.NodeID, target string) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			rep := NodeReport{Node: node, Target: target}
+			st, err := Fetch(rctx, client, target)
+			if err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.Status = st
+			}
+			mu.Lock()
+			reports = append(reports, rep)
+			mu.Unlock()
+		}(node, target)
+	}
+	wg.Wait()
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
+	return reports
+}
+
+// RenderTable writes the cluster table phoenix-admin prints — the
+// real-network counterpart of the paper's GridView: one row per node
+// with role, GSD standing, membership, liveness and wire fault counts.
+func RenderTable(w io.Writer, reports []NodeReport) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
+	leaders := 0
+	for _, r := range reports {
+		if !r.Reachable() {
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
+			continue
+		}
+		st := r.Status
+		meta := "-"
+		if st.GSDRole != GSDNone && st.GSDRole != "" {
+			meta = fmt.Sprintf("%d/%d", st.MetaAlive, st.MetaSize)
+			if st.GSDRole == GSDLeader {
+				leaders++
+			}
+		}
+		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
+			st.Node, st.Partition, st.Role, st.GSDRole, meta, st.Ready, len(st.Procs),
+			st.Wire.TxDatagrams, st.Wire.RxDatagrams, st.Wire.Retransmits,
+			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds)
+	}
+	tw.Flush()
+	if lead, ok := Leader(reports); ok {
+		fmt.Fprintf(w, "meta-group leader: node %d (partition %d)\n", lead.Status.Node, lead.Status.Partition)
+	} else {
+		fmt.Fprintln(w, "meta-group leader: unknown (no reachable GSD reports leader)")
+	}
+	if leaders > 1 {
+		fmt.Fprintf(w, "WARNING: %d nodes claim the leader role\n", leaders)
+	}
+}
+
+// Leader picks the report whose node hosts the meta-group leader GSD.
+func Leader(reports []NodeReport) (NodeReport, bool) {
+	for _, r := range reports {
+		if r.Reachable() && r.Status.GSDRole == GSDLeader {
+			return r, true
+		}
+	}
+	return NodeReport{}, false
+}

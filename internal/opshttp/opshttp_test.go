@@ -1,0 +1,277 @@
+package opshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func testStatus() Status {
+	return Status{
+		Node: 3, Partition: 1, Role: "server",
+		Booted: true, Ready: true,
+		GSDRole: GSDLeader, LeaderPartition: 1, LeaderNode: 3,
+		MetaAlive: 2, MetaSize: 2,
+		Procs:        []string{"agent", "det", "gsd", "wd"},
+		BulletinRows: 4, Peers: 4, UptimeSeconds: 12.5,
+		Wire: wire.Stats{TxDatagrams: 100, RxDatagrams: 90, Retransmits: 2},
+	}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("wire.tx.datagrams").Add(17)
+	reg.Gauge("queue.depth").Set(3.5)
+	for i := 1; i <= 10; i++ {
+		reg.Histogram("rpc.latency").Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	reg.Histogram("never.observed") // empty: must not render NaN
+	srv := httptest.NewServer(Handler(Config{Status: testStatus, Snapshot: reg.Snapshot}))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content-type = %q, want %q", ct, PromContentType)
+	}
+	for _, want := range []string{
+		"# TYPE wire_tx_datagrams_total counter",
+		"wire_tx_datagrams_total 17",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3.5",
+		"# TYPE rpc_latency_seconds summary",
+		`rpc_latency_seconds{quantile="0.5"} 0.5`,
+		`rpc_latency_seconds{quantile="0.99"} 1`,
+		"rpc_latency_seconds_count 10",
+		"never_observed_seconds_count 0",
+		"phoenix_uptime_seconds 12.5",
+		`phoenix_node_info{node="3",partition="1",role="server",gsd_role="leader"} 1`,
+		"phoenix_ready 1",
+		"phoenix_gsd_leader 1",
+		"phoenix_bulletin_rows 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "NaN") {
+		t.Fatalf("/metrics rendered NaN:\n%s", body)
+	}
+	// The empty histogram must not emit quantile series.
+	if strings.Contains(body, `never_observed_seconds{quantile`) {
+		t.Fatal("empty histogram rendered quantiles")
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	for in, want := range map[string]string{
+		"wire.tx.datagrams":   "wire_tx_datagrams",
+		"wire.tx.msgs.wd.hb":  "wire_tx_msgs_wd_hb",
+		"9lives":              "_9lives",
+		"a-b c":               "a_b_c",
+		"already_fine:metric": "already_fine:metric",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Label values must survive the exposition format's escaping rules.
+func TestPromLabelEscaping(t *testing.T) {
+	st := testStatus()
+	st.Role = "ser\"ver\\x\nend"
+	srv := httptest.NewServer(Handler(Config{Status: func() Status { return st }}))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	want := `role="ser\"ver\\x\nend"`
+	if !strings.Contains(body, want) {
+		t.Fatalf("escaped label %q not found in:\n%s", want, body)
+	}
+}
+
+func TestHealthAndReadyTransitions(t *testing.T) {
+	var booted, ready atomic.Bool
+	status := func() Status {
+		st := testStatus()
+		st.Booted = booted.Load()
+		st.Ready = ready.Load()
+		st.ReadyReason = "meta-group leader unknown"
+		return st
+	}
+	srv := httptest.NewServer(Handler(Config{Status: status}))
+	defer srv.Close()
+
+	if resp, _ := get(t, srv, "/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before boot = %d, want 503", resp.StatusCode)
+	}
+	if resp, body := get(t, srv, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "meta-group leader unknown") {
+		t.Fatalf("readyz before ready = %d %q, want 503 with reason", resp.StatusCode, body)
+	}
+
+	booted.Store(true)
+	if resp, body := get(t, srv, "/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz after boot = %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, srv, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz booted-but-not-ready = %d, want 503", resp.StatusCode)
+	}
+
+	ready.Store(true)
+	if resp, _ := get(t, srv, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after ready = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestStatuszRoundTrip(t *testing.T) {
+	want := testStatus()
+	srv := httptest.NewServer(Handler(Config{Status: func() Status { return want }}))
+	defer srv.Close()
+	resp, body := get(t, srv, "/statusz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode statusz: %v", err)
+	}
+	if got.Node != want.Node || got.GSDRole != want.GSDRole ||
+		got.Wire.TxDatagrams != want.Wire.TxDatagrams ||
+		len(got.Procs) != len(want.Procs) || got.BulletinRows != want.BulletinRows {
+		t.Fatalf("statusz round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	off := httptest.NewServer(Handler(Config{Status: testStatus}))
+	defer off.Close()
+	if resp, _ := get(t, off, "/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without Pprof flag: %d", resp.StatusCode)
+	}
+	on := httptest.NewServer(Handler(Config{Status: testStatus, Pprof: true}))
+	defer on.Close()
+	if resp, _ := get(t, on, "/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerBindAndClose(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0", Status: testStatus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("scrape bound server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+	if _, err := New(Config{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("New accepted a nil Status")
+	}
+}
+
+func TestFetchAndGather(t *testing.T) {
+	stA, stB := testStatus(), testStatus()
+	stB.Node, stB.GSDRole = 1, GSDNone
+	srvA := httptest.NewServer(Handler(Config{Status: func() Status { return stA }}))
+	defer srvA.Close()
+	srvB := httptest.NewServer(Handler(Config{Status: func() Status { return stB }}))
+	defer srvB.Close()
+
+	ctx := context.Background()
+	got, err := Fetch(ctx, nil, strings.TrimPrefix(srvA.URL, "http://"))
+	if err != nil {
+		t.Fatalf("Fetch without scheme: %v", err)
+	}
+	if got.Node != stA.Node {
+		t.Fatalf("fetched node %d, want %d", got.Node, stA.Node)
+	}
+
+	targets := map[types.NodeID]string{
+		0: srvA.URL,
+		1: srvB.URL,
+		2: "127.0.0.1:1", // nothing listens here
+	}
+	reports := Gather(ctx, targets, time.Second)
+	if len(reports) != 3 {
+		t.Fatalf("gather returned %d reports, want 3", len(reports))
+	}
+	for i, r := range reports {
+		if int(r.Node) != i {
+			t.Fatalf("reports not sorted by node: %v", reports)
+		}
+	}
+	if !reports[0].Reachable() || !reports[1].Reachable() || reports[2].Reachable() {
+		t.Fatalf("reachability wrong: %+v", reports)
+	}
+
+	lead, ok := Leader(reports)
+	if !ok || lead.Node != 0 {
+		t.Fatalf("Leader = %+v, %v; want node 0", lead, ok)
+	}
+
+	var sb strings.Builder
+	RenderTable(&sb, reports)
+	table := sb.String()
+	for _, want := range []string{"NODE", "leader", "DOWN", "meta-group leader: node 3"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestAdminAddrConvention(t *testing.T) {
+	book := wire.NewBook()
+	if err := book.Set(0, 0, "127.0.0.1:9000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := book.Set(1, 0, "10.0.0.7:9002"); err != nil {
+		t.Fatal(err)
+	}
+	targets, err := Targets(book, DefaultAdminOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets[0] != "127.0.0.1:10000" || targets[1] != "10.0.0.7:10002" {
+		t.Fatalf("targets = %v", targets)
+	}
+	if _, err := AdminAddr(book, 0, 70000); err == nil {
+		t.Fatal("out-of-range admin port accepted")
+	}
+	if _, err := AdminAddr(book, 9, DefaultAdminOffset); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package opshttp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// PromContentType is the Prometheus text exposition format version the
+// /metrics endpoint speaks.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitises a dotted metric name into the Prometheus name
+// charset [a-zA-Z0-9_:]: every other rune becomes '_', and a leading
+// digit gains a '_' prefix. "wire.tx.datagrams" → "wire_tx_datagrams".
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func promEscapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm renders a metrics snapshot in the Prometheus text exposition
+// format: counters with a _total suffix, gauges as-is, histograms as
+// summaries in seconds. Empty histograms emit only _sum and _count —
+// never a NaN quantile.
+func WriteProm(w io.Writer, snap metrics.Snapshot) {
+	for _, c := range snap.Counters {
+		name := PromName(c.Name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range snap.Hists {
+		name := PromName(h.Name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		if h.Count > 0 {
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50.Seconds()))
+			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, promFloat(h.P90.Seconds()))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99.Seconds()))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum.Seconds()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// writeStatusProm renders the Status-derived phoenix_* series: identity
+// as labels on phoenix_node_info, liveness/membership as plain gauges.
+func writeStatusProm(w io.Writer, st Status) {
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	fmt.Fprintf(w, "# TYPE phoenix_node_info gauge\n")
+	fmt.Fprintf(w, "phoenix_node_info{node=\"%d\",partition=\"%d\",role=\"%s\",gsd_role=\"%s\"} 1\n",
+		st.Node, st.Partition, promEscapeLabel(st.Role), promEscapeLabel(st.GSDRole))
+	fmt.Fprintf(w, "# TYPE phoenix_booted gauge\nphoenix_booted %s\n", b(st.Booted))
+	fmt.Fprintf(w, "# TYPE phoenix_ready gauge\nphoenix_ready %s\n", b(st.Ready))
+	fmt.Fprintf(w, "# TYPE phoenix_uptime_seconds gauge\nphoenix_uptime_seconds %s\n", promFloat(st.UptimeSeconds))
+	fmt.Fprintf(w, "# TYPE phoenix_procs gauge\nphoenix_procs %d\n", len(st.Procs))
+	fmt.Fprintf(w, "# TYPE phoenix_peers gauge\nphoenix_peers %d\n", st.Peers)
+	if st.GSDRole != GSDNone && st.GSDRole != "" {
+		fmt.Fprintf(w, "# TYPE phoenix_gsd_leader gauge\nphoenix_gsd_leader %s\n", b(st.GSDRole == GSDLeader))
+		fmt.Fprintf(w, "# TYPE phoenix_meta_alive gauge\nphoenix_meta_alive %d\n", st.MetaAlive)
+		fmt.Fprintf(w, "# TYPE phoenix_meta_size gauge\nphoenix_meta_size %d\n", st.MetaSize)
+	}
+	if st.BulletinRows >= 0 {
+		fmt.Fprintf(w, "# TYPE phoenix_bulletin_rows gauge\nphoenix_bulletin_rows %d\n", st.BulletinRows)
+	}
+}

@@ -1,0 +1,133 @@
+// Package opshttp is the per-node operations plane of the real-network
+// path: a small stdlib-only HTTP server that every phoenix-node (and any
+// noded-embedded test cluster) can expose next to its UDP planes, plus
+// the cluster-wide introspection client behind cmd/phoenix-admin.
+//
+// The paper's configuration service promises "self-introspection" and
+// its detector/bulletin stack exists to make cluster state observable
+// (§4.2–4.4); inside the simulator that state is a function call away,
+// but once the kernel runs on real sockets it needs a network window.
+// Following the related work's advice — cluster state should be
+// queryable as data, and monitoring must be pull-based and cheap to
+// survive scale — the server computes nothing in the background: every
+// endpoint renders a snapshot taken at request time, so an unscraped
+// node spends zero cycles on observability.
+//
+// Endpoints:
+//
+//	/metrics  Prometheus text exposition of the node's metrics.Registry
+//	          (wire counters, per-plane traffic, histogram summaries)
+//	          plus phoenix_* gauges derived from the Status snapshot.
+//	/healthz  200 once the kernel slice is booted, 503 otherwise.
+//	/readyz   200 once the node is serving its cluster role (booted and
+//	          the meta-group leader is known), 503 with a reason body.
+//	/statusz  the full Status snapshot as JSON.
+//	/debug/pprof/...  optional, behind Config.Pprof.
+package opshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/metrics"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (host:port; port 0 binds an
+	// ephemeral port, reported by Server.Addr).
+	Addr string
+	// Status produces the node snapshot; required. It is called once per
+	// request, from the HTTP handler goroutine — implementations
+	// serialise against the kernel themselves (noded runs it inside the
+	// node's loop).
+	Status func() Status
+	// Snapshot produces the metrics snapshot rendered at /metrics; nil
+	// serves only the phoenix_* status gauges. The usual value is the
+	// Snapshot method of the node's registry.
+	Snapshot func() metrics.Snapshot
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Server is one node's admin/observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the admin handler without binding a socket — the form
+// httptest-based unit tests consume.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := cfg.Status()
+		if !st.Booted {
+			http.Error(w, "kernel not booted", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := cfg.Status()
+		if !st.Ready {
+			reason := st.ReadyReason
+			if reason == "" {
+				reason = "not ready"
+			}
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		writeStatusProm(w, cfg.Status())
+		if cfg.Snapshot != nil {
+			WriteProm(w, cfg.Snapshot())
+		}
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// New binds and starts the admin server. It returns once the listener is
+// accepting, so a caller that reads Addr can immediately be scraped.
+func New(cfg Config) (*Server, error) {
+	if cfg.Status == nil {
+		return nil, fmt.Errorf("opshttp: Config.Status is required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("opshttp: bind %s: %w", cfg.Addr, err)
+	}
+	s := &Server{ln: ln}
+	s.srv = &http.Server{Handler: Handler(cfg)}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (with the kernel-assigned port
+// after an ephemeral bind).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port. In-flight requests are
+// aborted — the operations plane has no draining obligations.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,81 @@
+package opshttp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// GSD role strings reported in Status.GSDRole. A node that hosts no GSD
+// reports GSDNone.
+const (
+	GSDLeader   = "leader"
+	GSDPrincess = "princess"
+	GSDMember   = "member"
+	GSDNone     = "-"
+)
+
+// Status is one node's operational snapshot: the struct served as JSON at
+// /statusz, folded into /metrics as phoenix_* gauges, printed by
+// phoenix-node's periodic status line, and tabulated across the cluster
+// by phoenix-admin. It is the single source of truth for "how is this
+// node doing" — every surface renders this struct rather than reading
+// kernel state or metric counters ad hoc.
+type Status struct {
+	Node      int    `json:"node"`
+	Partition int    `json:"partition"`
+	// Role is the node's topology role: server, backup or compute.
+	Role string `json:"role"`
+
+	// Booted reports that the kernel slice is up (host powered on,
+	// daemons spawned); it gates /healthz.
+	Booted bool `json:"booted"`
+	// Ready reports that the node is serving its cluster role — booted,
+	// and the GSD it hosts (or heartbeats to) knows a live meta-group
+	// leader; it gates /readyz. ReadyReason explains a false Ready.
+	Ready       bool   `json:"ready"`
+	ReadyReason string `json:"ready_reason,omitempty"`
+
+	// GSDRole is leader/princess/member when this node hosts a GSD,
+	// GSDNone ("-") otherwise.
+	GSDRole string `json:"gsd_role"`
+	// LeaderPartition / LeaderNode name the meta-group leader as known by
+	// the GSD hosted here; -1 when unknown (or no GSD hosted).
+	LeaderPartition int `json:"leader_partition"`
+	LeaderNode      int `json:"leader_node"`
+	// MetaAlive / MetaSize summarise the hosted GSD's membership view.
+	MetaAlive int `json:"meta_alive"`
+	MetaSize  int `json:"meta_size"`
+
+	// Procs lists the services in the node's process table, sorted.
+	Procs []string `json:"procs"`
+	// BulletinRows counts resource rows in the hosted data-bulletin
+	// instance; -1 when this node hosts no bulletin.
+	BulletinRows int `json:"bulletin_rows"`
+	// Peers counts the nodes in the wire address book.
+	Peers int `json:"peers"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Wire is the transport's traffic/reliability snapshot, totals and
+	// per plane.
+	Wire wire.Stats `json:"wire"`
+}
+
+// Line renders the status as the one-line form phoenix-node logs
+// periodically.
+func (st Status) Line() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %d [%s p%d]", st.Node, st.Role, st.Partition)
+	if st.GSDRole != GSDNone && st.GSDRole != "" {
+		fmt.Fprintf(&sb, " gsd=%s meta %d/%d", st.GSDRole, st.MetaAlive, st.MetaSize)
+	}
+	fmt.Fprintf(&sb, " ready=%v procs %d", st.Ready, len(st.Procs))
+	w := st.Wire
+	fmt.Fprintf(&sb, ", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d, errs %d",
+		w.TxDatagrams, w.RxDatagrams, w.Retransmits, w.DupDrops,
+		w.TxFrags, w.RxFrags, w.TxAcks, w.PeerFaults, w.Errors)
+	fmt.Fprintf(&sb, ", up %.0fs", st.UptimeSeconds)
+	return sb.String()
+}

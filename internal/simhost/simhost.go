@@ -276,6 +276,18 @@ func (h *Host) PID(service string) types.ProcID {
 	return 0
 }
 
+// Proc returns the running process behind a service slot, or nil while
+// the service is absent or still paying its exec latency. Status
+// providers (the opshttp snapshot) type-assert the result to read
+// service-specific state; like every Host method it must be called from
+// the substrate's serialisation context.
+func (h *Host) Proc(service string) Process {
+	if e, ok := h.procs[service]; ok && !e.starting {
+		return e.proc
+	}
+	return nil
+}
+
 // Watch registers a local process-lifecycle watcher (used by the GSD to
 // supervise the kernel services co-located with it, and by the detectors
 // and PPM to track jobs). The returned function cancels the watch; daemons

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Stats must agree with the registry counters it snapshots, carry one
+// entry per plane, and attribute traffic to the plane that carried it.
+func TestTransportStats(t *testing.T) {
+	a, b := pair(t, 2)
+	got := make(chan types.Message, 4)
+	b.Register(recvAddr(), func(m types.Message) { got <- m })
+
+	for plane := 0; plane < 2; plane++ {
+		err := a.Send(types.Message{
+			From: types.Addr{Node: 0, Service: "cli"}, To: recvAddr(),
+			NIC: plane, Type: "ping", Payload: types.ResourceStats{Node: 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		await(t, got)
+	}
+
+	s := a.Stats()
+	if s.TxMsgs != 2 {
+		t.Fatalf("TxMsgs = %d, want 2", s.TxMsgs)
+	}
+	if s.TxDatagrams < 2 || s.TxBytes == 0 {
+		t.Fatalf("tx totals = %d datagrams / %d bytes", s.TxDatagrams, s.TxBytes)
+	}
+	if len(s.Planes) != 2 {
+		t.Fatalf("planes = %d, want 2", len(s.Planes))
+	}
+	var planeTx int64
+	for p, ps := range s.Planes {
+		if ps.Plane != p {
+			t.Fatalf("plane index %d labelled %d", p, ps.Plane)
+		}
+		if ps.TxDatagrams == 0 {
+			t.Fatalf("plane %d has no tx datagrams", p)
+		}
+		planeTx += ps.TxDatagrams
+	}
+	if planeTx != s.TxDatagrams {
+		t.Fatalf("plane tx sum %d != total %d", planeTx, s.TxDatagrams)
+	}
+	if int64(a.Metrics().Counter("wire.tx.datagrams").Value()) != s.TxDatagrams {
+		t.Fatal("Stats disagrees with the registry counter it snapshots")
+	}
+
+	// The receiver delivered both messages and acked them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rs := b.Stats()
+		if rs.RxDelivered == 2 && rs.TxAcks > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver stats never settled: %+v", rs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Book must round-trip through the accessor so status surfaces can count
+// peers without reaching into transport internals.
+func TestTransportBookAccessor(t *testing.T) {
+	a, _ := pair(t, 1)
+	bk := a.Book()
+	if bk == nil {
+		t.Fatal("Book() = nil after SetBook")
+	}
+	if got := len(bk.Nodes()); got != 2 {
+		t.Fatalf("book lists %d nodes, want 2", got)
+	}
+}

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Admin-endpoint smoke test, run by `make ci`: build phoenix-node and
+# phoenix-admin, boot one real node with its operations HTTP server
+# enabled, scrape /healthz + /metrics through `phoenix-admin -scrape`,
+# and grep the exposition for known metric names. Proves the operations
+# plane works end to end from the shipped binaries, not just from
+# in-process tests.
+set -eu
+
+BASE_PORT=${BASE_PORT:-19860}
+ADMIN_PORT=${ADMIN_PORT:-19960}
+
+tmp=$(mktemp -d)
+node_pid=""
+cleanup() {
+    [ -n "$node_pid" ] && kill "$node_pid" 2>/dev/null || true
+    [ -n "$node_pid" ] && wait "$node_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/phoenix-node" ./cmd/phoenix-node
+go build -o "$tmp/phoenix-admin" ./cmd/phoenix-admin
+
+"$tmp/phoenix-node" -gen-book -partitions 1 -partition-size 2 -planes 1 \
+    -base-port "$BASE_PORT" > "$tmp/book.txt"
+
+# Boot only node 0 (its partition peer stays absent — the node must still
+# serve its admin plane while the kernel retries the missing backup).
+"$tmp/phoenix-node" -node 0 -book "$tmp/book.txt" \
+    -partitions 1 -partition-size 2 -planes 1 \
+    -admin "127.0.0.1:$ADMIN_PORT" -status 0 > "$tmp/node.log" 2>&1 &
+node_pid=$!
+
+# Wait for /healthz to turn 200 and capture /metrics.
+ok=""
+i=0
+while [ $i -lt 50 ]; do
+    if "$tmp/phoenix-admin" -scrape "127.0.0.1:$ADMIN_PORT" \
+        > "$tmp/metrics.txt" 2>"$tmp/scrape.err"; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$node_pid" 2>/dev/null; then
+        echo "admin smoke: phoenix-node died:" >&2
+        cat "$tmp/node.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$ok" ]; then
+    echo "admin smoke: /healthz never became healthy:" >&2
+    cat "$tmp/scrape.err" "$tmp/node.log" >&2
+    exit 1
+fi
+
+for metric in phoenix_uptime_seconds phoenix_node_info phoenix_ready wire_tx_datagrams_total; do
+    if ! grep -q "$metric" "$tmp/metrics.txt"; then
+        echo "admin smoke: /metrics is missing $metric:" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    fi
+done
+
+echo "admin smoke: ok ($(wc -l < "$tmp/metrics.txt") metric lines)"
