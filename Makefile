@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz admin-smoke
+.PHONY: ci vet build test race fuzz admin-smoke chaos-smoke
 
-ci: vet build test race fuzz admin-smoke
+ci: vet build test race fuzz admin-smoke chaos-smoke
 	@echo "ci: all gates passed"
 
 vet:
@@ -41,3 +41,10 @@ fuzz:
 # phoenix-admin, and grep for known metric names.
 admin-smoke:
 	sh ./scripts/admin_smoke.sh
+
+# The robustness gate: boot a real four-node cluster from the shipped
+# binaries with durable state dirs and a chaos scenario armed, SIGKILL the
+# leader's node, and require the crash-restarted node to rejoin (rejoining
+# state surfaced, back to ready, exactly one leader).
+chaos-smoke:
+	sh ./scripts/chaos_smoke.sh

@@ -1,0 +1,52 @@
+// phoenix-chaos validates and resolves chaos scenario files — the fault
+// schedules phoenix-node replays with -chaos. It parses the DSL, reports
+// errors with line numbers, and prints the resolved schedule (steps in
+// execution order, seed applied), so an operator can see exactly what a
+// scenario will do before arming a cluster with it.
+//
+//	phoenix-chaos scenario.txt            # validate + print resolved schedule
+//	phoenix-chaos -check scenario.txt     # validate only (exit status)
+//	phoenix-chaos -seed 42 scenario.txt   # resolve under an overridden seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		check = flag.Bool("check", false, "validate only: no output on success, diagnostics and exit 1 on error")
+		seed  = flag.Int64("seed", 0, "override the scenario's seed (0 keeps the scenario's own)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: phoenix-chaos [-check] [-seed N] <scenario-file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("phoenix-chaos: %v", err)
+	}
+	sc, err := chaos.Parse(string(raw))
+	if err != nil {
+		log.Fatalf("phoenix-chaos: %s: %v", path, err)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	steps := sc.Resolve()
+	if *check {
+		return
+	}
+	fmt.Printf("# %s: %d steps, seed %d\n", path, len(steps), sc.Seed)
+	fmt.Printf("seed %d\n", sc.Seed)
+	for _, st := range steps {
+		fmt.Println(st.String())
+	}
+}

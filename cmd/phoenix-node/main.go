@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/noded"
@@ -50,6 +51,9 @@ func main() {
 		admin    = flag.String("admin", "", "operations HTTP server: host:port, or \"auto\" to derive from the book (plane-0 port + admin-offset); empty disables")
 		adminOff = flag.Int("admin-offset", opshttp.DefaultAdminOffset, "admin port offset for -admin auto (phoenix-admin must use the same)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof on the admin server (needs -admin)")
+		stateDir = flag.String("state-dir", "", "durable state directory: checkpoint records are mirrored there and a restart from the same directory rejoins the cluster instead of booting fresh")
+		chaosPth = flag.String("chaos", "", "chaos scenario file: seeded fault schedule injected into this node's wire transport (see internal/chaos)")
+		chaosSd  = flag.Int64("chaos-seed", 0, "override the chaos scenario's seed (0 keeps the scenario's own)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,37 @@ func main() {
 		noded.WithBook(book),
 		noded.WithMetrics(reg),
 	}
+	if *stateDir != "" {
+		opts = append(opts, noded.WithStateDir(*stateDir))
+	}
+
+	// Chaos fabric: the scenario's fault schedule replays against this
+	// node's transport on the wall clock; a kill step naming this node
+	// terminates the process abruptly, like a crash.
+	var chaosRunner *chaos.Runner
+	var chaosScenario *chaos.Scenario
+	if *chaosPth != "" {
+		raw, err := os.ReadFile(*chaosPth)
+		if err != nil {
+			log.Fatalf("phoenix-node: %v", err)
+		}
+		chaosScenario, err = chaos.Parse(string(raw))
+		if err != nil {
+			log.Fatalf("phoenix-node: %v", err)
+		}
+		if *chaosSd != 0 {
+			chaosScenario.Seed = *chaosSd
+		}
+		inj := chaos.New(chaosScenario.Seed)
+		chaosRunner = chaos.NewRunner(inj, id, func() {
+			log.Printf("phoenix-node: %v: chaos kill — exiting like a crash", id)
+			os.Exit(137)
+		})
+		opts = append(opts, noded.WithWireOptions(
+			wire.WithOutboundFilter(inj.Outbound()),
+			wire.WithInboundFilter(inj.Inbound()),
+		))
+	}
 	adminAddr := *admin
 	if adminAddr == "auto" {
 		adminAddr, err = opshttp.AdminAddr(book, id, *adminOff)
@@ -114,6 +149,12 @@ func main() {
 	n, err := noded.Start(id, topo, opts...)
 	if err != nil {
 		log.Fatalf("phoenix-node: %v", err)
+	}
+	if chaosRunner != nil {
+		chaosRunner.Run(chaosScenario)
+		defer chaosRunner.Stop()
+		log.Printf("phoenix-node: %v: chaos scenario armed (%d steps, seed %d)",
+			id, len(chaosScenario.Steps), chaosScenario.Seed)
 	}
 	ni, _ := topo.Node(id)
 	log.Printf("phoenix-node: %v up (role %v, partition %v, %d planes, preset %s)",

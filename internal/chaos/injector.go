@@ -1,0 +1,291 @@
+// Package chaos is the deterministic fault fabric for the real wire
+// transport: an Injector plugs into wire.WithOutboundFilter and
+// wire.WithInboundFilter and subjects every datagram to seeded,
+// reproducible faults — probabilistic drop/duplicate/delay rules per
+// (peer, plane, direction), whole network planes taken down ("NIC down"),
+// and full network partitions (peer sets blackholed). A Scenario is a
+// small text DSL of timed steps (nic-down, partition, heal, kill, …) that
+// a Runner replays against the injector on the wall clock, from tests or
+// from phoenix-node -chaos.
+//
+// Determinism: every (peer, plane, direction) lane draws from its own
+// rand.Rand seeded from the injector seed and the lane identity, and each
+// matched datagram consumes a fixed number of draws regardless of outcome.
+// Two runs that present the same datagram sequence on a lane therefore
+// suffer the same fault sequence, whatever the other lanes do in between.
+package chaos
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Directions a rule can apply to.
+const (
+	DirOut  = "out"
+	DirIn   = "in"
+	DirBoth = "both"
+)
+
+// Rule subjects matching datagrams to probabilistic faults. Zero-valued
+// match fields are wildcards via the canonical constructors (AnyPeer,
+// AnyPlane); Drop and Dup are probabilities in [0,1], Delay postpones
+// every surviving matched datagram by a fixed duration.
+type Rule struct {
+	Peer  types.NodeID // AnyPeer matches all peers
+	Plane int          // AnyPlane matches all planes
+	Dir   string       // DirOut, DirIn or DirBoth ("" = both)
+	Drop  float64
+	Dup   float64
+	Delay time.Duration
+}
+
+// Wildcard match values.
+const (
+	AnyPeer  = types.NodeID(-1)
+	AnyPlane = -1
+)
+
+func (r Rule) matches(peer types.NodeID, plane int, dir string) bool {
+	if r.Peer != AnyPeer && r.Peer != peer {
+		return false
+	}
+	if r.Plane != AnyPlane && r.Plane != plane {
+		return false
+	}
+	return r.Dir == "" || r.Dir == DirBoth || r.Dir == dir
+}
+
+// Action is one chaos decision, reported through the Trace hook.
+type Action struct {
+	Peer    types.NodeID
+	Plane   int
+	Dir     string
+	Verdict string // "drop", "dup", "delay", "pass", "plane-down", "blocked"
+}
+
+type laneKey struct {
+	peer  types.NodeID
+	plane int
+	dir   string
+}
+
+// Injector is the fault decision engine. Safe for concurrent use: the
+// wire transport calls its filters from per-plane read loops and send
+// paths, while a Runner reconfigures it from timer goroutines.
+type Injector struct {
+	seed int64
+
+	// Trace, when non-nil, receives every decision. Set it before traffic
+	// flows; it is read without the lock.
+	Trace func(Action)
+
+	mu        sync.Mutex
+	rules     []Rule
+	planeDown map[int]bool
+	blocked   map[types.NodeID]bool
+	rngs      map[laneKey]*rand.Rand
+	counts    map[string]int64
+}
+
+// New builds an injector whose fault sequences derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:      seed,
+		planeDown: make(map[int]bool),
+		blocked:   make(map[types.NodeID]bool),
+		rngs:      make(map[laneKey]*rand.Rand),
+		counts:    make(map[string]int64),
+	}
+}
+
+// laneRNG returns the lane's private random stream, creating it
+// deterministically from the injector seed and the lane identity.
+// Callers hold mu.
+func (inj *Injector) laneRNG(key laneKey) *rand.Rand {
+	if rng, ok := inj.rngs[key]; ok {
+		return rng
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	for i, v := 0, uint64(key.peer); i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte{byte(key.plane)})
+	h.Write([]byte(key.dir))
+	rng := rand.New(rand.NewSource(inj.seed ^ int64(h.Sum64())))
+	inj.rngs[key] = rng
+	return rng
+}
+
+// AddRule appends a fault rule. Rules are evaluated in insertion order;
+// the first match decides.
+func (inj *Injector) AddRule(r Rule) {
+	inj.mu.Lock()
+	inj.rules = append(inj.rules, r)
+	inj.mu.Unlock()
+}
+
+// ClearRules removes every fault rule (plane-downs and partitions stay).
+func (inj *Injector) ClearRules() {
+	inj.mu.Lock()
+	inj.rules = nil
+	inj.mu.Unlock()
+}
+
+// SetPlaneDown blackholes (or restores) one plane in both directions —
+// the "NIC down" fault.
+func (inj *Injector) SetPlaneDown(plane int, down bool) {
+	inj.mu.Lock()
+	if down {
+		inj.planeDown[plane] = true
+	} else {
+		delete(inj.planeDown, plane)
+	}
+	inj.mu.Unlock()
+}
+
+// Block blackholes traffic to and from the given peers on every plane —
+// the building block of network partitions.
+func (inj *Injector) Block(peers ...types.NodeID) {
+	inj.mu.Lock()
+	for _, p := range peers {
+		inj.blocked[p] = true
+	}
+	inj.mu.Unlock()
+}
+
+// Partition splits the cluster into groups: from self's point of view,
+// every listed node outside self's group becomes unreachable. Nodes in no
+// group keep full connectivity.
+func (inj *Injector) Partition(self types.NodeID, groups [][]types.NodeID) {
+	mine := -1
+	for i, g := range groups {
+		for _, n := range g {
+			if n == self {
+				mine = i
+			}
+		}
+	}
+	inj.mu.Lock()
+	for i, g := range groups {
+		if i == mine {
+			continue
+		}
+		for _, n := range g {
+			inj.blocked[n] = true
+		}
+	}
+	inj.mu.Unlock()
+}
+
+// Heal restores full connectivity: partitions lifted, planes back up,
+// fault rules cleared. Lane RNG streams are kept, so a healed injector
+// continues its deterministic sequence.
+func (inj *Injector) Heal() {
+	inj.mu.Lock()
+	inj.rules = nil
+	inj.planeDown = make(map[int]bool)
+	inj.blocked = make(map[types.NodeID]bool)
+	inj.mu.Unlock()
+}
+
+// Counts snapshots the per-verdict decision counters.
+func (inj *Injector) Counts() map[string]int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[string]int64, len(inj.counts))
+	for k, v := range inj.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (inj *Injector) record(key laneKey, verdict string) {
+	inj.counts[verdict]++
+	if inj.Trace != nil {
+		inj.Trace(Action{Peer: key.peer, Plane: key.plane, Dir: key.dir, Verdict: verdict})
+	}
+}
+
+// decide runs one datagram through the fabric and returns what to do with
+// it: deliveries is how many times forward should run (0 = drop, 2 =
+// duplicate), delay postpones them.
+func (inj *Injector) decide(key laneKey) (deliveries int, delay time.Duration) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.planeDown[key.plane] {
+		inj.record(key, "plane-down")
+		return 0, 0
+	}
+	if inj.blocked[key.peer] {
+		inj.record(key, "blocked")
+		return 0, 0
+	}
+	for _, r := range inj.rules {
+		if !r.matches(key.peer, key.plane, key.dir) {
+			continue
+		}
+		// Fixed draw order — drop then dup — keeps lane streams aligned
+		// across runs whatever the verdicts.
+		rng := inj.laneRNG(key)
+		dropDraw, dupDraw := rng.Float64(), rng.Float64()
+		if dropDraw < r.Drop {
+			inj.record(key, "drop")
+			return 0, 0
+		}
+		deliveries = 1
+		if dupDraw < r.Dup {
+			inj.record(key, "dup")
+			deliveries = 2
+		}
+		if r.Delay > 0 {
+			if deliveries == 1 {
+				inj.record(key, "delay")
+			}
+			return deliveries, r.Delay
+		}
+		if deliveries == 1 {
+			inj.record(key, "pass")
+		}
+		return deliveries, 0
+	}
+	inj.record(key, "pass")
+	return 1, 0
+}
+
+func (inj *Injector) run(key laneKey, forward func()) {
+	deliveries, delay := inj.decide(key)
+	emit := func() {
+		for i := 0; i < deliveries; i++ {
+			forward()
+		}
+	}
+	if deliveries == 0 {
+		return
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, emit)
+		return
+	}
+	emit()
+}
+
+// Outbound returns the injector's send-side wire filter.
+func (inj *Injector) Outbound() func(peer types.NodeID, plane int, data []byte, transmit func()) {
+	return func(peer types.NodeID, plane int, data []byte, transmit func()) {
+		inj.run(laneKey{peer: peer, plane: plane, dir: DirOut}, transmit)
+	}
+}
+
+// Inbound returns the injector's receive-side wire filter.
+func (inj *Injector) Inbound() func(peer types.NodeID, plane int, data []byte, deliver func()) {
+	return func(peer types.NodeID, plane int, data []byte, deliver func()) {
+		inj.run(laneKey{peer: peer, plane: plane, dir: DirIn}, deliver)
+	}
+}

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"log"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Runner replays a scenario against one node's injector on the wall
+// clock. Every node of a cluster runs the same scenario text with its own
+// identity: rule and partition steps reconfigure the local injector
+// (partition groups are interpreted from self's point of view), and a
+// kill step acts only on the node it names.
+type Runner struct {
+	inj  *Injector
+	self types.NodeID
+	// kill is invoked by a kill step naming self — phoenix-node exits the
+	// process like a crash; tests stop the node under test.
+	kill func()
+
+	timers []*time.Timer
+}
+
+// NewRunner builds a runner for self's injector. kill may be nil when the
+// scenario contains no kill step for this node.
+func NewRunner(inj *Injector, self types.NodeID, kill func()) *Runner {
+	return &Runner{inj: inj, self: self, kill: kill}
+}
+
+// Run schedules every step of the scenario relative to now. Use Stop to
+// cancel the steps still pending.
+func (r *Runner) Run(sc *Scenario) {
+	for _, st := range sc.Resolve() {
+		st := st
+		r.timers = append(r.timers, time.AfterFunc(st.At, func() { r.Apply(st) }))
+	}
+}
+
+// Stop cancels the scheduled steps that have not fired yet.
+func (r *Runner) Stop() {
+	for _, t := range r.timers {
+		t.Stop()
+	}
+	r.timers = nil
+}
+
+// Apply executes one step immediately (Run's timers land here; tests may
+// drive steps directly).
+func (r *Runner) Apply(st Step) {
+	switch st.Op {
+	case "nic-down":
+		r.inj.SetPlaneDown(st.Plane, true)
+	case "nic-up":
+		r.inj.SetPlaneDown(st.Plane, false)
+	case "drop":
+		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir, Drop: st.Prob})
+	case "dup":
+		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir, Dup: st.Prob})
+	case "delay":
+		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir, Delay: st.Delay})
+	case "clear":
+		r.inj.ClearRules()
+	case "partition":
+		r.inj.Partition(r.self, st.Groups)
+	case "heal":
+		r.inj.Heal()
+	case "kill":
+		if st.Node == r.self && r.kill != nil {
+			log.Printf("chaos: %v: kill step fired", r.self)
+			r.kill()
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package checkpoint
 
 import (
+	"log"
 	"time"
 
 	"repro/internal/codec"
@@ -118,17 +119,29 @@ type Service struct {
 	part    types.PartitionID
 	view    federation.View
 	fetchTO time.Duration
+	dir     string
 
 	rt      rt.Runtime
 	pending *rpc.Pending
 	store   map[string]record
+	disk    *DiskStore
 }
 
 // NewService builds a checkpoint instance for a partition with an initial
-// federation view.
+// federation view. State lives in memory only.
 func NewService(part types.PartitionID, view federation.View, fetchTimeout time.Duration) *Service {
 	return &Service{part: part, view: view.Clone(), fetchTO: fetchTimeout,
 		store: make(map[string]record)}
+}
+
+// NewPersistentService builds a checkpoint instance that additionally
+// mirrors every accepted record (saves, deletes, replications, fetched
+// adoptions) to dir with atomic, fsynced writes, and reloads the mirror on
+// start — the crash-restart durability layer under -state-dir.
+func NewPersistentService(part types.PartitionID, view federation.View, fetchTimeout time.Duration, dir string) *Service {
+	s := NewService(part, view, fetchTimeout)
+	s.dir = dir
+	return s
 }
 
 // Service implements simhost.Process.
@@ -138,6 +151,37 @@ func (s *Service) Service() string { return types.SvcCkpt }
 func (s *Service) Start(h *simhost.Handle) {
 	s.rt = h
 	s.pending = rpc.NewPending(h)
+	s.initDisk()
+}
+
+// initDisk opens the persistent store (when configured) and folds its
+// records into memory. A store that cannot be opened degrades the instance
+// to memory-only with a logged warning rather than failing the boot.
+func (s *Service) initDisk() {
+	if s.dir == "" || s.disk != nil {
+		return
+	}
+	disk, err := NewDiskStore(s.dir)
+	if err != nil {
+		log.Printf("checkpoint: partition %v: running memory-only: %v", s.part, err)
+		return
+	}
+	s.disk = disk
+	for owner, rec := range disk.Load() {
+		if cur, ok := s.store[owner]; !ok || rec.seq > cur.seq {
+			s.store[owner] = rec
+		}
+	}
+}
+
+// persist mirrors one accepted record to disk, when persistence is on.
+func (s *Service) persist(owner string, rec record) {
+	if s.disk == nil {
+		return
+	}
+	if err := s.disk.Put(owner, rec.seq, rec.data, rec.deleted); err != nil {
+		log.Printf("checkpoint: partition %v: persist %q: %v", s.part, owner, err)
+	}
 }
 
 // OnStop implements simhost.Process.
@@ -177,7 +221,9 @@ func (s *Service) Receive(msg types.Message) {
 			return
 		}
 		if cur := s.store[rep.Owner]; rep.Seq > cur.seq {
-			s.store[rep.Owner] = record{seq: rep.Seq, data: rep.Data, deleted: rep.Deleted}
+			rec := record{seq: rep.Seq, data: rep.Data, deleted: rep.Deleted}
+			s.store[rep.Owner] = rec
+			s.persist(rep.Owner, rec)
 		}
 	case MsgRestore:
 		req, ok := msg.Payload.(RestoreReq)
@@ -220,6 +266,7 @@ func (s *Service) apply(owner string, version uint64, rec record) uint64 {
 	}
 	rec.seq = version
 	s.store[owner] = rec
+	s.persist(owner, rec)
 	s.replicate(owner, rec)
 	return version
 }
@@ -258,6 +305,7 @@ func (s *Service) restore(replyTo types.Addr, req RestoreReq) {
 			// Adopt the fetched record locally so subsequent restores
 			// are served without refetching.
 			s.store[req.Owner] = best
+			s.persist(req.Owner, best)
 			s.rt.Send(replyTo, types.AnyNIC, MsgRestoreAck, RestoreAck{
 				Token: req.Token, Found: true, Seq: best.seq, Data: best.data,
 			})

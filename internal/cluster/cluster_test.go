@@ -251,6 +251,79 @@ func TestGSDKillTakeoverAndRejoin(t *testing.T) {
 	}
 }
 
+// TestTakeoverExpiryRetriesRecovery drives the takeoverPending deadline
+// path: the partition server dies, and every GSD the takeover machinery
+// respawns on a backup is killed mid-exec (GSD exec latency is seconds, the
+// sabotage loop steps in 50 ms), so no attempt ever produces a member join
+// and the spawn ack alone looks like success. The armed slot must expire
+// rather than wedge, the dead-slot sweep must re-attempt, and once the
+// sabotage stops the next attempt must recover the partition.
+func TestTakeoverExpiryRetriesRecovery(t *testing.T) {
+	c := smallCluster(t)
+	sink := newEventSink(t, c, 4, []types.EventType{types.EvMemberRecover})
+	part := c.Topo.Partitions[2]
+	candidates := append([]types.NodeID{}, part.Backups...)
+
+	c.Host(part.Server).PowerOff()
+
+	// The sabotage window exceeds the takeover deadline
+	// (2*meta-interval + RPC timeout + 10 s), so at least one armed
+	// attempt expires with its spawn already acked — the only way a
+	// second kill can happen is the sweep retrying after expiry.
+	kills := 0
+	pendingSeen := false
+	for i := 0; i < 600; i++ { // 30 s in 50 ms steps
+		c.RunFor(50 * time.Millisecond)
+		for _, n := range candidates {
+			if c.Host(n).Present(types.SvcGSD) {
+				_ = c.Host(n).Kill(types.SvcGSD)
+				kills++
+			}
+		}
+		for _, p := range c.Topo.Partitions {
+			if p.ID == part.ID {
+				continue
+			}
+			if g := c.Kernel.GSD(p.ID); g != nil {
+				for _, pend := range g.TakeoverPending() {
+					if pend == part.ID {
+						pendingSeen = true
+					}
+				}
+			}
+		}
+	}
+	if kills < 2 {
+		t.Fatalf("sabotage killed %d respawned GSDs, want >= 2 (expired attempt never retried)", kills)
+	}
+	if !pendingSeen {
+		t.Fatal("no surviving member ever drove the dead partition's recovery")
+	}
+
+	// Sabotage over: the in-flight attempt expires, the sweep re-arms,
+	// and the uninterrupted spawn completes the migration.
+	c.RunFor(40 * time.Second)
+	running := false
+	for _, n := range candidates {
+		if c.Host(n).Running(types.SvcGSD) {
+			running = true
+		}
+	}
+	if !running {
+		t.Fatal("partition GSD never recovered after sabotage stopped")
+	}
+	if sink.count(types.EvMemberRecover) == 0 {
+		t.Fatalf("no member.recover after recovery: %v", sink.events)
+	}
+	for _, p := range c.Topo.Partitions {
+		if g := c.Kernel.GSD(p.ID); g != nil && p.ID != part.ID {
+			if pend := g.TakeoverPending(); len(pend) != 0 {
+				t.Fatalf("member %v still holds pending takeovers: %v", p.ID, pend)
+			}
+		}
+	}
+}
+
 func TestServerNodeDeathMigratesServices(t *testing.T) {
 	c := smallCluster(t)
 	sink := newEventSink(t, c, 4, []types.EventType{

@@ -66,6 +66,20 @@ type Options struct {
 	// factories on the partition's server and backup hosts and spawns the
 	// initial instances itself.
 	ExtraServices map[types.PartitionID][]string
+	// CheckpointDir makes every checkpoint-service instance this kernel
+	// spawns (boot, recovery and migration paths alike) persist its
+	// records under the directory with atomic fsynced writes, and reload
+	// them on start — the durability layer behind phoenix-node -state-dir.
+	CheckpointDir string
+	// Rejoin marks a BootNode of a host that crashed and restarted: the
+	// partition server daemons (GSD + es/db/ckpt) are NOT spawned locally
+	// even if this host is the partition's configured server, because the
+	// partition may have migrated to a backup while this node was dead and
+	// a second GSD would split the meta-group. The surviving GSDs re-admit
+	// the node (member-recover) or re-seed a GSD here through the normal
+	// takeover machinery; noded keeps a fallback for the
+	// whole-cluster-restart case. Master and per-node services still spawn.
+	Rejoin bool
 }
 
 // Prepare wires a kernel without booting it: it registers the per-node
@@ -173,7 +187,7 @@ func BootNode(net simhost.Fabric, host *simhost.Host, opts Options) (*Kernel, er
 		}
 	}
 	part, _ := k.Topo.PartitionOf(host.ID())
-	if part.Server == host.ID() {
+	if part.Server == host.ID() && !opts.Rejoin {
 		if err := k.spawnServerDaemons(host, part, opts); err != nil {
 			return nil, err
 		}
@@ -212,10 +226,19 @@ func (k *Kernel) spawnServerDaemons(server *simhost.Host, p config.PartitionInfo
 	if _, err := server.Spawn(bulletin.NewService(p.ID, initialFed, bulletinConfig(params))); err != nil {
 		return fmt.Errorf("core: spawn DB for %v: %w", p.ID, err)
 	}
-	if _, err := server.Spawn(checkpoint.NewService(p.ID, initialFed, params.BulletinFetchTimeout)); err != nil {
+	if _, err := server.Spawn(k.newCheckpoint(p.ID, initialFed, opts)); err != nil {
 		return fmt.Errorf("core: spawn CKPT for %v: %w", p.ID, err)
 	}
 	return nil
+}
+
+// newCheckpoint builds a checkpoint instance, persistent when the kernel
+// has a checkpoint directory.
+func (k *Kernel) newCheckpoint(p types.PartitionID, view federation.View, opts Options) *checkpoint.Service {
+	if opts.CheckpointDir != "" {
+		return checkpoint.NewPersistentService(p, view, k.Params.BulletinFetchTimeout, opts.CheckpointDir)
+	}
+	return checkpoint.NewService(p, view, k.Params.BulletinFetchTimeout)
 }
 
 // spawnNodeDaemons boots the daemons that run on every node: watch daemon,
@@ -293,7 +316,7 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 		if !ok {
 			return nil
 		}
-		return checkpoint.NewService(s.Partition, s.View, params.BulletinFetchTimeout)
+		return k.newCheckpoint(s.Partition, s.View, opts)
 	})
 	host.RegisterFactory(types.SvcWD, func(spec any) simhost.Process {
 		s, ok := spec.(watchd.Spec)

@@ -109,6 +109,9 @@ type Daemon struct {
 	// example the respawned daemon was killed mid-exec) expires so the
 	// dead-slot sweep retries.
 	takeoverPending map[types.PartitionID]time.Time
+	// standingDown marks a GSD that discovered a live peer instance owning
+	// its partition slot and is exiting.
+	standingDown bool
 
 	cancelWatch func()
 }
@@ -318,11 +321,20 @@ func (g *Daemon) announcePartition() {
 	if !ok {
 		return
 	}
-	ann := heartbeat.GSDAnnounce{Partition: g.spec.Partition, GSDNode: g.h.Node()}
 	for _, n := range part.Members {
-		g.h.Send(types.Addr{Node: n, Service: types.SvcWD}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
-		g.h.Send(types.Addr{Node: n, Service: types.SvcDetector}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
+		g.announceTo(n)
 	}
+}
+
+// announceTo tells one node's WD and detector where this partition's GSD
+// runs — the targeted form of announcePartition, used when re-admitting a
+// crash-restarted node whose daemons may still be addressing a predecessor
+// GSD (the announce both redirects their heartbeats and tells the node its
+// re-admission is under way).
+func (g *Daemon) announceTo(node types.NodeID) {
+	ann := heartbeat.GSDAnnounce{Partition: g.spec.Partition, GSDNode: g.h.Node()}
+	g.h.Send(types.Addr{Node: node, Service: types.SvcWD}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
+	g.h.Send(types.Addr{Node: node, Service: types.SvcDetector}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
 }
 
 // syncFedView mirrors the membership view into the service-federation view
@@ -339,7 +351,32 @@ func (g *Daemon) syncFedView(v *membership.View) {
 	}
 }
 
-func (g *Daemon) onViewChange(v *membership.View) { g.syncFedView(v) }
+func (g *Daemon) onViewChange(v *membership.View) {
+	g.syncFedView(v)
+	// Supersession guard: a crash-restarted node can race the takeover
+	// machinery into producing two GSD instances for one partition (e.g. a
+	// rejoin fallback spawn concurrent with a migration). The meta-group
+	// view arbitrates — its versions only grow through live members — so an
+	// instance that sees its own slot alive on another node is superseded
+	// and stands down, guaranteeing at most one GSD (and one leader claim)
+	// per partition once views converge.
+	if m, ok := v.Members[g.spec.Partition]; ok && m.Alive && m.Node != g.h.Node() && !g.standingDown {
+		g.standingDown = true
+		g.h.After(0, g.standDown)
+	}
+}
+
+// standDown kills this GSD and its supervised local service instances: the
+// partition's services now live with the winning instance, and a stale
+// co-located trio would shadow it on this node. Deferred via After so the
+// teardown never runs inside the message dispatch that discovered it.
+func (g *Daemon) standDown() {
+	host := g.h.Host()
+	for _, svc := range g.localSvcs {
+		_ = host.Kill(svc)
+	}
+	_ = host.Kill(types.SvcGSD)
+}
 
 // --- partition monitoring callbacks ----------------------------------------
 
@@ -370,6 +407,10 @@ func (g *Daemon) onNodeRecovered(node types.NodeID, wasDown bool) {
 	if wasDown {
 		g.publish(types.Event{Type: types.EvNodeRecover, Node: node})
 		g.checkpointPartitionState()
+		// Confirm the re-admission to the node itself: a crash-restarted
+		// phoenix-node holds its readiness at "rejoining" until its WD
+		// hears from the partition's current GSD.
+		g.announceTo(node)
 	} else {
 		g.publish(types.Event{Type: types.EvProcRecover, Node: node, Service: types.SvcWD})
 	}
@@ -420,7 +461,13 @@ func (g *Daemon) reintegrationSweep() {
 					return
 				}
 				if res.ServiceRunning {
-					// WD already back; its heartbeat will clear the state.
+					// WD already back (a crash-restarted phoenix-node boots
+					// its own per-node daemons); its heartbeat will clear the
+					// state — but only if it addresses THIS GSD. The restarted
+					// WD was configured from the topology, so after a
+					// migration it heartbeats a node where the GSD no longer
+					// runs. Redirect it before waiting for the heartbeat.
+					g.announceTo(node)
 					delete(g.reintegrating, node)
 					return
 				}
@@ -567,6 +614,17 @@ func (g *Daemon) onMemberSuspect(part types.PartitionID, node types.NodeID) {
 func (g *Daemon) onMemberDiagnosed(part types.PartitionID, node types.NodeID, kind types.FaultKind) {
 	g.publish(types.Event{Type: types.EvMemberFail, Node: node, Service: types.SvcGSD,
 		Detail: kind.String() + " " + part.String()})
+}
+
+// TakeoverPending lists the partitions whose recovery this member
+// currently drives, expired attempts included (observability for tests
+// and tools; the dead-slot sweep is what retires or retries them).
+func (g *Daemon) TakeoverPending() []types.PartitionID {
+	out := make([]types.PartitionID, 0, len(g.takeoverPending))
+	for p := range g.takeoverPending {
+		out = append(out, p)
+	}
+	return out
 }
 
 // takeoverActive reports whether an unexpired recovery attempt for the

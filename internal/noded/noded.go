@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/opshttp"
 	"repro/internal/simhost"
 	"repro/internal/types"
+	"repro/internal/watchd"
 	"repro/internal/wire"
 )
 
@@ -37,6 +39,7 @@ type settings struct {
 	wireOpts    []wire.Option
 	adminAddr   string
 	adminPprof  bool
+	stateDir    string
 }
 
 // Option configures Start.
@@ -88,6 +91,20 @@ func WithAdmin(addr string) Option { return func(s *settings) { s.adminAddr = ad
 // It only takes effect together with WithAdmin.
 func WithAdminPprof() Option { return func(s *settings) { s.adminPprof = true } }
 
+// WithStateDir gives the node a durable state directory: every checkpoint
+// record the node's checkpoint instances accept is mirrored there with
+// atomic fsynced writes, and a marker file records the node identity and
+// boot count. When Start finds an existing marker, the node boots in
+// rejoin mode: it withholds its partition server daemons (a migrated GSD
+// may own the partition now — a second instance would split the
+// meta-group) and reports Status.Rejoining until a current GSD announces
+// itself to the node's watch daemon, which /readyz surfaces as a 503
+// "rejoining". A partition server that hears no announce within the
+// rejoin grace spawns its GSD in recovery mode anyway — the
+// whole-cluster-restart path, where no surviving GSD exists to re-seed
+// anyone.
+func WithStateDir(dir string) Option { return func(s *settings) { s.stateDir = dir } }
+
 // Node is one running phoenix node.
 type Node struct {
 	tr      *wire.Transport
@@ -97,6 +114,13 @@ type Node struct {
 	ni      config.NodeInfo
 	admin   *opshttp.Server
 	started time.Time
+
+	// Crash-restart rejoin state. rejoinDone is loop-confined; the
+	// deadline and fallback timer are set once before the node runs.
+	rejoin         bool
+	rejoinDeadline time.Time
+	rejoinDone     bool
+	fallback       *time.Timer
 }
 
 // Start binds the transport (unless one was supplied), builds the host and
@@ -109,6 +133,16 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 	s := settings{params: config.DefaultParams(), costs: simhost.DefaultCosts(), seed: 1 + int64(node)}
 	for _, opt := range opts {
 		opt(&s)
+	}
+
+	rejoin := false
+	ckptDir := ""
+	if s.stateDir != "" {
+		var err error
+		if rejoin, err = openStateDir(s.stateDir, node); err != nil {
+			return nil, err
+		}
+		ckptDir = filepath.Join(s.stateDir, "ckpt")
 	}
 
 	tr := s.transport
@@ -159,11 +193,20 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		n.host = simhost.New(node, tr, clk, rng, s.costs)
 		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
 			Topo: topo, Params: s.params, EnforceAuth: s.enforceAuth,
+			CheckpointDir: ckptDir, Rejoin: rejoin,
 		})
 	})
 	if bootErr != nil {
 		tr.Close()
 		return nil, bootErr
+	}
+	if rejoin {
+		n.rejoin = true
+		grace := rejoinGrace(s.params)
+		n.rejoinDeadline = n.started.Add(grace)
+		if part, ok := topo.PartitionOf(node); ok && part.Server == node {
+			n.fallback = time.AfterFunc(grace, func() { n.fallbackGSD(part.ID) })
+		}
 	}
 	if s.adminAddr != "" {
 		admin, err := opshttp.New(opshttp.Config{
@@ -179,6 +222,38 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		n.admin = admin
 	}
 	return n, nil
+}
+
+// rejoinGrace is how long a rejoining node waits for a surviving GSD to
+// announce itself before assuming nobody is coming: long enough for the
+// meta-group to diagnose the old member death and complete a takeover
+// (detection, probe, candidate walk, spawn), so the fallback only fires
+// when the whole cluster restarted.
+func rejoinGrace(p config.Params) time.Duration {
+	return 3*p.MetaHeartbeatInterval + p.MetaProbeTimeout + 2*p.RPCTimeout
+}
+
+// fallbackGSD covers the whole-cluster-restart corner: every node is
+// rejoining, so no surviving GSD exists to re-admit or re-seed anyone.
+// After the rejoin grace, the partition's configured server spawns its
+// GSD in recovery mode (restore partition state from the durable
+// checkpoints, announce-join the meta-group) unless one already announced
+// itself. A fallback racing a late migration is harmless: the meta-group
+// supersession guard stands the losing instance down.
+func (n *Node) fallbackGSD(part types.PartitionID) {
+	n.loop.Run(func() {
+		if n.host == nil || !n.host.Up() || n.host.Present(types.SvcGSD) {
+			return
+		}
+		if wd, ok := n.host.Proc(types.SvcWD).(*watchd.WD); ok && wd.Announces() > 0 {
+			return // a live GSD owns the partition; nothing to seed
+		}
+		log.Printf("noded: %v: no GSD announce within rejoin grace, seeding partition %v",
+			n.host.ID(), part)
+		if _, err := n.host.SpawnService(types.SvcGSD, gsd.SpawnSpec{Partition: part, Migrated: true}); err != nil {
+			log.Printf("noded: %v: fallback GSD spawn: %v", n.host.ID(), err)
+		}
+	})
 }
 
 // AdminAddr reports the bound address of the node's operations HTTP
@@ -235,6 +310,23 @@ func (n *Node) Status() opshttp.Status {
 		if db, ok := host.Proc(types.SvcDB).(*bulletin.Service); ok {
 			st.BulletinRows = db.Entries()
 		}
+		// Rejoin gate: a crash-restarted node is not ready until a current
+		// GSD has announced itself to its watch daemon (re-admission), a
+		// GSD running here knows the leader (this node won the takeover or
+		// seeded the partition itself), or the grace expired with nobody
+		// objecting — the fast-restart case, where the node came back
+		// before anyone diagnosed it and heartbeats simply resumed.
+		if n.rejoin && !n.rejoinDone {
+			readmitted := st.GSDRole != opshttp.GSDNone && st.LeaderPartition >= 0
+			if wd, ok := host.Proc(types.SvcWD).(*watchd.WD); ok && wd.Announces() > 0 {
+				readmitted = true
+			}
+			if readmitted || time.Now().After(n.rejoinDeadline) {
+				n.rejoinDone = true
+			} else {
+				st.Rejoining = true
+			}
+		}
 	})
 	if book := n.tr.Book(); book != nil {
 		st.Peers = len(book.Nodes())
@@ -251,6 +343,9 @@ func (n *Node) Status() opshttp.Status {
 func readiness(st opshttp.Status) (bool, string) {
 	if !st.Booted {
 		return false, "kernel not booted"
+	}
+	if st.Rejoining {
+		return false, "rejoining"
 	}
 	if st.GSDRole != opshttp.GSDNone {
 		if st.LeaderPartition < 0 {
@@ -284,6 +379,9 @@ func (n *Node) Transport() *wire.Transport { return n.tr }
 // cancelled — closes the admin server, and closes the sockets. A stopped
 // node is what the rest of the cluster sees as a node fault.
 func (n *Node) Stop() {
+	if n.fallback != nil {
+		n.fallback.Stop()
+	}
 	if n.admin != nil {
 		_ = n.admin.Close()
 	}

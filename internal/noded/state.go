@@ -1,0 +1,68 @@
+package noded
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/types"
+)
+
+// markerFile is the identity record a state directory carries: which node
+// owns the directory and how many times it has booted from it. Its
+// presence is what tells a starting node "you crashed and came back" —
+// the signal that switches Start into rejoin mode.
+const markerFile = "node.json"
+
+type nodeMarker struct {
+	Node  int `json:"node"`
+	Boots int `json:"boots"`
+}
+
+// openStateDir prepares a node's durable state directory: it creates the
+// directory, validates the marker against the node identity (booting node
+// 3 from node 5's state directory is refused — the checkpoint records
+// inside would be adopted under the wrong identity), bumps the boot
+// counter, and reports whether this boot is a rejoin (the marker already
+// existed). The marker is written atomically so a crash mid-update leaves
+// the previous record in place.
+func openStateDir(dir string, node types.NodeID) (rejoin bool, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("noded: state dir: %w", err)
+	}
+	path := filepath.Join(dir, markerFile)
+	m := nodeMarker{Node: int(node)}
+	raw, rerr := os.ReadFile(path)
+	switch {
+	case rerr == nil:
+		rejoin = true
+		if jerr := json.Unmarshal(raw, &m); jerr != nil {
+			// A torn or damaged marker still proves a previous boot; keep
+			// rejoin semantics and rewrite it whole.
+			log.Printf("noded: %v: state marker unreadable, rewriting: %v", node, jerr)
+			m = nodeMarker{Node: int(node)}
+		}
+		if m.Node != int(node) {
+			return false, fmt.Errorf("noded: state dir %s belongs to node %d, not %v", dir, m.Node, node)
+		}
+	case os.IsNotExist(rerr):
+		// First boot from this directory.
+	default:
+		return false, fmt.Errorf("noded: state dir: %w", rerr)
+	}
+	m.Boots++
+	data, err := json.Marshal(m)
+	if err != nil {
+		return false, fmt.Errorf("noded: state marker: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return false, fmt.Errorf("noded: state marker: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return false, fmt.Errorf("noded: state marker: %w", err)
+	}
+	return rejoin, nil
+}

@@ -86,6 +86,7 @@ func writeStatusProm(w io.Writer, st Status) {
 		st.Node, st.Partition, promEscapeLabel(st.Role), promEscapeLabel(st.GSDRole))
 	fmt.Fprintf(w, "# TYPE phoenix_booted gauge\nphoenix_booted %s\n", b(st.Booted))
 	fmt.Fprintf(w, "# TYPE phoenix_ready gauge\nphoenix_ready %s\n", b(st.Ready))
+	fmt.Fprintf(w, "# TYPE phoenix_rejoining gauge\nphoenix_rejoining %s\n", b(st.Rejoining))
 	fmt.Fprintf(w, "# TYPE phoenix_uptime_seconds gauge\nphoenix_uptime_seconds %s\n", promFloat(st.UptimeSeconds))
 	fmt.Fprintf(w, "# TYPE phoenix_procs gauge\nphoenix_procs %d\n", len(st.Procs))
 	fmt.Fprintf(w, "# TYPE phoenix_peers gauge\nphoenix_peers %d\n", st.Peers)
@@ -96,5 +97,12 @@ func writeStatusProm(w io.Writer, st Status) {
 	}
 	if st.BulletinRows >= 0 {
 		fmt.Fprintf(w, "# TYPE phoenix_bulletin_rows gauge\nphoenix_bulletin_rows %d\n", st.BulletinRows)
+	}
+	if len(st.Wire.Planes) > 0 {
+		fmt.Fprintf(w, "# TYPE phoenix_plane_healthy gauge\n")
+		for _, p := range st.Wire.Planes {
+			fmt.Fprintf(w, "phoenix_plane_healthy{plane=\"%d\"} %s\n", p.Plane, b(p.Healthy))
+		}
+		fmt.Fprintf(w, "# TYPE phoenix_lanes_down gauge\nphoenix_lanes_down %d\n", st.Wire.LanesDown)
 	}
 }

@@ -36,6 +36,12 @@ type Status struct {
 	// leader; it gates /readyz. ReadyReason explains a false Ready.
 	Ready       bool   `json:"ready"`
 	ReadyReason string `json:"ready_reason,omitempty"`
+	// Rejoining marks a crash-restarted node that has not yet been
+	// re-admitted by its partition's GSD: the node boots from its state
+	// directory, withholds its server daemons, and answers /readyz with
+	// 503 "rejoining" until a current GSD announces itself to the node's
+	// watch daemon (or the rejoin grace elapses).
+	Rejoining bool `json:"rejoining,omitempty"`
 
 	// GSDRole is leader/princess/member when this node hosts a GSD,
 	// GSDNone ("-") otherwise.
@@ -71,7 +77,11 @@ func (st Status) Line() string {
 	if st.GSDRole != GSDNone && st.GSDRole != "" {
 		fmt.Fprintf(&sb, " gsd=%s meta %d/%d", st.GSDRole, st.MetaAlive, st.MetaSize)
 	}
-	fmt.Fprintf(&sb, " ready=%v procs %d", st.Ready, len(st.Procs))
+	fmt.Fprintf(&sb, " ready=%v", st.Ready)
+	if st.Rejoining {
+		sb.WriteString(" rejoining")
+	}
+	fmt.Fprintf(&sb, " procs %d", len(st.Procs))
 	w := st.Wire
 	fmt.Fprintf(&sb, ", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d, errs %d",
 		w.TxDatagrams, w.RxDatagrams, w.Retransmits, w.DupDrops,

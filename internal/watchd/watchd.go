@@ -42,6 +42,7 @@ type WD struct {
 	seq  uint64
 	boot time.Time
 	gsd  types.NodeID
+	anns int
 }
 
 // New builds a watch daemon.
@@ -89,12 +90,18 @@ func (w *WD) Receive(msg types.Message) {
 	if msg.Type == heartbeat.MsgGSDAnnounce {
 		if a, ok := msg.Payload.(heartbeat.GSDAnnounce); ok && a.Partition == w.spec.Partition {
 			w.gsd = a.GSDNode
+			w.anns++
 		}
 	}
 }
 
 // GSDNode reports the WD's current heartbeat target.
 func (w *WD) GSDNode() types.NodeID { return w.gsd }
+
+// Announces reports how many GSD announcements this WD has received since
+// it started — a crash-restarted node uses its first post-restart announce
+// as the signal that the partition's GSD is re-admitting it.
+func (w *WD) Announces() int { return w.anns }
 
 func (w *WD) beat() {
 	w.seq++

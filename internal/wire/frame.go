@@ -49,10 +49,14 @@ const (
 	// standalone ack frames and piggybacked on return data traffic.
 	// flagFrag marks the fragment fields as valid; fragments of one message
 	// occupy consecutive sequence numbers, so seq-fragIndex identifies the
-	// group.
+	// group. flagPing and flagPong are standalone lane probes (see
+	// health.go): a ping asks "does this (peer, plane) lane deliver?", the
+	// pong answering it is the proof that marks a down lane up again.
 	flagData = 0x01
 	flagAck  = 0x02
 	flagFrag = 0x04
+	flagPing = 0x08
+	flagPong = 0x10
 
 	// maxFrameSize bounds a datagram: the largest UDP payload that reliably
 	// survives loopback and well-configured LANs. The transport's MTU
@@ -132,13 +136,19 @@ func parseFrame(data []byte) (frame, error) {
 		fragCount: binary.BigEndian.Uint16(data[26:28]),
 		payload:   data[headerSize:],
 	}
-	if f.flags&^(flagData|flagAck|flagFrag) != 0 {
+	if f.flags&^(flagData|flagAck|flagFrag|flagPing|flagPong) != 0 {
 		return frame{}, fmt.Errorf("wire: unknown flags %#x", f.flags)
 	}
 	if n := binary.BigEndian.Uint32(data[28:32]); int(n) != len(f.payload) {
 		return frame{}, fmt.Errorf("wire: length header %d, body %d", n, len(f.payload))
 	}
 	switch {
+	case f.flags&(flagPing|flagPong) != 0:
+		// Probes are strictly standalone: nothing piggybacks on them.
+		if (f.flags != flagPing && f.flags != flagPong) || len(f.payload) != 0 ||
+			f.seq != 0 || f.ack != 0 || f.ackBits != 0 || f.fragIndex != 0 || f.fragCount != 0 {
+			return frame{}, fmt.Errorf("wire: malformed probe frame")
+		}
 	case f.isData():
 		if f.seq == 0 {
 			return frame{}, fmt.Errorf("wire: data frame with zero sequence")

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/types"
+)
+
+// Lane health is the transport's graceful-degradation mechanism (paper
+// §4.3: per-NIC heartbeat channels exist precisely so one NIC's death does
+// not kill the node's connectivity). A (peer, plane) lane is marked down
+// when it exhausts a retransmission budget — the same event surfaced
+// through WithPeerFaultHandler — and healthy again the moment the peer
+// acks anything on it. AnyNIC sends route around down lanes; sends that
+// name a NIC explicitly (the watch daemons' per-NIC heartbeats) always use
+// it, and help probe a dead plane back to life. When every routable lane
+// to a peer is down, AnyNIC sends probe the least-recently-probed lane
+// with exponential backoff rather than going silent.
+//
+// Traffic alone cannot heal every lane: AnyNIC sends route around a down
+// lane, so a lane that only ever carried AnyNIC traffic (the meta-group's
+// GSD-to-GSD heartbeats, say) would never be tested again once marked
+// down. Each down lane therefore runs a ping chain — a standalone probe
+// frame every backoff interval, doubling up to laneProbeMax — and the
+// peer's pong is the delivery proof that marks the lane up.
+
+// laneProbeMax caps the probe backoff of a persistently dead lane.
+const laneProbeMax = 30 * time.Second
+
+// laneHealth is one lane's reachability record. Guarded by healthMu — a
+// leaf lock, never held while taking mu or relMu.
+type laneHealth struct {
+	down    bool
+	faults  int       // consecutive retransmission-budget exhaustions
+	retryAt time.Time // earliest next AnyNIC probe of a down lane
+
+	probing    bool        // a ping chain is armed for this lane
+	probeTimer clock.Timer // next ping of the chain
+}
+
+// probeBackoff derives the current probe interval from the fault count,
+// starting at the retransmission ceiling and doubling per fault.
+func (h *laneHealth) probeBackoff(rtoMax time.Duration) time.Duration {
+	d := rtoMax
+	for i := 1; i < h.faults && d < laneProbeMax; i++ {
+		d *= 2
+	}
+	if d > laneProbeMax {
+		d = laneProbeMax
+	}
+	return d
+}
+
+// markLaneDown records a retransmission-budget exhaustion on a lane.
+// Called with no locks held.
+func (t *Transport) markLaneDown(key peerKey) {
+	t.healthMu.Lock()
+	h := t.health[key]
+	if h == nil {
+		h = &laneHealth{}
+		t.health[key] = h
+	}
+	wasDown := h.down
+	h.down = true
+	h.faults++
+	h.retryAt = t.clk.Now().Add(h.probeBackoff(t.opt.rtoMax))
+	if !h.probing {
+		h.probing = true
+		h.probeTimer = t.clk.AfterFunc(h.probeBackoff(t.opt.rtoMax), func() { t.probeLane(key) })
+	}
+	t.healthMu.Unlock()
+	if !wasDown {
+		t.reg.Counter("wire.lane.down").Inc()
+	}
+}
+
+// probeLane is one link of a down lane's ping chain: while the lane stays
+// down, a ping frame goes out each backoff interval, and the peer's pong
+// (Transport.receive) marks the lane up. Traffic cannot be relied on for
+// this — AnyNIC sends route around down lanes — so the chain is what
+// heals a lane once whatever killed it is gone.
+func (t *Transport) probeLane(key peerKey) {
+	t.mu.Lock()
+	up, closed, book := t.up, t.closed, t.book
+	t.mu.Unlock()
+
+	t.healthMu.Lock()
+	h := t.health[key]
+	if h == nil {
+		t.healthMu.Unlock()
+		return
+	}
+	if !h.down || closed || !up || book == nil {
+		h.probing = false
+		t.healthMu.Unlock()
+		return
+	}
+	// Schedule the next link as if this ping goes unanswered; a pong
+	// resets faults, so a healed lane that dies again starts backoff low.
+	h.faults++
+	h.probeTimer = t.clk.AfterFunc(h.probeBackoff(t.opt.rtoMax), func() { t.probeLane(key) })
+	t.healthMu.Unlock()
+
+	ep, ok := book.Endpoint(key.node, key.plane)
+	if !ok {
+		return
+	}
+	t.reg.Counter("wire.tx.pings").Inc()
+	t.transmit(key.node, key.plane, ep, encodeFrame(frame{plane: key.plane, flags: flagPing, src: t.node}))
+}
+
+// pong answers a lane probe on the plane it arrived on: the ping reaching
+// us and the answer reaching the prober is exactly the round trip that
+// proves the lane delivers.
+func (t *Transport) pong(key peerKey) {
+	t.mu.Lock()
+	book := t.book
+	t.mu.Unlock()
+	if book == nil {
+		return
+	}
+	ep, ok := book.Endpoint(key.node, key.plane)
+	if !ok {
+		return
+	}
+	t.reg.Counter("wire.tx.pongs").Inc()
+	t.transmit(key.node, key.plane, ep, encodeFrame(frame{plane: key.plane, flags: flagPong, src: t.node}))
+}
+
+// markLaneUp records proof that a lane delivers (the peer acked something
+// on it). Called with no locks held.
+func (t *Transport) markLaneUp(key peerKey) {
+	t.healthMu.Lock()
+	h := t.health[key]
+	wasDown := h != nil && h.down
+	if h != nil {
+		h.down = false
+		h.faults = 0
+	}
+	t.healthMu.Unlock()
+	if wasDown {
+		t.reg.Counter("wire.lane.up").Inc()
+	}
+}
+
+// laneDown reports whether a lane is currently marked down.
+func (t *Transport) laneDown(key peerKey) bool {
+	t.healthMu.Lock()
+	defer t.healthMu.Unlock()
+	h := t.health[key]
+	return h != nil && h.down
+}
+
+// pickPlane chooses the outbound plane for an AnyNIC send: the first
+// plane with a book endpoint for dst whose lane is healthy. When no
+// healthy lane exists it probes the first down lane whose backoff has
+// elapsed, and as a last resort falls back to the first routable plane —
+// an AnyNIC send never fails just because health records are pessimistic.
+// Returns -1 when the book has no endpoint for dst on any plane.
+func (t *Transport) pickPlane(book *Book, dst types.NodeID) int {
+	first, probe := -1, -1
+	now := t.clk.Now()
+	t.healthMu.Lock()
+	for p := 0; p < len(t.conns); p++ {
+		if _, ok := book.Endpoint(dst, p); !ok {
+			continue
+		}
+		if first == -1 {
+			first = p
+		}
+		h := t.health[peerKey{dst, p}]
+		if h == nil || !h.down {
+			t.healthMu.Unlock()
+			if p != first {
+				t.reg.Counter("wire.tx.failovers").Inc()
+			}
+			return p
+		}
+		if probe == -1 && !now.Before(h.retryAt) {
+			probe = p
+			h.retryAt = now.Add(h.probeBackoff(t.opt.rtoMax))
+		}
+	}
+	t.healthMu.Unlock()
+	if probe != -1 {
+		t.reg.Counter("wire.tx.probes").Inc()
+		return probe
+	}
+	return first
+}
+
+// resetLaneHealth forgets all health records and stops their ping chains —
+// part of node death and power-off alongside resetReliability.
+func (t *Transport) resetLaneHealth() {
+	t.healthMu.Lock()
+	for _, h := range t.health {
+		if h.probeTimer != nil {
+			h.probeTimer.Stop()
+		}
+	}
+	t.health = make(map[peerKey]*laneHealth)
+	t.healthMu.Unlock()
+}

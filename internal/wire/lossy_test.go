@@ -34,7 +34,7 @@ import (
 func lossyShim(seed int64, drop, dup, reorder float64) wire.OutboundFilter {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
-	return func(plane int, data []byte, transmit func()) {
+	return func(peer types.NodeID, plane int, data []byte, transmit func()) {
 		mu.Lock()
 		r := rng.Float64()
 		delay := time.Duration(1+rng.Intn(20)) * time.Millisecond

@@ -37,18 +37,32 @@ type options struct {
 
 	onPeerFault func(peer types.NodeID, plane int, err error)
 	filter      OutboundFilter
+	inFilter    InboundFilter
 }
 
 // Option configures a Transport at construction.
 type Option func(*options)
 
 // OutboundFilter intercepts every outbound datagram before it reaches the
-// socket — the hook the lossy-fabric tests use to drop, duplicate, delay
-// or reorder traffic deterministically. The filter decides the datagram's
-// fate by calling transmit zero (drop), one (pass) or more (duplicate)
-// times, possibly from another goroutine (delay/reorder). transmit is safe
-// to call after the transport closes (the write fails and is counted).
-type OutboundFilter func(plane int, data []byte, transmit func())
+// socket — the hook the lossy-fabric tests and the chaos injector use to
+// drop, duplicate, delay or reorder traffic deterministically. It sits
+// below the reliability layer, so each raw datagram (first transmissions
+// and retransmissions alike) passes through exactly once, addressed to
+// peer on plane. The filter decides the datagram's fate by calling
+// transmit zero (drop), one (pass) or more (duplicate) times, possibly
+// from another goroutine (delay/reorder). transmit is safe to call after
+// the transport closes (the write fails and is counted).
+type OutboundFilter func(peer types.NodeID, plane int, data []byte, transmit func())
+
+// InboundFilter is the receive-side mirror of OutboundFilter: every
+// well-formed datagram read from plane's socket passes through it exactly
+// once — after frame parsing (malformed datagrams never reach the filter),
+// before the reliability layer — addressed from peer. Dropping a datagram
+// here therefore suppresses its ack, and the sender retransmits: exactly
+// the behaviour of a real lossy or dead link. deliver may be called zero,
+// one or more times, possibly from another goroutine; duplicate deliveries
+// are absorbed by the receiver's dup suppression.
+type InboundFilter func(peer types.NodeID, plane int, data []byte, deliver func())
 
 // WithPlanes puts the transport in ephemeral mode: instead of binding the
 // address book's endpoints, it binds n loopback planes on kernel-assigned
@@ -99,6 +113,9 @@ func WithPeerFaultHandler(fn func(peer types.NodeID, plane int, err error)) Opti
 
 // WithOutboundFilter installs a fault-injection filter on the send path.
 func WithOutboundFilter(f OutboundFilter) Option { return func(o *options) { o.filter = f } }
+
+// WithInboundFilter installs a fault-injection filter on the receive path.
+func WithInboundFilter(f InboundFilter) Option { return func(o *options) { o.inFilter = f } }
 
 func buildOptions(opts []Option) (options, error) {
 	o := options{

@@ -171,7 +171,7 @@ func (t *Transport) sendReliable(dst types.NodeID, plane int, ep *net.UDPAddr, b
 		t.reg.Counter("wire.tx.window_stalls").Add(float64(stalled))
 	}
 	for _, data := range sendNow {
-		t.transmit(plane, ep, data)
+		t.transmit(dst, plane, ep, data)
 	}
 	return nil
 }
@@ -213,6 +213,7 @@ func (t *Transport) retransmit(key peerKey, seq uint32) {
 		fn := t.opt.onPeerFault
 		t.relMu.Unlock()
 		t.reg.Counter("wire.tx.peer_faults").Inc()
+		t.markLaneDown(key)
 		if fn != nil {
 			fn(key.node, key.plane, fmt.Errorf("wire: %v plane %d: no ack after %d retransmits: %w",
 				key.node, key.plane, t.opt.retries, ErrPeerUnreachable))
@@ -232,7 +233,7 @@ func (t *Transport) retransmit(key peerKey, seq uint32) {
 		return
 	}
 	t.reg.Counter("wire.tx.retransmits").Inc()
-	t.transmit(key.plane, ep, data)
+	t.transmit(key.node, key.plane, ep, data)
 }
 
 // dropLaneLocked abandons all traffic queued or in flight to one lane.
@@ -260,10 +261,12 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 		t.relMu.Unlock()
 		return
 	}
+	settled := 0
 	settle := func(seq uint32) {
 		if p := tx.inflight[seq]; p != nil {
 			p.timer.Stop()
 			delete(tx.inflight, seq)
+			settled++
 		}
 	}
 	settle(ack)
@@ -281,6 +284,10 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 	}
 	t.relMu.Unlock()
 
+	if settled > 0 {
+		// The peer acked traffic on this lane: it demonstrably delivers.
+		t.markLaneUp(key)
+	}
 	if len(sendNow) > 0 {
 		t.mu.Lock()
 		book := t.book
@@ -293,7 +300,7 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 			return
 		}
 		for _, data := range sendNow {
-			t.transmit(key.plane, ep, data)
+			t.transmit(key.node, key.plane, ep, data)
 		}
 	}
 }
@@ -441,7 +448,7 @@ func (t *Transport) sendAck(key peerKey) {
 	}
 	data := encodeFrame(frame{plane: key.plane, flags: flagAck, src: t.node, ack: ack, ackBits: bits})
 	t.reg.Counter("wire.tx.acks").Inc()
-	t.transmit(key.plane, ep, data)
+	t.transmit(key.node, key.plane, ep, data)
 }
 
 // resetReliability stops every reliability timer and discards all lane

@@ -18,7 +18,7 @@ import (
 func dropFirstTransmissions() OutboundFilter {
 	var mu sync.Mutex
 	seen := make(map[uint32]bool)
-	return func(plane int, data []byte, transmit func()) {
+	return func(peer types.NodeID, plane int, data []byte, transmit func()) {
 		f, err := parseFrame(data)
 		if err == nil && f.isData() {
 			mu.Lock()
@@ -57,7 +57,7 @@ func TestRetransmitDeliversThroughLoss(t *testing.T) {
 
 // duplicateEverything transmits every datagram twice, immediately.
 func duplicateEverything() OutboundFilter {
-	return func(plane int, data []byte, transmit func()) {
+	return func(peer types.NodeID, plane int, data []byte, transmit func()) {
 		transmit()
 		transmit()
 	}

@@ -2,13 +2,17 @@ package wire
 
 import "fmt"
 
-// PlaneStats is one network plane's traffic totals.
+// PlaneStats is one network plane's traffic totals and health: a plane is
+// healthy when none of its (peer, plane) lanes is currently marked down
+// by the lane-health tracker (see health.go).
 type PlaneStats struct {
 	Plane       int   `json:"plane"`
 	TxDatagrams int64 `json:"tx_datagrams"`
 	TxBytes     int64 `json:"tx_bytes"`
 	RxDatagrams int64 `json:"rx_datagrams"`
 	RxBytes     int64 `json:"rx_bytes"`
+	LanesDown   int   `json:"lanes_down"`
+	Healthy     bool  `json:"healthy"`
 }
 
 // Stats is a point-in-time snapshot of a transport's traffic and
@@ -31,6 +35,11 @@ type Stats struct {
 	RxAcks      int64 `json:"rx_acks"`
 	RxFrags     int64 `json:"rx_frags"`
 	DupDrops    int64 `json:"dup_drops"`
+
+	// Failovers counts AnyNIC sends routed around a down lane; LanesDown
+	// is the number of (peer, plane) lanes currently marked down.
+	Failovers int64 `json:"failovers"`
+	LanesDown int   `json:"lanes_down"`
 
 	// Errors folds every tx drop (no route, encode, write, overflow,
 	// oversize) and rx error (read, decode, dropped-while-down,
@@ -60,6 +69,7 @@ func (t *Transport) Stats() Stats {
 		RxAcks:      c("wire.rx.acks"),
 		RxFrags:     c("wire.rx.frags"),
 		DupDrops:    c("wire.rx.dup_drops"),
+		Failovers:   c("wire.tx.failovers"),
 	}
 	for _, name := range []string{
 		"wire.tx.drop.noroute", "wire.tx.drop.encode", "wire.tx.drop.write",
@@ -77,8 +87,18 @@ func (t *Transport) Stats() Stats {
 			TxBytes:     c(fmt.Sprintf("wire.tx.bytes.plane%d", p)),
 			RxDatagrams: c(fmt.Sprintf("wire.rx.datagrams.plane%d", p)),
 			RxBytes:     c(fmt.Sprintf("wire.rx.bytes.plane%d", p)),
+			Healthy:     true,
 		}
 	}
+	t.healthMu.Lock()
+	for key, h := range t.health {
+		if h.down && key.plane >= 0 && key.plane < len(s.Planes) {
+			s.LanesDown++
+			s.Planes[key.plane].LanesDown++
+			s.Planes[key.plane].Healthy = false
+		}
+	}
+	t.healthMu.Unlock()
 	return s
 }
 

