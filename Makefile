@@ -24,9 +24,12 @@ test:
 
 # The race gate: wire/noded run real reader goroutines and wall-clock
 # timers, so they race-test end to end (including the multi-node loopback
-# integration test); the cluster smoke test guards the simulator path.
+# integration test and the resilient-RPC chaos suite); internal/rpc joins
+# because its breaker set is the one lock-guarded structure shared between
+# the wire's reader goroutines and every daemon loop; the cluster smoke
+# test guards the simulator path.
 race:
-	$(GO) test -race ./internal/wire/... ./internal/noded/...
+	$(GO) test -race ./internal/rpc/ ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
 # The fuzz gate: a short engine run per wire fuzz target, starting from the

@@ -1,0 +1,166 @@
+// phoenix-call is the client-traffic generator of the real-network path:
+// it joins the wire as an extra address-book node (not a cluster member),
+// issues a steady stream of bulletin queries through the resilient RPC
+// layer, and reports how many calls succeeded, failed, and retried. Its
+// job is to be the victim in chaos drills — with the access point under a
+// fault or killed outright, zero failed calls proves the retry budget,
+// breaker failover to the listed backup targets, and the migrated access
+// point absorb the outage before any client notices.
+//
+// The client needs its own slot in the address book so the cluster can
+// route replies to it. LoopbackBook port assignment is node-major and
+// deterministic, so a book generated for N+1 nodes at the same base port
+// is a strict superset of the N-node cluster book: hand the bigger book
+// to the nodes and phoenix-call, the smaller one to phoenix-admin.
+//
+//	phoenix-node -gen-book -partitions 1 -partition-size 5 -planes 2 > book5.txt
+//	phoenix-call -book book5.txt -node 4 -targets 0,1 -budget 45s
+//
+// It runs until -duration elapses or SIGINT/SIGTERM arrives, drains the
+// in-flight calls, prints a final "phoenix-call: done ok=… failed=…
+// retries=…" line, and exits non-zero if any call failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		bookPath = flag.String("book", "", "wire address book file; must include this client's node")
+		nodeID   = flag.Int("node", -1, "this client's node ID in the book (an extra slot, not a cluster member)")
+		targetsF = flag.String("targets", "", "comma-separated access-point candidate node IDs, best first (e.g. 0,1)")
+		period   = flag.Duration("period", 250*time.Millisecond, "interval between queries")
+		budget   = flag.Duration("budget", 45*time.Second, "per-call deadline budget; must cover a whole failover")
+		attempt  = flag.Duration("attempt", 500*time.Millisecond, "per-attempt reply timeout")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = run until SIGINT/SIGTERM)")
+		progress = flag.Duration("progress", time.Second, "progress line period (0 disables)")
+		seed     = flag.Int64("seed", 1, "random seed for the retry jitter")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("phoenix-call: ")
+
+	if *bookPath == "" || *nodeID < 0 || *targetsF == "" {
+		log.Fatal("-book, -node and -targets are required")
+	}
+	var addrs []types.Addr
+	for _, f := range strings.Split(*targetsF, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || id < 0 {
+			log.Fatalf("bad -targets entry %q", f)
+		}
+		addrs = append(addrs, types.Addr{Node: types.NodeID(id), Service: types.SvcDB})
+	}
+	book, err := wire.LoadBook(*bookPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	tr, err := wire.New(types.NodeID(*nodeID), book, wire.WithMetrics(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	rtc := wire.NewRuntime(tr, "call", *seed)
+	defer rtc.Close()
+
+	// The whole candidate list rides on the failover-peer hook: every
+	// attempt re-resolves it, skips open breakers, and takes the first
+	// allowed target — a dead primary trips its breaker and the traffic
+	// slides to the next candidate without a failed call.
+	opts := rpc.Options{
+		Budget: *budget,
+		Policy: &rpc.Policy{
+			MaxAttempts: int(*budget / *attempt) + 1,
+			Attempt:     *attempt,
+			Backoff:     50 * time.Millisecond,
+			BackoffMax:  500 * time.Millisecond,
+		},
+		Metrics: reg,
+		Peers:   func() []types.Addr { return addrs },
+	}
+	client := bulletin.NewClient(rtc, opts, func() (types.Addr, bool) { return addrs[0], true })
+	rtc.Attach(func(msg types.Message) { client.Handle(msg) })
+
+	var issued, okCalls, failed atomic.Int64
+	report := func(prefix string) {
+		st := rpc.ReadStats(reg)
+		inflight := issued.Load() - okCalls.Load() - failed.Load()
+		fmt.Printf("phoenix-call: %sok=%d failed=%d retries=%d inflight=%d\n",
+			prefix, okCalls.Load(), failed.Load(), st.Retries, inflight)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	var prog <-chan time.Time
+	if *progress > 0 {
+		pt := time.NewTicker(*progress)
+		defer pt.Stop()
+		prog = pt.C
+	}
+	tick := time.NewTicker(*period)
+	defer tick.Stop()
+
+loop:
+	for {
+		select {
+		case <-tick.C:
+			issued.Add(1)
+			rtc.Do(func() {
+				client.Query(bulletin.ScopePartition, func(ack bulletin.QueryAck, ok bool) {
+					if ok {
+						okCalls.Add(1)
+					} else {
+						failed.Add(1)
+					}
+				})
+			})
+		case <-prog:
+			report("")
+		case <-stop:
+			break loop
+		case <-deadline:
+			break loop
+		}
+	}
+	tick.Stop()
+
+	// Drain: every issued call completes within its budget by
+	// construction, so waiting one budget (plus slack) flushes them all.
+	drainBy := time.After(*budget + 2*time.Second)
+drain:
+	for issued.Load() != okCalls.Load()+failed.Load() {
+		select {
+		case <-drainBy:
+			break drain
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	stuck := issued.Load() - okCalls.Load() - failed.Load()
+	report("done ")
+	if f := failed.Load(); f > 0 || stuck > 0 {
+		log.Fatalf("FAILED: %d failed calls, %d never completed", failed.Load(), stuck)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pws"
+	"repro/internal/rpc"
 	"repro/internal/types"
 )
 
@@ -48,7 +49,7 @@ func main() {
 	var client *pws.Client
 	proc := core.NewClientProc("pwsctl", 1, c.Topo.Partitions[1].Server)
 	proc.OnStart = func(cp *core.ClientProc) {
-		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
 		})
 		for i := 0; i < *jobs; i++ {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pws"
+	"repro/internal/rpc"
 	"repro/internal/types"
 )
 
@@ -37,7 +38,7 @@ func main() {
 	var client *pws.Client
 	proc := core.NewClientProc("driver", 1, c.Topo.Partitions[1].Server)
 	proc.OnStart = func(cp *core.ClientProc) {
-		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
 		})
 		// A wide batch job that must lease nodes from "urgent" (it needs

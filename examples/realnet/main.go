@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noded"
 	"repro/internal/opshttp"
+	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -93,7 +94,7 @@ func main() {
 	// "cli" service, talking to the partition's bulletin instance.
 	cli := wire.NewRuntime(nodes[0].Transport(), "cli", 1)
 	defer cli.Close()
-	client := bulletin.NewClient(cli, time.Second, func() (types.Addr, bool) {
+	client := bulletin.NewClient(cli, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: topo.Partitions[0].Server, Service: types.SvcDB}, true
 	})
 	cli.Attach(func(msg types.Message) { client.Handle(msg) })

@@ -107,7 +107,7 @@ func (m *Manager) Service() string { return "bizmgr/" + m.spec.App.Name }
 func (m *Manager) Start(h *simhost.Handle) {
 	m.h = h
 	m.pending = rpc.NewPending(h)
-	m.events = events.NewClient(h, 2*time.Second, func() (types.Addr, bool) {
+	m.events = events.NewClient(h, rpc.Budget(2*time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: h.Node(), Service: types.SvcES}, true
 	})
 	m.events.Subscribe([]types.EventType{types.EvNodeFail, types.EvNodeRecover}, -1, "",

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bulletin"
 	"repro/internal/federation"
 	"repro/internal/metrics"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/simhost"
 	"repro/internal/simnet"
@@ -22,7 +23,7 @@ type clientProc struct {
 func (p *clientProc) Service() string { return p.name }
 func (p *clientProc) OnStop()         {}
 func (p *clientProc) Start(h *simhost.Handle) {
-	p.client = bulletin.NewClient(h, time.Second, func() (types.Addr, bool) {
+	p.client = bulletin.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: p.target, Service: types.SvcDB}, true
 	})
 }

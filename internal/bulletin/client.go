@@ -1,8 +1,6 @@
 package bulletin
 
 import (
-	"time"
-
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/types"
@@ -12,17 +10,29 @@ import (
 // in detectors (export) and user environments (query): GridView and PWS
 // "collect cluster-wide performance data by calling a single interface of
 // the data bulletin service federation" (paper §5.3).
+//
+// Queries go through a resilient rpc.Caller: the target is re-resolved on
+// every attempt (so retries observe federation view pushes after a GSD
+// migration) and rpc.Options.Peers can add the rest of the complete graph
+// as failover access points — any bulletin instance answers queries.
 type Client struct {
-	rt      rt.Runtime
-	pending *rpc.Pending
-	target  func() (types.Addr, bool)
-	timeout time.Duration
+	rt     rt.Runtime
+	caller *rpc.Caller
+	target func() (types.Addr, bool)
 }
 
 // NewClient builds a client; target resolves the bulletin instance used as
-// the federation access point.
-func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
-	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout}
+// the federation access point, opts the retry/breaker behaviour.
+func NewClient(r rt.Runtime, opts rpc.Options, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, caller: rpc.NewCaller(r, opts), target: target}
+}
+
+// targets adapts the single-access-point resolver to the caller.
+func (c *Client) targets() []types.Addr {
+	if addr, ok := c.target(); ok {
+		return []types.Addr{addr}
+	}
+	return nil
 }
 
 // ExportResources pushes a physical-resource sample (fire-and-forget).
@@ -40,17 +50,22 @@ func (c *Client) ExportApp(app types.AppState) {
 }
 
 // Query requests resource/application state at the given scope; done
-// receives the answer, or ok=false on timeout.
+// receives the answer, or ok=false once the deadline budget (retries
+// included) is exhausted.
 func (c *Client) Query(scope Scope, done func(ack QueryAck, ok bool)) {
-	addr, found := c.target()
-	if !found {
-		done(QueryAck{}, false)
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) { done(payload.(QueryAck), true) },
-		func() { done(QueryAck{}, false) })
-	c.rt.Send(addr, types.AnyNIC, MsgQuery, QueryReq{Token: tok, Scope: scope})
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgQuery, QueryReq{Token: token, Scope: scope})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(QueryAck{}, false)
+				return
+			}
+			done(payload.(QueryAck), true)
+		},
+	})
 }
 
 // Handle routes bulletin replies arriving at the owning daemon; it reports
@@ -60,7 +75,7 @@ func (c *Client) Handle(msg types.Message) bool {
 		return false
 	}
 	if ack, ok := msg.Payload.(QueryAck); ok {
-		c.pending.Resolve(ack.Token, ack)
+		c.caller.Resolve(ack.Token, ack)
 	}
 	return true
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/federation"
 	"repro/internal/metrics"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/simhost"
 	"repro/internal/simnet"
@@ -24,7 +25,7 @@ type ownerProc struct {
 func (p *ownerProc) Service() string { return "owner" }
 func (p *ownerProc) OnStop()         {}
 func (p *ownerProc) Start(h *simhost.Handle) {
-	p.client = checkpoint.NewClient(h, time.Second, func() (types.Addr, bool) {
+	p.client = checkpoint.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: p.target, Service: types.SvcCkpt}, true
 	})
 }

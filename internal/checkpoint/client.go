@@ -1,8 +1,6 @@
 package checkpoint
 
 import (
-	"time"
-
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/types"
@@ -11,57 +9,66 @@ import (
 // Client is the checkpoint interface embedded in upper-layer daemons
 // (event service, PWS scheduler): the paper's model is that services save
 // and delete their own state by calling the checkpoint service.
+//
+// Calls run through a resilient rpc.Caller: the instance is re-resolved on
+// every attempt (services migrate) and rpc.Options.Peers can add the rest
+// of the checkpoint federation as failover targets. Save/Delete versions
+// are allocated once per logical call, so a retried save cannot supersede
+// itself.
 type Client struct {
 	rt       rt.Runtime
-	pending  *rpc.Pending
+	caller   *rpc.Caller
 	target   func() (types.Addr, bool) // current checkpoint instance to talk to
-	timeout  time.Duration
-	versions map[string]uint64 // per-owner monotonic save versions
+	versions map[string]uint64         // per-owner monotonic save versions
 }
 
 // NewClient builds a client. target resolves the checkpoint instance at
-// call time (it changes when services migrate).
-func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
-	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout,
+// call time (it changes when services migrate), opts the retry behaviour.
+func NewClient(r rt.Runtime, opts rpc.Options, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, caller: rpc.NewCaller(r, opts), target: target,
 		versions: make(map[string]uint64)}
+}
+
+// targets adapts the single-instance resolver to the caller.
+func (c *Client) targets() []types.Addr {
+	if addr, ok := c.target(); ok {
+		return []types.Addr{addr}
+	}
+	return nil
 }
 
 // Save stores a snapshot; done (optional) reports success.
 func (c *Client) Save(owner string, data []byte, done func(ok bool)) {
-	addr, ok := c.target()
-	if !ok {
-		if done != nil {
-			done(false)
-		}
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(any) {
+	c.versions[owner]++
+	version := c.versions[owner]
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgSave, SaveReq{
+				Token: token, Owner: owner, Version: version, Data: data,
+			})
+		},
+		Done: func(_ any, err error) {
 			if done != nil {
-				done(true)
+				done(err == nil)
 			}
 		},
-		func() {
-			if done != nil {
-				done(false)
-			}
-		})
-	c.versions[owner]++
-	c.rt.Send(addr, types.AnyNIC, MsgSave, SaveReq{
-		Token: tok, Owner: owner, Version: c.versions[owner], Data: data,
 	})
 }
 
 // Restore retrieves the newest snapshot; done receives (nil, false) when no
-// instance holds one or the request times out.
+// instance holds one or the deadline budget is exhausted.
 func (c *Client) Restore(owner string, done func(data []byte, found bool)) {
-	addr, ok := c.target()
-	if !ok {
-		done(nil, false)
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgRestore, RestoreReq{Token: token, Owner: owner})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(nil, false)
+				return
+			}
 			ack := payload.(RestoreAck)
 			// Resume versioning above the restored state so later saves
 			// supersede it.
@@ -70,33 +77,25 @@ func (c *Client) Restore(owner string, done func(data []byte, found bool)) {
 			}
 			done(ack.Data, ack.Found)
 		},
-		func() { done(nil, false) })
-	c.rt.Send(addr, types.AnyNIC, MsgRestore, RestoreReq{Token: tok, Owner: owner})
+	})
 }
 
 // Delete removes an owner's snapshots federation-wide.
 func (c *Client) Delete(owner string, done func(ok bool)) {
-	addr, ok := c.target()
-	if !ok {
-		if done != nil {
-			done(false)
-		}
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(any) {
+	c.versions[owner]++
+	version := c.versions[owner]
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgDelete, DeleteReq{
+				Token: token, Owner: owner, Version: version,
+			})
+		},
+		Done: func(_ any, err error) {
 			if done != nil {
-				done(true)
+				done(err == nil)
 			}
 		},
-		func() {
-			if done != nil {
-				done(false)
-			}
-		})
-	c.versions[owner]++
-	c.rt.Send(addr, types.AnyNIC, MsgDelete, DeleteReq{
-		Token: tok, Owner: owner, Version: c.versions[owner],
 	})
 }
 
@@ -106,17 +105,17 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSaveAck:
 		if ack, ok := msg.Payload.(SaveAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgRestoreAck:
 		if ack, ok := msg.Payload.(RestoreAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgDeleteAck:
 		if ack, ok := msg.Payload.(DeleteAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	}

@@ -1,0 +1,113 @@
+package config
+
+import (
+	"repro/internal/rpc"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Client is the calling side of the configuration service, used by admin
+// tools and daemons that need the live topology. There is exactly one
+// config-service instance (on the master node), so there is no federation
+// to fail over to — but calls still run through a resilient rpc.Caller:
+// retries within the deadline budget ride out lost datagrams and the
+// master's breaker stops a partitioned client from re-dialing it forever.
+type Client struct {
+	rt     rt.Runtime
+	caller *rpc.Caller
+	target func() (types.Addr, bool) // the config-service instance (master node)
+}
+
+// NewClient builds a client; target resolves the config service's address,
+// opts the retry/breaker behaviour.
+func NewClient(r rt.Runtime, opts rpc.Options, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, caller: rpc.NewCaller(r, opts), target: target}
+}
+
+// targets adapts the single-instance resolver to the caller.
+func (c *Client) targets() []types.Addr {
+	if addr, ok := c.target(); ok {
+		return []types.Addr{addr}
+	}
+	return nil
+}
+
+// Get fetches the current topology; ok=false when the budget is exhausted.
+func (c *Client) Get(done func(topo *Topology, ok bool)) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgGet, GetReq{Token: token})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(nil, false)
+				return
+			}
+			done(payload.(GetAck).Topology, true)
+		},
+	})
+}
+
+// Introspect runs the self-introspection probe sweep; ok=false when the
+// budget is exhausted. Introspection itself probes every agent with
+// PartitionProbeTimeout, so the budget should comfortably exceed that.
+func (c *Client) Introspect(done func(ack IntrospectAck, ok bool)) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgIntrospect, IntrospectReq{Token: token})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(IntrospectAck{}, false)
+				return
+			}
+			done(payload.(IntrospectAck), true)
+		},
+	})
+}
+
+// Reconfig applies a dynamic reconfiguration (OpAddNode / OpRemoveNode);
+// ok=false when the budget is exhausted. The token is reused across
+// retries, so the service can treat a retried request as the same one.
+func (c *Client) Reconfig(op string, node types.NodeID, partition types.PartitionID,
+	done func(ack ReconfigAck, ok bool)) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgReconfig,
+				ReconfigReq{Token: token, Op: op, Node: node, Partition: partition})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(ReconfigAck{}, false)
+				return
+			}
+			done(payload.(ReconfigAck), true)
+		},
+	})
+}
+
+// Handle routes config-service replies arriving at the owning daemon; it
+// reports whether the message was consumed.
+func (c *Client) Handle(msg types.Message) bool {
+	switch msg.Type {
+	case MsgTopology:
+		if ack, ok := msg.Payload.(GetAck); ok {
+			c.caller.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgIntrospectAck:
+		if ack, ok := msg.Payload.(IntrospectAck); ok {
+			c.caller.Resolve(ack.Token, ack)
+		}
+		return true
+	case MsgReconfigAck:
+		if ack, ok := msg.Payload.(ReconfigAck); ok {
+			c.caller.Resolve(ack.Token, ack)
+		}
+		return true
+	}
+	return false
+}

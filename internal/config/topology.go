@@ -220,8 +220,24 @@ type Params struct {
 	// BulletinCacheTTL is how long a bulletin instance serves a cached
 	// cluster snapshot before re-fetching.
 	BulletinCacheTTL time.Duration
-	// RPCTimeout is the default client request timeout.
+	// RPCTimeout is the deadline budget of one kernel RPC — the total
+	// time a resilient call may spend across all retry attempts, not a
+	// per-attempt timer (attempts divide the budget; see internal/rpc).
 	RPCTimeout time.Duration
+	// ServiceRecoveryGrace is how long a GSD waits for a restarted local
+	// service to report ready before re-detecting it as dead. Zero
+	// derives 3*RPCTimeout + 5s: three restore-call budgets for the
+	// checkpoint restore plus exec/announce slack.
+	ServiceRecoveryGrace time.Duration
+}
+
+// ServiceRecoveryDeadline is the effective restart-grace window:
+// ServiceRecoveryGrace, or its derived default when unset.
+func (p Params) ServiceRecoveryDeadline() time.Duration {
+	if p.ServiceRecoveryGrace > 0 {
+		return p.ServiceRecoveryGrace
+	}
+	return 3*p.RPCTimeout + 5*time.Second
 }
 
 // DefaultParams mirrors the paper's evaluation configuration.

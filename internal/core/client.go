@@ -18,16 +18,26 @@ import (
 // service, PPM) against a partition's service instances and follows GSD
 // migrations. Examples, experiment recorders and ad-hoc tools embed it
 // instead of reimplementing dispatch.
+//
+// All calls run through resilient rpc.Callers: because the target
+// resolvers read c.Server live, a retry issued after a GSD announce lands
+// on the post-migration access point.
 type ClientProc struct {
 	Name      string
 	Partition types.PartitionID
 	Server    types.NodeID // current partition server node
+
+	// RPC carries resilient-call options shared by the bundled clients
+	// (breakers, metrics, in-flight bound). Set before Spawn; the
+	// per-client budget defaults to rpcTimeout.
+	RPC rpc.Options
 
 	H        *simhost.Handle
 	Events   *events.Client
 	Bulletin *bulletin.Client
 	Ckpt     *checkpoint.Client
 	Pending  *rpc.Pending
+	Caller   *rpc.Caller
 
 	// OnStart runs once the process is up and the clients exist.
 	OnStart func(c *ClientProc)
@@ -35,7 +45,7 @@ type ClientProc struct {
 	OnMessage func(c *ClientProc, msg types.Message)
 }
 
-// rpcTimeout is the client-side request deadline.
+// rpcTimeout is the client-side deadline budget (retries included).
 const rpcTimeout = 3 * time.Second
 
 // NewClientProc builds a client process named name, homed on the given
@@ -50,14 +60,19 @@ func (c *ClientProc) Service() string { return c.Name }
 // Start implements simhost.Process.
 func (c *ClientProc) Start(h *simhost.Handle) {
 	c.H = h
+	opts := c.RPC
+	if opts.Budget <= 0 {
+		opts.Budget = rpcTimeout
+	}
 	c.Pending = rpc.NewPending(h)
-	c.Events = events.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+	c.Caller = rpc.NewCaller(h, opts)
+	c.Events = events.NewClient(h, opts, func() (types.Addr, bool) {
 		return types.Addr{Node: c.Server, Service: types.SvcES}, true
 	})
-	c.Bulletin = bulletin.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+	c.Bulletin = bulletin.NewClient(h, opts, func() (types.Addr, bool) {
 		return types.Addr{Node: c.Server, Service: types.SvcDB}, true
 	})
-	c.Ckpt = checkpoint.NewClient(h, rpcTimeout, func() (types.Addr, bool) {
+	c.Ckpt = checkpoint.NewClient(h, opts, func() (types.Addr, bool) {
 		return types.Addr{Node: c.Server, Service: types.SvcCkpt}, true
 	})
 	if c.OnStart != nil {
@@ -78,7 +93,9 @@ func (c *ClientProc) Receive(msg types.Message) {
 	}
 	if msg.Type == ppm.MsgLoadAck {
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
-			c.Pending.Resolve(ack.Token, ack)
+			if !c.Caller.Resolve(ack.Token, ack) {
+				c.Pending.Resolve(ack.Token, ack)
+			}
 		}
 		return
 	}
@@ -91,22 +108,28 @@ func (c *ClientProc) Receive(msg types.Message) {
 func (c *ClientProc) OnStop() {}
 
 // LoadJob loads a job onto a node through its PPM daemon; done (optional)
-// receives the ack.
+// receives the ack. Retries reuse one token, so the PPM's request dedup
+// keeps a retried load exactly-once even though it is not idempotent.
 func (c *ClientProc) LoadJob(node types.NodeID, job ppm.JobSpec, signed string, done func(ppm.LoadAck)) {
 	job.Submitter = c.H.Self()
-	tok := c.Pending.New(rpcTimeout,
-		func(payload any) {
-			if done != nil {
-				done(payload.(ppm.LoadAck))
-			}
+	c.Caller.Go(rpc.Call{
+		Targets: func() []types.Addr {
+			return []types.Addr{{Node: node, Service: types.SvcPPM}}
 		},
-		func() {
-			if done != nil {
-				done(ppm.LoadAck{Job: job.ID, Err: "timeout"})
+		Send: func(token uint64, to types.Addr) {
+			c.H.Send(to, types.AnyNIC, ppm.MsgLoad, ppm.LoadReq{Token: token, Job: job, Signed: signed})
+		},
+		Done: func(payload any, err error) {
+			if done == nil {
+				return
 			}
-		})
-	c.H.Send(types.Addr{Node: node, Service: types.SvcPPM}, types.AnyNIC,
-		ppm.MsgLoad, ppm.LoadReq{Token: tok, Job: job, Signed: signed})
+			if err != nil {
+				done(ppm.LoadAck{Job: job.ID, Err: "timeout"})
+				return
+			}
+			done(payload.(ppm.LoadAck))
+		},
+	})
 }
 
 var _ simhost.Process = (*ClientProc)(nil)

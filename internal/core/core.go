@@ -19,6 +19,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/gsd"
 	"repro/internal/ppm"
+	"repro/internal/rpc"
 	"repro/internal/security"
 	"repro/internal/simhost"
 	"repro/internal/types"
@@ -71,6 +72,11 @@ type Options struct {
 	// records under the directory with atomic fsynced writes, and reload
 	// them on start — the durability layer behind phoenix-node -state-dir.
 	CheckpointDir string
+	// RPC carries the resilient-call options (circuit breakers, metrics,
+	// in-flight bound) shared by every kernel client this kernel spawns —
+	// GSD checkpoint clients and daemon-internal callers alike. Budgets
+	// stay per-client; breakers and counters are node-wide.
+	RPC rpc.Options
 	// Rejoin marks a BootNode of a host that crashed and restarted: the
 	// partition server daemons (GSD + es/db/ckpt) are NOT spawned locally
 	// even if this host is the partition's configured server, because the
@@ -215,6 +221,7 @@ func (k *Kernel) spawnServerDaemons(server *simhost.Host, p config.PartitionInfo
 	initialFed := k.initialFedView()
 	g := gsd.New(gsd.Spec{Partition: p.ID, Topo: topo, Params: params,
 		Extra:   opts.ExtraServices[p.ID],
+		RPC:     opts.RPC,
 		OnStart: k.trackGSD(p.ID)})
 	if _, err := server.Spawn(g); err != nil {
 		return fmt.Errorf("core: spawn GSD for %v: %w", p.ID, err)
@@ -294,6 +301,7 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 			Partition: s.Partition, Topo: topo, Params: params,
 			View: s.View, Migrated: s.Migrated,
 			Extra:   opts.ExtraServices[s.Partition],
+			RPC:     opts.RPC,
 			OnStart: k.trackGSD(s.Partition),
 		})
 	})

@@ -16,6 +16,7 @@ import (
 	"repro/internal/bulletin"
 	"repro/internal/codec"
 	"repro/internal/heartbeat"
+	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
@@ -54,7 +55,7 @@ func (d *Daemon) Service() string { return types.SvcDetector }
 // Start implements simhost.Process.
 func (d *Daemon) Start(h *simhost.Handle) {
 	d.h = h
-	d.bulletin = bulletin.NewClient(h, 0, func() (types.Addr, bool) {
+	d.bulletin = bulletin.NewClient(h, rpc.Options{}, func() (types.Addr, bool) {
 		return types.Addr{Node: d.gsd, Service: types.SvcDB}, true
 	})
 	// Application-state detector: export job lifecycle transitions as

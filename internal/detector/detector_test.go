@@ -10,6 +10,7 @@ import (
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/ppm"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/simhost"
 	"repro/internal/simnet"
@@ -95,7 +96,7 @@ type queryProc struct {
 func (p *queryProc) Service() string { return "query" }
 func (p *queryProc) OnStop()         {}
 func (p *queryProc) Start(h *simhost.Handle) {
-	p.client = bulletin.NewClient(h, time.Second, func() (types.Addr, bool) {
+	p.client = bulletin.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: p.target, Service: types.SvcDB}, true
 	})
 	p.query()

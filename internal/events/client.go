@@ -1,8 +1,6 @@
 package events
 
 import (
-	"time"
-
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/types"
@@ -10,20 +8,31 @@ import (
 
 // Client gives a daemon the consumer/supplier side of the event service:
 // subscribe with filters, receive real-time notifications, publish events.
+//
+// Subscribe/Unsubscribe run through a resilient rpc.Caller (re-resolved
+// target per attempt, retries within the deadline budget); Publish and
+// RegisterSupplier stay fire-and-forget like the kernel's own suppliers.
 type Client struct {
 	rt      rt.Runtime
-	pending *rpc.Pending
+	caller  *rpc.Caller
 	target  func() (types.Addr, bool) // event-service instance to talk to
-	timeout time.Duration
 	onEvent map[uint64]func(types.Event)
 }
 
 // NewClient builds a client; target resolves the instance to address
 // (normally the caller's partition ES; the federation makes any instance a
-// valid access point).
-func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
-	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout,
+// valid access point), opts the retry behaviour.
+func NewClient(r rt.Runtime, opts rpc.Options, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, caller: rpc.NewCaller(r, opts), target: target,
 		onEvent: make(map[uint64]func(types.Event))}
+}
+
+// targets adapts the single-instance resolver to the caller.
+func (c *Client) targets() []types.Addr {
+	if addr, ok := c.target(); ok {
+		return []types.Addr{addr}
+	}
+	return nil
 }
 
 // Subscribe registers interest in the given event types. handler runs for
@@ -31,42 +40,43 @@ func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, b
 // on failure. Pass partition -1 and service "" for no filtering.
 func (c *Client) Subscribe(typesList []types.EventType, partition types.PartitionID, service string,
 	handler func(types.Event), done func(id uint64)) {
-	addr, ok := c.target()
-	if !ok {
-		if done != nil {
-			done(0)
-		}
-		return
-	}
 	sub := Subscription{
 		Consumer:        c.rt.Self(),
 		Types:           typesList,
 		PartitionFilter: partition,
 		ServiceFilter:   service,
 	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgSubscribe, SubReq{Token: token, Sub: sub})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				if done != nil {
+					done(0)
+				}
+				return
+			}
 			ack := payload.(SubAck)
 			c.onEvent[ack.ID] = handler
 			if done != nil {
 				done(ack.ID)
 			}
 		},
-		func() {
-			if done != nil {
-				done(0)
-			}
-		})
-	c.rt.Send(addr, types.AnyNIC, MsgSubscribe, SubReq{Token: tok, Sub: sub})
+	})
 }
 
-// Unsubscribe removes a registration.
+// Unsubscribe removes a registration. Best-effort: retried within the
+// budget but no outcome is reported.
 func (c *Client) Unsubscribe(id uint64) {
 	delete(c.onEvent, id)
-	if addr, ok := c.target(); ok {
-		tok := c.pending.New(c.timeout, func(any) {}, nil)
-		c.rt.Send(addr, types.AnyNIC, MsgUnsubscribe, UnsubReq{Token: tok, ID: id})
-	}
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgUnsubscribe, UnsubReq{Token: token, ID: id})
+		},
+	})
 }
 
 // RegisterSupplier announces the event types this daemon produces.
@@ -90,12 +100,12 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSubAck:
 		if ack, ok := msg.Payload.(SubAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgUnsubAck:
 		if ack, ok := msg.Payload.(UnsubAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgEvent:

@@ -17,6 +17,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/codec"
 	"repro/internal/federation"
+	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/simhost"
 	"repro/internal/types"
@@ -161,8 +162,12 @@ func (s *Service) Service() string { return types.SvcES }
 // Start implements simhost.Process.
 func (s *Service) Start(h *simhost.Handle) {
 	s.rt = h
-	s.ckpt = checkpoint.NewClient(h, s.ckptTO, func() (types.Addr, bool) {
-		// The checkpoint instance is co-located on the same node.
+	// The checkpoint instance is co-located on the same node; the rest of
+	// the checkpoint federation serves as failover targets for retries.
+	s.ckpt = checkpoint.NewClient(h, rpc.Options{
+		Budget: s.ckptTO,
+		Peers:  func() []types.Addr { return s.view.PeerAddrs(s.part, types.SvcCkpt) },
+	}, func() (types.Addr, bool) {
 		return types.Addr{Node: h.Node(), Service: types.SvcCkpt}, true
 	})
 	if !s.restart {

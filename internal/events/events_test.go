@@ -8,6 +8,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/federation"
 	"repro/internal/metrics"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/simhost"
 	"repro/internal/simnet"
@@ -26,7 +27,7 @@ type consumerProc struct {
 func (p *consumerProc) Service() string { return p.name }
 func (p *consumerProc) OnStop()         {}
 func (p *consumerProc) Start(h *simhost.Handle) {
-	p.client = events.NewClient(h, time.Second, func() (types.Addr, bool) {
+	p.client = events.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: p.target, Service: types.SvcES}, true
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pbs"
 	"repro/internal/pws"
+	"repro/internal/rpc"
 	"repro/internal/types"
 )
 
@@ -116,7 +117,7 @@ func RunPWSvsPBS() (PWSvsPBS, error) {
 		var client *pws.Client
 		proc := core.NewClientProc("drv", 0, c.Topo.Partitions[0].Server)
 		proc.OnStart = func(cp *core.ClientProc) {
-			client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+			client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 				return types.Addr{Node: c.Kernel.ServerNode(1), Service: types.SvcPWS}, true
 			})
 			for i := 0; i < out.JobsSubmitted; i++ {
@@ -214,7 +215,7 @@ func leaseMakespan(allowLease bool) (time.Duration, error) {
 	var client *pws.Client
 	proc := core.NewClientProc("lease", 1, c.Topo.Partitions[1].Server)
 	proc.OnStart = func(cp *core.ClientProc) {
-		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
 		})
 		for i := 0; i < burst; i++ {

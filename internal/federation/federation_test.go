@@ -122,3 +122,65 @@ func TestPropertyPeerOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Version race: two view pushes racing in either arrival order converge on
+// the higher version, and the interleaved stale push never resurrects the
+// pre-migration placement.
+func TestAdoptVersionRace(t *testing.T) {
+	migrated := view3()
+	migrated.Version = 7
+	migrated.Entries[1] = Entry{Node: 18, Alive: true} // partition 1 moved 17→18
+	stale := view3()
+	stale.Version = 6
+
+	a := view3()
+	if !a.Adopt(stale) || !a.Adopt(migrated) {
+		t.Fatal("ascending adoption rejected a newer view")
+	}
+	b := view3()
+	if !b.Adopt(migrated) {
+		t.Fatal("migrated view rejected")
+	}
+	if b.Adopt(stale) {
+		t.Fatal("stale push after migration adopted")
+	}
+	for name, v := range map[string]View{"ascending": a, "descending": b} {
+		if v.Version != 7 || v.Entries[1].Node != 18 {
+			t.Fatalf("%s order converged on %+v, want version 7 node 18", name, v)
+		}
+	}
+}
+
+// A stale push carrying a dead entry must not shadow the newer placement:
+// retries resolving against the adopter keep landing on the migrated node.
+func TestStalePushKeepsMigratedAddr(t *testing.T) {
+	v := view3()
+	migrated := view3()
+	migrated.Version = 4
+	migrated.Entries[0] = Entry{Node: 1, Alive: true} // server 0 died, backup 1 owns it
+	if !v.Adopt(migrated) {
+		t.Fatal("migration push rejected")
+	}
+	stale := view3()
+	stale.Version = 2
+	stale.Entries[0] = Entry{Node: 0, Alive: false}
+	v.Adopt(stale)
+	addr, ok := v.Addr(0, types.SvcCkpt)
+	if !ok || addr.Node != 1 {
+		t.Fatalf("post-migration addr = %v ok=%v, want node 1", addr, ok)
+	}
+}
+
+// Adopter-direction isolation: mutating the adopted copy must not alias
+// back into the view the pusher still holds (a GSD re-pushes its view to
+// every local service; one service's bookkeeping must not corrupt it).
+func TestAdoptIsolatesAdopterMutations(t *testing.T) {
+	pushed := view3()
+	pushed.Version = 3
+	v := view3()
+	v.Adopt(pushed)
+	v.Entries[2] = Entry{Node: 500, Alive: false}
+	if pushed.Entries[2].Node == 500 || !pushed.Entries[2].Alive {
+		t.Fatal("adopter mutation aliased the pushed view")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bulletin"
 	"repro/internal/events"
+	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
@@ -80,8 +81,8 @@ func (d *Daemon) Start(h *simhost.Handle) {
 	target := func() (types.Addr, bool) {
 		return types.Addr{Node: d.spec.Server, Service: types.SvcES}, true
 	}
-	d.events = events.NewClient(h, timeout, target)
-	d.bulletin = bulletin.NewClient(h, timeout, func() (types.Addr, bool) {
+	d.events = events.NewClient(h, rpc.Budget(timeout), target)
+	d.bulletin = bulletin.NewClient(h, rpc.Budget(timeout), func() (types.Addr, bool) {
 		return types.Addr{Node: d.spec.Server, Service: types.SvcDB}, true
 	})
 	// Register the event types GridView displays (node and network

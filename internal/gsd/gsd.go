@@ -77,6 +77,9 @@ type Spec struct {
 	// beyond the kernel trio — the paper's "scheduling service group":
 	// PWS registers itself here to get restart and migration for free.
 	Extra []string
+	// RPC carries the node-wide resilient-call options (shared breakers,
+	// metrics); the daemon fills per-client budgets and failover peers.
+	RPC rpc.Options
 }
 
 // Daemon is the group service daemon process.
@@ -164,7 +167,12 @@ func (g *Daemon) Start(h *simhost.Handle) {
 
 	g.pending = rpc.NewPending(h)
 	g.reinProber = heartbeat.NewProber(h, g.spec.Topo.NICs)
-	g.ckpt = checkpoint.NewClient(h, p.RPCTimeout, func() (types.Addr, bool) {
+	// Checkpoint calls go to the co-located instance first, with the rest
+	// of the checkpoint federation as failover targets for retries.
+	ckptOpts := g.spec.RPC.WithBudget(p.RPCTimeout).WithPeers(func() []types.Addr {
+		return g.fedView.PeerAddrs(g.spec.Partition, types.SvcCkpt)
+	})
+	g.ckpt = checkpoint.NewClient(h, ckptOpts, func() (types.Addr, bool) {
 		return types.Addr{Node: h.Node(), Service: types.SvcCkpt}, true
 	})
 
@@ -520,7 +528,7 @@ func (g *Daemon) recoveringActive(svc string) bool {
 
 // armRecovering marks a restart attempt with its expiry.
 func (g *Daemon) armRecovering(svc string) {
-	g.recovering[svc] = g.h.Now().Add(3*g.spec.Params.RPCTimeout + 5*time.Second)
+	g.recovering[svc] = g.h.Now().Add(g.spec.Params.ServiceRecoveryDeadline())
 }
 
 func (g *Daemon) localCheck() {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/gsd"
 	"repro/internal/metrics"
 	"repro/internal/opshttp"
+	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/watchd"
@@ -107,13 +108,14 @@ func WithStateDir(dir string) Option { return func(s *settings) { s.stateDir = d
 
 // Node is one running phoenix node.
 type Node struct {
-	tr      *wire.Transport
-	loop    *wire.Loop
-	host    *simhost.Host
-	kernel  *core.Kernel
-	ni      config.NodeInfo
-	admin   *opshttp.Server
-	started time.Time
+	tr       *wire.Transport
+	loop     *wire.Loop
+	host     *simhost.Host
+	kernel   *core.Kernel
+	ni       config.NodeInfo
+	admin    *opshttp.Server
+	breakers *rpc.Breakers
+	started  time.Time
 
 	// Crash-restart rejoin state. rejoinDone is loop-confined; the
 	// deadline and fallback timer are set once before the node runs.
@@ -145,6 +147,11 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		ckptDir = filepath.Join(s.stateDir, "ckpt")
 	}
 
+	// Node-wide circuit breakers, shared by every kernel client on this
+	// node and fed by both RPC outcomes and wire-level peer faults. The
+	// cooldown tracks the RPC budget so a half-open trial fits one call.
+	breakers := rpc.NewBreakers(rpc.BreakerConfig{Cooldown: s.params.RPCTimeout}, time.Now)
+
 	tr := s.transport
 	if tr == nil {
 		if s.book == nil {
@@ -155,11 +162,13 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 				s.book.Planes(), topo.NICs)
 		}
 		// Default fault surfacing: a lane that exhausts its retransmission
-		// budget is logged like a suspected node fault; the kernel's own
-		// diagnosis (missed heartbeats, probes) confirms and recovers it.
+		// budget opens the peer's node-wide breaker (so resilient calls
+		// fail over before their first timeout) and is logged; the
+		// kernel's own diagnosis confirms and recovers the fault.
 		wopts := append([]wire.Option{
 			wire.WithMetrics(s.reg),
 			wire.WithPeerFaultHandler(func(peer types.NodeID, plane int, err error) {
+				breakers.ReportPeerFault(peer)
 				log.Printf("noded: %v: transport fault: %v", node, err)
 			}),
 		}, s.wireOpts...)
@@ -181,7 +190,7 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		}
 	}
 
-	n := &Node{tr: tr, loop: tr.Loop(), started: time.Now()}
+	n := &Node{tr: tr, loop: tr.Loop(), breakers: breakers, started: time.Now()}
 	n.ni, _ = topo.Node(node)
 	clk := wire.NewLoopClock(n.loop, clock.Real{})
 	rng := rand.New(rand.NewSource(s.seed))
@@ -194,6 +203,7 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
 			Topo: topo, Params: s.params, EnforceAuth: s.enforceAuth,
 			CheckpointDir: ckptDir, Rejoin: rejoin,
+			RPC: rpc.Options{Breakers: breakers, Metrics: tr.Metrics()},
 		})
 	})
 	if bootErr != nil {
@@ -332,6 +342,9 @@ func (n *Node) Status() opshttp.Status {
 		st.Peers = len(book.Nodes())
 	}
 	st.Wire = n.tr.Stats()
+	st.RPC = rpc.ReadStats(n.tr.Metrics())
+	st.Breakers = n.breakers.Snapshot()
+	st.BreakersOpen = n.breakers.OpenCount()
 	st.Ready, st.ReadyReason = readiness(st)
 	return st
 }
@@ -374,6 +387,10 @@ func (n *Node) Kernel() *core.Kernel { return n.kernel }
 
 // Transport returns the node's wire transport (safe from any goroutine).
 func (n *Node) Transport() *wire.Transport { return n.tr }
+
+// Breakers returns the node-wide circuit breaker set (safe from any
+// goroutine — Breakers carries its own lock).
+func (n *Node) Breakers() *rpc.Breakers { return n.breakers }
 
 // Stop powers the node off — every daemon is killed and its timers
 // cancelled — closes the admin server, and closes the sockets. A stopped

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -99,8 +100,11 @@ func (r NodeReport) Reachable() bool { return r.Err == "" }
 
 // Gather fans out to every target's admin server concurrently, each
 // request bounded by timeout, and returns one report per node sorted by
-// node ID. Unreachable nodes are reported, not dropped — a dead node is
-// exactly what a cluster table must show.
+// node ID. A node that misses its first fetch gets one retry after a short
+// jittered backoff — a node busy with a recovery or a dropped datagram must
+// not show as DOWN in the cluster table — and only the retry's failure
+// marks the row unreachable. Unreachable nodes are reported, not dropped —
+// a dead node is exactly what a cluster table must show.
 func Gather(ctx context.Context, targets map[types.NodeID]string, timeout time.Duration) []NodeReport {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
@@ -115,10 +119,18 @@ func Gather(ctx context.Context, targets map[types.NodeID]string, timeout time.D
 		wg.Add(1)
 		go func(node types.NodeID, target string) {
 			defer wg.Done()
-			rctx, cancel := context.WithTimeout(ctx, timeout)
-			defer cancel()
 			rep := NodeReport{Node: node, Target: target}
-			st, err := Fetch(rctx, client, target)
+			st, err := fetchOnce(ctx, client, target, timeout)
+			if err != nil {
+				// Jitter desynchronises the retries of many rows so they do
+				// not stampede a node that shed the first wave.
+				backoff := 100*time.Millisecond + time.Duration(rand.Int63n(int64(100*time.Millisecond)))
+				select {
+				case <-ctx.Done():
+				case <-time.After(backoff):
+					st, err = fetchOnce(ctx, client, target, timeout)
+				}
+			}
 			if err != nil {
 				rep.Err = err.Error()
 			} else {
@@ -132,6 +144,14 @@ func Gather(ctx context.Context, targets map[types.NodeID]string, timeout time.D
 	wg.Wait()
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
 	return reports
+}
+
+// fetchOnce is one bounded /statusz attempt with its own deadline, so a
+// retry starts with a fresh budget instead of the first attempt's remains.
+func fetchOnce(ctx context.Context, client *http.Client, target string, timeout time.Duration) (Status, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return Fetch(rctx, client, target)
 }
 
 // RenderTable writes the cluster table phoenix-admin prints — the

@@ -275,3 +275,31 @@ func TestAdminAddrConvention(t *testing.T) {
 		t.Fatal("unknown node accepted")
 	}
 }
+
+// A node that fails its first /statusz fetch but answers the retry must not
+// show as DOWN in the gathered table.
+func TestGatherRetriesBeforeMarkingDown(t *testing.T) {
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close() // first fetch dies mid-flight
+			}
+			return
+		}
+		Handler(Config{Status: testStatus}).ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	reports := Gather(context.Background(), map[types.NodeID]string{0: flaky.URL}, time.Second)
+	if len(reports) != 1 || !reports[0].Reachable() {
+		t.Fatalf("flaky node marked DOWN despite retry: %+v", reports)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fetch attempts = %d, want 2 (original + one retry)", got)
+	}
+	if reports[0].Status.Node != 3 {
+		t.Fatalf("retry did not deliver the snapshot: %+v", reports[0].Status)
+	}
+}

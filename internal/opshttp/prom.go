@@ -98,6 +98,11 @@ func writeStatusProm(w io.Writer, st Status) {
 	if st.BulletinRows >= 0 {
 		fmt.Fprintf(w, "# TYPE phoenix_bulletin_rows gauge\nphoenix_bulletin_rows %d\n", st.BulletinRows)
 	}
+	fmt.Fprintf(w, "# TYPE phoenix_rpc_calls_total counter\nphoenix_rpc_calls_total %d\n", st.RPC.Calls)
+	fmt.Fprintf(w, "# TYPE phoenix_rpc_retries_total counter\nphoenix_rpc_retries_total %d\n", st.RPC.Retries)
+	fmt.Fprintf(w, "# TYPE phoenix_rpc_shed_total counter\nphoenix_rpc_shed_total %d\n", st.RPC.Shed)
+	fmt.Fprintf(w, "# TYPE phoenix_rpc_failures_total counter\nphoenix_rpc_failures_total %d\n", st.RPC.Failures)
+	fmt.Fprintf(w, "# TYPE phoenix_breaker_open gauge\nphoenix_breaker_open %d\n", st.BreakersOpen)
 	if len(st.Wire.Planes) > 0 {
 		fmt.Fprintf(w, "# TYPE phoenix_plane_healthy gauge\n")
 		for _, p := range st.Wire.Planes {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
@@ -23,8 +24,8 @@ const (
 // node doing" — every surface renders this struct rather than reading
 // kernel state or metric counters ad hoc.
 type Status struct {
-	Node      int    `json:"node"`
-	Partition int    `json:"partition"`
+	Node      int `json:"node"`
+	Partition int `json:"partition"`
 	// Role is the node's topology role: server, backup or compute.
 	Role string `json:"role"`
 
@@ -67,6 +68,15 @@ type Status struct {
 	// Wire is the transport's traffic/reliability snapshot, totals and
 	// per plane.
 	Wire wire.Stats `json:"wire"`
+
+	// RPC totals the node's resilient kernel calls: issued, retried, shed
+	// and failed across every client on the node.
+	RPC rpc.CallStats `json:"rpc"`
+	// Breakers tabulates every circuit breaker the node has touched
+	// (per peer service, plus the node-wide "*" pseudo-service fed by wire
+	// faults); BreakersOpen counts the ones not currently closed.
+	Breakers     []rpc.BreakerStatus `json:"breakers,omitempty"`
+	BreakersOpen int                 `json:"breakers_open"`
 }
 
 // Line renders the status as the one-line form phoenix-node logs
@@ -86,6 +96,13 @@ func (st Status) Line() string {
 	fmt.Fprintf(&sb, ", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d, errs %d",
 		w.TxDatagrams, w.RxDatagrams, w.Retransmits, w.DupDrops,
 		w.TxFrags, w.RxFrags, w.TxAcks, w.PeerFaults, w.Errors)
+	fmt.Fprintf(&sb, ", rpc %d/%d ok, rpc retries %d", st.RPC.OK, st.RPC.Calls, st.RPC.Retries)
+	if st.RPC.Shed > 0 {
+		fmt.Fprintf(&sb, ", rpc shed %d", st.RPC.Shed)
+	}
+	if st.BreakersOpen > 0 {
+		fmt.Fprintf(&sb, ", breakers open %d", st.BreakersOpen)
+	}
 	fmt.Fprintf(&sb, ", up %.0fs", st.UptimeSeconds)
 	return sb.String()
 }

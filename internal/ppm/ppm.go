@@ -155,6 +155,17 @@ type Spec struct {
 	SubtreeTimeout time.Duration
 }
 
+// dedupCap bounds the request-dedup cache (insertion order eviction).
+const dedupCap = 1024
+
+// dedupKey identifies one logical request: resilient callers reuse the
+// token across retry attempts, so (caller, token) pins a logical call even
+// when the retransmission arrives after the first attempt took effect.
+type dedupKey struct {
+	from  types.Addr
+	token uint64
+}
+
 // Daemon is the per-node PPM process.
 type Daemon struct {
 	spec        Spec
@@ -162,6 +173,15 @@ type Daemon struct {
 	pending     *rpc.Pending
 	jobs        map[types.JobID]JobSpec
 	cancelWatch func()
+
+	// seen caches the ack of each recent load/kill so a retried request
+	// replays the original outcome instead of re-executing (loads are not
+	// idempotent: a blind re-spawn would double-start the job).
+	seen      map[dedupKey]any
+	seenOrder []dedupKey
+
+	// Deduped counts retried requests answered from the cache.
+	Deduped uint64
 }
 
 // New builds a PPM daemon.
@@ -169,7 +189,39 @@ func New(spec Spec) *Daemon {
 	if spec.SubtreeTimeout == 0 {
 		spec.SubtreeTimeout = 5 * time.Second
 	}
-	return &Daemon{spec: spec, jobs: make(map[types.JobID]JobSpec)}
+	return &Daemon{spec: spec, jobs: make(map[types.JobID]JobSpec), seen: make(map[dedupKey]any)}
+}
+
+// replay answers a retried request from the dedup cache; it reports whether
+// the request was a duplicate. Token 0 marks legacy single-shot callers.
+func (d *Daemon) replay(from types.Addr, token uint64, msgType string) bool {
+	if token == 0 {
+		return false
+	}
+	ack, dup := d.seen[dedupKey{from, token}]
+	if !dup {
+		return false
+	}
+	d.Deduped++
+	d.h.Send(from, types.AnyNIC, msgType, ack)
+	return true
+}
+
+// remember caches a request's ack for duplicate replay, evicting the oldest
+// entry beyond dedupCap.
+func (d *Daemon) remember(from types.Addr, token uint64, ack any) {
+	if token == 0 {
+		return
+	}
+	k := dedupKey{from, token}
+	if _, exists := d.seen[k]; !exists {
+		d.seenOrder = append(d.seenOrder, k)
+		if len(d.seenOrder) > dedupCap {
+			delete(d.seen, d.seenOrder[0])
+			d.seenOrder = d.seenOrder[1:]
+		}
+	}
+	d.seen[k] = ack
 }
 
 // Service implements simhost.Process.
@@ -227,6 +279,9 @@ func (d *Daemon) Receive(msg types.Message) {
 		if !ok {
 			return
 		}
+		if d.replay(msg.From, req.Token, MsgLoadAck) {
+			return
+		}
 		ack := LoadAck{Token: req.Token, Node: d.h.Node(), Job: req.Job.ID}
 		if err := d.authorize(req.Signed, security.OpProcLoad); err != nil {
 			ack.Err = err.Error()
@@ -236,10 +291,14 @@ func (d *Daemon) Receive(msg types.Message) {
 			ack.OK = true
 			d.jobs[req.Job.ID] = req.Job
 		}
+		d.remember(msg.From, req.Token, ack)
 		d.h.Send(msg.From, types.AnyNIC, MsgLoadAck, ack)
 	case MsgKill:
 		req, ok := msg.Payload.(KillReq)
 		if !ok {
+			return
+		}
+		if d.replay(msg.From, req.Token, MsgKillAck) {
 			return
 		}
 		ack := KillAck{Token: req.Token}
@@ -252,6 +311,7 @@ func (d *Daemon) Receive(msg types.Message) {
 		} else {
 			ack.OK = true
 		}
+		d.remember(msg.From, req.Token, ack)
 		d.h.Send(msg.From, types.AnyNIC, MsgKillAck, ack)
 	case MsgCleanup:
 		req, ok := msg.Payload.(CleanupReq)

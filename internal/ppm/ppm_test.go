@@ -228,3 +228,54 @@ func TestDuplicateLoadRejected(t *testing.T) {
 		t.Fatalf("duplicate load: %+v", mgr.loadAcks)
 	}
 }
+
+func TestRetriedLoadDedupedExactlyOnce(t *testing.T) {
+	eng, hosts, mgr := rig(t, 3, nil)
+	job := ppm.JobSpec{ID: 11, Duration: time.Hour,
+		Submitter: types.Addr{Node: 0, Service: "mgr"}}
+	// A resilient caller reuses the token across retries: the same request
+	// arriving twice must replay the first ack, not double-start the job.
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 42, Job: job})
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 42, Job: job})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.loadAcks) != 2 {
+		t.Fatalf("load acks = %d, want 2 (original + replay)", len(mgr.loadAcks))
+	}
+	for i, a := range mgr.loadAcks {
+		if !a.OK {
+			t.Fatalf("ack %d not OK: %+v", i, a)
+		}
+	}
+	if !hosts[1].Running("job/11") {
+		t.Fatal("job not running")
+	}
+	// Exactly-once: killing it once must leave nothing behind.
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 43, Job: 11})
+	eng.RunFor(300 * time.Millisecond)
+	if hosts[1].Running("job/11") {
+		t.Fatal("job survived the kill: load was duplicated")
+	}
+	if len(mgr.dones) != 1 {
+		t.Fatalf("done notifications = %d, want 1", len(mgr.dones))
+	}
+}
+
+func TestRetriedKillReplaysAck(t *testing.T) {
+	eng, _, mgr := rig(t, 3, nil)
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: ppm.JobSpec{ID: 12, Duration: time.Hour}})
+	eng.RunFor(300 * time.Millisecond)
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 7, Job: 12})
+	eng.RunFor(300 * time.Millisecond)
+	// The retry must replay OK even though the job is already gone (a
+	// non-deduped second kill would report "not on node").
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 7, Job: 12})
+	eng.RunFor(300 * time.Millisecond)
+	if len(mgr.killAcks) != 2 {
+		t.Fatalf("kill acks = %d, want 2", len(mgr.killAcks))
+	}
+	for i, a := range mgr.killAcks {
+		if !a.OK {
+			t.Fatalf("kill ack %d not OK: %+v", i, a)
+		}
+	}
+}

@@ -1,98 +1,110 @@
 package pws
 
 import (
-	"time"
-
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/types"
 )
 
 // Client is the user-facing interface to a PWS scheduler, embedded in
-// submission tools and experiments.
+// submission tools and experiments. Calls run through a resilient
+// rpc.Caller: the scheduler address is re-resolved on every attempt (it
+// moves with its partition's GSD on migration) and retries are carved out
+// of the deadline budget.
 type Client struct {
-	rt      rt.Runtime
-	pending *rpc.Pending
-	target  func() (types.Addr, bool)
-	timeout time.Duration
+	rt     rt.Runtime
+	caller *rpc.Caller
+	target func() (types.Addr, bool)
 }
 
 // NewClient builds a client; target resolves the scheduler's current
-// address (it moves with its partition's GSD on migration).
-func NewClient(r rt.Runtime, timeout time.Duration, target func() (types.Addr, bool)) *Client {
-	return &Client{rt: r, pending: rpc.NewPending(r), target: target, timeout: timeout}
+// address, opts the retry/breaker behaviour.
+func NewClient(r rt.Runtime, opts rpc.Options, target func() (types.Addr, bool)) *Client {
+	return &Client{rt: r, caller: rpc.NewCaller(r, opts), target: target}
 }
 
-// Submit queues a job; done (optional) receives the ack.
+// targets adapts the single-scheduler resolver to the caller.
+func (c *Client) targets() []types.Addr {
+	if addr, ok := c.target(); ok {
+		return []types.Addr{addr}
+	}
+	return nil
+}
+
+// Submit queues a job; done (optional) receives the ack. The request token
+// is reused across retries, so the scheduler sees a retried submit as the
+// same request.
 func (c *Client) Submit(job Job, done func(SubmitAck)) {
-	addr, ok := c.target()
-	if !ok {
-		if done != nil {
-			done(SubmitAck{Err: "pws: no scheduler"})
-		}
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) {
-			if done != nil {
-				done(payload.(SubmitAck))
-			}
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgSubmit, SubmitReq{Token: token, Job: job})
 		},
-		func() {
-			if done != nil {
-				done(SubmitAck{Err: "pws: submit timeout"})
+		Done: func(payload any, err error) {
+			if done == nil {
+				return
 			}
-		})
-	c.rt.Send(addr, types.AnyNIC, MsgSubmit, SubmitReq{Token: tok, Job: job})
+			if err != nil {
+				done(SubmitAck{Err: "pws: " + err.Error()})
+				return
+			}
+			done(payload.(SubmitAck))
+		},
+	})
 }
 
-// Stat fetches scheduler statistics; ok=false on timeout.
+// Stat fetches scheduler statistics; ok=false when the budget is exhausted.
 func (c *Client) Stat(done func(StatAck, bool)) {
-	addr, found := c.target()
-	if !found {
-		done(StatAck{}, false)
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) { done(payload.(StatAck), true) },
-		func() { done(StatAck{}, false) })
-	c.rt.Send(addr, types.AnyNIC, MsgStat, StatReq{Token: tok})
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgStat, StatReq{Token: token})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(StatAck{}, false)
+				return
+			}
+			done(payload.(StatAck), true)
+		},
+	})
 }
 
 // Delete cancels a job; done (optional) receives the ack.
 func (c *Client) Delete(id types.JobID, done func(DeleteAck)) {
-	addr, ok := c.target()
-	if !ok {
-		if done != nil {
-			done(DeleteAck{Err: "pws: no scheduler"})
-		}
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) {
-			if done != nil {
-				done(payload.(DeleteAck))
-			}
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgDelete, DeleteReq{Token: token, ID: id})
 		},
-		func() {
-			if done != nil {
-				done(DeleteAck{Err: "pws: delete timeout"})
+		Done: func(payload any, err error) {
+			if done == nil {
+				return
 			}
-		})
-	c.rt.Send(addr, types.AnyNIC, MsgDelete, DeleteReq{Token: tok, ID: id})
+			if err != nil {
+				done(DeleteAck{Err: "pws: " + err.Error()})
+				return
+			}
+			done(payload.(DeleteAck))
+		},
+	})
 }
 
-// JobStat fetches one job's state; ok=false on timeout.
+// JobStat fetches one job's state; ok=false when the budget is exhausted.
 func (c *Client) JobStat(id types.JobID, done func(JobStatAck, bool)) {
-	addr, found := c.target()
-	if !found {
-		done(JobStatAck{}, false)
-		return
-	}
-	tok := c.pending.New(c.timeout,
-		func(payload any) { done(payload.(JobStatAck), true) },
-		func() { done(JobStatAck{}, false) })
-	c.rt.Send(addr, types.AnyNIC, MsgJobStat, JobStatReq{Token: tok, ID: id})
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgJobStat, JobStatReq{Token: token, ID: id})
+		},
+		Done: func(payload any, err error) {
+			if err != nil {
+				done(JobStatAck{}, false)
+				return
+			}
+			done(payload.(JobStatAck), true)
+		},
+	})
 }
 
 // Handle routes scheduler replies arriving at the owning daemon.
@@ -100,22 +112,22 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSubmitAck:
 		if ack, ok := msg.Payload.(SubmitAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgStatAck:
 		if ack, ok := msg.Payload.(StatAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgDeleteAck:
 		if ack, ok := msg.Payload.(DeleteAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	case MsgJobStatAck:
 		if ack, ok := msg.Payload.(JobStatAck); ok {
-			c.pending.Resolve(ack.Token, ack)
+			c.caller.Resolve(ack.Token, ack)
 		}
 		return true
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pws"
+	"repro/internal/rpc"
 	"repro/internal/types"
 )
 
@@ -38,7 +39,7 @@ func rig(t *testing.T, pools []pws.PoolSpec, useBulletin bool) (*cluster.Cluster
 	var client *pws.Client
 	proc := core.NewClientProc("submit", 1, c.Topo.Partitions[1].Server)
 	proc.OnStart = func(cp *core.ClientProc) {
-		client = pws.NewClient(cp.H, 3*time.Second, func() (types.Addr, bool) {
+		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
 		})
 	}

@@ -38,6 +38,9 @@ type Spec struct {
 	Restart bool
 	// CkptTimeout bounds checkpoint interactions.
 	CkptTimeout time.Duration
+	// RPC carries the node-wide resilient-call options (shared breakers,
+	// metrics); the scheduler fills per-client budgets.
+	RPC rpc.Options
 }
 
 // state is the checkpointed scheduler state.
@@ -73,7 +76,7 @@ type Scheduler struct {
 	spec Spec
 	h    *simhost.Handle
 
-	pending  *rpc.Pending
+	caller   *rpc.Caller // PPM load/kill/query calls
 	events   *events.Client
 	bulletin *bulletin.Client
 	ckpt     *checkpoint.Client
@@ -124,15 +127,15 @@ func (s *Scheduler) Service() string { return types.SvcPWS }
 // Start implements simhost.Process.
 func (s *Scheduler) Start(h *simhost.Handle) {
 	s.h = h
-	s.pending = rpc.NewPending(h)
+	s.caller = rpc.NewCaller(h, s.spec.RPC.WithBudget(3*time.Second))
 	local := func(svc string) func() (types.Addr, bool) {
 		return func() (types.Addr, bool) {
 			return types.Addr{Node: h.Node(), Service: svc}, true
 		}
 	}
-	s.events = events.NewClient(h, 2*time.Second, local(types.SvcES))
-	s.bulletin = bulletin.NewClient(h, 2*time.Second, local(types.SvcDB))
-	s.ckpt = checkpoint.NewClient(h, s.spec.CkptTimeout, local(types.SvcCkpt))
+	s.events = events.NewClient(h, s.spec.RPC.WithBudget(2*time.Second), local(types.SvcES))
+	s.bulletin = bulletin.NewClient(h, s.spec.RPC.WithBudget(2*time.Second), local(types.SvcDB))
+	s.ckpt = checkpoint.NewClient(h, s.spec.RPC.WithBudget(s.spec.CkptTimeout), local(types.SvcCkpt))
 
 	// Event-driven monitoring: node failures requeue affected jobs,
 	// recoveries return capacity.
@@ -214,11 +217,11 @@ func (s *Scheduler) Receive(msg types.Message) {
 		s.h.Send(msg.From, types.AnyNIC, MsgJobStatAck, s.jobStat(req))
 	case ppm.MsgLoadAck:
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
-			s.pending.Resolve(ack.Token, ack)
+			s.caller.Resolve(ack.Token, ack)
 		}
 	case ppm.MsgKillAck:
 		if ack, ok := msg.Payload.(ppm.KillAck); ok {
-			s.pending.Resolve(ack.Token, ack)
+			s.caller.Resolve(ack.Token, ack)
 		}
 	case ppm.MsgJobDone:
 		if jd, ok := msg.Payload.(ppm.JobDone); ok {
@@ -226,7 +229,7 @@ func (s *Scheduler) Receive(msg types.Message) {
 		}
 	case ppm.MsgQueryAck:
 		if ack, ok := msg.Payload.(ppm.QueryAck); ok {
-			s.pending.Resolve(ack.Token, ack)
+			s.caller.Resolve(ack.Token, ack)
 		}
 	}
 }
@@ -397,16 +400,29 @@ func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types
 	for _, n := range nodes {
 		s.busy[n] = job.ID
 		n := n
-		tok := s.pending.New(3*time.Second, func(payload any) {
-			if ack := payload.(ppm.LoadAck); !ack.OK {
-				s.sliceDone(ack.Job, n)
-			}
-		}, nil)
-		s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
-			ppm.MsgLoad, ppm.LoadReq{Token: tok, Job: ppm.JobSpec{
-				ID: job.ID, Name: job.Name, Duration: job.Duration,
-				Submitter: s.h.Self(),
-			}})
+		spec := ppm.JobSpec{
+			ID: job.ID, Name: job.Name, Duration: job.Duration,
+			Submitter: s.h.Self(),
+		}
+		// Loads are not idempotent, but the token is reused across
+		// retries and the PPM dedups by it, so a retried load starts the
+		// job exactly once.
+		s.caller.Go(rpc.Call{
+			Targets: func() []types.Addr {
+				return []types.Addr{{Node: n, Service: types.SvcPPM}}
+			},
+			Send: func(token uint64, to types.Addr) {
+				s.h.Send(to, types.AnyNIC, ppm.MsgLoad, ppm.LoadReq{Token: token, Job: spec})
+			},
+			Done: func(payload any, err error) {
+				if err != nil {
+					return // reconcile adopts lost slices
+				}
+				if ack := payload.(ppm.LoadAck); !ack.OK {
+					s.sliceDone(ack.Job, n)
+				}
+			},
+		})
 	}
 	s.events.Publish(types.Event{Type: types.EvJobStart, Partition: s.spec.Partition,
 		Detail: fmt.Sprintf("job %d width %d pool %s", job.ID, job.Width, job.Pool)})
@@ -448,6 +464,25 @@ func (s *Scheduler) onEvent(ev types.Event) {
 	}
 }
 
+// shortPolicy bounds the auxiliary kill/query calls: they are advisory
+// (reconcile re-audits), so they get a tighter budget than dispatch loads.
+var shortPolicy = rpc.Policy{Budget: 2 * time.Second}
+
+// killSlice tells one node's PPM to abort its slice of a job. Kills are
+// idempotent; a lost ack is retried within the short budget and then
+// dropped — reconcile cleans up any survivor.
+func (s *Scheduler) killSlice(n types.NodeID, id types.JobID) {
+	s.caller.Go(rpc.Call{
+		Policy: &shortPolicy,
+		Targets: func() []types.Addr {
+			return []types.Addr{{Node: n, Service: types.SvcPPM}}
+		},
+		Send: func(token uint64, to types.Addr) {
+			s.h.Send(to, types.AnyNIC, ppm.MsgKill, ppm.KillReq{Token: token, Job: id})
+		},
+	})
+}
+
 // requeue aborts a job hit by a node failure and puts it back at the head
 // of its pool's queue.
 func (s *Scheduler) requeue(id types.JobID, failedNode types.NodeID) {
@@ -464,9 +499,7 @@ func (s *Scheduler) requeue(id types.JobID, failedNode types.NodeID) {
 		if n == failedNode || s.down[n] {
 			continue
 		}
-		tok := s.pending.New(2*time.Second, func(any) {}, nil)
-		s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
-			ppm.MsgKill, ppm.KillReq{Token: tok, Job: id})
+		s.killSlice(n, id)
 	}
 	job := rj.Job
 	job.Seq = 0 // head of the queue
@@ -488,14 +521,23 @@ func (s *Scheduler) reconcile() {
 			if s.busy[n] != id || s.down[n] {
 				continue
 			}
-			tok := s.pending.New(2*time.Second, func(payload any) {
-				ack := payload.(ppm.QueryAck)
-				if !ack.Running {
-					s.sliceDone(id, n)
-				}
-			}, nil)
-			s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
-				ppm.MsgQuery, ppm.QueryReq{Token: tok, Job: id})
+			s.caller.Go(rpc.Call{
+				Policy: &shortPolicy,
+				Targets: func() []types.Addr {
+					return []types.Addr{{Node: n, Service: types.SvcPPM}}
+				},
+				Send: func(token uint64, to types.Addr) {
+					s.h.Send(to, types.AnyNIC, ppm.MsgQuery, ppm.QueryReq{Token: token, Job: id})
+				},
+				Done: func(payload any, err error) {
+					if err != nil {
+						return
+					}
+					if ack := payload.(ppm.QueryAck); !ack.Running {
+						s.sliceDone(id, n)
+					}
+				},
+			})
 		}
 	}
 }
@@ -525,9 +567,7 @@ func (s *Scheduler) deleteJob(id types.JobID, outcome JobState) error {
 			if s.down[n] {
 				continue
 			}
-			tok := s.pending.New(2*time.Second, func(any) {}, nil)
-			s.h.Send(types.Addr{Node: n, Service: types.SvcPPM}, types.AnyNIC,
-				ppm.MsgKill, ppm.KillReq{Token: tok, Job: id})
+			s.killSlice(n, id)
 		}
 		s.recordTermination(id, outcome)
 		s.checkpointState()

@@ -1,0 +1,255 @@
+package rpc
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Circuit breakers protect clients from dead or drowning peers: after
+// Threshold consecutive failures against a (peer, service) the breaker
+// opens and calls skip that target immediately, failing over to a
+// federation peer instead of burning their budget re-dialing a corpse.
+// After Cooldown the breaker half-opens and admits exactly one trial
+// call; its outcome closes the breaker (success) or re-opens it
+// (failure). Besides RPC outcomes, the wire transport's peer-fault
+// signal (retransmission-budget exhaustion, the same event that marks a
+// lane down) feeds the node-wide breaker through ReportPeerFault.
+
+// Breaker states.
+type BreakerState int
+
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// String renders the state for /statusz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// NodeService is the node-wide pseudo-service of a peer's breaker: wire
+// peer faults are not attributable to one service, so they open a breaker
+// under this key, which Allow consults for every service on that node.
+const NodeService = "*"
+
+// BreakerKey identifies one breaker.
+type BreakerKey struct {
+	Node    types.NodeID
+	Service string
+}
+
+// BreakerConfig tunes the state machine.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens a breaker.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before half-opening.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerConfig matches the default RPC budget: a peer must eat
+// three whole calls before being shunned, and gets a trial every few
+// seconds.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 3, Cooldown: 5 * time.Second}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.Threshold <= 0 {
+		c.Threshold = d.Threshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = d.Cooldown
+	}
+	return c
+}
+
+// breaker is one key's state. Guarded by Breakers.mu.
+type breaker struct {
+	state    BreakerState
+	failures int // consecutive failures
+	openedAt time.Time
+	trial    bool // half-open probe in flight
+}
+
+// Breakers is a set of circuit breakers, one per (peer, service), shared
+// by every caller of a node. Safe for concurrent use: RPC outcomes arrive
+// from daemon loops, wire peer faults from transport goroutines.
+type Breakers struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[BreakerKey]*breaker
+}
+
+// NewBreakers builds a breaker set. now supplies the clock (time.Now for
+// real nodes, the runtime's clock under simulation); nil means time.Now.
+func NewBreakers(cfg BreakerConfig, now func() time.Time) *Breakers {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breakers{cfg: cfg.withDefaults(), now: now, m: make(map[BreakerKey]*breaker)}
+}
+
+// allowLocked advances one breaker's state machine for an admission
+// check. Callers hold mu.
+func (bs *Breakers) allowLocked(b *breaker, now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if now.Sub(b.openedAt) >= bs.cfg.Cooldown {
+			b.state = StateHalfOpen
+			b.trial = true
+			return true
+		}
+		return false
+	default: // StateHalfOpen
+		if !b.trial {
+			b.trial = true
+			return true
+		}
+		return false
+	}
+}
+
+// Allow reports whether a call to key may proceed, consulting both the
+// per-service breaker and the peer's node-wide breaker (wire faults). A
+// half-open breaker admits one trial; concurrent calls are rejected until
+// the trial resolves.
+func (bs *Breakers) Allow(key BreakerKey) bool {
+	now := bs.now()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	node := bs.m[BreakerKey{Node: key.Node, Service: NodeService}]
+	if !bs.allowLocked(node, now) {
+		return false
+	}
+	return bs.allowLocked(bs.m[key], now)
+}
+
+// successLocked closes one breaker. Callers hold mu.
+func successLocked(b *breaker) {
+	if b == nil {
+		return
+	}
+	b.state = StateClosed
+	b.failures = 0
+	b.trial = false
+}
+
+// Success records a delivered reply from key: its breaker (and the peer's
+// node-wide one — a reply proves the node reachable) closes.
+func (bs *Breakers) Success(key BreakerKey) {
+	bs.mu.Lock()
+	successLocked(bs.m[key])
+	successLocked(bs.m[BreakerKey{Node: key.Node, Service: NodeService}])
+	bs.mu.Unlock()
+}
+
+// failureLocked records one failure on key, creating the breaker on first
+// failure. Callers hold mu.
+func (bs *Breakers) failureLocked(key BreakerKey, now time.Time) {
+	b := bs.m[key]
+	if b == nil {
+		b = &breaker{}
+		bs.m[key] = b
+	}
+	b.failures++
+	switch b.state {
+	case StateClosed:
+		if b.failures >= bs.cfg.Threshold {
+			b.state = StateOpen
+			b.openedAt = now
+		}
+	case StateHalfOpen:
+		// The trial failed: back to open, restart the cooldown.
+		b.state = StateOpen
+		b.openedAt = now
+		b.trial = false
+	}
+}
+
+// Failure records a call attempt against key that timed out.
+func (bs *Breakers) Failure(key BreakerKey) {
+	now := bs.now()
+	bs.mu.Lock()
+	bs.failureLocked(key, now)
+	bs.mu.Unlock()
+}
+
+// ReportPeerFault feeds a wire-transport peer fault (retransmission
+// budget exhausted — the lane-down event) into the peer's node-wide
+// breaker, so RPC callers stop dialing a node the transport already knows
+// is unreachable.
+func (bs *Breakers) ReportPeerFault(node types.NodeID) {
+	bs.Failure(BreakerKey{Node: node, Service: NodeService})
+}
+
+// State reports a key's current state (closed when never tracked).
+func (bs *Breakers) State(key BreakerKey) BreakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b := bs.m[key]; b != nil {
+		return b.state
+	}
+	return StateClosed
+}
+
+// OpenCount counts breakers currently not closed.
+func (bs *Breakers) OpenCount() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	n := 0
+	for _, b := range bs.m {
+		if b.state != StateClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerStatus is one breaker's row in the /statusz table.
+type BreakerStatus struct {
+	Node     int    `json:"node"`
+	Service  string `json:"service"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+}
+
+// Snapshot lists every tracked breaker (peers that have failed at least
+// once), sorted by node then service — the /statusz breaker table.
+func (bs *Breakers) Snapshot() []BreakerStatus {
+	bs.mu.Lock()
+	out := make([]BreakerStatus, 0, len(bs.m))
+	for k, b := range bs.m {
+		out = append(out, BreakerStatus{
+			Node: int(k.Node), Service: k.Service,
+			State: b.state.String(), Failures: b.failures,
+		})
+	}
+	bs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Service < out[j].Service
+	})
+	return out
+}

@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 1, Service: types.SvcDB}
+	for i := 0; i < 2; i++ {
+		bs.Failure(key)
+		if !bs.Allow(key) {
+			t.Fatalf("breaker rejected below threshold (failure %d)", i+1)
+		}
+	}
+	bs.Failure(key)
+	if bs.State(key) != StateOpen {
+		t.Fatalf("state after threshold failures = %v, want open", bs.State(key))
+	}
+	if bs.Allow(key) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if bs.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", bs.OpenCount())
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 2, Service: types.SvcCkpt}
+	bs.Failure(key)
+	if bs.Allow(key) {
+		t.Fatal("open breaker admitted a call")
+	}
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("cooldown elapsed but trial rejected")
+	}
+	if bs.State(key) != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", bs.State(key))
+	}
+	if bs.Allow(key) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	bs.Success(key)
+	if bs.State(key) != StateClosed {
+		t.Fatalf("state after trial success = %v, want closed", bs.State(key))
+	}
+	if !bs.Allow(key) {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerTrialFailureReopens(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 3, Service: types.SvcES}
+	bs.Failure(key)
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("trial rejected")
+	}
+	bs.Failure(key) // trial failed
+	if bs.State(key) != StateOpen {
+		t.Fatalf("state after failed trial = %v, want open", bs.State(key))
+	}
+	if bs.Allow(key) {
+		t.Fatal("reopened breaker admitted a call without a fresh cooldown")
+	}
+	clk.advance(time.Second) // cooldown restarted at the failed trial
+	if !bs.Allow(key) {
+		t.Fatal("second cooldown elapsed but trial rejected")
+	}
+}
+
+func TestPeerFaultBlocksEveryService(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 2, Cooldown: time.Second}, clk.now)
+	for i := 0; i < 2; i++ {
+		bs.ReportPeerFault(5)
+	}
+	for _, svc := range []string{types.SvcDB, types.SvcCkpt, types.SvcES} {
+		if bs.Allow(BreakerKey{Node: 5, Service: svc}) {
+			t.Fatalf("node-wide open breaker admitted a %s call", svc)
+		}
+	}
+	if bs.Allow(BreakerKey{Node: 6, Service: types.SvcDB}) != true {
+		t.Fatal("peer fault on node 5 blocked node 6")
+	}
+	// A delivered reply from any service proves the node back: the
+	// node-wide breaker closes too.
+	clk.advance(time.Second)
+	if !bs.Allow(BreakerKey{Node: 5, Service: types.SvcDB}) {
+		t.Fatal("trial rejected after cooldown")
+	}
+	bs.Success(BreakerKey{Node: 5, Service: types.SvcDB})
+	if bs.State(BreakerKey{Node: 5, Service: NodeService}) != StateClosed {
+		t.Fatal("success did not close the node-wide breaker")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 7, Service: types.SvcDB}
+	bs.Failure(key)
+	bs.Failure(key)
+	bs.Success(key)
+	bs.Failure(key)
+	bs.Failure(key)
+	if bs.State(key) != StateClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerSnapshotSorted(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{}, clk.now)
+	bs.Failure(BreakerKey{Node: 2, Service: types.SvcDB})
+	bs.Failure(BreakerKey{Node: 1, Service: types.SvcES})
+	bs.Failure(BreakerKey{Node: 1, Service: types.SvcCkpt})
+	snap := bs.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d rows, want 3", len(snap))
+	}
+	if snap[0].Node != 1 || snap[0].Service != types.SvcCkpt {
+		t.Fatalf("snapshot[0] = %+v, want node 1 ckpt", snap[0])
+	}
+	if snap[2].Node != 2 {
+		t.Fatalf("snapshot[2] = %+v, want node 2", snap[2])
+	}
+	for _, row := range snap {
+		if row.State != "closed" || row.Failures != 1 {
+			t.Fatalf("row %+v, want closed/1", row)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package rpc
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/rt"
+	"repro/internal/types"
+)
+
+// Options configures a resilient client: the deadline budget its calls
+// default to, the retry policy, the breaker set and metrics registry it
+// shares with the rest of the node, extra failover peers, and the load
+// shedding threshold. The zero value is usable: DefaultBudget, default
+// policy, a private breaker set, no metrics, no shedding.
+type Options struct {
+	// Budget is the default total deadline per call (0 = DefaultBudget).
+	// This is the role Params.RPCTimeout plays now: the whole call's
+	// budget, out of which retries are carved — not a per-attempt timer.
+	Budget time.Duration
+	// Policy overrides the default retry policy derived from Budget.
+	Policy *Policy
+	// Breakers is the shared breaker set; nil allocates a private one
+	// (still functional, but blind to wire peer faults).
+	Breakers *Breakers
+	// Metrics receives rpc.calls / rpc.retries / rpc.shed / rpc.ok /
+	// rpc.failures counters when non-nil.
+	Metrics *metrics.Registry
+	// Peers supplies extra failover targets appended to every call's own
+	// target list — typically a federation.View's PeerAddrs, so retries
+	// can land on a surviving peer of the complete graph.
+	Peers func() []types.Addr
+	// MaxInFlight bounds outstanding calls; beyond it new calls fail
+	// immediately with ErrShed. Zero means unbounded.
+	MaxInFlight int
+}
+
+// Budget is shorthand for Options with only a deadline budget set.
+func Budget(d time.Duration) Options { return Options{Budget: d} }
+
+// WithBudget returns a copy of the options with the budget replaced —
+// for handing one node-wide Options (breakers, metrics) to clients with
+// different deadlines.
+func (o Options) WithBudget(d time.Duration) Options {
+	o.Budget = d
+	return o
+}
+
+// WithPeers returns a copy of the options with the failover-peer resolver
+// replaced.
+func (o Options) WithPeers(peers func() []types.Addr) Options {
+	o.Peers = peers
+	return o
+}
+
+// Key derives the breaker key of a kernel address.
+func Key(a types.Addr) BreakerKey { return BreakerKey{Node: a.Node, Service: a.Service} }
+
+// Call is one resilient request.
+type Call struct {
+	// Targets resolves the candidate servers, best first. It runs again
+	// on every attempt, so a retry observes federation view pushes (a
+	// GSD migration moving the access point) instead of re-dialing the
+	// address that just timed out.
+	Targets func() []types.Addr
+	// Send transmits one attempt to the chosen target. Every attempt
+	// reuses the call's single token, which is what lets the server
+	// deduplicate retried non-idempotent requests and lets any
+	// attempt's reply resolve the call.
+	Send func(token uint64, to types.Addr)
+	// Done receives the outcome: (payload, nil) on the first reply, or
+	// (nil, err) with one of this package's sentinels. Optional.
+	Done func(payload any, err error)
+	// Policy overrides the caller's policy for this call.
+	Policy *Policy
+}
+
+// callState tracks one in-flight resilient call.
+type callState struct {
+	call     Call
+	policy   Policy
+	deadline time.Time
+	attempts int
+	last     types.Addr // target of the newest attempt
+	sent     bool       // at least one attempt went out
+	timer    clock.Timer
+}
+
+// Caller runs resilient calls for one daemon. Like Pending it is
+// loop-confined — all methods must run on the owning daemon's loop (or
+// the wire runtime's Do) — only the breaker set it feeds is shared.
+type Caller struct {
+	rt       rt.Runtime
+	opts     Options
+	breakers *Breakers
+	calls    map[uint64]*callState
+
+	calls_  *metrics.Counter
+	retries *metrics.Counter
+	shed    *metrics.Counter
+	ok      *metrics.Counter
+	failed  *metrics.Counter
+}
+
+// NewCaller builds a resilient caller bound to a runtime.
+func NewCaller(r rt.Runtime, opts Options) *Caller {
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultBudget
+	}
+	bs := opts.Breakers
+	if bs == nil {
+		bs = NewBreakers(BreakerConfig{}, r.Now)
+	}
+	c := &Caller{rt: r, opts: opts, breakers: bs, calls: make(map[uint64]*callState)}
+	if m := opts.Metrics; m != nil {
+		c.calls_ = m.Counter("rpc.calls")
+		c.retries = m.Counter("rpc.retries")
+		c.shed = m.Counter("rpc.shed")
+		c.ok = m.Counter("rpc.ok")
+		c.failed = m.Counter("rpc.failures")
+	}
+	return c
+}
+
+// Breakers exposes the breaker set the caller feeds.
+func (c *Caller) Breakers() *Breakers { return c.breakers }
+
+// Outstanding reports how many calls are in flight.
+func (c *Caller) Outstanding() int { return len(c.calls) }
+
+func inc(ctr *metrics.Counter) {
+	if ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// Go starts a resilient call and returns its token (0 if shed — real
+// tokens start at 1). Done runs exactly once unless Cancel intervenes;
+// it may run synchronously (shedding, no targets).
+func (c *Caller) Go(call Call) uint64 {
+	if c.opts.MaxInFlight > 0 && len(c.calls) >= c.opts.MaxInFlight {
+		inc(c.shed)
+		if call.Done != nil {
+			call.Done(nil, ErrShed)
+		}
+		return 0
+	}
+	pol := c.opts.Policy
+	if call.Policy != nil {
+		pol = call.Policy
+	}
+	var p Policy
+	if pol != nil {
+		p = pol.withDefaults(c.opts.Budget)
+	} else {
+		p = DefaultPolicy(c.opts.Budget)
+	}
+	token := tokenCounter.Add(1)
+	st := &callState{call: call, policy: p, deadline: c.rt.Now().Add(p.Budget)}
+	c.calls[token] = st
+	inc(c.calls_)
+	c.attempt(token, st)
+	return token
+}
+
+// targets merges the call's own candidates with the caller-wide failover
+// peers, dropping duplicates while keeping order (call targets first).
+func (c *Caller) targets(st *callState) []types.Addr {
+	var out []types.Addr
+	if st.call.Targets != nil {
+		out = st.call.Targets()
+	}
+	if c.opts.Peers != nil {
+		for _, p := range c.opts.Peers() {
+			dup := false
+			for _, t := range out {
+				if t == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// attempt runs one attempt of the call identified by token: re-resolve
+// targets, skip open breakers, send, arm the attempt timer.
+func (c *Caller) attempt(token uint64, st *callState) {
+	remaining := st.deadline.Sub(c.rt.Now())
+	if remaining <= 0 {
+		c.finish(token, st, ErrTimeout)
+		return
+	}
+	targets := c.targets(st)
+	if len(targets) == 0 {
+		c.finish(token, st, ErrNoTarget)
+		return
+	}
+	to, found := types.Addr{}, false
+	for _, t := range targets {
+		if c.breakers.Allow(Key(t)) {
+			to, found = t, true
+			break
+		}
+	}
+	if !found {
+		// Every candidate's breaker is open. Wait (a cooldown may
+		// elapse, a view push may bring a new target) without
+		// consuming an attempt; only the budget bounds this.
+		d := st.policy.backoff(st.attempts+1, c.rt.Rand())
+		if d <= 0 {
+			d = time.Millisecond // never spin at one instant
+		}
+		if d >= remaining {
+			c.finish(token, st, ErrBreakerOpen)
+			return
+		}
+		st.timer = c.rt.After(d, func() { c.reattempt(token) })
+		return
+	}
+	st.attempts++
+	if st.attempts > 1 {
+		inc(c.retries)
+	}
+	st.last = to
+	st.sent = true
+	st.call.Send(token, to)
+	wait := st.policy.attemptTimeout()
+	if wait > remaining {
+		wait = remaining
+	}
+	st.timer = c.rt.After(wait, func() { c.attemptTimedOut(token) })
+}
+
+// reattempt re-enters attempt for a still-live call (backoff timer fired).
+func (c *Caller) reattempt(token uint64) {
+	st, live := c.calls[token]
+	if !live {
+		return
+	}
+	c.attempt(token, st)
+}
+
+// attemptTimedOut handles one attempt's reply deadline expiring: charge
+// the breaker, then retry after backoff or fail the call.
+func (c *Caller) attemptTimedOut(token uint64) {
+	st, live := c.calls[token]
+	if !live {
+		return
+	}
+	c.breakers.Failure(Key(st.last))
+	remaining := st.deadline.Sub(c.rt.Now())
+	if st.attempts >= st.policy.MaxAttempts || remaining <= 0 {
+		c.finish(token, st, ErrTimeout)
+		return
+	}
+	d := st.policy.backoff(st.attempts, c.rt.Rand())
+	if d >= remaining {
+		c.finish(token, st, ErrTimeout)
+		return
+	}
+	if d <= 0 {
+		c.reattempt(token)
+		return
+	}
+	st.timer = c.rt.After(d, func() { c.reattempt(token) })
+}
+
+// finish fails the call.
+func (c *Caller) finish(token uint64, st *callState, err error) {
+	delete(c.calls, token)
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	inc(c.failed)
+	if st.call.Done != nil {
+		st.call.Done(nil, err)
+	}
+}
+
+// Resolve completes the call whose token matches with a reply payload,
+// reporting whether the token was outstanding (duplicate replies from
+// earlier attempts return false and are dropped). The replying target's
+// breaker closes.
+func (c *Caller) Resolve(token uint64, payload any) bool {
+	st, live := c.calls[token]
+	if !live {
+		return false
+	}
+	delete(c.calls, token)
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	if st.sent {
+		c.breakers.Success(Key(st.last))
+	}
+	inc(c.ok)
+	if st.call.Done != nil {
+		st.call.Done(payload, nil)
+	}
+	return true
+}
+
+// Cancel abandons a call without running Done.
+func (c *Caller) Cancel(token uint64) {
+	st, live := c.calls[token]
+	if !live {
+		return
+	}
+	delete(c.calls, token)
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+}
+
+// CallStats is the RPC section of a node's status snapshot.
+type CallStats struct {
+	Calls    int `json:"calls"`
+	Retries  int `json:"retries"`
+	Shed     int `json:"shed"`
+	OK       int `json:"ok"`
+	Failures int `json:"failures"`
+}
+
+// ReadStats reads the rpc.* counters out of a registry.
+func ReadStats(reg *metrics.Registry) CallStats {
+	if reg == nil {
+		return CallStats{}
+	}
+	return CallStats{
+		Calls:    int(reg.Counter("rpc.calls").Value()),
+		Retries:  int(reg.Counter("rpc.retries").Value()),
+		Shed:     int(reg.Counter("rpc.shed").Value()),
+		OK:       int(reg.Counter("rpc.ok").Value()),
+		Failures: int(reg.Counter("rpc.failures").Value()),
+	}
+}

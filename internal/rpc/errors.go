@@ -1,0 +1,32 @@
+package rpc
+
+import "errors"
+
+// Typed call outcomes. Callers assert with errors.Is; the Done callback of
+// a failed call receives exactly one of them.
+//
+// Retryable-error classification (see DESIGN §3d): an attempt timeout is
+// retryable — the Caller re-resolves the target and tries again within the
+// budget. A breaker denial is retryable after backoff (the cooldown may
+// elapse, or the view may move the target). ErrShed and ErrNoTarget are
+// permanent: shedding exists to cut load, and an empty target set means the
+// client is unconfigured, not that the peer is slow. A reply whose payload
+// carries an application-level error (ack.Err != "") is a delivered answer,
+// never retried.
+var (
+	// ErrTimeout marks a call whose deadline budget (or attempt count)
+	// was exhausted without a reply.
+	ErrTimeout = errors.New("rpc: call timed out")
+
+	// ErrShed marks a call rejected locally because the caller's bounded
+	// in-flight window is full — load shedding, not a network fault.
+	ErrShed = errors.New("rpc: call shed (in-flight limit)")
+
+	// ErrBreakerOpen marks a call that exhausted its budget with every
+	// candidate target's circuit breaker open.
+	ErrBreakerOpen = errors.New("rpc: all targets' breakers open")
+
+	// ErrNoTarget marks a call whose target resolver produced no
+	// candidates.
+	ErrNoTarget = errors.New("rpc: no target")
+)

@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy defaults. The budget default matches config.DefaultParams'
+// RPCTimeout so a zero-valued Options still behaves like the pre-retry
+// single-shot client with the same overall deadline.
+const (
+	DefaultBudget      = 3 * time.Second
+	DefaultMaxAttempts = 3
+	DefaultBackoff     = 50 * time.Millisecond
+	DefaultBackoffMax  = 400 * time.Millisecond
+)
+
+// Policy is a per-call retry policy. The Budget is the client-visible
+// deadline of the whole call; attempts are carved out of it, so a call
+// never outlives its budget no matter how many retries it makes.
+type Policy struct {
+	// MaxAttempts bounds the number of sends (first try + retries).
+	MaxAttempts int
+	// Budget is the total deadline of the call across all attempts.
+	Budget time.Duration
+	// Attempt bounds one attempt's wait for a reply; zero derives
+	// Budget / MaxAttempts, so the attempts fill the budget evenly.
+	Attempt time.Duration
+	// Backoff is the base delay before the first retry; it doubles per
+	// retry (exponential) and every delay is drawn uniformly from
+	// [0, current] (full jitter).
+	Backoff time.Duration
+	// BackoffMax caps the exponential growth.
+	BackoffMax time.Duration
+}
+
+// DefaultPolicy derives the standard retry policy from a deadline budget:
+// three attempts with full-jitter exponential backoff, each attempt given
+// an even share of the budget.
+func DefaultPolicy(budget time.Duration) Policy {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return Policy{
+		MaxAttempts: DefaultMaxAttempts,
+		Budget:      budget,
+		Backoff:     DefaultBackoff,
+		BackoffMax:  DefaultBackoffMax,
+	}
+}
+
+// withDefaults fills zero fields; budget backstops a zero Budget.
+func (p Policy) withDefaults(budget time.Duration) Policy {
+	if p.Budget <= 0 {
+		p.Budget = budget
+	}
+	if p.Budget <= 0 {
+		p.Budget = DefaultBudget
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultBackoff
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = DefaultBackoffMax
+	}
+	return p
+}
+
+// attemptTimeout is one attempt's reply deadline.
+func (p Policy) attemptTimeout() time.Duration {
+	if p.Attempt > 0 {
+		return p.Attempt
+	}
+	n := p.MaxAttempts
+	if n <= 0 {
+		n = DefaultMaxAttempts
+	}
+	return p.Budget / time.Duration(n)
+}
+
+// backoff computes the delay before retry number attempt (1 = first
+// retry): exponential growth capped at BackoffMax, then full jitter —
+// uniform in [0, delay] — so a burst of clients hitting the same dead
+// access point does not retry in lockstep.
+func (p Policy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.BackoffMax; i++ {
+		d *= 2
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	if rng != nil {
+		d = time.Duration(rng.Int63n(int64(d) + 1))
+	}
+	return d
+}

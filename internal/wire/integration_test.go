@@ -18,6 +18,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/noded"
+	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -156,7 +157,7 @@ func TestClusterOverLoopbackUDP(t *testing.T) {
 	// at least three nodes across both partitions.
 	cli := wire.NewRuntime(transports[0], "cli", 42)
 	defer cli.Close()
-	bc := bulletin.NewClient(cli, params.RPCTimeout, func() (types.Addr, bool) {
+	bc := bulletin.NewClient(cli, rpc.Budget(params.RPCTimeout), func() (types.Addr, bool) {
 		return types.Addr{Node: topo.Partitions[0].Server, Service: types.SvcDB}, true
 	})
 	cli.Attach(func(msg types.Message) { bc.Handle(msg) })

@@ -24,6 +24,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/noded"
+	"repro/internal/rpc"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -121,7 +122,7 @@ func TestClusterSurvivesLossyFabric(t *testing.T) {
 	// fabric, aggregating detector samples from both partitions.
 	cli := wire.NewRuntime(transports[0], "cli", 43)
 	defer cli.Close()
-	bc := bulletin.NewClient(cli, params.RPCTimeout, func() (types.Addr, bool) {
+	bc := bulletin.NewClient(cli, rpc.Budget(params.RPCTimeout), func() (types.Addr, bool) {
 		return types.Addr{Node: topo.Partitions[0].Server, Service: types.SvcDB}, true
 	})
 	cli.Attach(func(msg types.Message) { bc.Handle(msg) })

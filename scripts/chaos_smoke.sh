@@ -2,10 +2,13 @@
 # Chaos / crash-restart smoke test, run by `make ci`: build the shipped
 # binaries, validate a chaos scenario with phoenix-chaos, boot a real
 # four-node two-plane cluster (one node running the scenario's fault
-# schedule), SIGKILL the meta-group leader's node, watch the partition
-# migrate, restart the node from its -state-dir, and require it to pass
-# through the rejoining state back to ready with exactly one leader.
-# Proves crash-restart rejoin works end to end from the shipped binaries.
+# schedule), put continuous client traffic through the resilient RPC
+# layer with phoenix-call, SIGKILL the meta-group leader's node with
+# those calls in flight, watch the partition migrate, restart the node
+# from its -state-dir, and require it to pass through the rejoining
+# state back to ready with exactly one leader — all with zero failed
+# client calls. Proves crash-restart rejoin and client-invisible access
+# point failover work end to end from the shipped binaries.
 set -eu
 
 BASE_PORT=${BASE_PORT:-19870}
@@ -27,6 +30,7 @@ trap cleanup EXIT INT TERM
 go build -o "$tmp/phoenix-node" ./cmd/phoenix-node
 go build -o "$tmp/phoenix-admin" ./cmd/phoenix-admin
 go build -o "$tmp/phoenix-chaos" ./cmd/phoenix-chaos
+go build -o "$tmp/phoenix-call" ./cmd/phoenix-call
 
 # A mild fault schedule for one node: 5% outbound drop on plane 1 for a
 # while, then heal. The cluster must converge and survive regardless.
@@ -45,12 +49,18 @@ grep -q "drop p=0.05" "$tmp/chaos.resolved" || {
 
 "$tmp/phoenix-node" -gen-book -partitions 2 -partition-size 2 -planes 2 \
     -base-port "$BASE_PORT" > "$tmp/book.txt"
+# The client book: one extra node-major slot at the same base port, so it
+# is a strict superset of the cluster book. The nodes run on it (they
+# must route replies to the client); phoenix-admin keeps the 4-node book
+# (node 4 serves no admin endpoint and must not show as a DOWN row).
+"$tmp/phoenix-node" -gen-book -partitions 1 -partition-size 5 -planes 2 \
+    -base-port "$BASE_PORT" > "$tmp/book5.txt"
 
 boot_node() {
     # boot_node <id> [extra flags...]: phoenix-node with durable state.
     id=$1
     shift
-    "$tmp/phoenix-node" -node "$id" -book "$tmp/book.txt" \
+    "$tmp/phoenix-node" -node "$id" -book "$tmp/book5.txt" \
         -partitions 2 -partition-size 2 -planes 2 \
         -admin auto -state-dir "$tmp/state$id" -status 0 \
         "$@" > "$tmp/node$id.log" 2>&1 &
@@ -99,11 +109,44 @@ cluster_ready() {
 
 poll "cluster ready with one leader" 120 0.5 cluster_ready
 
+# Client traffic through the resilient RPC layer: phoenix-call joins the
+# wire as book node 4 and streams bulletin queries at partition 0's
+# access point, with the backup listed as the failover target. From here
+# to the end of the run, any failed client call fails the smoke test.
+"$tmp/phoenix-call" -book "$tmp/book5.txt" -node 4 -targets 0,1 \
+    -period 200ms -budget 45s > "$tmp/call.log" 2>&1 &
+callpid=$!
+pids="$pids $callpid"
+
+call_stat() {
+    # call_stat <field>: the field's value on phoenix-call's latest line.
+    grep -o "$1=[0-9]*" "$tmp/call.log" | tail -1 | cut -d= -f2
+}
+
+call_ok_at_least() {
+    # A distinct variable: poll's loop bound lives in the global n.
+    calls_ok=$(call_stat ok)
+    [ -n "$calls_ok" ] && [ "$calls_ok" -ge "$1" ]
+}
+
+poll "client traffic flowing" 120 0.5 call_ok_at_least 3
+ok_before_kill=$(call_stat ok)
+
 # SIGKILL the leader's node (partition 0's server, node 0) — an abrupt
 # crash the survivors must diagnose; the backup takes the partition over.
+# The client's in-flight calls must ride the failover: retry into the
+# outage, trip the dead node's breaker, and land on the migrated access
+# point, all within their budgets.
 kill -9 "$pid0"
 wait "$pid0" 2>/dev/null || true
 poll "takeover to a surviving leader" 120 0.5 one_leader
+poll "client traffic riding out the access-point kill" 240 0.5 \
+    call_ok_at_least $((ok_before_kill + 5))
+if [ "$(call_stat failed)" != 0 ]; then
+    echo "chaos smoke: client calls failed during the access-point kill:" >&2
+    tail "$tmp/call.log" >&2
+    exit 1
+fi
 
 # Restart from the same state directory: the marker turns this boot into
 # a rejoin, which /metrics surfaces as phoenix_rejoining 1 until the
@@ -151,4 +194,24 @@ for metric in 'phoenix_plane_healthy{plane="0"}' 'phoenix_plane_healthy{plane="1
     fi
 done
 
-echo "chaos smoke: ok (rejoin observed: ${saw_rejoining:-no}, $(grep -c . "$tmp/reports.json") report lines)"
+# Wind down the client traffic: drain the in-flight calls, then require
+# zero failed calls for the whole run and at least one retry — proof the
+# kill really put calls in flight through the resilient layer.
+kill -TERM "$callpid" 2>/dev/null || true
+if ! wait "$callpid"; then
+    echo "chaos smoke: phoenix-call exited non-zero:" >&2
+    tail "$tmp/call.log" >&2
+    exit 1
+fi
+grep -q "done ok=" "$tmp/call.log" || {
+    echo "chaos smoke: phoenix-call printed no final summary:" >&2
+    tail "$tmp/call.log" >&2
+    exit 1
+}
+if [ "$(call_stat failed)" != 0 ] || [ "$(call_stat retries)" = 0 ]; then
+    echo "chaos smoke: client summary wants failed=0 and retries>0:" >&2
+    tail -1 "$tmp/call.log" >&2
+    exit 1
+fi
+
+echo "chaos smoke: ok (rejoin observed: ${saw_rejoining:-no}, client $(tail -1 "$tmp/call.log" | grep -o 'ok=[0-9]*'), $(grep -c . "$tmp/reports.json") report lines)"
