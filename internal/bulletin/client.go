@@ -75,7 +75,7 @@ func (c *Client) Handle(msg types.Message) bool {
 		return false
 	}
 	if ack, ok := msg.Payload.(QueryAck); ok {
-		c.caller.Resolve(ack.Token, ack)
+		c.caller.ResolveFrom(ack.Token, msg.From, ack)
 	}
 	return true
 }

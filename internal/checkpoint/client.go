@@ -105,17 +105,17 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSaveAck:
 		if ack, ok := msg.Payload.(SaveAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgRestoreAck:
 		if ack, ok := msg.Payload.(RestoreAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgDeleteAck:
 		if ack, ok := msg.Payload.(DeleteAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	}

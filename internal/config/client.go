@@ -95,17 +95,17 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgTopology:
 		if ack, ok := msg.Payload.(GetAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgIntrospectAck:
 		if ack, ok := msg.Payload.(IntrospectAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgReconfigAck:
 		if ack, ok := msg.Payload.(ReconfigAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	}

@@ -93,7 +93,7 @@ func (c *ClientProc) Receive(msg types.Message) {
 	}
 	if msg.Type == ppm.MsgLoadAck {
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
-			if !c.Caller.Resolve(ack.Token, ack) {
+			if !c.Caller.ResolveFrom(ack.Token, msg.From, ack) {
 				c.Pending.Resolve(ack.Token, ack)
 			}
 		}

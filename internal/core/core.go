@@ -281,7 +281,12 @@ func bulletinConfig(params config.Params) bulletin.Config {
 }
 
 func newPPM(k *Kernel, opts Options) *ppm.Daemon {
-	spec := ppm.Spec{SubtreeTimeout: k.Params.RPCTimeout}
+	spec := ppm.Spec{
+		SubtreeTimeout: k.Params.RPCTimeout,
+		// Retries arrive within one RPCTimeout budget; 4x gives slack for
+		// clients that stretch their budget beyond the default.
+		DedupTTL: 4 * k.Params.RPCTimeout,
+	}
 	if opts.EnforceAuth {
 		spec.Authority = k.Authority
 	}

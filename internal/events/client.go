@@ -100,12 +100,12 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSubAck:
 		if ack, ok := msg.Payload.(SubAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgUnsubAck:
 		if ack, ok := msg.Payload.(UnsubAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgEvent:

@@ -102,7 +102,7 @@ func (p *chaosClient) Receive(msg types.Message) {
 	}
 	if msg.Type == ppm.MsgLoadAck {
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
-			p.caller.Resolve(ack.Token, ack)
+			p.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 	}
 }

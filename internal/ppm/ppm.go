@@ -153,10 +153,22 @@ type Spec struct {
 	Authority *security.Authority
 	// SubtreeTimeout bounds each child's aggregation during pexec.
 	SubtreeTimeout time.Duration
+	// DedupTTL is how long a load/kill ack stays cached for duplicate
+	// replay. It must exceed the largest caller retry budget: evicting an
+	// entry while its call can still retry would let a retried
+	// non-idempotent load re-execute. Zero means DefaultDedupTTL.
+	DedupTTL time.Duration
 }
 
-// dedupCap bounds the request-dedup cache (insertion order eviction).
-const dedupCap = 1024
+// DefaultDedupTTL retains dedup entries for several default RPC budgets,
+// so even a caller with a stretched budget sees its retries deduplicated.
+const DefaultDedupTTL = 4 * rpc.DefaultBudget
+
+// dedupCap is a memory backstop on the dedup cache, far above any
+// plausible in-flight request volume within one TTL; eviction is normally
+// age-based, never count-based, so a burst of fresh requests cannot push
+// out an entry whose call is still inside its retry budget.
+const dedupCap = 65536
 
 // dedupKey identifies one logical request: resilient callers reuse the
 // token across retry attempts, so (caller, token) pins a logical call even
@@ -164,6 +176,13 @@ const dedupCap = 1024
 type dedupKey struct {
 	from  types.Addr
 	token uint64
+}
+
+// dedupEntry is one cached ack with its insertion time, so eviction can
+// spare entries whose callers may still be retrying.
+type dedupEntry struct {
+	ack any
+	at  time.Time
 }
 
 // Daemon is the per-node PPM process.
@@ -177,7 +196,7 @@ type Daemon struct {
 	// seen caches the ack of each recent load/kill so a retried request
 	// replays the original outcome instead of re-executing (loads are not
 	// idempotent: a blind re-spawn would double-start the job).
-	seen      map[dedupKey]any
+	seen      map[dedupKey]dedupEntry
 	seenOrder []dedupKey
 
 	// Deduped counts retried requests answered from the cache.
@@ -189,7 +208,10 @@ func New(spec Spec) *Daemon {
 	if spec.SubtreeTimeout == 0 {
 		spec.SubtreeTimeout = 5 * time.Second
 	}
-	return &Daemon{spec: spec, jobs: make(map[types.JobID]JobSpec), seen: make(map[dedupKey]any)}
+	if spec.DedupTTL == 0 {
+		spec.DedupTTL = DefaultDedupTTL
+	}
+	return &Daemon{spec: spec, jobs: make(map[types.JobID]JobSpec), seen: make(map[dedupKey]dedupEntry)}
 }
 
 // replay answers a retried request from the dedup cache; it reports whether
@@ -198,30 +220,39 @@ func (d *Daemon) replay(from types.Addr, token uint64, msgType string) bool {
 	if token == 0 {
 		return false
 	}
-	ack, dup := d.seen[dedupKey{from, token}]
+	e, dup := d.seen[dedupKey{from, token}]
 	if !dup {
 		return false
 	}
 	d.Deduped++
-	d.h.Send(from, types.AnyNIC, msgType, ack)
+	d.h.Send(from, types.AnyNIC, msgType, e.ack)
 	return true
 }
 
-// remember caches a request's ack for duplicate replay, evicting the oldest
-// entry beyond dedupCap.
+// remember caches a request's ack for duplicate replay. Eviction is by
+// age: entries older than DedupTTL have outlived every caller's retry
+// budget, so no retry of theirs can still arrive. The count cap is only a
+// memory backstop against pathological volume.
 func (d *Daemon) remember(from types.Addr, token uint64, ack any) {
 	if token == 0 {
 		return
 	}
+	now := d.h.Now()
+	for len(d.seenOrder) > 0 {
+		front := d.seenOrder[0]
+		e, ok := d.seen[front]
+		expired := !ok || now.Sub(e.at) > d.spec.DedupTTL
+		if !expired && len(d.seenOrder) < dedupCap {
+			break
+		}
+		delete(d.seen, front)
+		d.seenOrder = d.seenOrder[1:]
+	}
 	k := dedupKey{from, token}
 	if _, exists := d.seen[k]; !exists {
 		d.seenOrder = append(d.seenOrder, k)
-		if len(d.seenOrder) > dedupCap {
-			delete(d.seen, d.seenOrder[0])
-			d.seenOrder = d.seenOrder[1:]
-		}
 	}
-	d.seen[k] = ack
+	d.seen[k] = dedupEntry{ack: ack, at: now}
 }
 
 // Service implements simhost.Process.

@@ -279,3 +279,49 @@ func TestRetriedKillReplaysAck(t *testing.T) {
 		}
 	}
 }
+
+func TestDedupEvictsByAgeNotCount(t *testing.T) {
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 2, simnet.DefaultParams(), metrics.NewRegistry())
+	hosts := []*simhost.Host{
+		simhost.New(0, net, eng, eng.Rand(), simhost.DefaultCosts()),
+		simhost.New(1, net, eng, eng.Rand(), simhost.DefaultCosts()),
+	}
+	d := ppm.New(ppm.Spec{DedupTTL: 5 * time.Second})
+	if _, err := hosts[1].Spawn(d); err != nil {
+		t.Fatal(err)
+	}
+	mgr := &mgrProc{}
+	if _, err := hosts[0].Spawn(mgr); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: ppm.JobSpec{ID: 1, Duration: time.Hour}})
+	eng.RunFor(300 * time.Millisecond)
+	// A burst of logical requests larger than the old 1024-entry FIFO cap,
+	// all inside the load's retry window.
+	for i := 0; i < 1500; i++ {
+		mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: uint64(1000 + i), Job: 999})
+	}
+	eng.RunFor(time.Second)
+	// A retried load must still replay the cached ack instead of
+	// double-starting the job: the burst may not evict a live entry.
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: ppm.JobSpec{ID: 1, Duration: time.Hour}})
+	eng.RunFor(300 * time.Millisecond)
+	if d.Deduped == 0 {
+		t.Fatal("retried load re-executed: request burst evicted a live dedup entry")
+	}
+
+	// Once the TTL has passed, any new request sweeps the stale entries
+	// out, so the cache cannot grow without bound.
+	eng.RunFor(10 * time.Second)
+	mgr.send(1, ppm.MsgKill, ppm.KillReq{Token: 5000, Job: 999})
+	eng.RunFor(300 * time.Millisecond)
+	before := d.Deduped
+	mgr.send(1, ppm.MsgLoad, ppm.LoadReq{Token: 1, Job: ppm.JobSpec{ID: 1, Duration: time.Hour}})
+	eng.RunFor(300 * time.Millisecond)
+	if d.Deduped != before {
+		t.Fatal("entry older than the TTL was still replayed (never evicted)")
+	}
+}

@@ -112,22 +112,22 @@ func (c *Client) Handle(msg types.Message) bool {
 	switch msg.Type {
 	case MsgSubmitAck:
 		if ack, ok := msg.Payload.(SubmitAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgStatAck:
 		if ack, ok := msg.Payload.(StatAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgDeleteAck:
 		if ack, ok := msg.Payload.(DeleteAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	case MsgJobStatAck:
 		if ack, ok := msg.Payload.(JobStatAck); ok {
-			c.caller.Resolve(ack.Token, ack)
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true
 	}

@@ -217,11 +217,11 @@ func (s *Scheduler) Receive(msg types.Message) {
 		s.h.Send(msg.From, types.AnyNIC, MsgJobStatAck, s.jobStat(req))
 	case ppm.MsgLoadAck:
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
-			s.caller.Resolve(ack.Token, ack)
+			s.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 	case ppm.MsgKillAck:
 		if ack, ok := msg.Payload.(ppm.KillAck); ok {
-			s.caller.Resolve(ack.Token, ack)
+			s.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 	case ppm.MsgJobDone:
 		if jd, ok := msg.Payload.(ppm.JobDone); ok {
@@ -229,7 +229,7 @@ func (s *Scheduler) Receive(msg types.Message) {
 		}
 	case ppm.MsgQueryAck:
 		if ack, ok := msg.Payload.(ppm.QueryAck); ok {
-			s.caller.Resolve(ack.Token, ack)
+			s.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 	}
 }

@@ -81,7 +81,8 @@ type breaker struct {
 	state    BreakerState
 	failures int // consecutive failures
 	openedAt time.Time
-	trial    bool // half-open probe in flight
+	trial    bool      // half-open probe in flight
+	trialAt  time.Time // when the in-flight probe was admitted
 }
 
 // Breakers is a set of circuit breakers, one per (peer, service), shared
@@ -104,9 +105,12 @@ func NewBreakers(cfg BreakerConfig, now func() time.Time) *Breakers {
 	return &Breakers{cfg: cfg.withDefaults(), now: now, m: make(map[BreakerKey]*breaker)}
 }
 
-// allowLocked advances one breaker's state machine for an admission
-// check. Callers hold mu.
-func (bs *Breakers) allowLocked(b *breaker, now time.Time) bool {
+// admissibleLocked reports whether one breaker would admit a call now,
+// without mutating it. A half-open trial older than one cooldown is
+// considered lost (its call was cancelled or its outcome never reported)
+// and no longer holds the slot, so a stranded trial cannot block a peer
+// forever. Callers hold mu.
+func (bs *Breakers) admissibleLocked(b *breaker, now time.Time) bool {
 	if b == nil {
 		return true
 	}
@@ -114,34 +118,53 @@ func (bs *Breakers) allowLocked(b *breaker, now time.Time) bool {
 	case StateClosed:
 		return true
 	case StateOpen:
-		if now.Sub(b.openedAt) >= bs.cfg.Cooldown {
-			b.state = StateHalfOpen
-			b.trial = true
-			return true
-		}
-		return false
+		return now.Sub(b.openedAt) >= bs.cfg.Cooldown
 	default: // StateHalfOpen
-		if !b.trial {
-			b.trial = true
-			return true
-		}
-		return false
+		return !b.trial || now.Sub(b.trialAt) >= bs.cfg.Cooldown
+	}
+}
+
+// consumeLocked commits an admission admissibleLocked approved: an open
+// breaker past its cooldown half-opens, and the call becomes the pending
+// trial. Callers hold mu.
+func (bs *Breakers) consumeLocked(b *breaker, now time.Time) {
+	if b == nil {
+		return
+	}
+	switch b.state {
+	case StateOpen:
+		b.state = StateHalfOpen
+		b.trial = true
+		b.trialAt = now
+	case StateHalfOpen:
+		b.trial = true
+		b.trialAt = now
 	}
 }
 
 // Allow reports whether a call to key may proceed, consulting both the
 // per-service breaker and the peer's node-wide breaker (wire faults). A
 // half-open breaker admits one trial; concurrent calls are rejected until
-// the trial resolves.
+// the trial resolves. Admission is transactional: both breakers are
+// checked before either consumes its trial slot, so a service-level
+// rejection cannot strand the node-wide trial — a stranded trial has no
+// call behind it, nothing would ever resolve it, and every service on the
+// peer would stay blocked.
 func (bs *Breakers) Allow(key BreakerKey) bool {
 	now := bs.now()
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	node := bs.m[BreakerKey{Node: key.Node, Service: NodeService}]
-	if !bs.allowLocked(node, now) {
+	svc := bs.m[key]
+	if key.Service == NodeService {
+		svc = nil // node-wide key: one breaker, not two
+	}
+	if !bs.admissibleLocked(node, now) || !bs.admissibleLocked(svc, now) {
 		return false
 	}
-	return bs.allowLocked(bs.m[key], now)
+	bs.consumeLocked(node, now)
+	bs.consumeLocked(svc, now)
+	return true
 }
 
 // successLocked closes one breaker. Callers hold mu.
@@ -186,11 +209,22 @@ func (bs *Breakers) failureLocked(key BreakerKey, now time.Time) {
 	}
 }
 
-// Failure records a call attempt against key that timed out.
+// Failure records a call attempt against key that timed out. An attempt
+// only went out because Allow admitted it through both the service breaker
+// and the peer's node-wide breaker, so a node-wide half-open trial pending
+// at failure time is (or races with) this attempt: it resolves as failed
+// too, re-opening the node-wide breaker and restarting its cooldown rather
+// than leaving the trial slot held by a call that already died.
 func (bs *Breakers) Failure(key BreakerKey) {
 	now := bs.now()
 	bs.mu.Lock()
 	bs.failureLocked(key, now)
+	if key.Service != NodeService {
+		nodeKey := BreakerKey{Node: key.Node, Service: NodeService}
+		if nb := bs.m[nodeKey]; nb != nil && nb.state == StateHalfOpen && nb.trial {
+			bs.failureLocked(nodeKey, now)
+		}
+	}
 	bs.mu.Unlock()
 }
 

@@ -110,6 +110,73 @@ func TestPeerFaultBlocksEveryService(t *testing.T) {
 	}
 }
 
+func TestNodeWideTrialNotConsumedOnServiceReject(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk.now)
+	bs.ReportPeerFault(4) // t=0: node-wide opens
+	clk.advance(500 * time.Millisecond)
+	bs.Failure(BreakerKey{Node: 4, Service: types.SvcDB}) // t=0.5: DB opens
+	clk.advance(500 * time.Millisecond)
+	// t=1: the node-wide cooldown has elapsed but DB's has not. The DB
+	// call is rejected — and must not consume the node-wide trial slot.
+	if bs.Allow(BreakerKey{Node: 4, Service: types.SvcDB}) {
+		t.Fatal("admitted through an open service breaker")
+	}
+	if !bs.Allow(BreakerKey{Node: 4, Service: types.SvcES}) {
+		t.Fatal("node-wide trial slot leaked by the rejected service call")
+	}
+}
+
+func TestNodeWideTrialResolvedByServiceFailure(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 9, Service: types.SvcDB}
+	nodeKey := BreakerKey{Node: 9, Service: NodeService}
+	bs.ReportPeerFault(9)
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("trial rejected after cooldown")
+	}
+	// The admitted attempt times out; the caller charges the (node,
+	// service) key. That must also resolve the node-wide trial that
+	// admitted the attempt, or the peer is blocked forever.
+	bs.Failure(key)
+	if bs.State(nodeKey) != StateOpen {
+		t.Fatalf("node-wide breaker = %v after failed trial, want open", bs.State(nodeKey))
+	}
+	if bs.Allow(key) {
+		t.Fatal("reopened node-wide breaker admitted a call before a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("peer permanently blocked: no trial after the restarted cooldown")
+	}
+	bs.Success(key)
+	if bs.State(nodeKey) != StateClosed || bs.State(key) != StateClosed {
+		t.Fatal("trial success did not close both breakers")
+	}
+}
+
+func TestStaleTrialBackstop(t *testing.T) {
+	clk := &fakeClock{}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second}, clk.now)
+	key := BreakerKey{Node: 8, Service: types.SvcDB}
+	bs.Failure(key)
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("trial rejected after cooldown")
+	}
+	// The trial's call is cancelled: neither Success nor Failure ever
+	// arrives. The slot must not be held forever.
+	if bs.Allow(key) {
+		t.Fatal("concurrent second trial admitted")
+	}
+	clk.advance(time.Second)
+	if !bs.Allow(key) {
+		t.Fatal("stale trial held the half-open slot past a full cooldown")
+	}
+}
+
 func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
 	clk := &fakeClock{}
 	bs := NewBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Second}, clk.now)

@@ -83,6 +83,7 @@ type callState struct {
 	deadline time.Time
 	attempts int
 	last     types.Addr // target of the newest attempt
+	multi    bool       // attempts went to more than one distinct target
 	sent     bool       // at least one attempt went out
 	timer    clock.Timer
 }
@@ -227,6 +228,9 @@ func (c *Caller) attempt(token uint64, st *callState) {
 	if st.attempts > 1 {
 		inc(c.retries)
 	}
+	if st.sent && st.last != to {
+		st.multi = true
+	}
 	st.last = to
 	st.sent = true
 	st.call.Send(token, to)
@@ -285,9 +289,24 @@ func (c *Caller) finish(token uint64, st *callState, err error) {
 
 // Resolve completes the call whose token matches with a reply payload,
 // reporting whether the token was outstanding (duplicate replies from
-// earlier attempts return false and are dropped). The replying target's
-// breaker closes.
+// earlier attempts return false and are dropped). Without the responder's
+// identity the breaker credit is conservative: every attempt shares one
+// token, so when attempts went to more than one target the reply could be
+// a late answer from any of them and no breaker is credited. Prefer
+// ResolveFrom when the reply's source address is known.
 func (c *Caller) Resolve(token uint64, payload any) bool {
+	return c.resolve(token, types.Addr{}, payload)
+}
+
+// ResolveFrom is Resolve with the responder's address (the reply
+// message's From): the peer that actually answered gets the breaker
+// credit, even when the reply is a late answer from an earlier attempt
+// against a different target than the newest one.
+func (c *Caller) ResolveFrom(token uint64, from types.Addr, payload any) bool {
+	return c.resolve(token, from, payload)
+}
+
+func (c *Caller) resolve(token uint64, from types.Addr, payload any) bool {
 	st, live := c.calls[token]
 	if !live {
 		return false
@@ -296,7 +315,11 @@ func (c *Caller) Resolve(token uint64, payload any) bool {
 	if st.timer != nil {
 		st.timer.Stop()
 	}
-	if st.sent {
+	switch {
+	case from != (types.Addr{}):
+		c.breakers.Success(Key(from))
+	case st.sent && !st.multi:
+		// Every attempt hit the same target, so the reply must be its.
 		c.breakers.Success(Key(st.last))
 	}
 	inc(c.ok)

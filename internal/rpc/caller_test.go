@@ -349,6 +349,70 @@ func TestCallerDuplicateReplyDropped(t *testing.T) {
 	}
 }
 
+func TestCallerResolveFromCreditsResponder(t *testing.T) {
+	h := newCallerHarness()
+	bs := NewBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Minute}, h.f.Now)
+	c := NewCaller(h.f, Options{Budget: 3 * time.Second, Breakers: bs})
+	// B is two failures from opening; an undeserved credit would clear
+	// that streak.
+	bs.Failure(Key(addrB))
+	bs.Failure(Key(addrB))
+	// Attempt 1 goes to A; the target migrates to B before the retry;
+	// then A's late reply resolves the call.
+	current := addrA
+	var tok uint64
+	tok = c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{current} },
+		Send:    func(uint64, types.Addr) {},
+	})
+	h.f.After(500*time.Millisecond, func() { current = addrB })
+	h.f.After(1500*time.Millisecond, func() {
+		if !c.ResolveFrom(tok, addrA, "late-from-a") {
+			t.Error("ResolveFrom reported token unknown")
+		}
+	})
+	h.eng.RunFor(2 * time.Second)
+	// The responder A was credited: its timeout failure is cleared, so
+	// two more failures stay under the threshold.
+	bs.Failure(Key(addrA))
+	bs.Failure(Key(addrA))
+	if bs.State(Key(addrA)) != StateClosed {
+		t.Fatalf("A = %v, want closed: responder's success should reset its streak", bs.State(Key(addrA)))
+	}
+	// The non-replying newest target B was not: one more failure opens it.
+	bs.Failure(Key(addrB))
+	if bs.State(Key(addrB)) != StateOpen {
+		t.Fatalf("B = %v, want open: non-replier must not be credited", bs.State(Key(addrB)))
+	}
+}
+
+func TestCallerResolveMultiTargetCreditsNothing(t *testing.T) {
+	h := newCallerHarness()
+	bs := NewBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Minute}, h.f.Now)
+	c := NewCaller(h.f, Options{Budget: 3 * time.Second, Breakers: bs})
+	bs.Failure(Key(addrB))
+	bs.Failure(Key(addrB))
+	current := addrA
+	var tok uint64
+	tok = c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{current} },
+		Send:    func(uint64, types.Addr) {},
+	})
+	h.f.After(500*time.Millisecond, func() { current = addrB })
+	h.f.After(1500*time.Millisecond, func() {
+		if !c.Resolve(tok, "late") {
+			t.Error("Resolve reported token unknown")
+		}
+	})
+	h.eng.RunFor(2 * time.Second)
+	// Attempts went to two targets and the reply's origin is unknown, so
+	// no breaker may be credited — B's streak must survive intact.
+	bs.Failure(Key(addrB))
+	if bs.State(Key(addrB)) != StateOpen {
+		t.Fatalf("B = %v, want open: origin-less multi-target resolve must not credit the newest target", bs.State(Key(addrB)))
+	}
+}
+
 func TestPolicyBackoffJitterBounds(t *testing.T) {
 	h := newCallerHarness()
 	p := Policy{Backoff: 40 * time.Millisecond, BackoffMax: 160 * time.Millisecond}.withDefaults(time.Second)
