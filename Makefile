@@ -26,10 +26,12 @@ test:
 # timers, so they race-test end to end (including the multi-node loopback
 # integration test and the resilient-RPC chaos suite); internal/rpc joins
 # because its breaker set is the one lock-guarded structure shared between
-# the wire's reader goroutines and every daemon loop; the cluster smoke
-# test guards the simulator path.
+# the wire's reader goroutines and every daemon loop; internal/shard
+# because its immutable-map contract is what lets the data plane hand
+# shard maps across goroutines; the cluster smoke test guards the
+# simulator path.
 race:
-	$(GO) test -race ./internal/rpc/ ./internal/wire/... ./internal/noded/...
+	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
 # The fuzz gate: a short engine run per wire fuzz target, starting from the

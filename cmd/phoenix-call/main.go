@@ -1,11 +1,15 @@
 // phoenix-call is the client-traffic generator of the real-network path:
 // it joins the wire as an extra address-book node (not a cluster member),
-// issues a steady stream of bulletin queries through the resilient RPC
-// layer, and reports how many calls succeeded, failed, and retried. Its
-// job is to be the victim in chaos drills — with the access point under a
-// fault or killed outright, zero failed calls proves the retry budget,
-// breaker failover to the listed backup targets, and the migrated access
-// point absorb the outage before any client notices.
+// issues a steady mixed workload of bulletin reads and acked writes
+// through the resilient RPC layer, and reports how many calls succeeded,
+// failed, and retried. Its job is to be the victim in chaos drills — with
+// the access point under a fault or killed outright, zero failed calls
+// proves the retry budget, breaker failover to the listed backup targets,
+// and the migrated access point absorb the outage before any client
+// notices. Writes additionally ride the sharded data plane: the client
+// adopts the shard map piggybacked on acks and routes each write to the
+// key's primary, so killing a shard primary is survivable only if the
+// replica promotion works.
 //
 // The client needs its own slot in the address book so the cluster can
 // route replies to it. LoopbackBook port assignment is node-major and
@@ -14,21 +18,26 @@
 // to the nodes and phoenix-call, the smaller one to phoenix-admin.
 //
 //	phoenix-node -gen-book -partitions 1 -partition-size 5 -planes 2 > book5.txt
-//	phoenix-call -book book5.txt -node 4 -targets 0,1 -budget 45s
+//	phoenix-call -book book5.txt -node 4 -targets 0,1 -writes 0.3 -qps 10 -budget 45s
 //
 // It runs until -duration elapses or SIGINT/SIGTERM arrives, drains the
 // in-flight calls, prints a final "phoenix-call: done ok=… failed=…
-// retries=…" line, and exits non-zero if any call failed.
+// retries=…" line plus a one-line JSON report (achieved QPS, latency
+// percentiles, per-kind counts), and exits non-zero if any call failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -40,17 +49,70 @@ import (
 	"repro/internal/wire"
 )
 
+// report is the final JSON summary, printed as one line on stdout so
+// drivers (benchmarks, the chaos smoke test) can parse the run's outcome
+// without scraping the human-readable progress lines.
+type report struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	Issued          int64   `json:"issued"`
+	OK              int64   `json:"ok"`
+	Failed          int64   `json:"failed"`
+	Stuck           int64   `json:"stuck"`
+	Reads           int64   `json:"reads"`
+	Writes          int64   `json:"writes"`
+	Retries         int     `json:"retries"`
+	Rerouted        uint64  `json:"rerouted"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+}
+
+// latencies collects per-call completion times; callbacks fire on the
+// runtime loop while the report is read from main, hence the lock.
+type latencies struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (l *latencies) add(d time.Duration) {
+	l.mu.Lock()
+	l.durs = append(l.durs, d)
+	l.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (0..1) by nearest-rank.
+func (l *latencies) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.durs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.durs))
+	copy(sorted, l.durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 func main() {
 	var (
 		bookPath = flag.String("book", "", "wire address book file; must include this client's node")
 		nodeID   = flag.Int("node", -1, "this client's node ID in the book (an extra slot, not a cluster member)")
 		targetsF = flag.String("targets", "", "comma-separated access-point candidate node IDs, best first (e.g. 0,1)")
-		period   = flag.Duration("period", 250*time.Millisecond, "interval between queries")
+		period   = flag.Duration("period", 250*time.Millisecond, "interval between calls (ignored when -qps is set)")
+		qps      = flag.Float64("qps", 0, "target call rate per second (overrides -period when > 0)")
+		writes   = flag.Float64("writes", 0, "fraction of calls that are acked shard-plane writes (0..1)")
 		budget   = flag.Duration("budget", 45*time.Second, "per-call deadline budget; must cover a whole failover")
 		attempt  = flag.Duration("attempt", 500*time.Millisecond, "per-attempt reply timeout")
 		duration = flag.Duration("duration", 0, "stop after this long (0 = run until SIGINT/SIGTERM)")
 		progress = flag.Duration("progress", time.Second, "progress line period (0 disables)")
-		seed     = flag.Int64("seed", 1, "random seed for the retry jitter")
+		seed     = flag.Int64("seed", 1, "random seed for the retry jitter and the read/write mix")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -58,6 +120,9 @@ func main() {
 
 	if *bookPath == "" || *nodeID < 0 || *targetsF == "" {
 		log.Fatal("-book, -node and -targets are required")
+	}
+	if *writes < 0 || *writes > 1 {
+		log.Fatalf("-writes %v out of range [0,1]", *writes)
 	}
 	var addrs []types.Addr
 	for _, f := range strings.Split(*targetsF, ",") {
@@ -99,8 +164,10 @@ func main() {
 	client := bulletin.NewClient(rtc, opts, func() (types.Addr, bool) { return addrs[0], true })
 	rtc.Attach(func(msg types.Message) { client.Handle(msg) })
 
-	var issued, okCalls, failed atomic.Int64
-	report := func(prefix string) {
+	var issued, okCalls, failed, nreads, nwrites atomic.Int64
+	var lat latencies
+	mix := rand.New(rand.NewSource(*seed))
+	reportLine := func(prefix string) {
 		st := rpc.ReadStats(reg)
 		inflight := issued.Load() - okCalls.Load() - failed.Load()
 		fmt.Printf("phoenix-call: %sok=%d failed=%d retries=%d inflight=%d\n",
@@ -119,25 +186,50 @@ func main() {
 		defer pt.Stop()
 		prog = pt.C
 	}
-	tick := time.NewTicker(*period)
+	interval := *period
+	if *qps > 0 {
+		interval = time.Duration(float64(time.Second) / *qps)
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	started := time.Now()
 
 loop:
 	for {
 		select {
 		case <-tick.C:
 			issued.Add(1)
+			isWrite := mix.Float64() < *writes
+			callStart := time.Now()
+			done := func(ok bool) {
+				lat.add(time.Since(callStart))
+				if ok {
+					okCalls.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
 			rtc.Do(func() {
+				if isWrite {
+					// An acked shard-plane write of this client's own
+					// synthetic sample: routed to the key's primary under
+					// the adopted shard map, replicated as a delta.
+					nwrites.Add(1)
+					client.PutRes(types.ResourceStats{
+						Node:      types.NodeID(*nodeID),
+						CPUPct:    float64(50 + mix.Intn(50)),
+						MemPct:    float64(20 + mix.Intn(60)),
+						Collected: time.Now(),
+					}, done)
+					return
+				}
+				nreads.Add(1)
 				client.Query(bulletin.ScopePartition, func(ack bulletin.QueryAck, ok bool) {
-					if ok {
-						okCalls.Add(1)
-					} else {
-						failed.Add(1)
-					}
+					done(ok)
 				})
 			})
 		case <-prog:
-			report("")
+			reportLine("")
 		case <-stop:
 			break loop
 		case <-deadline:
@@ -145,6 +237,7 @@ loop:
 		}
 	}
 	tick.Stop()
+	elapsed := time.Since(started)
 
 	// Drain: every issued call completes within its budget by
 	// construction, so waiting one budget (plus slack) flushes them all.
@@ -159,7 +252,36 @@ drain:
 	}
 
 	stuck := issued.Load() - okCalls.Load() - failed.Load()
-	report("done ")
+	reportLine("done ")
+	// The client is loop-confined; read its counters on the loop.
+	var rerouted uint64
+	rch := make(chan struct{})
+	rtc.Do(func() { rerouted = client.Rerouted(); close(rch) })
+	select {
+	case <-rch:
+	case <-time.After(time.Second):
+	}
+	st := rpc.ReadStats(reg)
+	completed := okCalls.Load() + failed.Load()
+	rep := report{
+		DurationSeconds: elapsed.Seconds(),
+		Issued:          issued.Load(),
+		OK:              okCalls.Load(),
+		Failed:          failed.Load(),
+		Stuck:           stuck,
+		Reads:           nreads.Load(),
+		Writes:          nwrites.Load(),
+		Retries:         st.Retries,
+		Rerouted:        rerouted,
+		P50Ms:           float64(lat.percentile(0.50)) / float64(time.Millisecond),
+		P99Ms:           float64(lat.percentile(0.99)) / float64(time.Millisecond),
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
+	}
+	if raw, err := json.Marshal(rep); err == nil {
+		fmt.Println(string(raw))
+	}
 	if f := failed.Load(); f > 0 || stuck > 0 {
 		log.Fatalf("FAILED: %d failed calls, %d never completed", failed.Load(), stuck)
 	}

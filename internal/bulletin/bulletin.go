@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/events"
 	"repro/internal/federation"
 	"repro/internal/rpc"
 	"repro/internal/rt"
+	"repro/internal/shard"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
@@ -37,11 +39,17 @@ const (
 )
 
 // PutReq stores one sample. Exactly one of Res/App is meaningful,
-// according to Kind.
+// according to Kind. A zero Token is the legacy fire-and-forget detector
+// export (home store + shard plane); a non-zero Token is an acked
+// data-plane write that only the key's primary accepts. Fwd marks a write
+// forwarded between instances toward the key's primary.
 type PutReq struct {
-	Kind string // "res" or "app"
-	Res  types.ResourceStats
-	App  types.AppState
+	Kind       string // "res" or "app"
+	Res        types.ResourceStats
+	App        types.AppState
+	Token      uint64
+	MapVersion uint64 // writer's shard-map version (acked writes)
+	Fwd        bool
 }
 
 // WireSize implements codec.Sizer: detector exports are the bulletin's hot
@@ -50,8 +58,9 @@ func (PutReq) WireSize() int { return 96 }
 
 // QueryReq asks for resource and application state.
 type QueryReq struct {
-	Token uint64
-	Scope Scope
+	Token      uint64
+	Scope      Scope
+	MapVersion uint64 // requester's shard-map version, for the piggyback
 }
 
 // WireSize implements codec.Sizer.
@@ -70,7 +79,12 @@ type QueryAck struct {
 	Token     uint64
 	Snapshots []Snapshot
 	Missing   []types.PartitionID
-	Stale     bool // served from the instance's federation cache
+	Stale     bool // at least one snapshot came from the read-through cache
+
+	// Shard-map piggyback: set when the requester's map was older.
+	MapVersion uint64
+	HasMap     bool
+	Map        shard.Map
 }
 
 // FetchReq asks a peer for its partition snapshot.
@@ -93,11 +107,26 @@ func init() {
 	codec.Register(FetchAck{})
 }
 
+// DefaultDeltaFlush is the delta-batch flush interval applied when a
+// Config leaves DeltaFlush zero.
+const DefaultDeltaFlush = 250 * time.Millisecond
+
 // Config tunes an instance.
 type Config struct {
 	FetchTimeout time.Duration // per-peer scatter-gather deadline
-	CacheTTL     time.Duration // how long a federation snapshot is served from cache
+	CacheTTL     time.Duration // how long a cached partition snapshot is served
 	EntryTTL     time.Duration // samples older than this are dropped from results; 0 = keep all
+
+	// Sharded data plane.
+	Replicas   int           // copies per key range, primary included (0 = shard.DefaultReplicas)
+	VNodes     int           // virtual nodes per partition on the ring (0 = shard.DefaultVNodes)
+	DeltaFlush time.Duration // delta-batch flush interval (0 = DefaultDeltaFlush)
+}
+
+// cachedSnap is one partition's home snapshot in the read-through cache.
+type cachedSnap struct {
+	snap Snapshot
+	at   time.Time
 }
 
 // Service is one data bulletin instance.
@@ -108,21 +137,45 @@ type Service struct {
 
 	rt      rt.Runtime
 	pending *rpc.Pending
+	esc     *events.Client
 
 	res  map[types.NodeID]types.ResourceStats
 	apps map[string]types.AppState // keyed by node/proc
 
-	cache     []Snapshot
-	cacheMiss []types.PartitionID
-	cacheAt   time.Time
+	// Read-through cache for cluster queries: per-partition home
+	// snapshots with TTL, invalidated by incoming deltas.
+	qcache     map[types.PartitionID]cachedSnap
+	cacheIndex map[types.NodeID]types.PartitionID // node -> cached partition holding its rows
+
+	// Sharded data plane (shardplane.go).
+	smap         shard.Map
+	sres         map[types.NodeID]types.ResourceStats
+	sapps        map[string]types.AppState
+	deltaRes     map[types.NodeID]types.ResourceStats // buffered, coalesced per key
+	deltaApps    map[string]types.AppState
+	deltaSeq     uint64
+	applied      map[types.PartitionID]uint64 // per-source delta sequence
+	pendingSince time.Time
+	flushArmed   bool
+	sstats       ShardStats
 }
 
 // NewService builds a bulletin instance.
 func NewService(part types.PartitionID, view federation.View, cfg Config) *Service {
+	if cfg.DeltaFlush <= 0 {
+		cfg.DeltaFlush = DefaultDeltaFlush
+	}
 	return &Service{
 		part: part, view: view.Clone(), cfg: cfg,
-		res:  make(map[types.NodeID]types.ResourceStats),
-		apps: make(map[string]types.AppState),
+		res:        make(map[types.NodeID]types.ResourceStats),
+		apps:       make(map[string]types.AppState),
+		qcache:     make(map[types.PartitionID]cachedSnap),
+		cacheIndex: make(map[types.NodeID]types.PartitionID),
+		sres:       make(map[types.NodeID]types.ResourceStats),
+		sapps:      make(map[string]types.AppState),
+		deltaRes:   make(map[types.NodeID]types.ResourceStats),
+		deltaApps:  make(map[string]types.AppState),
+		applied:    make(map[types.PartitionID]uint64),
 	}
 }
 
@@ -133,6 +186,23 @@ func (s *Service) Service() string { return types.SvcDB }
 func (s *Service) Start(h *simhost.Handle) {
 	s.rt = h
 	s.pending = rpc.NewPending(h)
+	// Delta propagation rides the event service: publish to the co-located
+	// instance, receive every peer primary's batches through the
+	// federation. The subscription is sticky — the local ES may still be
+	// restoring (or restarting after a migration) when we come up.
+	s.esc = events.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
+		return types.Addr{Node: h.Node(), Service: types.SvcES}, true
+	})
+	s.esc.SubscribeSticky([]types.EventType{types.EvBulletinDelta}, -1, "",
+		2*time.Second, s.onDelta, nil)
+	s.smap = shard.FromView(s.view, s.cfg.Replicas, s.cfg.VNodes)
+	// A (re)started instance begins empty: pull the shard stores of every
+	// mapped peer.
+	for _, e := range s.smap.Entries {
+		if e.Part != s.part {
+			s.requestSync(types.Addr{Node: e.Node, Service: types.SvcDB})
+		}
+	}
 }
 
 // OnStop implements simhost.Process.
@@ -143,23 +213,32 @@ func (s *Service) Entries() int { return len(s.res) }
 
 // Receive implements simhost.Process.
 func (s *Service) Receive(msg types.Message) {
+	if s.esc != nil && (msg.Type == events.MsgSubAck || msg.Type == events.MsgUnsubAck || msg.Type == events.MsgEvent) {
+		s.esc.Handle(msg)
+		return
+	}
 	switch msg.Type {
 	case MsgPut:
 		req, ok := msg.Payload.(PutReq)
 		if !ok {
 			return
 		}
-		switch req.Kind {
-		case "res":
-			s.res[req.Res.Node] = req.Res
-		case "app":
-			key := req.App.Node.String() + "/" + req.App.Name
-			if req.App.Alive {
-				s.apps[key] = req.App
-			} else {
-				delete(s.apps, key)
-			}
+		switch {
+		case req.Fwd:
+			s.applyForwarded(req)
+		case req.Token != 0:
+			s.putAcked(msg.From, req)
+		default:
+			// Legacy detector export: home store, then the shard plane.
+			s.applyHome(req)
+			s.shardWrite(req)
 		}
+	case MsgGet:
+		req, ok := msg.Payload.(GetReq)
+		if !ok {
+			return
+		}
+		s.get(msg.From, req)
 	case MsgQuery:
 		req, ok := msg.Payload.(QueryReq)
 		if !ok {
@@ -178,9 +257,39 @@ func (s *Service) Receive(msg types.Message) {
 			return
 		}
 		s.pending.Resolve(ack.Token, ack)
+	case MsgSync:
+		req, ok := msg.Payload.(SyncReq)
+		if !ok {
+			return
+		}
+		s.serveSync(msg.From, req)
+	case MsgSyncAck:
+		ack, ok := msg.Payload.(SyncAck)
+		if !ok {
+			return
+		}
+		s.pending.Resolve(ack.Token, ack)
 	case federation.MsgView:
 		if vm, ok := msg.Payload.(federation.ViewMsg); ok {
-			s.view.Adopt(vm.View)
+			if s.view.Adopt(vm.View) {
+				s.rebuildMap()
+			}
+		}
+	}
+}
+
+// applyHome lands a detector export in the home store — this partition's
+// own samples, what MsgFetch peers scatter-gather.
+func (s *Service) applyHome(req PutReq) {
+	switch req.Kind {
+	case "res":
+		s.res[req.Res.Node] = req.Res
+	case "app":
+		key := req.App.Node.String() + "/" + req.App.Name
+		if req.App.Alive {
+			s.apps[key] = req.App
+		} else {
+			delete(s.apps, key)
 		}
 	}
 }
@@ -206,22 +315,14 @@ func (s *Service) local() Snapshot {
 }
 
 func (s *Service) query(replyTo types.Addr, req QueryReq) {
+	s.sstats.QueriesServed++
 	if req.Scope == ScopePartition {
-		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
-			Token: req.Token, Snapshots: []Snapshot{s.local()},
-		})
+		s.reply(replyTo, req, QueryAck{Snapshots: []Snapshot{s.local()}})
 		return
 	}
-	// Cluster scope: serve from cache when fresh, else scatter-gather.
+	// Cluster scope: read-through — serve each peer partition from its
+	// cached snapshot while fresh, fetch only the expired or missing ones.
 	now := s.rt.Now()
-	if !s.cacheAt.IsZero() && now.Sub(s.cacheAt) <= s.cfg.CacheTTL {
-		snaps := append([]Snapshot{s.local()}, s.cache...)
-		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
-			Token: req.Token, Snapshots: snaps,
-			Missing: s.cacheMiss, Stale: true,
-		})
-		return
-	}
 	peers := s.view.PeerAddrs(s.part, types.SvcDB)
 	// Partitions absent from the view's alive set are missing a priori.
 	var missing []types.PartitionID
@@ -233,34 +334,41 @@ func (s *Service) query(replyTo types.Addr, req QueryReq) {
 			missing = append(missing, p)
 		}
 	}
-	if len(peers) == 0 {
-		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
-			Token: req.Token, Snapshots: []Snapshot{s.local()}, Missing: missing,
-		})
+	gathered := make([]Snapshot, 0, len(peers))
+	var fetch []types.Addr
+	stale := false
+	for _, peer := range peers {
+		p := s.peerPartition(peer)
+		if c, held := s.qcache[p]; held && now.Sub(c.at) <= s.cfg.CacheTTL {
+			s.sstats.CacheHits++
+			gathered = append(gathered, c.snap)
+			stale = true
+			continue
+		}
+		s.sstats.CacheMisses++
+		fetch = append(fetch, peer)
+	}
+	if len(fetch) == 0 {
+		snaps := append([]Snapshot{s.local()}, gathered...)
+		s.reply(replyTo, req, QueryAck{Snapshots: snaps, Missing: missing, Stale: stale})
 		return
 	}
-	gathered := make([]Snapshot, 0, len(peers)+1)
-	remaining := len(peers)
+	remaining := len(fetch)
 	finish := func() {
 		remaining--
 		if remaining > 0 {
 			return
 		}
-		s.cache = gathered
-		s.cacheMiss = missing
-		s.cacheAt = s.rt.Now()
 		snaps := append([]Snapshot{s.local()}, gathered...)
-		s.rt.Send(replyTo, types.AnyNIC, MsgResult, QueryAck{
-			Token: req.Token, Snapshots: snaps, Missing: missing,
-		})
+		s.reply(replyTo, req, QueryAck{Snapshots: snaps, Missing: missing, Stale: stale})
 	}
-	for i, peer := range peers {
+	for _, peer := range fetch {
 		peerPart := s.peerPartition(peer)
-		_ = i
 		tok := s.pending.New(s.cfg.FetchTimeout,
 			func(payload any) {
 				ack := payload.(FetchAck)
 				gathered = append(gathered, ack.Snap)
+				s.cacheSnap(peerPart, ack.Snap)
 				finish()
 			},
 			func() {
@@ -268,6 +376,30 @@ func (s *Service) query(replyTo types.Addr, req QueryReq) {
 				finish()
 			})
 		s.rt.Send(peer, types.AnyNIC, MsgFetch, FetchReq{Token: tok})
+	}
+}
+
+// reply sends a query answer with the shard map piggybacked when the
+// requester's copy was older.
+func (s *Service) reply(replyTo types.Addr, req QueryReq, ack QueryAck) {
+	ack.Token = req.Token
+	ack.MapVersion = s.smap.Version
+	if s.smap.Version > req.MapVersion {
+		ack.HasMap = true
+		ack.Map = s.smap
+	}
+	s.rt.Send(replyTo, types.AnyNIC, MsgResult, ack)
+}
+
+// cacheSnap stores a freshly fetched partition snapshot and indexes its
+// rows for delta invalidation.
+func (s *Service) cacheSnap(p types.PartitionID, snap Snapshot) {
+	s.qcache[p] = cachedSnap{snap: snap, at: s.rt.Now()}
+	for _, r := range snap.Res {
+		s.cacheIndex[r.Node] = p
+	}
+	for _, a := range snap.Apps {
+		s.cacheIndex[a.Node] = p
 	}
 }
 

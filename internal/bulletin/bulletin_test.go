@@ -143,26 +143,30 @@ func TestCacheServesRepeatQueries(t *testing.T) {
 	if !ok {
 		t.Fatal("no second answer")
 	}
-	// The second query runs >1s later (cache TTL elapsed inside query's
-	// RunFor); issue two back-to-back instead.
-	var third, fourth *bulletin.QueryAck
-	cl.client.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
-		if ok {
-			third = &ack
-		}
-	})
-	eng.RunFor(600 * time.Millisecond)
-	cl.client.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
-		if ok {
-			fourth = &ack
-		}
-	})
-	eng.RunFor(600 * time.Millisecond)
-	if third == nil || fourth == nil {
-		t.Fatal("back-to-back queries unanswered")
+	// Repeated hot queries rotate across the mapped instances (the client
+	// adopted the shard map from the first ack); each instance warms its
+	// own read-through cache, so within a burst the rotation comes back
+	// around to warm caches and serves from them.
+	var acks []bulletin.QueryAck
+	for i := 0; i < 6; i++ {
+		cl.client.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) {
+			if ok {
+				acks = append(acks, ack)
+			}
+		})
+		eng.RunFor(250 * time.Millisecond)
 	}
-	if !fourth.Stale {
-		t.Fatal("second back-to-back query not served from cache")
+	if len(acks) != 6 {
+		t.Fatalf("answered %d/6 burst queries", len(acks))
+	}
+	stale := 0
+	for _, a := range acks {
+		if a.Stale {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no burst query was served from a read-through cache")
 	}
 	_ = second
 }

@@ -220,6 +220,15 @@ type Params struct {
 	// BulletinCacheTTL is how long a bulletin instance serves a cached
 	// cluster snapshot before re-fetching.
 	BulletinCacheTTL time.Duration
+	// BulletinReplicas is the copy count per key range on the bulletin's
+	// sharded data plane, primary included.
+	BulletinReplicas int
+	// BulletinVNodes is the virtual-node count each partition contributes
+	// to the bulletin shard ring.
+	BulletinVNodes int
+	// BulletinDeltaFlush is how long a shard primary batches writes
+	// before publishing them to its replicas as one delta event.
+	BulletinDeltaFlush time.Duration
 	// RPCTimeout is the deadline budget of one kernel RPC — the total
 	// time a resilient call may spend across all retry attempts, not a
 	// per-attempt timer (attempts divide the budget; see internal/rpc).
@@ -254,6 +263,9 @@ func DefaultParams() Params {
 		DetectorSampleInterval: 5 * time.Second,
 		BulletinFetchTimeout:   250 * time.Millisecond,
 		BulletinCacheTTL:       2 * time.Second,
+		BulletinReplicas:       2,
+		BulletinVNodes:         64,
+		BulletinDeltaFlush:     250 * time.Millisecond,
 		RPCTimeout:             3 * time.Second,
 	}
 }
@@ -271,5 +283,6 @@ func FastParams() Params {
 	p.PartitionProbeTimeout = 500 * time.Millisecond
 	p.MetaProbeTimeout = 350 * time.Millisecond
 	p.DetectorSampleInterval = time.Second
+	p.BulletinDeltaFlush = 100 * time.Millisecond
 	return p
 }

@@ -277,6 +277,9 @@ func bulletinConfig(params config.Params) bulletin.Config {
 		FetchTimeout: params.BulletinFetchTimeout,
 		CacheTTL:     params.BulletinCacheTTL,
 		EntryTTL:     4 * params.DetectorSampleInterval,
+		Replicas:     params.BulletinReplicas,
+		VNodes:       params.BulletinVNodes,
+		DeltaFlush:   params.BulletinDeltaFlush,
 	}
 }
 

@@ -224,6 +224,13 @@ func (s *Service) Receive(msg types.Message) {
 		sub := req.Sub
 		sub.ID = s.st.NextSubID
 		s.st.NextSubID++
+		// A re-subscription (same consumer, same filters — e.g. a daemon
+		// retrying because its ack was lost) replaces the old registration
+		// instead of double-delivering every matching event.
+		if old, found := s.findEquivalent(sub); found {
+			s.removeSub(old)
+			s.replicate(MsgUnsubRepl, UnsubReq{ID: old})
+		}
 		s.st.Subs = append(s.st.Subs, sub)
 		s.checkpointState()
 		s.replicate(MsgSubRepl, SubReq{Sub: sub})
@@ -280,6 +287,30 @@ func (s *Service) installReplica(sub Subscription) {
 		s.st.NextSubID = sub.ID + 1
 	}
 	s.checkpointState()
+}
+
+// findEquivalent locates an existing registration with the same consumer
+// and identical filters.
+func (s *Service) findEquivalent(sub Subscription) (uint64, bool) {
+	for _, existing := range s.st.Subs {
+		if existing.Consumer != sub.Consumer ||
+			existing.PartitionFilter != sub.PartitionFilter ||
+			existing.ServiceFilter != sub.ServiceFilter ||
+			len(existing.Types) != len(sub.Types) {
+			continue
+		}
+		same := true
+		for i := range existing.Types {
+			if existing.Types[i] != sub.Types[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return existing.ID, true
+		}
+	}
+	return 0, false
 }
 
 func (s *Service) removeSub(id uint64) {

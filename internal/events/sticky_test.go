@@ -1,0 +1,124 @@
+package events_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/events"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// stickyProc subscribes with SubscribeSticky at spawn time — before the
+// event service it targets even exists.
+type stickyProc struct {
+	target types.NodeID
+	client *events.Client
+	got    []types.Event
+	subID  uint64
+	dones  int
+}
+
+func (p *stickyProc) Service() string { return "sticky" }
+func (p *stickyProc) OnStop()         {}
+func (p *stickyProc) Start(h *simhost.Handle) {
+	p.client = events.NewClient(h, rpc.Budget(300*time.Millisecond), func() (types.Addr, bool) {
+		return types.Addr{Node: p.target, Service: types.SvcES}, true
+	})
+	p.client.SubscribeSticky([]types.EventType{types.EvBulletinDelta}, -1, "",
+		200*time.Millisecond,
+		func(ev types.Event) { p.got = append(p.got, ev) },
+		func(id uint64) { p.subID = id; p.dones++ })
+}
+func (p *stickyProc) Receive(msg types.Message) { p.client.Handle(msg) }
+
+// TestSubscribeStickyOutlivesLateService: the registration retries until
+// the instance comes up, then delivery works and done fired exactly once.
+func TestSubscribeStickyOutlivesLateService(t *testing.T) {
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 3, simnet.DefaultParams(), metrics.NewRegistry())
+	view := federation.NewView(map[types.PartitionID]types.NodeID{0: 0})
+	hosts := make([]*simhost.Host, 3)
+	for i := range hosts {
+		hosts[i] = simhost.New(types.NodeID(i), net, eng, eng.Rand(), simhost.DefaultCosts())
+	}
+	cons := &stickyProc{target: 0}
+	if _, err := hosts[2].Spawn(cons); err != nil {
+		t.Fatal(err)
+	}
+	// No ES yet: the first attempts burn their budget and reschedule.
+	eng.RunFor(900 * time.Millisecond)
+	if cons.subID != 0 {
+		t.Fatal("subscription acked with no service running")
+	}
+	if _, err := hosts[0].Spawn(events.NewService(0, view, time.Second, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hosts[0].Spawn(checkpoint.NewService(0, view, 250*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// The dead-target phase opened the private breaker (threshold 3); it
+	// half-opens after its 5s cooldown and the trial then sticks.
+	eng.RunFor(7 * time.Second)
+	if cons.subID == 0 {
+		t.Fatal("sticky subscription never registered after the service came up")
+	}
+	if cons.dones != 1 {
+		t.Fatalf("done fired %d times, want once", cons.dones)
+	}
+	pub := &consumerProc{name: "pub", target: 0}
+	if _, err := hosts[1].Spawn(pub); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(200 * time.Millisecond)
+	pub.client.Publish(types.Event{Type: types.EvBulletinDelta, Data: []byte("batch")})
+	eng.RunFor(300 * time.Millisecond)
+	if len(cons.got) != 1 || string(cons.got[0].Data) != "batch" {
+		t.Fatalf("delivered = %+v, want the delta with its Data payload", cons.got)
+	}
+}
+
+// TestResubscribeReplacesRegistration: an identical re-subscription (same
+// consumer, same filters) replaces the old registration — events are not
+// delivered twice — and the replacement reaches federation peers too.
+func TestResubscribeReplacesRegistration(t *testing.T) {
+	eng, hosts, svcs := rig(t)
+	cons := &consumerProc{name: "cons", target: 0}
+	if _, err := hosts[2].Spawn(cons); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+	cons.subscribe([]types.EventType{types.EvNodeFail}, -1, "")
+	eng.RunFor(300 * time.Millisecond)
+	first := cons.subID
+	if first == 0 {
+		t.Fatal("first subscription not acked")
+	}
+	cons.subscribe([]types.EventType{types.EvNodeFail}, -1, "")
+	eng.RunFor(300 * time.Millisecond)
+	if cons.subID == 0 || cons.subID == first {
+		t.Fatalf("re-subscription id = %d, want a fresh id (first was %d)", cons.subID, first)
+	}
+	if n := svcs[0].Subscriptions(); n != 1 {
+		t.Fatalf("registrations at instance 0 = %d, want the replacement only", n)
+	}
+	if n := svcs[1].Subscriptions(); n != 1 {
+		t.Fatalf("registrations at peer instance = %d, want the replacement only", n)
+	}
+	publish(eng, hosts, 0, types.Event{Type: types.EvNodeFail, Node: 3, Detail: "once"})
+	if len(cons.got) != 1 {
+		t.Fatalf("delivered %d copies, want exactly one", len(cons.got))
+	}
+	// A different filter set is a genuinely new registration, not a replace.
+	cons.subscribe([]types.EventType{types.EvNodeFail}, 1, "")
+	eng.RunFor(300 * time.Millisecond)
+	if n := svcs[0].Subscriptions(); n != 2 {
+		t.Fatalf("registrations = %d, want 2 after a different-filter subscribe", n)
+	}
+}

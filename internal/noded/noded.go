@@ -319,6 +319,8 @@ func (n *Node) Status() opshttp.Status {
 		}
 		if db, ok := host.Proc(types.SvcDB).(*bulletin.Service); ok {
 			st.BulletinRows = db.Entries()
+			sh := db.Stats()
+			st.Shard = &sh
 		}
 		// Rejoin gate: a crash-restarted node is not ready until a current
 		// GSD has announced itself to its watch daemon (re-admission), a

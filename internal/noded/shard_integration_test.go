@@ -1,0 +1,282 @@
+package noded_test
+
+// The acceptance proof of the sharded bulletin data plane on real UDP
+// loopback sockets: a four-node, two-plane cluster serves keyed bulletin
+// reads from at least three distinct peers over the run (the two shard
+// instances, then the replacement instance migration spawns), a killed
+// shard primary is replaced by its replica with zero failed client calls,
+// and repeated cluster queries leave a non-zero read-through-cache hit
+// ratio on /statusz. Wall-clock test; skipped under -short.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/noded"
+	"repro/internal/opshttp"
+	"repro/internal/rpc"
+	"repro/internal/shard"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func TestShardDataPlaneIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket integration test; skipped under -short")
+	}
+	const planes = 2
+	// p0 = {0 server, 1 backup}, p1 = {2 server, 3 backup}: bulletin
+	// instances on nodes 0 and 2, each the shard primary of roughly half
+	// the ring.
+	topo, err := config.Uniform(2, 2, planes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, costs := fastAdminParams(), fastAdminCosts()
+
+	// Five transports: the four cluster nodes plus the client's own book
+	// slot (node 4), the same superset-book arrangement phoenix-call uses.
+	transports, book := bindCluster(t, 5, planes, nil)
+	nodes := make([]*noded.Node, 4)
+	for i := 0; i < 4; i++ {
+		tr := transports[i]
+		tr.SetBook(book)
+		n, err := noded.Start(tr.Node(), topo,
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr),
+			noded.WithAdmin("127.0.0.1:0"))
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Stop()
+			}
+		}
+	}()
+	transports[4].SetBook(book)
+	rtc := wire.NewRuntime(transports[4], "call", 7)
+	defer rtc.Close()
+
+	dbAddrs := []types.Addr{
+		{Node: 0, Service: types.SvcDB},
+		{Node: 2, Service: types.SvcDB},
+	}
+	opts := rpc.Options{
+		Budget: 20 * time.Second,
+		Policy: &rpc.Policy{
+			MaxAttempts: 40, Attempt: 500 * time.Millisecond,
+			Backoff: 50 * time.Millisecond, BackoffMax: 500 * time.Millisecond,
+		},
+		Metrics: metrics.NewRegistry(),
+		Peers:   func() []types.Addr { return dbAddrs },
+	}
+	cl := bulletin.NewClient(rtc, opts, func() (types.Addr, bool) { return dbAddrs[0], true })
+	rtc.Attach(func(msg types.Message) { cl.Handle(msg) })
+
+	targets := make(map[types.NodeID]string, len(nodes))
+	for _, n := range nodes {
+		targets[n.Transport().Node()] = n.AdminAddr()
+	}
+	httpc := &http.Client{Timeout: time.Second}
+	ctx := context.Background()
+	waitFor(t, "all nodes ready with one leader", 30*time.Second, func() bool {
+		for id := range targets {
+			if code, _ := get(t, httpc, targets[id], "/readyz"); code != http.StatusOK {
+				return false
+			}
+		}
+		return leaders(opshttp.Gather(ctx, targets, time.Second)) == 1
+	})
+
+	// Every client call is tracked; "zero failed calls" is the bar for the
+	// whole run, kill included.
+	var okCalls, failedCalls int
+	record := func(ok bool) {
+		if ok {
+			okCalls++
+		} else {
+			failedCalls++
+		}
+	}
+	putRes := func(n types.NodeID, cpu float64) bool {
+		done := make(chan bool, 1)
+		rtc.Do(func() {
+			cl.PutRes(types.ResourceStats{Node: n, CPUPct: cpu, Collected: time.Now()},
+				func(ok bool) { done <- ok })
+		})
+		select {
+		case ok := <-done:
+			record(ok)
+			return ok
+		case <-time.After(25 * time.Second):
+			record(false)
+			return false
+		}
+	}
+	getNode := func(n types.NodeID) (bulletin.GetAck, bool) {
+		done := make(chan bulletin.GetAck, 1)
+		fail := make(chan struct{})
+		rtc.Do(func() {
+			cl.Get(n, func(ack bulletin.GetAck, ok bool) {
+				if ok {
+					done <- ack
+				} else {
+					close(fail)
+				}
+			})
+		})
+		select {
+		case ack := <-done:
+			record(true)
+			return ack, true
+		case <-fail:
+			record(false)
+			return bulletin.GetAck{}, false
+		case <-time.After(25 * time.Second):
+			record(false)
+			return bulletin.GetAck{}, false
+		}
+	}
+	queryCluster := func() bool {
+		done := make(chan bool, 1)
+		rtc.Do(func() {
+			cl.Query(bulletin.ScopeCluster, func(ack bulletin.QueryAck, ok bool) { done <- ok })
+		})
+		select {
+		case ok := <-done:
+			record(ok)
+			return ok
+		case <-time.After(25 * time.Second):
+			record(false)
+			return false
+		}
+	}
+	servedBy := func() map[types.NodeID]uint64 {
+		out := make(chan map[types.NodeID]uint64, 1)
+		rtc.Do(func() {
+			m := make(map[types.NodeID]uint64, len(cl.ServedBy()))
+			for n, c := range cl.ServedBy() {
+				m[n] = c
+			}
+			out <- m
+		})
+		return <-out
+	}
+
+	// Acked writes for every cluster node's key, repeated until /statusz
+	// shows every row replicated (writes issued before the replica's event
+	// subscription registered are only re-propagated by later writes —
+	// steady detector-style traffic, which the poll mimics). Then spread
+	// reads: the client adopts the shard map from the acks and rotates
+	// each key's reads across its copy holders.
+	waitFor(t, "acked writes replicated to shard replicas", 30*time.Second, func() bool {
+		for n := types.NodeID(0); n < 4; n++ {
+			if !putRes(n, float64(10*(int(n)+1))) {
+				t.Fatalf("acked write for node %v failed", n)
+			}
+		}
+		replicaRows := 0
+		for _, r := range opshttp.Gather(ctx, targets, time.Second) {
+			if r.Reachable() && r.Status.Shard != nil {
+				replicaRows += r.Status.Shard.ReplicaRows
+			}
+		}
+		return replicaRows >= 4 // every key's row present at its replica
+	})
+	for round := 0; round < 3; round++ {
+		for n := types.NodeID(0); n < 4; n++ {
+			ack, ok := getNode(n)
+			if !ok || !ack.Found {
+				t.Fatalf("read %v round %d: ok=%v ack=%+v", n, round, ok, ack)
+			}
+		}
+	}
+	if len(servedBy()) < 2 {
+		t.Fatalf("reads served by %v, want both shard instances", servedBy())
+	}
+
+	// SIGKILL the shard primary of node 0's key (Stop closes the sockets
+	// without a word — indistinguishable from a SIGKILL to the survivors).
+	// Its replica must answer immediately; the partition's backup then
+	// spawns a replacement instance, and reads keep succeeding throughout.
+	var victim types.NodeID
+	vch := make(chan bool, 1)
+	rtc.Do(func() {
+		m := cl.Map()
+		p, ok := m.Primary(shard.NodeKey(0))
+		if !ok {
+			vch <- false
+			return
+		}
+		n, ok := m.Node(p)
+		victim = n
+		vch <- ok
+	})
+	if !<-vch {
+		t.Fatal("client has no shard map after acked writes")
+	}
+	if victim != 0 && victim != 2 {
+		t.Fatalf("shard primary of key n0 on non-server node %v", victim)
+	}
+	backup := victim + 1 // Uniform: each partition's backup follows its server
+	nodes[victim].Stop()
+	nodes[victim] = nil
+	delete(targets, victim)
+
+	for i := 0; i < 6; i++ {
+		ack, ok := getNode(0)
+		if !ok || !ack.Found {
+			t.Fatalf("read %d of n0 with dead shard primary: ok=%v ack=%+v", i, ok, ack)
+		}
+	}
+
+	// Migration spawns the replacement instance on the dead partition's
+	// backup; once the client's map catches up, reads land there too —
+	// the third distinct serving peer.
+	waitFor(t, "replacement shard instance serving reads", 60*time.Second, func() bool {
+		for n := types.NodeID(0); n < 4; n++ {
+			if _, ok := getNode(n); !ok {
+				t.Fatalf("read %v failed during shard handoff", n)
+			}
+		}
+		return servedBy()[backup] > 0
+	})
+	if got := servedBy(); len(got) < 3 {
+		t.Fatalf("reads served by %v, want ≥3 distinct peers", got)
+	}
+
+	// Repeated cluster queries warm the instances' read-through caches;
+	// /statusz must report the hits.
+	for i := 0; i < 8; i++ {
+		if !queryCluster() {
+			t.Fatalf("cluster query %d failed", i)
+		}
+	}
+	waitFor(t, "non-zero cache hit ratio on /statusz", 15*time.Second, func() bool {
+		if !queryCluster() {
+			t.Fatal("cluster query failed while polling /statusz")
+		}
+		for id := range targets {
+			st, err := opshttp.Fetch(ctx, httpc, targets[id])
+			if err != nil {
+				continue
+			}
+			if st.Shard != nil && st.Shard.CacheHitRatio() > 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	if failedCalls != 0 {
+		t.Fatalf("%d of %d client calls failed across the run", failedCalls, failedCalls+okCalls)
+	}
+}

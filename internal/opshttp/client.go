@@ -159,11 +159,11 @@ func fetchOnce(ctx context.Context, client *http.Client, target string, timeout 
 // with role, GSD standing, membership, liveness and wire fault counts.
 func RenderTable(w io.Writer, reports []NodeReport) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
+	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
 	leaders := 0
 	for _, r := range reports {
 		if !r.Reachable() {
-			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
 			continue
 		}
 		st := r.Status
@@ -174,8 +174,15 @@ func RenderTable(w io.Writer, reports []NodeReport) {
 				leaders++
 			}
 		}
-		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
-			st.Node, st.Partition, st.Role, st.GSDRole, meta, st.Ready, len(st.Procs),
+		// Shard ownership of the hosted bulletin instance: map version,
+		// primary/replica row counts and cache hit ratio.
+		sh := "-"
+		if st.Shard != nil {
+			sh = fmt.Sprintf("v%d:%d/%d c%.2f", st.Shard.MapVersion,
+				st.Shard.PrimaryRows, st.Shard.ReplicaRows, st.Shard.CacheHitRatio())
+		}
+		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
+			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, st.Ready, len(st.Procs),
 			st.Wire.TxDatagrams, st.Wire.RxDatagrams, st.Wire.Retransmits,
 			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds)
 	}

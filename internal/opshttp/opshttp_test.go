@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bulletin"
 	"repro/internal/metrics"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -163,6 +164,74 @@ func TestStatuszRoundTrip(t *testing.T) {
 		got.Wire.TxDatagrams != want.Wire.TxDatagrams ||
 		len(got.Procs) != len(want.Procs) || got.BulletinRows != want.BulletinRows {
 		t.Fatalf("statusz round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// Every observability surface renders the same Status struct: the shard
+// section a scrape sees at /statusz must agree with the phoenix_shard_*
+// series at /metrics and with the status line — no surface reads kernel
+// state or counters on its own.
+func TestShardStatsConsistentAcrossSurfaces(t *testing.T) {
+	st := testStatus()
+	st.Shard = &bulletin.ShardStats{
+		MapVersion: 3, Partitions: 4, Replicas: 2,
+		PrimaryRows: 12, ReplicaRows: 7,
+		GetsServed: 100, PutsServed: 40, WrongShard: 2, Forwarded: 5,
+		DeltaBatchesOut: 9, DeltaRowsOut: 31, DeltasIn: 8,
+		Syncs: 1, PendingRows: 3, PendingAgeMs: 120, MapChanges: 2,
+		CacheHits: 30, CacheMisses: 10, CacheInvalidations: 4,
+	}
+	srv := httptest.NewServer(Handler(Config{Status: func() Status { return st }}))
+	defer srv.Close()
+
+	_, body := get(t, srv, "/statusz")
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode statusz: %v", err)
+	}
+	if got.Shard == nil || *got.Shard != *st.Shard {
+		t.Fatalf("statusz shard section:\ngot  %+v\nwant %+v", got.Shard, st.Shard)
+	}
+
+	_, prom := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"phoenix_shard_map_version 3",
+		"phoenix_shard_partitions 4",
+		"phoenix_shard_replicas 2",
+		"phoenix_shard_primary_rows 12",
+		"phoenix_shard_replica_rows 7",
+		"phoenix_shard_pending_rows 3",
+		"phoenix_shard_replication_lag_ms 120",
+		"phoenix_shard_gets_total 100",
+		"phoenix_shard_puts_total 40",
+		"phoenix_shard_wrong_shard_total 2",
+		"phoenix_shard_forwarded_total 5",
+		"phoenix_shard_delta_batches_out_total 9",
+		"phoenix_shard_deltas_in_total 8",
+		"phoenix_shard_syncs_total 1",
+		"phoenix_bulletin_cache_hits_total 30",
+		"phoenix_bulletin_cache_misses_total 10",
+		"phoenix_bulletin_cache_invalidations_total 4",
+		"phoenix_bulletin_cache_hit_ratio 0.75",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	line := st.Line()
+	if !strings.Contains(line, "shard v3 12/7 rows, cache 0.75") {
+		t.Fatalf("status line missing shard section: %s", line)
+	}
+	// A node without a bulletin reports no shard section anywhere.
+	bare := testStatus()
+	if strings.Contains(bare.Line(), "shard") {
+		t.Fatalf("shard section on bulletin-less node: %s", bare.Line())
+	}
+	srv2 := httptest.NewServer(Handler(Config{Status: func() Status { return bare }}))
+	defer srv2.Close()
+	if _, prom2 := get(t, srv2, "/metrics"); strings.Contains(prom2, "phoenix_shard_") {
+		t.Fatal("phoenix_shard_* series on bulletin-less node")
 	}
 }
 

@@ -98,6 +98,37 @@ func writeStatusProm(w io.Writer, st Status) {
 	if st.BulletinRows >= 0 {
 		fmt.Fprintf(w, "# TYPE phoenix_bulletin_rows gauge\nphoenix_bulletin_rows %d\n", st.BulletinRows)
 	}
+	if sh := st.Shard; sh != nil {
+		gauge := func(name string, v interface{}) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, v)
+		}
+		counter := func(name string, v uint64) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		}
+		gauge("phoenix_shard_map_version", sh.MapVersion)
+		gauge("phoenix_shard_partitions", sh.Partitions)
+		gauge("phoenix_shard_replicas", sh.Replicas)
+		gauge("phoenix_shard_primary_rows", sh.PrimaryRows)
+		gauge("phoenix_shard_replica_rows", sh.ReplicaRows)
+		gauge("phoenix_shard_pending_rows", sh.PendingRows)
+		gauge("phoenix_shard_replication_lag_ms", sh.PendingAgeMs)
+		counter("phoenix_shard_gets_total", sh.GetsServed)
+		counter("phoenix_shard_puts_total", sh.PutsServed)
+		counter("phoenix_shard_queries_total", sh.QueriesServed)
+		counter("phoenix_shard_wrong_shard_total", sh.WrongShard)
+		counter("phoenix_shard_forwarded_total", sh.Forwarded)
+		counter("phoenix_shard_delta_batches_out_total", sh.DeltaBatchesOut)
+		counter("phoenix_shard_delta_rows_out_total", sh.DeltaRowsOut)
+		counter("phoenix_shard_deltas_in_total", sh.DeltasIn)
+		counter("phoenix_shard_delta_dups_total", sh.DeltaDups)
+		counter("phoenix_shard_delta_gaps_total", sh.DeltaGaps)
+		counter("phoenix_shard_syncs_total", sh.Syncs)
+		counter("phoenix_shard_map_changes_total", sh.MapChanges)
+		counter("phoenix_bulletin_cache_hits_total", sh.CacheHits)
+		counter("phoenix_bulletin_cache_misses_total", sh.CacheMisses)
+		counter("phoenix_bulletin_cache_invalidations_total", sh.CacheInvalidations)
+		gauge("phoenix_bulletin_cache_hit_ratio", promFloat(sh.CacheHitRatio()))
+	}
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_calls_total counter\nphoenix_rpc_calls_total %d\n", st.RPC.Calls)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_retries_total counter\nphoenix_rpc_retries_total %d\n", st.RPC.Retries)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_shed_total counter\nphoenix_rpc_shed_total %d\n", st.RPC.Shed)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bulletin"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -60,6 +61,10 @@ type Status struct {
 	// BulletinRows counts resource rows in the hosted data-bulletin
 	// instance; -1 when this node hosts no bulletin.
 	BulletinRows int `json:"bulletin_rows"`
+	// Shard is the hosted bulletin instance's data-plane snapshot: shard
+	// ownership, replication lag, delta propagation and the query cache.
+	// Nil when this node hosts no bulletin.
+	Shard *bulletin.ShardStats `json:"shard,omitempty"`
 	// Peers counts the nodes in the wire address book.
 	Peers int `json:"peers"`
 
@@ -96,6 +101,11 @@ func (st Status) Line() string {
 	fmt.Fprintf(&sb, ", tx %d, rx %d datagrams, retx %d, dup %d, frag %d/%d, acks %d, faults %d, errs %d",
 		w.TxDatagrams, w.RxDatagrams, w.Retransmits, w.DupDrops,
 		w.TxFrags, w.RxFrags, w.TxAcks, w.PeerFaults, w.Errors)
+	if st.Shard != nil {
+		fmt.Fprintf(&sb, ", shard v%d %d/%d rows, cache %.2f",
+			st.Shard.MapVersion, st.Shard.PrimaryRows, st.Shard.ReplicaRows,
+			st.Shard.CacheHitRatio())
+	}
 	fmt.Fprintf(&sb, ", rpc %d/%d ok, rpc retries %d", st.RPC.OK, st.RPC.Calls, st.RPC.Retries)
 	if st.RPC.Shed > 0 {
 		fmt.Fprintf(&sb, ", rpc shed %d", st.RPC.Shed)

@@ -34,6 +34,12 @@ type Options struct {
 	// MaxInFlight bounds outstanding calls; beyond it new calls fail
 	// immediately with ErrShed. Zero means unbounded.
 	MaxInFlight int
+	// Spread rotates the Peers-supplied tail of each call's target list
+	// by one position per call, so reads fan out across a replica set
+	// instead of always hammering the first peer. A call's own explicit
+	// Targets stay first and unrotated — writes pinned to a primary are
+	// unaffected.
+	Spread bool
 }
 
 // Budget is shorthand for Options with only a deadline budget set.
@@ -85,7 +91,10 @@ type callState struct {
 	last     types.Addr // target of the newest attempt
 	multi    bool       // attempts went to more than one distinct target
 	sent     bool       // at least one attempt went out
-	timer    clock.Timer
+	timer      clock.Timer
+	rot        int                 // Spread rotation offset into the peer tail
+	rejected   map[types.Addr]bool // targets that answered with a refusal (Reject)
+	lastFailed bool                // newest attempt timed out (prefer another target next)
 }
 
 // Caller runs resilient calls for one daemon. Like Pending it is
@@ -96,6 +105,7 @@ type Caller struct {
 	opts     Options
 	breakers *Breakers
 	calls    map[uint64]*callState
+	spreadRR int // next Spread rotation offset
 
 	calls_  *metrics.Counter
 	retries *metrics.Counter
@@ -159,6 +169,10 @@ func (c *Caller) Go(call Call) uint64 {
 	}
 	token := tokenCounter.Add(1)
 	st := &callState{call: call, policy: p, deadline: c.rt.Now().Add(p.Budget)}
+	if c.opts.Spread {
+		st.rot = c.spreadRR
+		c.spreadRR++
+	}
 	c.calls[token] = st
 	inc(c.calls_)
 	c.attempt(token, st)
@@ -173,6 +187,7 @@ func (c *Caller) targets(st *callState) []types.Addr {
 		out = st.call.Targets()
 	}
 	if c.opts.Peers != nil {
+		var peers []types.Addr
 		for _, p := range c.opts.Peers() {
 			dup := false
 			for _, t := range out {
@@ -181,12 +196,64 @@ func (c *Caller) targets(st *callState) []types.Addr {
 					break
 				}
 			}
+			for _, t := range peers {
+				if t == p {
+					dup = true
+					break
+				}
+			}
 			if !dup {
-				out = append(out, p)
+				peers = append(peers, p)
+			}
+		}
+		if c.opts.Spread && len(peers) > 1 {
+			r := st.rot % len(peers)
+			rotated := make([]types.Addr, 0, len(peers))
+			rotated = append(rotated, peers[r:]...)
+			rotated = append(rotated, peers[:r]...)
+			peers = rotated
+		}
+		out = append(out, peers...)
+	}
+	return out
+}
+
+// pick chooses the first target whose breaker allows traffic, skipping
+// targets that refused this call (Reject). When every allowed target has
+// refused, the rejected set is cleared and the cycle restarts — by then
+// the situation that caused the refusals (a stale shard map, say) has had
+// a chance to change.
+// When the newest attempt timed out, its target is deprioritised — the
+// retry fails over to the next candidate immediately instead of waiting
+// for the dead peer's breaker to open.
+func (c *Caller) pick(st *callState, targets []types.Addr) (types.Addr, bool) {
+	var demoted types.Addr
+	haveDemoted := false
+	for _, t := range targets {
+		if st.rejected[t] {
+			continue
+		}
+		if !c.breakers.Allow(Key(t)) {
+			continue
+		}
+		if st.lastFailed && t == st.last {
+			demoted, haveDemoted = t, true
+			continue
+		}
+		return t, true
+	}
+	if haveDemoted {
+		return demoted, true
+	}
+	if len(st.rejected) > 0 {
+		st.rejected = nil
+		for _, t := range targets {
+			if c.breakers.Allow(Key(t)) {
+				return t, true
 			}
 		}
 	}
-	return out
+	return types.Addr{}, false
 }
 
 // attempt runs one attempt of the call identified by token: re-resolve
@@ -202,13 +269,7 @@ func (c *Caller) attempt(token uint64, st *callState) {
 		c.finish(token, st, ErrNoTarget)
 		return
 	}
-	to, found := types.Addr{}, false
-	for _, t := range targets {
-		if c.breakers.Allow(Key(t)) {
-			to, found = t, true
-			break
-		}
-	}
+	to, found := c.pick(st, targets)
 	if !found {
 		// Every candidate's breaker is open. Wait (a cooldown may
 		// elapse, a view push may bring a new target) without
@@ -233,6 +294,7 @@ func (c *Caller) attempt(token uint64, st *callState) {
 	}
 	st.last = to
 	st.sent = true
+	st.lastFailed = false
 	st.call.Send(token, to)
 	wait := st.policy.attemptTimeout()
 	if wait > remaining {
@@ -258,6 +320,7 @@ func (c *Caller) attemptTimedOut(token uint64) {
 		return
 	}
 	c.breakers.Failure(Key(st.last))
+	st.lastFailed = true
 	remaining := st.deadline.Sub(c.rt.Now())
 	if st.attempts >= st.policy.MaxAttempts || remaining <= 0 {
 		c.finish(token, st, ErrTimeout)
@@ -326,6 +389,47 @@ func (c *Caller) resolve(token uint64, from types.Addr, payload any) bool {
 	if st.call.Done != nil {
 		st.call.Done(payload, nil)
 	}
+	return true
+}
+
+// Reject records an application-level refusal of the call's request by a
+// peer that is alive but cannot serve it — a bulletin instance answering
+// "wrong shard" for a key it no longer owns. The responder's breaker is
+// credited (it did answer), the target is set aside for this call, and the
+// next attempt is scheduled after backoff with targets re-resolved — by
+// which time an adopted shard map or federation push may name a different
+// owner. The call is not resolved and Done does not run; it reports
+// whether the token was live.
+func (c *Caller) Reject(token uint64, from types.Addr) bool {
+	st, live := c.calls[token]
+	if !live {
+		return false
+	}
+	if from != (types.Addr{}) {
+		c.breakers.Success(Key(from))
+		if st.rejected == nil {
+			st.rejected = make(map[types.Addr]bool)
+		}
+		st.rejected[from] = true
+	}
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	remaining := st.deadline.Sub(c.rt.Now())
+	if st.attempts >= st.policy.MaxAttempts || remaining <= 0 {
+		c.finish(token, st, ErrTimeout)
+		return true
+	}
+	d := st.policy.backoff(st.attempts, c.rt.Rand())
+	if d >= remaining {
+		c.finish(token, st, ErrTimeout)
+		return true
+	}
+	if d <= 0 {
+		c.reattempt(token)
+		return true
+	}
+	st.timer = c.rt.After(d, func() { c.reattempt(token) })
 	return true
 }
 

@@ -1,0 +1,162 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestSpreadRotatesPeerTail: successive calls with Spread start on
+// successive peers, while a call's own explicit targets stay first.
+func TestSpreadRotatesPeerTail(t *testing.T) {
+	h := newCallerHarness()
+	peers := []types.Addr{
+		{Node: 1, Service: types.SvcDB},
+		{Node: 2, Service: types.SvcDB},
+		{Node: 3, Service: types.SvcDB},
+	}
+	c := NewCaller(h.f, Options{
+		Budget: time.Second,
+		Spread: true,
+		Peers:  func() []types.Addr { return append([]types.Addr{}, peers...) },
+	})
+	var first []types.Addr
+	for i := 0; i < 6; i++ {
+		tok := c.Go(Call{
+			Send: func(token uint64, to types.Addr) { first = append(first, to) },
+		})
+		c.Resolve(tok, "ok")
+	}
+	want := []types.NodeID{1, 2, 3, 1, 2, 3}
+	for i, f := range first {
+		if f.Node != want[i] {
+			t.Fatalf("call %d went to %v, want node %d (rotation): %v", i, f, want[i], first)
+		}
+	}
+
+	// Explicit call targets are never rotated away from first position.
+	pinned := types.Addr{Node: 9, Service: types.SvcDB}
+	var to types.Addr
+	tok := c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{pinned} },
+		Send:    func(token uint64, t2 types.Addr) { to = t2 },
+	})
+	c.Resolve(tok, "ok")
+	if to != pinned {
+		t.Fatalf("pinned call went to %v, want %v", to, pinned)
+	}
+}
+
+// TestRejectRetriesElsewhere: a peer's application-level refusal moves the
+// next attempt to the next candidate without failing the call or charging
+// the refuser's breaker.
+func TestRejectRetriesElsewhere(t *testing.T) {
+	h := newCallerHarness()
+	c := NewCaller(h.f, Budget(5*time.Second))
+	var sent []types.Addr
+	var got any
+	var gotErr error
+	var tok uint64
+	tok = c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{addrA, addrB} },
+		Send: func(token uint64, to types.Addr) {
+			sent = append(sent, to)
+			switch to {
+			case addrA:
+				// A answers, but refuses: wrong shard.
+				h.f.After(time.Millisecond, func() { c.Reject(token, addrA) })
+			case addrB:
+				h.f.After(time.Millisecond, func() { c.ResolveFrom(token, addrB, "served") })
+			}
+		},
+		Done: func(payload any, err error) { got, gotErr = payload, err },
+	})
+	_ = tok
+	h.eng.RunFor(10 * time.Second)
+	if gotErr != nil || got != "served" {
+		t.Fatalf("got=%v err=%v, want served by B", got, gotErr)
+	}
+	if len(sent) != 2 || sent[0] != addrA || sent[1] != addrB {
+		t.Fatalf("sends = %v, want A then B", sent)
+	}
+	if st := c.breakers.State(Key(addrA)); st != StateClosed {
+		t.Fatalf("refuser's breaker = %v, want closed (refusal is not a fault)", st)
+	}
+}
+
+// TestRejectCycleRestartsAfterFullRefusal: when every candidate refuses,
+// the rejected set clears and the caller retries the cycle — a later
+// attempt against a peer that has since caught up succeeds.
+func TestRejectCycleRestartsAfterFullRefusal(t *testing.T) {
+	h := newCallerHarness()
+	c := NewCaller(h.f, Options{
+		Budget: 10 * time.Second,
+		Policy: &Policy{MaxAttempts: 50, Attempt: 200 * time.Millisecond, Backoff: 10 * time.Millisecond, BackoffMax: 20 * time.Millisecond},
+	})
+	visits := map[types.Addr]int{}
+	var got any
+	c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{addrA, addrB} },
+		Send: func(token uint64, to types.Addr) {
+			visits[to]++
+			if to == addrA && visits[addrA] >= 2 {
+				// Second cycle: A has adopted the new map and serves.
+				h.f.After(time.Millisecond, func() { c.ResolveFrom(token, addrA, "caught-up") })
+				return
+			}
+			h.f.After(time.Millisecond, func() { c.Reject(token, to) })
+		},
+		Done: func(payload any, err error) { got = payload },
+	})
+	h.eng.RunFor(30 * time.Second)
+	if got != "caught-up" {
+		t.Fatalf("payload = %v, want caught-up after a second cycle", got)
+	}
+	if visits[addrA] < 2 || visits[addrB] < 1 {
+		t.Fatalf("visits = %v, want a full refused cycle then a restart", visits)
+	}
+}
+
+// TestRejectExhaustsBudget: refusals that never stop consume attempts and
+// end in ErrTimeout — a call cannot spin on rejections forever.
+func TestRejectExhaustsBudget(t *testing.T) {
+	h := newCallerHarness()
+	c := NewCaller(h.f, Options{
+		Budget: time.Second,
+		Policy: &Policy{MaxAttempts: 5, Attempt: 100 * time.Millisecond, Backoff: 10 * time.Millisecond, BackoffMax: 10 * time.Millisecond},
+	})
+	var gotErr error
+	c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{addrA} },
+		Send: func(token uint64, to types.Addr) {
+			h.f.After(time.Millisecond, func() { c.Reject(token, to) })
+		},
+		Done: func(_ any, err error) { gotErr = err },
+	})
+	h.eng.RunFor(10 * time.Second)
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatal("entry leaked after rejected call expired")
+	}
+}
+
+// TestRejectUnknownToken: rejecting a resolved or unknown token is a no-op.
+func TestRejectUnknownToken(t *testing.T) {
+	h := newCallerHarness()
+	c := NewCaller(h.f, Budget(time.Second))
+	if c.Reject(999, addrA) {
+		t.Fatal("Reject of unknown token reported live")
+	}
+	tok := c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{addrA} },
+		Send:    func(uint64, types.Addr) {},
+	})
+	c.Resolve(tok, "done")
+	if c.Reject(tok, addrA) {
+		t.Fatal("Reject after resolve reported live")
+	}
+}

@@ -172,6 +172,10 @@ const (
 	EvJobFinish      EventType = "job.finish"
 	EvJobFail        EventType = "job.fail"
 	EvConfigChange   EventType = "config.change"
+
+	// EvBulletinDelta carries a batch of bulletin writes from a shard
+	// primary to its replicas; the batch rides in Event.Data.
+	EvBulletinDelta EventType = "bulletin.delta"
 )
 
 // Event is the payload published through the event service.
@@ -182,6 +186,7 @@ type Event struct {
 	Service   string
 	NIC       int // for net.* events: which interface
 	Detail    string
+	Data      []byte // opaque payload for data-plane events (e.g. delta batches)
 	When      time.Time
 	Seq       uint64
 }

@@ -110,11 +110,12 @@ cluster_ready() {
 poll "cluster ready with one leader" 120 0.5 cluster_ready
 
 # Client traffic through the resilient RPC layer: phoenix-call joins the
-# wire as book node 4 and streams bulletin queries at partition 0's
-# access point, with the backup listed as the failover target. From here
-# to the end of the run, any failed client call fails the smoke test.
+# wire as book node 4 and streams a mixed workload — bulletin queries at
+# partition 0's access point plus acked shard-plane writes routed by the
+# adopted shard map — with the backup listed as the failover target. From
+# here to the end of the run, any failed client call fails the smoke test.
 "$tmp/phoenix-call" -book "$tmp/book5.txt" -node 4 -targets 0,1 \
-    -period 200ms -budget 45s > "$tmp/call.log" 2>&1 &
+    -qps 5 -writes 0.3 -budget 45s > "$tmp/call.log" 2>&1 &
 callpid=$!
 pids="$pids $callpid"
 
@@ -194,6 +195,39 @@ for metric in 'phoenix_plane_healthy{plane="0"}' 'phoenix_plane_healthy{plane="1
     fi
 done
 
+# SIGKILL a shard primary (not just the meta-group leader): node 2,
+# partition 1's server, hosts a bulletin instance that owns roughly half
+# the shard ring. With the mixed read/write load still running, the
+# surviving instance must be promoted for the dead ranges — visible in
+# /statusz as a shard map version bump with the acked-write rows still
+# owned by a living primary — and the client must ride the handoff with
+# zero failed calls.
+admin -json > "$tmp/reports.json"
+map_before=$(grep -o '"map_version": *[0-9]*' "$tmp/reports.json" | grep -o '[0-9]*$' | sort -n | tail -1)
+[ -n "$map_before" ] || map_before=0
+ok_before_kill2=$(call_stat ok)
+
+kill -9 "$pid2"
+wait "$pid2" 2>/dev/null || true
+
+promoted() {
+    admin -json > "$tmp/reports.json" 2>/dev/null || return 1
+    v=$(grep -o '"map_version": *[0-9]*' "$tmp/reports.json" | grep -o '[0-9]*$' | sort -n | tail -1)
+    [ -n "$v" ] && [ "$v" -gt "$map_before" ] || return 1
+    total_primary=$(grep -o '"primary_rows": *[0-9]*' "$tmp/reports.json" \
+        | grep -o '[0-9]*$' | awk '{s+=$1} END {print s+0}')
+    [ "$total_primary" -ge 1 ]
+}
+
+poll "shard replica promotion after primary kill" 240 0.5 promoted
+poll "client traffic riding out the shard-primary kill" 240 0.5 \
+    call_ok_at_least $((ok_before_kill2 + 5))
+if [ "$(call_stat failed)" != 0 ]; then
+    echo "chaos smoke: client calls failed during the shard-primary kill:" >&2
+    tail "$tmp/call.log" >&2
+    exit 1
+fi
+
 # Wind down the client traffic: drain the in-flight calls, then require
 # zero failed calls for the whole run and at least one retry — proof the
 # kill really put calls in flight through the resilient layer.
@@ -210,8 +244,26 @@ grep -q "done ok=" "$tmp/call.log" || {
 }
 if [ "$(call_stat failed)" != 0 ] || [ "$(call_stat retries)" = 0 ]; then
     echo "chaos smoke: client summary wants failed=0 and retries>0:" >&2
+    tail -2 "$tmp/call.log" >&2
+    exit 1
+fi
+# The final JSON report must show a genuinely mixed workload that met its
+# rate: reads and writes both non-zero, failed zero.
+json_field() {
+    grep -o "\"$1\": *[0-9.]*" "$tmp/call.log" | tail -1 | grep -o '[0-9.]*$'
+}
+for field in reads writes; do
+    v=$(json_field "$field")
+    if [ -z "$v" ] || [ "$v" = 0 ]; then
+        echo "chaos smoke: JSON report wants $field > 0:" >&2
+        tail -1 "$tmp/call.log" >&2
+        exit 1
+    fi
+done
+if [ "$(json_field failed)" != 0 ]; then
+    echo "chaos smoke: JSON report wants failed=0:" >&2
     tail -1 "$tmp/call.log" >&2
     exit 1
 fi
 
-echo "chaos smoke: ok (rejoin observed: ${saw_rejoining:-no}, client $(tail -1 "$tmp/call.log" | grep -o 'ok=[0-9]*'), $(grep -c . "$tmp/reports.json") report lines)"
+echo "chaos smoke: ok (rejoin observed: ${saw_rejoining:-no}, client ok=$(call_stat ok) qps=$(json_field achieved_qps), $(grep -c . "$tmp/reports.json") report lines)"
