@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz admin-smoke chaos-smoke
+.PHONY: ci vet build test race fuzz alloc admin-smoke chaos-smoke bench
 
-ci: vet build test race fuzz admin-smoke chaos-smoke
+ci: vet build test race fuzz alloc admin-smoke chaos-smoke
 	@echo "ci: all gates passed"
 
 vet:
@@ -34,12 +34,29 @@ race:
 	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
-# The fuzz gate: a short engine run per wire fuzz target, starting from the
-# checked-in seed corpus (internal/wire/testdata/fuzz/). The engine accepts
-# one -fuzz target per invocation, hence two runs.
+# The fuzz gate: a short engine run per fuzz target, starting from the
+# checked-in seed corpora (internal/wire/testdata/fuzz/ and
+# internal/codec/testdata/fuzz/). The engine accepts one -fuzz target per
+# invocation, hence one run each: the wire frame parser, the address-book
+# parser, the codec envelope decoder, and every hot payload's DecodeWire.
 fuzz:
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz '^FuzzParseBook$$' -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s -run '^$$' ./internal/codec/
+	$(GO) test -fuzz '^FuzzPayloadDecode$$' -fuzztime 10s -run '^$$' ./internal/codec/
+
+# The allocation gate: the binary codec's hot paths (AppendMessage into a
+# warm buffer, DecodeWire into a reused value, Size of a binary payload)
+# must stay at zero allocations — the regression fence behind the wire
+# bench's steady-state numbers. Runs without the race detector: the race
+# runtime adds its own allocations.
+alloc:
+	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/codec/
+
+# The wire benchmark: codec and transport tiers at 4/16/64 loopback
+# nodes, binary versus gob versus binary+batching; writes BENCH_wire.json.
+bench:
+	$(GO) run ./cmd/phoenix-bench -exp wire
 
 # The operations-plane gate: build the shipped binaries, boot one real
 # node with its admin server enabled, scrape /healthz + /metrics through

@@ -22,8 +22,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|all")
-	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes for a fast run")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|all")
+	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes and wire-bench message counts for a fast run")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "where -exp wire writes its JSON report")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -86,9 +87,21 @@ func main() {
 			fmt.Println(r.Render())
 			return nil
 		},
+		"wire": func() error {
+			r, err := experiments.RunWireBench(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if err := r.WriteJSON(*wireOut); err != nil {
+				return err
+			}
+			fmt.Printf("wire bench report written to %s\n", *wireOut)
+			return nil
+		},
 	}
 	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "pws",
-		"ablation-partition", "ablation-interval"}
+		"ablation-partition", "ablation-interval", "wire"}
 
 	var selected []string
 	if *exp == "all" {

@@ -54,6 +54,7 @@ func main() {
 		stateDir = flag.String("state-dir", "", "durable state directory: checkpoint records are mirrored there and a restart from the same directory rejoins the cluster instead of booting fresh")
 		chaosPth = flag.String("chaos", "", "chaos scenario file: seeded fault schedule injected into this node's wire transport (see internal/chaos)")
 		chaosSd  = flag.Int64("chaos-seed", 0, "override the chaos scenario's seed (0 keeps the scenario's own)")
+		batchWin = flag.Duration("batch-window", 0, "wire frame-coalescing window (0 disables batching; must stay below the retransmission timeout)")
 	)
 	flag.Parse()
 
@@ -102,6 +103,9 @@ func main() {
 	}
 	if *stateDir != "" {
 		opts = append(opts, noded.WithStateDir(*stateDir))
+	}
+	if *batchWin != 0 {
+		opts = append(opts, noded.WithWireOptions(wire.WithBatchWindow(*batchWin)))
 	}
 
 	// Chaos fabric: the scenario's fault schedule replays against this

@@ -50,8 +50,8 @@ type Response struct {
 func (r Response) WireSize() int { return 24 + 8*len(r.Hops) }
 
 func init() {
-	codec.Register(Request{})
-	codec.Register(Response{})
+	codec.RegisterGob(Request{})
+	codec.RegisterGob(Response{})
 }
 
 // TierSpec describes one tier of a business application.
@@ -116,7 +116,7 @@ type Routes struct {
 	Next []types.Addr
 }
 
-func init() { codec.Register(Routes{}) }
+func init() { codec.RegisterGob(Routes{}) }
 
 // Receive implements simhost.Process.
 func (in *Instance) Receive(msg types.Message) {

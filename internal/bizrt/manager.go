@@ -42,9 +42,9 @@ type FrontendsAck struct {
 }
 
 func init() {
-	codec.Register(FrontendsReq{})
-	codec.Register(FrontendsAck{})
-	codec.Register(LatencyReport{})
+	codec.RegisterGob(FrontendsReq{})
+	codec.RegisterGob(FrontendsAck{})
+	codec.RegisterGob(LatencyReport{})
 }
 
 // ManagerSpec configures the runtime manager.
@@ -203,7 +203,7 @@ type InstanceSpawnSpec struct {
 	Manager types.NodeID
 }
 
-func init() { codec.Register(InstanceSpawnSpec{}) }
+func init() { codec.RegisterGob(InstanceSpawnSpec{}) }
 
 // RegisterInstanceFactory installs the tier-instance factory on a host;
 // instances of every app share it (the spawn spec carries the app).

@@ -100,11 +100,8 @@ type FetchAck struct {
 }
 
 func init() {
-	codec.Register(PutReq{})
-	codec.Register(QueryReq{})
-	codec.Register(QueryAck{})
-	codec.Register(FetchReq{})
-	codec.Register(FetchAck{})
+	codec.RegisterGob(QueryAck{})
+	codec.RegisterGob(FetchAck{})
 }
 
 // DefaultDeltaFlush is the delta-batch flush interval applied when a

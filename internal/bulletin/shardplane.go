@@ -1,8 +1,6 @@
 package bulletin
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
@@ -95,24 +93,18 @@ type DeltaBatch struct {
 }
 
 func init() {
-	codec.Register(PutAck{})
-	codec.Register(GetReq{})
-	codec.Register(GetAck{})
-	codec.Register(SyncReq{})
-	codec.Register(SyncAck{})
+	codec.RegisterGob(PutAck{})
+	codec.RegisterGob(GetAck{})
+	codec.RegisterGob(SyncAck{})
 }
 
 func encodeDelta(b DeltaBatch) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
-		return nil, fmt.Errorf("bulletin: encode delta: %w", err)
-	}
-	return buf.Bytes(), nil
+	return b.AppendWire(nil), nil
 }
 
 func decodeDelta(data []byte) (DeltaBatch, error) {
 	var b DeltaBatch
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+	if err := b.DecodeWire(data); err != nil {
 		return DeltaBatch{}, fmt.Errorf("bulletin: decode delta: %w", err)
 	}
 	return b, nil

@@ -1,0 +1,161 @@
+// Hand-rolled binary wire codecs (wire format v3) for the bulletin's
+// hot request payloads and the delta batches the data plane gossips.
+// Acks that drag a shard.Map or snapshot along stay on the gob
+// fallback — they are cold next to the put/get/delta rate. Field order
+// is part of the wire format.
+package bulletin
+
+import (
+	"repro/internal/codec"
+	"repro/internal/types"
+	"repro/internal/wirebin"
+)
+
+func init() {
+	wirebin.Intern(
+		"db.put", "db.query", "db.result", "db.fetch", "db.get", "db.sync",
+		"res", "app", // PutReq.Kind vocabulary
+	)
+	codec.RegisterPayload(48, func() codec.Payload { return new(PutReq) })
+	codec.RegisterPayload(49, func() codec.Payload { return new(QueryReq) })
+	codec.RegisterPayload(50, func() codec.Payload { return new(FetchReq) })
+	codec.RegisterPayload(51, func() codec.Payload { return new(GetReq) })
+	codec.RegisterPayload(52, func() codec.Payload { return new(SyncReq) })
+	codec.RegisterPayload(53, func() codec.Payload { return new(DeltaBatch) })
+}
+
+// WireID implements codec.Payload (ID space: 48+ = bulletin).
+func (PutReq) WireID() uint16 { return 48 }
+
+// AppendWire implements codec.Payload.
+func (p PutReq) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendString(buf, p.Kind)
+	buf = p.Res.AppendWire(buf)
+	buf = p.App.AppendWire(buf)
+	buf = wirebin.AppendUvarint(buf, p.Token)
+	buf = wirebin.AppendUvarint(buf, p.MapVersion)
+	return wirebin.AppendBool(buf, p.Fwd)
+}
+
+// DecodeWire implements codec.Payload.
+func (p *PutReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	p.Kind = r.String()
+	p.Res.ReadWire(&r)
+	p.App.ReadWire(&r)
+	p.Token = r.Uvarint()
+	p.MapVersion = r.Uvarint()
+	p.Fwd = r.Bool()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (QueryReq) WireID() uint16 { return 49 }
+
+// AppendWire implements codec.Payload.
+func (q QueryReq) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendUvarint(buf, q.Token)
+	buf = wirebin.AppendVarint(buf, int64(q.Scope))
+	return wirebin.AppendUvarint(buf, q.MapVersion)
+}
+
+// DecodeWire implements codec.Payload.
+func (q *QueryReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	q.Token = r.Uvarint()
+	q.Scope = Scope(r.Varint())
+	q.MapVersion = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (FetchReq) WireID() uint16 { return 50 }
+
+// AppendWire implements codec.Payload.
+func (f FetchReq) AppendWire(buf []byte) []byte {
+	return wirebin.AppendUvarint(buf, f.Token)
+}
+
+// DecodeWire implements codec.Payload.
+func (f *FetchReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	f.Token = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (GetReq) WireID() uint16 { return 51 }
+
+// AppendWire implements codec.Payload.
+func (g GetReq) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendUvarint(buf, g.Token)
+	buf = wirebin.AppendVarint(buf, int64(g.Node))
+	return wirebin.AppendUvarint(buf, g.MapVersion)
+}
+
+// DecodeWire implements codec.Payload.
+func (g *GetReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	g.Token = r.Uvarint()
+	g.Node = types.NodeID(r.Varint())
+	g.MapVersion = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (SyncReq) WireID() uint16 { return 52 }
+
+// AppendWire implements codec.Payload.
+func (s SyncReq) AppendWire(buf []byte) []byte {
+	return wirebin.AppendUvarint(buf, s.Token)
+}
+
+// DecodeWire implements codec.Payload.
+func (s *SyncReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	s.Token = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (DeltaBatch) WireID() uint16 { return 53 }
+
+// AppendWire implements codec.Payload.
+func (b DeltaBatch) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(b.Part))
+	buf = wirebin.AppendUvarint(buf, b.MapVersion)
+	buf = wirebin.AppendUvarint(buf, b.Seq)
+	buf = wirebin.AppendUvarint(buf, uint64(len(b.Res)))
+	for i := range b.Res {
+		buf = b.Res[i].AppendWire(buf)
+	}
+	buf = wirebin.AppendUvarint(buf, uint64(len(b.Apps)))
+	for i := range b.Apps {
+		buf = b.Apps[i].AppendWire(buf)
+	}
+	return buf
+}
+
+// DecodeWire implements codec.Payload. Zero-length slices decode to nil,
+// matching what gob round-trips produced before.
+func (b *DeltaBatch) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	b.Part = types.PartitionID(r.Varint())
+	b.MapVersion = r.Uvarint()
+	b.Seq = r.Uvarint()
+	b.Res = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		b.Res = make([]types.ResourceStats, n)
+		for i := range b.Res {
+			b.Res[i].ReadWire(&r)
+		}
+	}
+	b.Apps = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		b.Apps = make([]types.AppState, n)
+		for i := range b.Apps {
+			b.Apps[i].ReadWire(&r)
+		}
+	}
+	return r.Close()
+}

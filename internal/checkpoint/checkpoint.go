@@ -97,15 +97,15 @@ type FetchAck struct {
 }
 
 func init() {
-	codec.Register(SaveReq{})
-	codec.Register(SaveAck{})
-	codec.Register(RestoreReq{})
-	codec.Register(RestoreAck{})
-	codec.Register(DeleteReq{})
-	codec.Register(DeleteAck{})
-	codec.Register(Repl{})
-	codec.Register(FetchReq{})
-	codec.Register(FetchAck{})
+	codec.RegisterGob(SaveReq{})
+	codec.RegisterGob(SaveAck{})
+	codec.RegisterGob(RestoreReq{})
+	codec.RegisterGob(RestoreAck{})
+	codec.RegisterGob(DeleteReq{})
+	codec.RegisterGob(DeleteAck{})
+	codec.RegisterGob(Repl{})
+	codec.RegisterGob(FetchReq{})
+	codec.RegisterGob(FetchAck{})
 }
 
 type record struct {

@@ -1,0 +1,83 @@
+package codec_test
+
+import (
+	"testing"
+
+	"repro/internal/bulletin"
+	"repro/internal/codec"
+	"repro/internal/events"
+	"repro/internal/heartbeat"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// hotDecoders returns one fresh decoder per hand-rolled hot payload type.
+// Kept as an explicit list: a new binary payload must be added here to be
+// fuzzed, and the length check below makes forgetting loud.
+func hotDecoders() []codec.Payload {
+	return []codec.Payload{
+		new(types.Event),
+		new(types.ResourceStats),
+		new(types.AppState),
+		new(heartbeat.Heartbeat),
+		new(heartbeat.GSDAnnounce),
+		new(bulletin.PutReq),
+		new(bulletin.QueryReq),
+		new(bulletin.FetchReq),
+		new(bulletin.GetReq),
+		new(bulletin.SyncReq),
+		new(bulletin.DeltaBatch),
+		new(events.PubReq),
+		new(events.EventMsg),
+		new(watchd.Spec),
+	}
+}
+
+// FuzzDecodeMessage asserts the codec-level half of the live-node
+// invariant: no body, however malformed, may panic DecodeMessage. Valid
+// bodies must also re-encode.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, ex := range codec.Registered() {
+		msg := types.Message{
+			From: types.Addr{Node: 1, Service: types.SvcWD},
+			To:   types.Addr{Node: 2, Service: types.SvcGSD},
+			NIC:  1, Type: "seed", Payload: fill(ex),
+		}
+		if data, err := codec.Encode(msg); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Decode(data) // must not panic
+		if err != nil {
+			return
+		}
+		if _, err := codec.Encode(msg); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzPayloadDecode throws arbitrary bytes at every hot payload's
+// DecodeWire: errors are fine, panics are not, and whatever state the
+// decoder leaves behind must still encode.
+func FuzzPayloadDecode(f *testing.F) {
+	if n := len(hotDecoders()); n < 14 {
+		f.Fatalf("only %d hot decoders listed", n)
+	}
+	for _, p := range hotDecoders() {
+		f.Add(p.AppendWire(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range hotDecoders() {
+			if err := p.DecodeWire(data); err != nil { // must not panic
+				continue
+			}
+			p.AppendWire(nil) // decoded state must be encodable
+		}
+	})
+}

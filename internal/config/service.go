@@ -68,12 +68,12 @@ type ReconfigAck struct {
 }
 
 func init() {
-	codec.Register(GetReq{})
-	codec.Register(GetAck{})
-	codec.Register(IntrospectReq{})
-	codec.Register(IntrospectAck{})
-	codec.Register(ReconfigReq{})
-	codec.Register(ReconfigAck{})
+	codec.RegisterGob(GetReq{})
+	codec.RegisterGob(GetAck{})
+	codec.RegisterGob(IntrospectReq{})
+	codec.RegisterGob(IntrospectAck{})
+	codec.RegisterGob(ReconfigReq{})
+	codec.RegisterGob(ReconfigAck{})
 }
 
 // Service is the configuration service daemon. One instance runs on the

@@ -23,7 +23,7 @@ import (
 
 // Spec travels inside agent spawn requests (detector respawn, node
 // reseeding), so it must be wire-encodable.
-func init() { codec.Register(Spec{}) }
+func init() { codec.RegisterGob(Spec{}) }
 
 // Spec configures a detector daemon.
 type Spec struct {

@@ -111,15 +111,15 @@ type EventMsg struct {
 type ReadyMsg struct{ Service string }
 
 func init() {
-	codec.Register(SubReq{})
-	codec.Register(SubAck{})
-	codec.Register(UnsubReq{})
-	codec.Register(UnsubAck{})
-	codec.Register(SupplierReq{})
-	codec.Register(PubReq{})
-	codec.Register(EventMsg{})
-	codec.Register(ReadyMsg{})
-	codec.Register(state{})
+	codec.RegisterGob(SubReq{})
+	codec.RegisterGob(SubAck{})
+	codec.RegisterGob(UnsubReq{})
+	codec.RegisterGob(UnsubAck{})
+	codec.RegisterGob(SupplierReq{})
+	codec.RegisterGob(PubReq{})
+	codec.RegisterGob(EventMsg{})
+	codec.RegisterGob(ReadyMsg{})
+	codec.RegisterGob(state{})
 }
 
 // state is the checkpointed portion of an instance.

@@ -1,0 +1,51 @@
+// Hand-rolled binary wire codecs (wire format v3) for the event
+// service's fanout payloads. Publishes and deliveries scale with
+// subscriber count, so they ride the binary path; the subscription
+// control messages stay on the gob fallback. Field order is part of
+// the wire format.
+package events
+
+import (
+	"repro/internal/codec"
+	"repro/internal/wirebin"
+)
+
+func init() {
+	wirebin.Intern(
+		"es.sub", "es.unsub", "es.pub", "es.event", "es.supplier", "es.ready",
+	)
+	codec.RegisterPayload(64, func() codec.Payload { return new(PubReq) })
+	codec.RegisterPayload(65, func() codec.Payload { return new(EventMsg) })
+}
+
+// WireID implements codec.Payload (ID space: 64+ = events).
+func (PubReq) WireID() uint16 { return 64 }
+
+// AppendWire implements codec.Payload.
+func (p PubReq) AppendWire(buf []byte) []byte {
+	return p.Event.AppendWire(buf)
+}
+
+// DecodeWire implements codec.Payload.
+func (p *PubReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	p.Event.ReadWire(&r)
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (EventMsg) WireID() uint16 { return 65 }
+
+// AppendWire implements codec.Payload.
+func (m EventMsg) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendUvarint(buf, m.SubID)
+	return m.Event.AppendWire(buf)
+}
+
+// DecodeWire implements codec.Payload.
+func (m *EventMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	m.SubID = r.Uvarint()
+	m.Event.ReadWire(&r)
+	return r.Close()
+}

@@ -34,7 +34,7 @@ type View struct {
 // ViewMsg carries a view push.
 type ViewMsg struct{ View View }
 
-func init() { codec.Register(ViewMsg{}) }
+func init() { codec.RegisterGob(ViewMsg{}) }
 
 // NewView builds a version-1 view from a static placement.
 func NewView(placement map[types.PartitionID]types.NodeID) View {

@@ -44,7 +44,7 @@ type SpawnSpec struct {
 	Migrated  bool
 }
 
-func init() { codec.Register(SpawnSpec{}) }
+func init() { codec.RegisterGob(SpawnSpec{}) }
 
 // ServiceSpawnSpec travels in remote spawn requests for the partition
 // kernel services (es/db/ckpt) so a migrated instance knows to restore.
@@ -54,7 +54,7 @@ type ServiceSpawnSpec struct {
 	Restart   bool
 }
 
-func init() { codec.Register(ServiceSpawnSpec{}) }
+func init() { codec.RegisterGob(ServiceSpawnSpec{}) }
 
 // Spec configures a GSD.
 type Spec struct {
@@ -758,7 +758,7 @@ type partState struct {
 	Down []types.NodeID
 }
 
-func init() { codec.Register(partState{}) }
+func init() { codec.RegisterGob(partState{}) }
 
 func (g *Daemon) ckptOwner() string { return fmt.Sprintf("gsd/%d", g.spec.Partition) }
 

@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"repro/internal/clock"
-	"repro/internal/codec"
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/simhost"
@@ -53,11 +52,6 @@ type Heartbeat struct {
 
 // WireSize implements codec.Sizer; heartbeats dominate kernel traffic.
 func (Heartbeat) WireSize() int { return 48 }
-
-func init() {
-	codec.Register(Heartbeat{})
-	codec.Register(GSDAnnounce{})
-}
 
 // NodeStatus is the monitor's belief about one node.
 type NodeStatus int

@@ -1,0 +1,55 @@
+// Hand-rolled binary wire codecs (wire format v3) for the heartbeat
+// plane. Heartbeats dominate steady-state kernel traffic, so they are
+// the first payloads off the gob fallback. Field order is part of the
+// wire format.
+package heartbeat
+
+import (
+	"repro/internal/codec"
+	"repro/internal/types"
+	"repro/internal/wirebin"
+)
+
+func init() {
+	wirebin.Intern(MsgHeartbeat, MsgGSDAnnounce)
+	codec.RegisterPayload(32, func() codec.Payload { return new(Heartbeat) })
+	codec.RegisterPayload(33, func() codec.Payload { return new(GSDAnnounce) })
+}
+
+// WireID implements codec.Payload (ID space: 32+ = heartbeat).
+func (Heartbeat) WireID() uint16 { return 32 }
+
+// AppendWire implements codec.Payload.
+func (h Heartbeat) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(h.Node))
+	buf = wirebin.AppendUvarint(buf, h.Seq)
+	buf = wirebin.AppendDuration(buf, h.Interval)
+	return wirebin.AppendTime(buf, h.Boot)
+}
+
+// DecodeWire implements codec.Payload.
+func (h *Heartbeat) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	h.Node = types.NodeID(r.Varint())
+	h.Seq = r.Uvarint()
+	h.Interval = r.Duration()
+	h.Boot = r.Time()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (GSDAnnounce) WireID() uint16 { return 33 }
+
+// AppendWire implements codec.Payload.
+func (a GSDAnnounce) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(a.Partition))
+	return wirebin.AppendVarint(buf, int64(a.GSDNode))
+}
+
+// DecodeWire implements codec.Payload.
+func (a *GSDAnnounce) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	a.Partition = types.PartitionID(r.Varint())
+	a.GSDNode = types.NodeID(r.Varint())
+	return r.Close()
+}

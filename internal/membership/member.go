@@ -40,9 +40,9 @@ type JoinMsg struct {
 func (JoinMsg) WireSize() int { return 16 }
 
 func init() {
-	codec.Register(MetaHB{})
-	codec.Register(ViewMsg{})
-	codec.Register(JoinMsg{})
+	codec.RegisterGob(MetaHB{})
+	codec.RegisterGob(ViewMsg{})
+	codec.RegisterGob(JoinMsg{})
 }
 
 // Config tunes the meta-group protocol. The meta probe timeout is tighter

@@ -91,13 +91,13 @@ type DoneMsg struct {
 func (DoneMsg) WireSize() int { return 16 }
 
 func init() {
-	codec.Register(SubmitReq{})
-	codec.Register(SubmitAck{})
-	codec.Register(StatusReq{})
-	codec.Register(StatusAck{})
-	codec.Register(RunReq{})
-	codec.Register(RunAck{})
-	codec.Register(DoneMsg{})
+	codec.RegisterGob(SubmitReq{})
+	codec.RegisterGob(SubmitAck{})
+	codec.RegisterGob(StatusReq{})
+	codec.RegisterGob(StatusAck{})
+	codec.RegisterGob(RunReq{})
+	codec.RegisterGob(RunAck{})
+	codec.RegisterGob(DoneMsg{})
 }
 
 // Mom is the per-node monitor/executor daemon.

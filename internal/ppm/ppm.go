@@ -133,17 +133,17 @@ type PExecAck struct {
 }
 
 func init() {
-	codec.Register(JobSpec{}) // travels inside agent spawn requests (job loading)
-	codec.Register(LoadReq{})
-	codec.Register(LoadAck{})
-	codec.Register(KillReq{})
-	codec.Register(KillAck{})
-	codec.Register(CleanupReq{})
-	codec.Register(JobDone{})
-	codec.Register(PExecReq{})
-	codec.Register(PExecAck{})
-	codec.Register(QueryReq{})
-	codec.Register(QueryAck{})
+	codec.RegisterGob(JobSpec{}) // travels inside agent spawn requests (job loading)
+	codec.RegisterGob(LoadReq{})
+	codec.RegisterGob(LoadAck{})
+	codec.RegisterGob(KillReq{})
+	codec.RegisterGob(KillAck{})
+	codec.RegisterGob(CleanupReq{})
+	codec.RegisterGob(JobDone{})
+	codec.RegisterGob(PExecReq{})
+	codec.RegisterGob(PExecAck{})
+	codec.RegisterGob(QueryReq{})
+	codec.RegisterGob(QueryAck{})
 }
 
 // Spec configures a PPM daemon.

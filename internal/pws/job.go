@@ -127,13 +127,13 @@ type StatAck struct {
 }
 
 func init() {
-	codec.Register(SubmitReq{})
-	codec.Register(SubmitAck{})
-	codec.Register(StatReq{})
-	codec.Register(StatAck{})
-	codec.Register(DeleteReq{})
-	codec.Register(DeleteAck{})
-	codec.Register(JobStatReq{})
-	codec.Register(JobStatAck{})
-	codec.Register(state{})
+	codec.RegisterGob(SubmitReq{})
+	codec.RegisterGob(SubmitAck{})
+	codec.RegisterGob(StatReq{})
+	codec.RegisterGob(StatAck{})
+	codec.RegisterGob(DeleteReq{})
+	codec.RegisterGob(DeleteAck{})
+	codec.RegisterGob(JobStatReq{})
+	codec.RegisterGob(JobStatAck{})
+	codec.RegisterGob(state{})
 }

@@ -50,10 +50,10 @@ type CheckAck struct {
 }
 
 func init() {
-	codec.Register(AuthReq{})
-	codec.Register(AuthAck{})
-	codec.Register(CheckReq{})
-	codec.Register(CheckAck{})
+	codec.RegisterGob(AuthReq{})
+	codec.RegisterGob(AuthAck{})
+	codec.RegisterGob(CheckReq{})
+	codec.RegisterGob(CheckAck{})
 }
 
 // Service is the security service daemon; a single instance runs on the

@@ -473,12 +473,12 @@ func (h *Host) send(to types.Addr, nic int, typ string, payload any) {
 }
 
 func init() {
-	codec.Register(ProbeReq{})
-	codec.Register(ProbeAck{})
-	codec.Register(SpawnReq{})
-	codec.Register(SpawnAck{})
-	codec.Register(KillReq{})
-	codec.Register(KillAck{})
-	codec.Register(ExecReq{})
-	codec.Register(ExecAck{})
+	codec.RegisterGob(ProbeReq{})
+	codec.RegisterGob(ProbeAck{})
+	codec.RegisterGob(SpawnReq{})
+	codec.RegisterGob(SpawnAck{})
+	codec.RegisterGob(KillReq{})
+	codec.RegisterGob(KillAck{})
+	codec.RegisterGob(ExecReq{})
+	codec.RegisterGob(ExecAck{})
 }

@@ -9,16 +9,11 @@ package watchd
 import (
 	"time"
 
-	"repro/internal/codec"
 	"repro/internal/detector"
 	"repro/internal/heartbeat"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
-
-// Spec travels inside agent spawn requests (WD respawn after a process
-// fault, node reseeding), so it must be wire-encodable.
-func init() { codec.Register(Spec{}) }
 
 // Spec configures a watch daemon.
 type Spec struct {

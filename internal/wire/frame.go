@@ -7,17 +7,21 @@ import (
 	"repro/internal/types"
 )
 
-// Datagram framing, version 2. Version 1 framed exactly one fire-and-forget
-// kernel message per datagram; version 2 adds the fields the reliability
-// layer needs — sequence numbers, piggybacked acks, and fragmentation — so
-// that any registered payload crosses the wire and lost datagrams are
-// retransmitted. Old v1 frames are rejected cleanly (a version check before
-// anything else), so mixed-version clusters fail loudly instead of
-// misparsing each other.
+// Datagram framing, version 3. Version 1 framed exactly one fire-and-forget
+// kernel message per datagram; version 2 added the fields the reliability
+// layer needs — sequence numbers, piggybacked acks, and fragmentation.
+// Version 3 keeps the 32-byte header bit-for-bit but changes the datagram
+// contract: a datagram may carry several frames back to back, the length
+// field of each delimiting the next — that is what lets the batching layer
+// coalesce a burst of frames (and the acks riding with them) into one
+// socket write. The frame body format also moved from gob to the codec's
+// binary envelope (codec.AppendMessage), so the version bump is load-
+// bearing twice over: old v2 frames are rejected cleanly before their
+// bodies are misread.
 //
 //	offset  size  field
 //	0       2     magic "PX"
-//	2       1     format version (currently 2)
+//	2       1     format version (currently 3)
 //	3       1     plane index the sender transmitted on
 //	4       1     flags (data / ack / frag, see below)
 //	5       3     reserved, must be zero
@@ -28,19 +32,20 @@ import (
 //	24      2     fragment index (flagFrag; 0 otherwise)
 //	26      2     fragment count (flagFrag; 1 for unfragmented data)
 //	28      4     payload length, big endian
-//	32      n     payload: one gob body (codec.Encode) or one fragment of it
+//	32      n     payload: one codec body (codec.AppendMessage) or one
+//	              fragment of it; the next frame, if any, starts at 32+n
 //
 // The source node is in the header — not inferred from the UDP source
 // address — because acks must be routed through the address book and
 // ack-only frames carry no decodable body to name their sender.
 //
-// UDP already delimits datagrams, so the length field is not needed to find
-// the frame end; it exists to reject truncated or padded datagrams before
-// the reassembly buffers or the gob decoder see them.
+// A datagram is parsed as a whole before any of its frames is acted on:
+// one malformed frame poisons the entire datagram (counted as a decode
+// error), so trailing garbage cannot ride in behind a valid frame.
 const (
 	frameMagic0  = 'P'
 	frameMagic1  = 'X'
-	frameVersion = 2
+	frameVersion = 3
 	headerSize   = 32
 
 	// flagData marks a frame that carries (a fragment of) a kernel message
@@ -85,45 +90,71 @@ type frame struct {
 func (f *frame) isData() bool { return f.flags&flagData != 0 }
 func (f *frame) hasAck() bool { return f.flags&flagAck != 0 }
 
-// encodeFrame serialises a frame. The payload is copied into the returned
-// buffer, so retransmissions can hold the bytes without aliasing caller
-// state.
-func encodeFrame(f frame) []byte {
-	out := make([]byte, headerSize+len(f.payload))
-	out[0], out[1], out[2], out[3] = frameMagic0, frameMagic1, frameVersion, byte(f.plane)
-	out[4] = f.flags
-	binary.BigEndian.PutUint32(out[8:12], uint32(f.src))
-	binary.BigEndian.PutUint32(out[12:16], f.seq)
-	binary.BigEndian.PutUint32(out[16:20], f.ack)
-	binary.BigEndian.PutUint32(out[20:24], f.ackBits)
-	binary.BigEndian.PutUint16(out[24:26], f.fragIndex)
-	binary.BigEndian.PutUint16(out[26:28], f.fragCount)
-	binary.BigEndian.PutUint32(out[28:32], uint32(len(f.payload)))
-	copy(out[headerSize:], f.payload)
-	return out
+// appendFrame serialises a frame onto dst — into a pooled flush buffer, a
+// lane's open batch, or a fresh allocation via encodeFrame. The payload is
+// copied, so the assembled bytes never alias caller state.
+func appendFrame(dst []byte, f frame) []byte {
+	var hdr [headerSize]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, frameVersion, byte(f.plane)
+	hdr[4] = f.flags
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(f.src))
+	binary.BigEndian.PutUint32(hdr[12:16], f.seq)
+	binary.BigEndian.PutUint32(hdr[16:20], f.ack)
+	binary.BigEndian.PutUint32(hdr[20:24], f.ackBits)
+	binary.BigEndian.PutUint16(hdr[24:26], f.fragIndex)
+	binary.BigEndian.PutUint16(hdr[26:28], f.fragCount)
+	binary.BigEndian.PutUint32(hdr[28:32], uint32(len(f.payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.payload...)
 }
 
-// parseFrame validates one datagram. It never panics, whatever the input: a
-// live node must survive any byte sequence thrown at its sockets. The
-// returned frame's payload aliases data.
+// encodeFrame serialises a frame into a fresh buffer — the cold paths
+// (probes, tests) that don't go through the pooled assembly.
+func encodeFrame(f frame) []byte {
+	return appendFrame(make([]byte, 0, headerSize+len(f.payload)), f)
+}
+
+// parseFrame validates one single-frame datagram: exactly one frame, no
+// trailing bytes. The returned frame's payload aliases data.
 func parseFrame(data []byte) (frame, error) {
+	f, next, err := parseFrameAt(data, 0)
+	if err != nil {
+		return frame{}, err
+	}
+	if next != len(data) {
+		return frame{}, fmt.Errorf("wire: %d trailing bytes after frame", len(data)-next)
+	}
+	return f, nil
+}
+
+// parseFrameAt validates the frame starting at data[off:] and returns it
+// with the offset of the next frame — the iterator the read loop walks a
+// multi-frame datagram with. It never panics, whatever the input: a live
+// node must survive any byte sequence thrown at its sockets. The returned
+// frame's payload aliases data.
+func parseFrameAt(data []byte, off int) (frame, int, error) {
+	data = data[off:]
 	// Magic and version come before the length check: a v1 frame is shorter
-	// than a v2 header, and it must be rejected as the wrong version, not as
-	// a truncated v2 frame.
+	// than a v3 header, and it must be rejected as the wrong version, not as
+	// a truncated v3 frame.
 	if len(data) < 3 {
-		return frame{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
+		return frame{}, 0, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
 	}
 	if data[0] != frameMagic0 || data[1] != frameMagic1 {
-		return frame{}, fmt.Errorf("wire: bad magic %#x%#x", data[0], data[1])
+		return frame{}, 0, fmt.Errorf("wire: bad magic %#x%#x", data[0], data[1])
 	}
 	if data[2] != frameVersion {
-		return frame{}, fmt.Errorf("wire: unsupported frame version %d (want %d)", data[2], frameVersion)
+		return frame{}, 0, fmt.Errorf("wire: unsupported frame version %d (want %d)", data[2], frameVersion)
 	}
 	if len(data) < headerSize {
-		return frame{}, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
+		return frame{}, 0, fmt.Errorf("wire: short datagram (%d bytes)", len(data))
 	}
 	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
-		return frame{}, fmt.Errorf("wire: nonzero reserved bytes")
+		return frame{}, 0, fmt.Errorf("wire: nonzero reserved bytes")
+	}
+	n := binary.BigEndian.Uint32(data[28:32])
+	if uint64(n) > uint64(len(data)-headerSize) {
+		return frame{}, 0, fmt.Errorf("wire: length header %d, %d bytes remain", n, len(data)-headerSize)
 	}
 	f := frame{
 		plane:     int(data[3]),
@@ -134,44 +165,41 @@ func parseFrame(data []byte) (frame, error) {
 		ackBits:   binary.BigEndian.Uint32(data[20:24]),
 		fragIndex: binary.BigEndian.Uint16(data[24:26]),
 		fragCount: binary.BigEndian.Uint16(data[26:28]),
-		payload:   data[headerSize:],
+		payload:   data[headerSize : headerSize+int(n)],
 	}
 	if f.flags&^(flagData|flagAck|flagFrag|flagPing|flagPong) != 0 {
-		return frame{}, fmt.Errorf("wire: unknown flags %#x", f.flags)
-	}
-	if n := binary.BigEndian.Uint32(data[28:32]); int(n) != len(f.payload) {
-		return frame{}, fmt.Errorf("wire: length header %d, body %d", n, len(f.payload))
+		return frame{}, 0, fmt.Errorf("wire: unknown flags %#x", f.flags)
 	}
 	switch {
 	case f.flags&(flagPing|flagPong) != 0:
 		// Probes are strictly standalone: nothing piggybacks on them.
 		if (f.flags != flagPing && f.flags != flagPong) || len(f.payload) != 0 ||
 			f.seq != 0 || f.ack != 0 || f.ackBits != 0 || f.fragIndex != 0 || f.fragCount != 0 {
-			return frame{}, fmt.Errorf("wire: malformed probe frame")
+			return frame{}, 0, fmt.Errorf("wire: malformed probe frame")
 		}
 	case f.isData():
 		if f.seq == 0 {
-			return frame{}, fmt.Errorf("wire: data frame with zero sequence")
+			return frame{}, 0, fmt.Errorf("wire: data frame with zero sequence")
 		}
 		if len(f.payload) == 0 {
-			return frame{}, fmt.Errorf("wire: data frame with empty payload")
+			return frame{}, 0, fmt.Errorf("wire: data frame with empty payload")
 		}
 		if f.flags&flagFrag != 0 {
 			if f.fragCount < 2 || f.fragCount > maxFragments || f.fragIndex >= f.fragCount {
-				return frame{}, fmt.Errorf("wire: bad fragment %d/%d", f.fragIndex, f.fragCount)
+				return frame{}, 0, fmt.Errorf("wire: bad fragment %d/%d", f.fragIndex, f.fragCount)
 			}
 			if uint32(f.fragIndex) > f.seq-1 {
-				return frame{}, fmt.Errorf("wire: fragment index %d exceeds sequence %d", f.fragIndex, f.seq)
+				return frame{}, 0, fmt.Errorf("wire: fragment index %d exceeds sequence %d", f.fragIndex, f.seq)
 			}
 		} else if f.fragIndex != 0 || f.fragCount != 1 {
-			return frame{}, fmt.Errorf("wire: unfragmented frame with fragment fields %d/%d", f.fragIndex, f.fragCount)
+			return frame{}, 0, fmt.Errorf("wire: unfragmented frame with fragment fields %d/%d", f.fragIndex, f.fragCount)
 		}
 	case f.hasAck():
 		if len(f.payload) != 0 || f.seq != 0 || f.fragIndex != 0 || f.fragCount != 0 {
-			return frame{}, fmt.Errorf("wire: malformed ack-only frame")
+			return frame{}, 0, fmt.Errorf("wire: malformed ack-only frame")
 		}
 	default:
-		return frame{}, fmt.Errorf("wire: frame carries neither data nor ack")
+		return frame{}, 0, fmt.Errorf("wire: frame carries neither data nor ack")
 	}
-	return f, nil
+	return f, off + headerSize + len(f.payload), nil
 }

@@ -24,16 +24,18 @@ var (
 
 // options collects everything New can be configured with.
 type options struct {
-	planes   int // ephemeral mode: bind this many loopback planes
-	loop     *Loop
-	reg      *metrics.Registry
-	mtu      int
-	window   int
-	queueMax int
-	rto      time.Duration
-	rtoMax   time.Duration
-	retries  int
-	ackDelay time.Duration
+	planes      int // ephemeral mode: bind this many loopback planes
+	loop        *Loop
+	reg         *metrics.Registry
+	mtu         int
+	window      int
+	queueMax    int
+	rto         time.Duration
+	rtoMax      time.Duration
+	retries     int
+	ackDelay    time.Duration
+	batchWindow time.Duration
+	pool        bool
 
 	onPeerFault func(peer types.NodeID, plane int, err error)
 	filter      OutboundFilter
@@ -104,6 +106,21 @@ func WithRetransmit(rto time.Duration, retries int) Option {
 // must stay well below the retransmission timeout.
 func WithAckDelay(d time.Duration) Option { return func(o *options) { o.ackDelay = d } }
 
+// WithBatchWindow turns on per-lane frame coalescing: data frames bound
+// for the same (peer, plane) lane within d of each other leave in one
+// datagram (up to the MTU), and standalone acks ride an open batch
+// instead of paying their own socket write. d = 0 — the default —
+// disables coalescing; every frame leaves in its own datagram. d must
+// stay below the retransmission timeout, or batched frames would be
+// retransmitted before their first transmission leaves the node.
+func WithBatchWindow(d time.Duration) Option { return func(o *options) { o.batchWindow = d } }
+
+// WithBufferPool toggles sync.Pool reuse of frame and datagram buffers
+// (default on). Turning it off makes every buffer a fresh allocation —
+// the escape hatch for debugging suspected buffer-reuse bugs, at the
+// cost of the steady-state allocation rate.
+func WithBufferPool(on bool) Option { return func(o *options) { o.pool = on } }
+
 // WithPeerFaultHandler installs the callback invoked (from a timer
 // goroutine, not the Loop) when a lane exhausts its retransmission budget.
 // The error wraps ErrPeerUnreachable.
@@ -125,6 +142,7 @@ func buildOptions(opts []Option) (options, error) {
 		rto:      50 * time.Millisecond,
 		retries:  10,
 		ackDelay: 20 * time.Millisecond,
+		pool:     true,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -140,6 +158,9 @@ func buildOptions(opts []Option) (options, error) {
 	}
 	if o.ackDelay <= 0 || o.ackDelay >= o.rto {
 		return o, fmt.Errorf("wire: ack delay %v must sit in (0, rto=%v)", o.ackDelay, o.rto)
+	}
+	if o.batchWindow < 0 || o.batchWindow >= o.rto {
+		return o, fmt.Errorf("wire: batch window %v must sit in [0, rto=%v)", o.batchWindow, o.rto)
 	}
 	o.rtoMax = 40 * o.rto
 	if o.rtoMax > 2*time.Second {

@@ -41,18 +41,21 @@ type peerKey struct {
 	plane int
 }
 
-// pending is one transmitted-but-unacked frame.
+// pending is one transmitted-but-unacked frame. Its buffer never leaves
+// relMu's protection: every (re)transmission copies it into a flush
+// buffer under the lock, so settling it back into the pool cannot race a
+// write in flight.
 type pending struct {
-	data     []byte
+	buf      *wbuf
 	attempts int
 	timer    clock.Timer
 }
 
 // queued is an encoded frame (sequence already assigned) waiting for
-// window space.
+// window space; its buffer becomes the pending buffer on promotion.
 type queued struct {
-	seq  uint32
-	data []byte
+	seq uint32
+	buf *wbuf
 }
 
 // txState is the sender's view of one (peer, plane) lane.
@@ -60,6 +63,12 @@ type txState struct {
 	nextSeq  uint32
 	inflight map[uint32]*pending
 	queue    []queued
+
+	// batch is the lane's open coalescing buffer (WithBatchWindow > 0):
+	// frames staged since the last flush, leaving together when the
+	// window timer fires or the next frame would overflow the MTU.
+	batch      *wbuf
+	batchTimer clock.Timer
 }
 
 // rxState is the receiver's view of one (peer, plane) lane.
@@ -135,7 +144,7 @@ func (t *Transport) sendReliable(dst types.NodeID, plane int, ep *net.UDPAddr, b
 			dst, plane, t.opt.queueMax, ErrPeerUnreachable)
 	}
 	ack, ackBits, ackFlag := t.takeAckLocked(key)
-	var sendNow [][]byte
+	var out outbox
 	stalled := 0
 	for i := 0; i < nfrag; i++ {
 		seq := tx.nextSeq
@@ -156,12 +165,13 @@ func (t *Transport) sendReliable(dst types.NodeID, plane int, ep *net.UDPAddr, b
 			hi = len(body)
 		}
 		f.payload = body[lo:hi]
-		data := encodeFrame(f)
+		fb := t.newFrameBuf()
+		fb.b = appendFrame(fb.b[:0], f)
 		if len(tx.inflight) < t.opt.window {
-			t.armLocked(tx, key, seq, data)
-			sendNow = append(sendNow, data)
+			t.armLocked(tx, key, seq, fb)
+			t.stageLocked(tx, key, &out, fb.b)
 		} else {
-			tx.queue = append(tx.queue, queued{seq: seq, data: data})
+			tx.queue = append(tx.queue, queued{seq: seq, buf: fb})
 			stalled++
 		}
 	}
@@ -170,16 +180,14 @@ func (t *Transport) sendReliable(dst types.NodeID, plane int, ep *net.UDPAddr, b
 	if stalled > 0 {
 		t.reg.Counter("wire.tx.window_stalls").Add(float64(stalled))
 	}
-	for _, data := range sendNow {
-		t.transmit(dst, plane, ep, data)
-	}
+	t.deliver(key, &out)
 	return nil
 }
 
 // armLocked registers a frame in the in-flight window and starts its
 // retransmit timer. relMu must be held.
-func (t *Transport) armLocked(tx *txState, key peerKey, seq uint32, data []byte) {
-	p := &pending{data: data}
+func (t *Transport) armLocked(tx *txState, key peerKey, seq uint32, fb *wbuf) {
+	p := &pending{buf: fb}
 	tx.inflight[seq] = p
 	p.timer = t.clk.AfterFunc(t.opt.rto, func() { t.retransmit(key, seq) })
 }
@@ -204,6 +212,7 @@ func (t *Transport) retransmit(key peerKey, seq uint32) {
 	if closed || !up || book == nil {
 		// A dead or down node transmits nothing; abandon silently.
 		delete(tx.inflight, seq)
+		t.putFrameBuf(p.buf)
 		t.relMu.Unlock()
 		return
 	}
@@ -225,15 +234,22 @@ func (t *Transport) retransmit(key peerKey, seq uint32) {
 		backoff = t.opt.rtoMax
 	}
 	p.timer = t.clk.AfterFunc(backoff, func() { t.retransmit(key, seq) })
-	data := p.data
+	// Retransmissions bypass the batch — the lane is losing traffic, so
+	// they should not wait on the window — and copy the frame under relMu,
+	// so a concurrent ack settling p back into the pool cannot race the
+	// write.
+	w := t.getFlush()
+	w.b = append(w.b[:0], p.buf.b...)
 	t.relMu.Unlock()
 
 	ep, ok := book.Endpoint(key.node, key.plane)
 	if !ok {
+		t.putFlush(w)
 		return
 	}
 	t.reg.Counter("wire.tx.retransmits").Inc()
-	t.transmit(key.node, key.plane, ep, data)
+	t.transmit(key.node, key.plane, ep, w.b)
+	t.putFlush(w)
 }
 
 // dropLaneLocked abandons all traffic queued or in flight to one lane.
@@ -245,7 +261,12 @@ func (t *Transport) dropLaneLocked(key peerKey) {
 	}
 	for _, p := range tx.inflight {
 		p.timer.Stop()
+		t.putFrameBuf(p.buf)
 	}
+	for _, q := range tx.queue {
+		t.putFrameBuf(q.buf)
+	}
+	t.dropBatchLocked(tx)
 	// Keep nextSeq: if the peer returns, its dup window is keyed to the
 	// highest sequence it saw, so sequence numbers must not restart.
 	tx.inflight = make(map[uint32]*pending)
@@ -265,6 +286,7 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 	settle := func(seq uint32) {
 		if p := tx.inflight[seq]; p != nil {
 			p.timer.Stop()
+			t.putFrameBuf(p.buf)
 			delete(tx.inflight, seq)
 			settled++
 		}
@@ -275,12 +297,12 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 			settle(ack - 1 - i)
 		}
 	}
-	var sendNow [][]byte
+	var out outbox
 	for len(tx.queue) > 0 && len(tx.inflight) < t.opt.window {
 		q := tx.queue[0]
 		tx.queue = tx.queue[1:]
-		t.armLocked(tx, key, q.seq, q.data)
-		sendNow = append(sendNow, q.data)
+		t.armLocked(tx, key, q.seq, q.buf)
+		t.stageLocked(tx, key, &out, q.buf.b)
 	}
 	t.relMu.Unlock()
 
@@ -288,21 +310,7 @@ func (t *Transport) handleAck(key peerKey, ack, ackBits uint32) {
 		// The peer acked traffic on this lane: it demonstrably delivers.
 		t.markLaneUp(key)
 	}
-	if len(sendNow) > 0 {
-		t.mu.Lock()
-		book := t.book
-		t.mu.Unlock()
-		if book == nil {
-			return
-		}
-		ep, ok := book.Endpoint(key.node, key.plane)
-		if !ok {
-			return
-		}
-		for _, data := range sendNow {
-			t.transmit(key.node, key.plane, ep, data)
-		}
-	}
+	t.deliver(key, &out)
 }
 
 // handleData runs the receive side of the state machine for one data
@@ -440,15 +448,27 @@ func (t *Transport) sendAck(key peerKey) {
 		return
 	}
 	ack, bits := ackFieldsLocked(rx)
+	af := frame{plane: key.plane, flags: flagAck, src: t.node, ack: ack, ackBits: bits}
+	// An open batch on the reverse lane is leaving within the batch
+	// window anyway: ride it instead of paying a datagram of our own.
+	if tx := t.tx[key]; tx != nil && tx.batch != nil && len(tx.batch.b)+headerSize <= t.opt.mtu {
+		tx.batch.b = appendFrame(tx.batch.b, af)
+		t.relMu.Unlock()
+		t.reg.Counter("wire.tx.acks").Inc()
+		t.reg.Counter("wire.tx.ack_batched").Inc()
+		return
+	}
 	t.relMu.Unlock()
 
 	ep, ok := book.Endpoint(key.node, key.plane)
 	if !ok {
 		return
 	}
-	data := encodeFrame(frame{plane: key.plane, flags: flagAck, src: t.node, ack: ack, ackBits: bits})
+	w := t.getFlush()
+	w.b = appendFrame(w.b[:0], af)
 	t.reg.Counter("wire.tx.acks").Inc()
-	t.transmit(key.node, key.plane, ep, data)
+	t.transmit(key.node, key.plane, ep, w.b)
+	t.putFlush(w)
 }
 
 // resetReliability stops every reliability timer and discards all lane
@@ -459,7 +479,12 @@ func (t *Transport) resetReliability() {
 	for _, tx := range t.tx {
 		for _, p := range tx.inflight {
 			p.timer.Stop()
+			t.putFrameBuf(p.buf)
 		}
+		for _, q := range tx.queue {
+			t.putFrameBuf(q.buf)
+		}
+		t.dropBatchLocked(tx)
 		tx.inflight = make(map[uint32]*pending)
 		tx.queue = nil
 	}

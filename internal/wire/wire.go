@@ -6,7 +6,7 @@
 // plane-k socket.
 //
 // Unlike raw UDP, the transport delivers: a reliability layer between the
-// kernel and the sockets (frame format v2) sequences every message,
+// kernel and the sockets (frame format v3) sequences every message,
 // retransmits with exponential backoff inside a bounded per-peer window,
 // suppresses duplicates on receive, and fragments bodies larger than the
 // MTU — the paper's kernel assumes its channels deliver (heartbeat
@@ -49,6 +49,12 @@ type Transport struct {
 
 	conns []*net.UDPConn
 	wg    sync.WaitGroup
+
+	// flushPooling gates sync.Pool reuse of assembled datagrams: off when
+	// the user disabled pooling, and off when an outbound filter is
+	// installed, since a filter may hold a datagram and replay it from
+	// another goroutine after the write call returned.
+	flushPooling bool
 
 	mu       sync.Mutex
 	book     *Book
@@ -99,11 +105,12 @@ func New(node types.NodeID, book *Book, opts ...Option) (*Transport, error) {
 
 	t := &Transport{
 		node: node, loop: o.loop, reg: o.reg, clk: clock.Real{}, opt: o,
-		handlers: make(map[types.Addr]func(types.Message)),
-		up:       true,
-		tx:       make(map[peerKey]*txState),
-		rx:       make(map[peerKey]*rxState),
-		health:   make(map[peerKey]*laneHealth),
+		flushPooling: o.pool && o.filter == nil,
+		handlers:     make(map[types.Addr]func(types.Message)),
+		up:           true,
+		tx:           make(map[peerKey]*txState),
+		rx:           make(map[peerKey]*rxState),
+		health:       make(map[peerKey]*laneHealth),
 	}
 	for p, laddr := range laddrs {
 		conn, err := net.ListenUDP("udp", laddr)
@@ -246,12 +253,19 @@ func (t *Transport) Send(msg types.Message) error {
 
 	msg.NIC = plane
 	msg.Sent = t.clk.Now()
-	body, err := codec.Encode(msg)
+	// The body buffer is pooled: sendReliable copies it into per-frame
+	// buffers before returning, so it never outlives this call.
+	bw := t.getFlush()
+	body, err := codec.AppendMessage(bw.b[:0], msg)
 	if err != nil {
+		t.putFlush(bw)
 		t.reg.Counter("wire.tx.drop.encode").Inc()
 		return err
 	}
-	if err := t.sendReliable(msg.To.Node, plane, ep, body, msg.Type); err != nil {
+	bw.b = body
+	err = t.sendReliable(msg.To.Node, plane, ep, body, msg.Type)
+	t.putFlush(bw)
+	if err != nil {
 		return err
 	}
 	t.reg.Counter("wire.tx.msgs").Inc()
@@ -283,12 +297,16 @@ func (t *Transport) rawWrite(plane int, ep *net.UDPAddr, data []byte) {
 }
 
 // readLoop drains one plane's socket until the transport closes. Frame
-// parsing, the reliability state machine and gob decoding all run on this
-// goroutine (CPU-bound, loop-free); completed messages are dispatched
-// inside the loop, mirroring the delivery discipline of the simulator.
+// parsing, the reliability state machine and body decoding all run on
+// this goroutine (CPU-bound, loop-free); completed messages are
+// dispatched inside the loop, mirroring the delivery discipline of the
+// simulator. A datagram may carry several frames (the sender's batching
+// layer); it is validated as a whole — one malformed frame rejects the
+// entire datagram — before any frame is acted on.
 func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
 	defer t.wg.Done()
 	buf := make([]byte, maxFrameSize+1)
+	frames := make([]frame, 0, 8)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
@@ -305,24 +323,44 @@ func (t *Transport) readLoop(plane int, conn *net.UDPConn) {
 		t.reg.Counter("wire.rx.bytes").Add(float64(n))
 		t.reg.Counter(fmt.Sprintf("wire.rx.datagrams.plane%d", plane)).Inc()
 		t.reg.Counter(fmt.Sprintf("wire.rx.bytes.plane%d", plane)).Add(float64(n))
-		f, err := parseFrame(buf[:n])
-		if err != nil {
+		frames = frames[:0]
+		valid := true
+		for off := 0; off < n; {
+			f, next, err := parseFrameAt(buf[:n], off)
+			if err != nil {
+				valid = false
+				break
+			}
+			frames = append(frames, f)
+			off = next
+		}
+		if !valid || len(frames) == 0 {
 			t.reg.Counter("wire.rx.decode_errors").Inc()
 			continue
+		}
+		if len(frames) > 1 {
+			t.reg.Counter("wire.rx.batched_frames").Add(float64(len(frames) - 1))
 		}
 		if fi := t.opt.inFilter; fi != nil {
 			// The filter may hold the datagram past this iteration
 			// (delay/duplicate), and buf is reused — hand it a copy and
-			// re-parse on delivery so the payload aliases the copy.
+			// re-parse on delivery so the payloads alias the copy.
 			data := append([]byte(nil), buf[:n]...)
-			fi(f.src, plane, data, func() {
-				if f, err := parseFrame(data); err == nil {
+			fi(frames[0].src, plane, data, func() {
+				for off := 0; off < len(data); {
+					f, next, err := parseFrameAt(data, off)
+					if err != nil {
+						return
+					}
 					t.receive(plane, f)
+					off = next
 				}
 			})
 			continue
 		}
-		t.receive(plane, f)
+		for _, f := range frames {
+			t.receive(plane, f)
+		}
 	}
 }
 
@@ -370,7 +408,8 @@ func (t *Transport) receive(plane int, f frame) {
 	t.dispatch(msg)
 }
 
-// decodeBody gob-decodes a reassembled message body. It never panics,
+// decodeBody decodes a reassembled message body — the codec's binary
+// envelope, with gob inside for fallback payloads. It never panics,
 // whatever the bytes: a live node must survive any datagram thrown at its
 // sockets, so decoder panics (possible on adversarial gob streams) are
 // converted to errors.
