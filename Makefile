@@ -31,19 +31,21 @@ test:
 # shard maps across goroutines; the cluster smoke test guards the
 # simulator path.
 race:
-	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/wire/... ./internal/noded/...
+	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/gossip/ ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
 # The fuzz gate: a short engine run per fuzz target, starting from the
-# checked-in seed corpora (internal/wire/testdata/fuzz/ and
-# internal/codec/testdata/fuzz/). The engine accepts one -fuzz target per
-# invocation, hence one run each: the wire frame parser, the address-book
-# parser, the codec envelope decoder, and every hot payload's DecodeWire.
+# checked-in seed corpora (internal/wire/testdata/fuzz/,
+# internal/codec/testdata/fuzz/ and internal/gossip/testdata/fuzz/). The
+# engine accepts one -fuzz target per invocation, hence one run each: the
+# wire frame parser, the address-book parser, the codec envelope decoder,
+# every hot payload's DecodeWire, and the gossip plane's wire codecs.
 fuzz:
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz '^FuzzParseBook$$' -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s -run '^$$' ./internal/codec/
 	$(GO) test -fuzz '^FuzzPayloadDecode$$' -fuzztime 10s -run '^$$' ./internal/codec/
+	$(GO) test -fuzz '^FuzzGossipWire$$' -fuzztime 10s -run '^$$' ./internal/gossip/
 
 # The allocation gate: the binary codec's hot paths (AppendMessage into a
 # warm buffer, DecodeWire into a reused value, Size of a binary payload)
@@ -55,8 +57,12 @@ alloc:
 
 # The wire benchmark: codec and transport tiers at 4/16/64 loopback
 # nodes, binary versus gob versus binary+batching; writes BENCH_wire.json.
+# The scale benchmark: gossip versus complete-graph fanout at 136/256/512
+# simulated nodes plus 64/128 loopback gossip engines; writes
+# BENCH_scale.json.
 bench:
 	$(GO) run ./cmd/phoenix-bench -exp wire
+	$(GO) run ./cmd/phoenix-bench -exp scale
 
 # The operations-plane gate: build the shipped binaries, boot one real
 # node with its admin server enabled, scrape /healthz + /metrics through

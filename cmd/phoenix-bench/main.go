@@ -22,9 +22,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|all")
-	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes and wire-bench message counts for a fast run")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|scale|all")
+	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes, wire-bench message counts and scale-bench windows for a fast run")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "where -exp wire writes its JSON report")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "where -exp scale writes its JSON report")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -99,9 +100,21 @@ func main() {
 			fmt.Printf("wire bench report written to %s\n", *wireOut)
 			return nil
 		},
+		"scale": func() error {
+			r, err := experiments.RunScaleBench(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if err := r.WriteJSON(*scaleOut); err != nil {
+				return err
+			}
+			fmt.Printf("scale bench report written to %s\n", *scaleOut)
+			return nil
+		},
 	}
 	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "pws",
-		"ablation-partition", "ablation-interval", "wire"}
+		"ablation-partition", "ablation-interval", "wire", "scale"}
 
 	var selected []string
 	if *exp == "all" {

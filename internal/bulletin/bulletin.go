@@ -14,6 +14,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/events"
 	"repro/internal/federation"
+	"repro/internal/gossip"
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/shard"
@@ -118,6 +119,13 @@ type Config struct {
 	Replicas   int           // copies per key range, primary included (0 = shard.DefaultReplicas)
 	VNodes     int           // virtual nodes per partition on the ring (0 = shard.DefaultVNodes)
 	DeltaFlush time.Duration // delta-batch flush interval (0 = DefaultDeltaFlush)
+
+	// Gossip routes delta propagation through the co-located gossip
+	// instance (bounded fanout, anti-entropy) instead of publishing
+	// EvBulletinDelta through the event federation's complete graph.
+	// Sequencing, dedup and the requestSync repair path are identical on
+	// both transports.
+	Gossip bool
 }
 
 // cachedSnap is one partition's home snapshot in the read-through cache.
@@ -183,15 +191,20 @@ func (s *Service) Service() string { return types.SvcDB }
 func (s *Service) Start(h *simhost.Handle) {
 	s.rt = h
 	s.pending = rpc.NewPending(h)
-	// Delta propagation rides the event service: publish to the co-located
-	// instance, receive every peer primary's batches through the
-	// federation. The subscription is sticky — the local ES may still be
-	// restoring (or restarting after a migration) when we come up.
+	// Delta propagation rides the event service unless the gossip plane
+	// carries it: publish to the co-located instance, receive every peer
+	// primary's batches through the federation. The subscription is
+	// sticky — the local ES may still be restoring (or restarting after a
+	// migration) when we come up. With Gossip on, batches arrive as
+	// MsgDeliver from the co-located gossip instance instead and the ES
+	// never sees delta traffic.
 	s.esc = events.NewClient(h, rpc.Budget(time.Second), func() (types.Addr, bool) {
 		return types.Addr{Node: h.Node(), Service: types.SvcES}, true
 	})
-	s.esc.SubscribeSticky([]types.EventType{types.EvBulletinDelta}, -1, "",
-		2*time.Second, s.onDelta, nil)
+	if !s.cfg.Gossip {
+		s.esc.SubscribeSticky([]types.EventType{types.EvBulletinDelta}, -1, "",
+			2*time.Second, s.onDelta, nil)
+	}
 	s.smap = shard.FromView(s.view, s.cfg.Replicas, s.cfg.VNodes)
 	// A (re)started instance begins empty: pull the shard stores of every
 	// mapped peer.
@@ -266,6 +279,10 @@ func (s *Service) Receive(msg types.Message) {
 			return
 		}
 		s.pending.Resolve(ack.Token, ack)
+	case gossip.MsgDeliver:
+		if d, ok := msg.Payload.(gossip.DeliverMsg); ok {
+			s.onGossipDelta(d)
+		}
 	case federation.MsgView:
 		if vm, ok := msg.Payload.(federation.ViewMsg); ok {
 			if s.view.Adopt(vm.View) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/gossip"
 	"repro/internal/shard"
 	"repro/internal/types"
 )
@@ -179,6 +180,14 @@ func (s *Service) Stats() ShardStats {
 	return st
 }
 
+// DeltaSeq reports the last delta sequence this instance authored as a
+// primary (experiment instrumentation).
+func (s *Service) DeltaSeq() uint64 { return s.deltaSeq }
+
+// AppliedSeq reports the last delta sequence applied from the given
+// source partition (experiment instrumentation).
+func (s *Service) AppliedSeq(src types.PartitionID) uint64 { return s.applied[src] }
+
 // rebuildMap re-derives the shard map after a view change: drop rows this
 // partition no longer holds, push home rows back through the plane (a
 // promoted primary starts receiving its new ranges), pull a sync from every
@@ -187,6 +196,17 @@ func (s *Service) rebuildMap() {
 	nm := shard.FromView(s.view, s.cfg.Replicas, s.cfg.VNodes)
 	if nm.Version == s.smap.Version && len(nm.Entries) == len(s.smap.Entries) {
 		return
+	}
+	// A partition whose hosting node changed is a new delta source: the
+	// replacement primary restarts its flush stream at sequence 1, so the
+	// old host's applied sequence would shadow every fresh batch as a
+	// duplicate. Forget it; the requestSync pulls below re-seed the rows.
+	for src := range s.applied {
+		on, ook := s.smap.Node(src)
+		nn, nok := nm.Node(src)
+		if !nok || (ook && on != nn) {
+			delete(s.applied, src)
+		}
 	}
 	s.smap = nm
 	s.sstats.MapChanges++
@@ -418,21 +438,53 @@ func (s *Service) flushDeltas() {
 	}
 	s.sstats.DeltaBatchesOut++
 	s.sstats.DeltaRowsOut += uint64(rows)
+	if s.cfg.Gossip {
+		// Hand the batch to the co-located gossip instance; the epidemic
+		// rounds carry it to every peer with bounded fanout.
+		s.rt.Send(types.Addr{Node: s.rt.Node(), Service: types.SvcGossip},
+			types.AnyNIC, gossip.MsgSubmit, gossip.SubmitMsg{Seq: s.deltaSeq, Data: data})
+		return
+	}
 	s.esc.Publish(types.Event{
 		Type: types.EvBulletinDelta, Node: s.rt.Node(), Partition: s.part,
 		Service: types.SvcDB, Data: data,
 	})
 }
 
-// onDelta applies a peer primary's delta batch: dedup and gap-detect by
-// per-source sequence, land the rows we hold copies of, and invalidate the
-// query-cache entries those rows make stale.
+// onDelta applies a peer primary's delta batch arriving as an
+// EvBulletinDelta event (the complete-graph transport).
 func (s *Service) onDelta(ev types.Event) {
 	if len(ev.Data) == 0 {
 		return
 	}
 	batch, err := decodeDelta(ev.Data)
-	if err != nil || batch.Part == s.part {
+	if err != nil {
+		return
+	}
+	s.applyDeltaBatch(batch)
+}
+
+// onGossipDelta applies a peer primary's delta batch delivered by the
+// co-located gossip instance.
+func (s *Service) onGossipDelta(d gossip.DeliverMsg) {
+	if len(d.Data) == 0 {
+		return
+	}
+	batch, err := decodeDelta(d.Data)
+	if err != nil {
+		return
+	}
+	s.applyDeltaBatch(batch)
+}
+
+// applyDeltaBatch is the transport-independent half of delta ingestion:
+// dedup and gap-detect by per-source sequence, land the rows we hold
+// copies of, and invalidate the query-cache entries those rows make
+// stale. A gap means the source flushed batches we never saw (lost
+// event, or gossip log truncated past its DigestCap) — the repair is the
+// same requestSync full pull either way.
+func (s *Service) applyDeltaBatch(batch DeltaBatch) {
+	if batch.Part == s.part {
 		return
 	}
 	last := s.applied[batch.Part]

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"repro/internal/clock"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// SimApplier replays a scenario inside the discrete-event simulator: the
+// virtual-time counterpart of Runner. Where Runner reconfigures one
+// node's real-socket injector from that node's point of view, the
+// applier owns the whole simulated network, so it interprets steps
+// globally — a partition step severs every cross-group pair at once, a
+// nic-down takes the plane down cluster-wide.
+type SimApplier struct {
+	clk clock.Clock
+	net *simnet.Network
+	// kill is invoked with the node a kill step names; nil ignores kills.
+	kill func(types.NodeID)
+
+	cuts    [][2]types.NodeID
+	skipped []Step
+	timers  []clock.Timer
+}
+
+// NewSimApplier builds an applier for one simulated network. clk is the
+// simulation clock the steps are scheduled on.
+func NewSimApplier(clk clock.Clock, net *simnet.Network, kill func(types.NodeID)) *SimApplier {
+	return &SimApplier{clk: clk, net: net, kill: kill}
+}
+
+// Run schedules every step of the scenario relative to now on the sim
+// clock; advancing the engine fires them.
+func (a *SimApplier) Run(sc *Scenario) {
+	for _, st := range sc.Resolve() {
+		st := st
+		a.timers = append(a.timers, a.clk.AfterFunc(st.At, func() { a.Apply(st) }))
+	}
+}
+
+// Stop cancels the steps that have not fired yet.
+func (a *SimApplier) Stop() {
+	for _, t := range a.timers {
+		t.Stop()
+	}
+	a.timers = nil
+}
+
+// Apply executes one step immediately.
+func (a *SimApplier) Apply(st Step) {
+	switch st.Op {
+	case "nic-down":
+		_ = a.net.SetPlaneUp(st.Plane, false)
+	case "nic-up":
+		_ = a.net.SetPlaneUp(st.Plane, true)
+	case "partition":
+		for i, g := range st.Groups {
+			for _, other := range st.Groups[i+1:] {
+				for _, x := range g {
+					for _, y := range other {
+						a.net.Cut(x, y, true)
+						a.cuts = append(a.cuts, [2]types.NodeID{x, y})
+					}
+				}
+			}
+		}
+	case "heal":
+		for _, c := range a.cuts {
+			a.net.Cut(c[0], c[1], false)
+		}
+		a.cuts = nil
+	case "kill":
+		if a.kill != nil {
+			a.kill(st.Node)
+		}
+	default:
+		// The probabilistic rule ops (drop/dup/delay/clear) belong to the
+		// real-socket injector; the simulated network has no rule engine.
+		// Record them so a test can assert its scenario was fully applied
+		// instead of silently losing steps.
+		a.skipped = append(a.skipped, st)
+	}
+}
+
+// Skipped lists the steps the simulator could not express.
+func (a *SimApplier) Skipped() []Step { return a.skipped }

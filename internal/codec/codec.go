@@ -63,7 +63,7 @@ const (
 
 	// FirstPayloadID is the lowest wire ID RegisterPayload accepts.
 	// Assigned ranges (see DESIGN §3f): 16+ types, 32+ heartbeat,
-	// 48+ bulletin, 64+ events, 80+ watchd.
+	// 48+ bulletin, 64+ events, 80+ watchd, 96+ gossip.
 	FirstPayloadID = 16
 )
 
@@ -179,7 +179,7 @@ func registerBuiltins() {
 		types.SvcAgent, types.SvcWD, types.SvcGSD, types.SvcES, types.SvcDB,
 		types.SvcCkpt, types.SvcConfig, types.SvcSecurity, types.SvcPPM,
 		types.SvcDetector, types.SvcPWS, types.SvcPBS, types.SvcPBSMom,
-		types.SvcGridView, types.SvcJobRuntime,
+		types.SvcGridView, types.SvcJobRuntime, types.SvcGossip,
 	)
 }
 

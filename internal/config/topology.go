@@ -238,6 +238,22 @@ type Params struct {
 	// derives 3*RPCTimeout + 5s: three restore-call budgets for the
 	// checkpoint restore plus exec/announce slack.
 	ServiceRecoveryGrace time.Duration
+	// GossipFanout is the number of random peers each gossip round
+	// contacts on the epidemic dissemination plane. Zero disables the
+	// plane: federation views and bulletin deltas fall back to the
+	// complete-graph event fanout.
+	GossipFanout int
+	// GossipInterval is the gossip round period; each round is jittered
+	// by up to ±1/8 of it so partitions do not synchronize into bursts.
+	GossipInterval time.Duration
+	// GossipDigestCap bounds the per-source delta suffix a gossip
+	// instance retains for push repair; peers further behind fall back
+	// to the bulletin's requestSync full pull.
+	GossipDigestCap int
+	// HeartbeatJitter is the per-beat random offset on WD heartbeats
+	// (uniform in ±HeartbeatJitter). It must stay safely below
+	// HeartbeatGrace or the partition monitor declares false misses.
+	HeartbeatJitter time.Duration
 }
 
 // ServiceRecoveryDeadline is the effective restart-grace window:
@@ -267,6 +283,14 @@ func DefaultParams() Params {
 		BulletinVNodes:         64,
 		BulletinDeltaFlush:     250 * time.Millisecond,
 		RPCTimeout:             3 * time.Second,
+		GossipFanout:           3,
+		GossipInterval:         2 * time.Second,
+		GossipDigestCap:        32,
+		// Zero: the paper's Tables 1-3 measure detection latency against a
+		// phase-aligned beat schedule, so the evaluation config keeps WD
+		// beats deterministic. Deployments that want to avoid synchronized
+		// beat bursts opt in by setting a value below HeartbeatGrace.
+		HeartbeatJitter: 0,
 	}
 }
 
@@ -284,5 +308,6 @@ func FastParams() Params {
 	p.MetaProbeTimeout = 350 * time.Millisecond
 	p.DetectorSampleInterval = time.Second
 	p.BulletinDeltaFlush = 100 * time.Millisecond
+	p.GossipInterval = 250 * time.Millisecond
 	return p
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/events"
 	"repro/internal/federation"
+	"repro/internal/gossip"
 	"repro/internal/gsd"
 	"repro/internal/ppm"
 	"repro/internal/rpc"
@@ -236,7 +237,25 @@ func (k *Kernel) spawnServerDaemons(server *simhost.Host, p config.PartitionInfo
 	if _, err := server.Spawn(k.newCheckpoint(p.ID, initialFed, opts)); err != nil {
 		return fmt.Errorf("core: spawn CKPT for %v: %w", p.ID, err)
 	}
+	if params.GossipFanout > 0 {
+		if _, err := server.Spawn(gossip.NewService(p.ID, initialFed, gossipConfig(params, p.ID))); err != nil {
+			return fmt.Errorf("core: spawn gossip for %v: %w", p.ID, err)
+		}
+	}
 	return nil
+}
+
+// gossipConfig maps kernel parameters onto one partition's gossip
+// instance. The seed mixes the partition ID so instances differ while
+// whole-cluster runs stay reproducible.
+func gossipConfig(params config.Params, p types.PartitionID) gossip.Config {
+	return gossip.Config{
+		Part:      p,
+		Fanout:    params.GossipFanout,
+		Interval:  params.GossipInterval,
+		DigestCap: params.GossipDigestCap,
+		Seed:      int64(p) + 1,
+	}
 }
 
 // newCheckpoint builds a checkpoint instance, persistent when the kernel
@@ -257,6 +276,7 @@ func (k *Kernel) spawnNodeDaemons(host *simhost.Host, id types.NodeID, opts Opti
 		Partition: part.ID, GSDNode: part.Server,
 		Interval: params.HeartbeatInterval, NICs: k.Topo.NICs,
 		Supervise: true, DetectorSample: params.DetectorSampleInterval,
+		Jitter: params.HeartbeatJitter,
 	})); err != nil {
 		return fmt.Errorf("core: spawn WD on %v: %w", id, err)
 	}
@@ -280,6 +300,7 @@ func bulletinConfig(params config.Params) bulletin.Config {
 		Replicas:     params.BulletinReplicas,
 		VNodes:       params.BulletinVNodes,
 		DeltaFlush:   params.BulletinDeltaFlush,
+		Gossip:       params.GossipFanout > 0,
 	}
 }
 
@@ -333,6 +354,13 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 			return nil
 		}
 		return k.newCheckpoint(s.Partition, s.View, opts)
+	})
+	host.RegisterFactory(types.SvcGossip, func(spec any) simhost.Process {
+		s, ok := spec.(gsd.ServiceSpawnSpec)
+		if !ok {
+			return nil
+		}
+		return gossip.NewService(s.Partition, s.View, gossipConfig(params, s.Partition))
 	})
 	host.RegisterFactory(types.SvcWD, func(spec any) simhost.Process {
 		s, ok := spec.(watchd.Spec)

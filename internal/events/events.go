@@ -6,6 +6,13 @@
 // published at any instance reaches all matching consumers cluster-wide,
 // and a restarted instance retrieves its registrations from the checkpoint
 // service.
+//
+// The federation's event fanout is a complete graph — one message per
+// peer instance per publish. Clusters running the gossip dissemination
+// plane (internal/gossip) move the highest-volume stream, bulletin
+// delta batches (types.EvBulletinDelta), off this path entirely: the
+// bulletin hands batches to its co-located gossip instance and the ES
+// carries only the low-rate control events.
 package events
 
 import (

@@ -80,6 +80,23 @@ func (v View) PeerAddrs(self types.PartitionID, service string) []types.Addr {
 	return out
 }
 
+// PeerNodes returns the host nodes of every alive partition other than
+// self, in partition order. The deterministic order is load-bearing for
+// the gossip plane: peer selection shuffles this list with a seeded RNG,
+// so identical views must yield identical candidate orders.
+func (v View) PeerNodes(self types.PartitionID) []types.NodeID {
+	var out []types.NodeID
+	for _, p := range v.Partitions() {
+		if p == self {
+			continue
+		}
+		if e := v.Entries[p]; e.Alive {
+			out = append(out, e.Node)
+		}
+	}
+	return out
+}
+
 // Addr returns the address of the named service for one partition.
 func (v View) Addr(part types.PartitionID, service string) (types.Addr, bool) {
 	e, ok := v.Entries[part]

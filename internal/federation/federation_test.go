@@ -37,6 +37,21 @@ func TestPeerAddrsExcludesSelfAndDead(t *testing.T) {
 	}
 }
 
+func TestPeerNodesExcludesSelfAndDead(t *testing.T) {
+	v := view3()
+	nodes := v.PeerNodes(1)
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 34 {
+		t.Fatalf("peer nodes = %v", nodes)
+	}
+	e := v.Entries[0]
+	e.Alive = false
+	v.Entries[0] = e
+	nodes = v.PeerNodes(1)
+	if len(nodes) != 1 || nodes[0] != 34 {
+		t.Fatalf("peer nodes with dead member = %v", nodes)
+	}
+}
+
 func TestAddr(t *testing.T) {
 	v := view3()
 	addr, ok := v.Addr(2, types.SvcES)

@@ -1,0 +1,233 @@
+// Hand-rolled binary wire codecs (wire format v3) for the gossip plane.
+// Digest and updates are the steady-state inter-partition traffic — a
+// digest is a few varints per partition, so it rides batched frames
+// whenever a batch window is open. Field order is part of the wire
+// format.
+package gossip
+
+import (
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/federation"
+	"repro/internal/types"
+	"repro/internal/wirebin"
+)
+
+func init() {
+	wirebin.Intern(MsgDigest, MsgUpdates, MsgSubmit, MsgDeliver, MsgLive)
+	codec.RegisterPayload(96, func() codec.Payload { return new(DigestMsg) })
+	codec.RegisterPayload(97, func() codec.Payload { return new(UpdatesMsg) })
+	codec.RegisterPayload(98, func() codec.Payload { return new(SubmitMsg) })
+	codec.RegisterPayload(99, func() codec.Payload { return new(DeliverMsg) })
+	codec.RegisterPayload(100, func() codec.Payload { return new(LiveMsg) })
+}
+
+// appendView encodes a federation view as version plus entries sorted by
+// partition.
+func appendView(buf []byte, v federation.View) []byte {
+	buf = wirebin.AppendUvarint(buf, v.Version)
+	parts := make([]types.PartitionID, 0, len(v.Entries))
+	for p := range v.Entries {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	buf = wirebin.AppendUvarint(buf, uint64(len(parts)))
+	for _, p := range parts {
+		e := v.Entries[p]
+		buf = wirebin.AppendVarint(buf, int64(p))
+		buf = wirebin.AppendVarint(buf, int64(e.Node))
+		buf = wirebin.AppendBool(buf, e.Alive)
+	}
+	return buf
+}
+
+func readView(r *wirebin.Reader, v *federation.View) {
+	v.Version = r.Uvarint()
+	v.Entries = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		v.Entries = make(map[types.PartitionID]federation.Entry, n)
+		for i := 0; i < n; i++ {
+			p := types.PartitionID(r.Varint())
+			var e federation.Entry
+			e.Node = types.NodeID(r.Varint())
+			e.Alive = r.Bool()
+			v.Entries[p] = e
+		}
+	}
+}
+
+// WireID implements codec.Payload (ID space: 96+ = gossip).
+func (DigestMsg) WireID() uint16 { return 96 }
+
+// AppendWire implements codec.Payload.
+func (m DigestMsg) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(m.Digest.Part))
+	buf = wirebin.AppendUvarint(buf, m.Digest.FedVersion)
+	buf = wirebin.AppendUvarint(buf, uint64(len(m.Digest.Deltas)))
+	for _, ss := range m.Digest.Deltas {
+		buf = wirebin.AppendVarint(buf, int64(ss.Src))
+		buf = wirebin.AppendUvarint(buf, ss.Seq)
+	}
+	buf = wirebin.AppendUvarint(buf, uint64(len(m.Digest.Live)))
+	for _, lv := range m.Digest.Live {
+		buf = wirebin.AppendVarint(buf, int64(lv.Part))
+		buf = wirebin.AppendUvarint(buf, lv.Ver)
+	}
+	return wirebin.AppendBool(buf, m.Reply)
+}
+
+// DecodeWire implements codec.Payload.
+func (m *DigestMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	m.Digest.Part = types.PartitionID(r.Varint())
+	m.Digest.FedVersion = r.Uvarint()
+	m.Digest.Deltas = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		m.Digest.Deltas = make([]SourceSeq, n)
+		for i := range m.Digest.Deltas {
+			m.Digest.Deltas[i].Src = types.PartitionID(r.Varint())
+			m.Digest.Deltas[i].Seq = r.Uvarint()
+		}
+	}
+	m.Digest.Live = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		m.Digest.Live = make([]LiveVer, n)
+		for i := range m.Digest.Live {
+			m.Digest.Live[i].Part = types.PartitionID(r.Varint())
+			m.Digest.Live[i].Ver = r.Uvarint()
+		}
+	}
+	m.Reply = r.Bool()
+	return r.Close()
+}
+
+func appendLiveness(buf []byte, l Liveness) []byte {
+	buf = wirebin.AppendVarint(buf, int64(l.Part))
+	buf = wirebin.AppendVarint(buf, int64(l.Node))
+	buf = wirebin.AppendUvarint(buf, l.Ver)
+	buf = wirebin.AppendVarint(buf, int64(l.Total))
+	buf = wirebin.AppendUvarint(buf, uint64(len(l.Down)))
+	for _, n := range l.Down {
+		buf = wirebin.AppendVarint(buf, int64(n))
+	}
+	return buf
+}
+
+func readLiveness(r *wirebin.Reader, l *Liveness) {
+	l.Part = types.PartitionID(r.Varint())
+	l.Node = types.NodeID(r.Varint())
+	l.Ver = r.Uvarint()
+	l.Total = int(r.Varint())
+	l.Down = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		l.Down = make([]types.NodeID, n)
+		for i := range l.Down {
+			l.Down[i] = types.NodeID(r.Varint())
+		}
+	}
+}
+
+// WireID implements codec.Payload.
+func (UpdatesMsg) WireID() uint16 { return 97 }
+
+// AppendWire implements codec.Payload.
+func (m UpdatesMsg) AppendWire(buf []byte) []byte {
+	u := m.Updates
+	buf = wirebin.AppendVarint(buf, int64(u.From))
+	buf = wirebin.AppendBool(buf, u.ViewSet)
+	if u.ViewSet {
+		buf = appendView(buf, u.View)
+	}
+	buf = wirebin.AppendUvarint(buf, uint64(len(u.Deltas)))
+	for _, d := range u.Deltas {
+		buf = wirebin.AppendVarint(buf, int64(d.Src))
+		buf = wirebin.AppendUvarint(buf, d.Seq)
+		buf = wirebin.AppendBytes(buf, d.Data)
+	}
+	buf = wirebin.AppendUvarint(buf, uint64(len(u.Live)))
+	for _, l := range u.Live {
+		buf = appendLiveness(buf, l)
+	}
+	return buf
+}
+
+// DecodeWire implements codec.Payload.
+func (m *UpdatesMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	u := &m.Updates
+	u.From = types.PartitionID(r.Varint())
+	u.ViewSet = r.Bool()
+	u.View = federation.View{}
+	if u.ViewSet {
+		readView(&r, &u.View)
+	}
+	u.Deltas = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		u.Deltas = make([]Delta, n)
+		for i := range u.Deltas {
+			u.Deltas[i].Src = types.PartitionID(r.Varint())
+			u.Deltas[i].Seq = r.Uvarint()
+			u.Deltas[i].Data = r.Bytes(nil)
+		}
+	}
+	u.Live = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		u.Live = make([]Liveness, n)
+		for i := range u.Live {
+			readLiveness(&r, &u.Live[i])
+		}
+	}
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (SubmitMsg) WireID() uint16 { return 98 }
+
+// AppendWire implements codec.Payload.
+func (m SubmitMsg) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendUvarint(buf, m.Seq)
+	return wirebin.AppendBytes(buf, m.Data)
+}
+
+// DecodeWire implements codec.Payload.
+func (m *SubmitMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes(nil)
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (DeliverMsg) WireID() uint16 { return 99 }
+
+// AppendWire implements codec.Payload.
+func (m DeliverMsg) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(m.Src))
+	buf = wirebin.AppendUvarint(buf, m.Seq)
+	return wirebin.AppendBytes(buf, m.Data)
+}
+
+// DecodeWire implements codec.Payload.
+func (m *DeliverMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	m.Src = types.PartitionID(r.Varint())
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes(nil)
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (LiveMsg) WireID() uint16 { return 100 }
+
+// AppendWire implements codec.Payload.
+func (m LiveMsg) AppendWire(buf []byte) []byte {
+	return appendLiveness(buf, m.Liveness)
+}
+
+// DecodeWire implements codec.Payload.
+func (m *LiveMsg) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	readLiveness(&r, &m.Liveness)
+	return r.Close()
+}

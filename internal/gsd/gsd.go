@@ -27,6 +27,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/events"
 	"repro/internal/federation"
+	"repro/internal/gossip"
 	"repro/internal/heartbeat"
 	"repro/internal/membership"
 	"repro/internal/rpc"
@@ -121,9 +122,16 @@ type Daemon struct {
 
 // New builds a GSD.
 func New(spec Spec) *Daemon {
+	localSvcs := append([]string{types.SvcES, types.SvcDB, types.SvcCkpt}, spec.Extra...)
+	if spec.Params.GossipFanout > 0 {
+		// The gossip instance is a supervised partition service like the
+		// other three: restarted by the local check, migrated with the
+		// GSD, fed the federation view by syncFedView.
+		localSvcs = append(localSvcs, types.SvcGossip)
+	}
 	return &Daemon{
 		spec:            spec,
-		localSvcs:       append([]string{types.SvcES, types.SvcDB, types.SvcCkpt}, spec.Extra...),
+		localSvcs:       localSvcs,
 		recovering:      make(map[string]time.Time),
 		wdRespawning:    make(map[types.NodeID]bool),
 		reintegrating:   make(map[types.NodeID]bool),
@@ -404,9 +412,34 @@ func (g *Daemon) onPartitionDiagnosed(v heartbeat.Verdict) {
 	case types.FaultNode:
 		g.publish(types.Event{Type: types.EvNodeFail, Node: v.Node, Detail: "node silent on all interfaces"})
 		g.checkpointPartitionState()
+		g.pushLiveness()
 	case types.FaultNIC:
 		g.publish(types.Event{Type: types.EvNetFail, Node: v.Node, NIC: v.NIC})
 	}
+}
+
+// pushLiveness folds the partition monitor's member health into one
+// summary row — N heartbeat flows aggregated to a single record — and
+// hands it to the co-located gossip instance, which spreads it between
+// partitions. The version is the GSD's clock at stamping, so a summary
+// republished after a migration supersedes the old host's rows.
+func (g *Daemon) pushLiveness() {
+	if g.spec.Params.GossipFanout <= 0 {
+		return
+	}
+	part, ok := g.spec.Topo.Partition(g.spec.Partition)
+	if !ok {
+		return
+	}
+	l := gossip.Liveness{
+		Part:  g.spec.Partition,
+		Node:  g.h.Node(),
+		Ver:   uint64(g.h.Now().UnixNano()),
+		Total: len(part.Members),
+		Down:  g.mon.DownNodes(),
+	}
+	g.h.Send(types.Addr{Node: g.h.Node(), Service: types.SvcGossip},
+		types.AnyNIC, gossip.MsgLive, gossip.LiveMsg{Liveness: l})
 }
 
 func (g *Daemon) onNodeRecovered(node types.NodeID, wasDown bool) {
@@ -415,6 +448,7 @@ func (g *Daemon) onNodeRecovered(node types.NodeID, wasDown bool) {
 	if wasDown {
 		g.publish(types.Event{Type: types.EvNodeRecover, Node: node})
 		g.checkpointPartitionState()
+		g.pushLiveness()
 		// Confirm the re-admission to the node itself: a crash-restarted
 		// phoenix-node holds its readiness at "rejoining" until its WD
 		// hears from the partition's current GSD.
@@ -441,6 +475,7 @@ func (g *Daemon) respawnWD(node types.NodeID) {
 		Interval:  g.spec.Params.HeartbeatInterval,
 		NICs:      g.spec.Topo.NICs,
 		Supervise: true, DetectorSample: g.spec.Params.DetectorSampleInterval,
+		Jitter: g.spec.Params.HeartbeatJitter,
 	}
 	tok := g.pending.New(g.spec.Params.RPCTimeout,
 		func(payload any) {
@@ -492,6 +527,7 @@ func (g *Daemon) reseedNode(node types.NodeID) {
 		Partition: g.spec.Partition, GSDNode: g.h.Node(),
 		Interval: g.spec.Params.HeartbeatInterval, NICs: g.spec.Topo.NICs,
 		Supervise: true, DetectorSample: g.spec.Params.DetectorSampleInterval,
+		Jitter: g.spec.Params.HeartbeatJitter,
 	}
 	send := func(service string, spec any) {
 		tok := g.pending.New(g.spec.Params.RPCTimeout, func(any) {}, nil)
@@ -532,6 +568,10 @@ func (g *Daemon) armRecovering(svc string) {
 }
 
 func (g *Daemon) localCheck() {
+	// Re-stamp the partition's liveness summary each check period: the
+	// periodic push re-seeds a restarted gossip instance and keeps the
+	// summary's version advancing for remote observers.
+	g.pushLiveness()
 	host := g.h.Host()
 	for _, svc := range g.localSvcs {
 		svc := svc

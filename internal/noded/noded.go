@@ -19,6 +19,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/gsd"
 	"repro/internal/metrics"
 	"repro/internal/opshttp"
@@ -322,6 +323,10 @@ func (n *Node) Status() opshttp.Status {
 			st.BulletinRows = db.Entries()
 			sh := db.Stats()
 			st.Shard = &sh
+		}
+		if gsp, ok := host.Proc(types.SvcGossip).(*gossip.Service); ok {
+			gs := gsp.Stats()
+			st.Gossip = &gs
 		}
 		// Rejoin gate: a crash-restarted node is not ready until a current
 		// GSD has announced itself to its watch daemon (re-admission), a

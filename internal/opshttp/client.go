@@ -98,49 +98,72 @@ type NodeReport struct {
 // Reachable reports whether the gather got a snapshot from the node.
 func (r NodeReport) Reachable() bool { return r.Err == "" }
 
-// Gather fans out to every target's admin server concurrently, each
-// request bounded by timeout, and returns one report per node sorted by
-// node ID. A node that misses its first fetch gets one retry after a short
-// jittered backoff — a node busy with a recovery or a dropped datagram must
-// not show as DOWN in the cluster table — and only the retry's failure
-// marks the row unreachable. Unreachable nodes are reported, not dropped —
-// a dead node is exactly what a cluster table must show.
+// GatherWorkers caps the concurrent /statusz fetches of one Gather. An
+// unbounded fan-out scales goroutines, sockets and ephemeral ports with
+// the cluster size; at the scales the gossip plane targets (hundreds of
+// nodes) that exhausts file descriptors on the admin host, so the gather
+// runs through a fixed worker pool instead.
+const GatherWorkers = 32
+
+// Gather fans out to every target's admin server through a bounded worker
+// pool (GatherWorkers), each request bounded by timeout, and returns one
+// report per node sorted by node ID. A node that misses its first fetch
+// gets one retry after a short jittered backoff — a node busy with a
+// recovery or a dropped datagram must not show as DOWN in the cluster
+// table — and only the retry's failure marks the row unreachable.
+// Unreachable nodes are reported, not dropped — a dead node is exactly
+// what a cluster table must show.
 func Gather(ctx context.Context, targets map[types.NodeID]string, timeout time.Duration) []NodeReport {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
 	client := &http.Client{Timeout: timeout}
+	type job struct {
+		node   types.NodeID
+		target string
+	}
+	jobs := make(chan job)
 	reports := make([]NodeReport, 0, len(targets))
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for node, target := range targets {
-		wg.Add(1)
-		go func(node types.NodeID, target string) {
-			defer wg.Done()
-			rep := NodeReport{Node: node, Target: target}
-			st, err := fetchOnce(ctx, client, target, timeout)
-			if err != nil {
-				// Jitter desynchronises the retries of many rows so they do
-				// not stampede a node that shed the first wave.
-				backoff := 100*time.Millisecond + time.Duration(rand.Int63n(int64(100*time.Millisecond)))
-				select {
-				case <-ctx.Done():
-				case <-time.After(backoff):
-					st, err = fetchOnce(ctx, client, target, timeout)
-				}
-			}
-			if err != nil {
-				rep.Err = err.Error()
-			} else {
-				rep.Status = st
-			}
-			mu.Lock()
-			reports = append(reports, rep)
-			mu.Unlock()
-		}(node, target)
+	workers := GatherWorkers
+	if len(targets) < workers {
+		workers = len(targets)
 	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rep := NodeReport{Node: j.node, Target: j.target}
+				st, err := fetchOnce(ctx, client, j.target, timeout)
+				if err != nil {
+					// Jitter desynchronises the retries of many rows so they do
+					// not stampede a node that shed the first wave.
+					backoff := 100*time.Millisecond + time.Duration(rand.Int63n(int64(100*time.Millisecond)))
+					select {
+					case <-ctx.Done():
+					case <-time.After(backoff):
+						st, err = fetchOnce(ctx, client, j.target, timeout)
+					}
+				}
+				if err != nil {
+					rep.Err = err.Error()
+				} else {
+					rep.Status = st
+				}
+				mu.Lock()
+				reports = append(reports, rep)
+				mu.Unlock()
+			}
+		}()
+	}
+	for node, target := range targets {
+		jobs <- job{node: node, target: target}
+	}
+	close(jobs)
 	wg.Wait()
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
 	return reports
@@ -159,11 +182,11 @@ func fetchOnce(ctx context.Context, client *http.Client, target string, timeout 
 // with role, GSD standing, membership, liveness and wire fault counts.
 func RenderTable(w io.Writer, reports []NodeReport) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
+	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tGOSSIP\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
 	leaders := 0
 	for _, r := range reports {
 		if !r.Reachable() {
-			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
 			continue
 		}
 		st := r.Status
@@ -181,8 +204,14 @@ func RenderTable(w io.Writer, reports []NodeReport) {
 			sh = fmt.Sprintf("v%d:%d/%d c%.2f", st.Shard.MapVersion,
 				st.Shard.PrimaryRows, st.Shard.ReplicaRows, st.Shard.CacheHitRatio())
 		}
-		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
-			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, st.Ready, len(st.Procs),
+		// Gossip standing of the hosted dissemination instance: rounds
+		// run, federation view version known, deltas learned, repair gaps.
+		gs := "-"
+		if g := st.Gossip; g != nil {
+			gs = fmt.Sprintf("r%d:fv%d d%d g%d", g.Rounds, g.FedVersion, g.DeltasRx, g.Gaps)
+		}
+		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
+			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, gs, st.Ready, len(st.Procs),
 			st.Wire.TxDatagrams, st.Wire.RxDatagrams, st.Wire.Retransmits,
 			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds)
 	}

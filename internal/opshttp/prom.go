@@ -129,6 +129,30 @@ func writeStatusProm(w io.Writer, st Status) {
 		counter("phoenix_bulletin_cache_invalidations_total", sh.CacheInvalidations)
 		gauge("phoenix_bulletin_cache_hit_ratio", promFloat(sh.CacheHitRatio()))
 	}
+	if gs := st.Gossip; gs != nil {
+		gauge := func(name string, v interface{}) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, v)
+		}
+		counter := func(name string, v uint64) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		}
+		gauge("phoenix_gossip_fanout", gs.Fanout)
+		gauge("phoenix_gossip_max_fanout", gs.MaxFanout)
+		gauge("phoenix_gossip_fed_version", gs.FedVersion)
+		gauge("phoenix_gossip_sources", gs.Sources)
+		gauge("phoenix_gossip_live_parts", gs.LiveParts)
+		counter("phoenix_gossip_rounds_total", gs.Rounds)
+		counter("phoenix_gossip_digests_tx_total", gs.DigestsTx)
+		counter("phoenix_gossip_digests_rx_total", gs.DigestsRx)
+		counter("phoenix_gossip_updates_tx_total", gs.UpdatesTx)
+		counter("phoenix_gossip_updates_rx_total", gs.UpdatesRx)
+		counter("phoenix_gossip_deltas_tx_total", gs.DeltasTx)
+		counter("phoenix_gossip_deltas_rx_total", gs.DeltasRx)
+		counter("phoenix_gossip_views_rx_total", gs.ViewsRx)
+		counter("phoenix_gossip_live_rx_total", gs.LiveRx)
+		counter("phoenix_gossip_gaps_total", gs.Gaps)
+		counter("phoenix_gossip_truncated_total", gs.Truncated)
+	}
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_calls_total counter\nphoenix_rpc_calls_total %d\n", st.RPC.Calls)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_retries_total counter\nphoenix_rpc_retries_total %d\n", st.RPC.Retries)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_shed_total counter\nphoenix_rpc_shed_total %d\n", st.RPC.Shed)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/bulletin"
+	"repro/internal/gossip"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
@@ -65,6 +66,10 @@ type Status struct {
 	// ownership, replication lag, delta propagation and the query cache.
 	// Nil when this node hosts no bulletin.
 	Shard *bulletin.ShardStats `json:"shard,omitempty"`
+	// Gossip is the hosted dissemination instance's snapshot: rounds run,
+	// digests and updates exchanged, deltas learned, repair gaps. Nil when
+	// this node hosts no gossip service (compute node, or plane disabled).
+	Gossip *gossip.Stats `json:"gossip,omitempty"`
 	// Peers counts the nodes in the wire address book.
 	Peers int `json:"peers"`
 
@@ -111,6 +116,10 @@ func (st Status) Line() string {
 		fmt.Fprintf(&sb, ", shard v%d %d/%d rows, cache %.2f",
 			st.Shard.MapVersion, st.Shard.PrimaryRows, st.Shard.ReplicaRows,
 			st.Shard.CacheHitRatio())
+	}
+	if gs := st.Gossip; gs != nil {
+		fmt.Fprintf(&sb, ", gossip r%d fv%d d%d/%d gaps %d",
+			gs.Rounds, gs.FedVersion, gs.DeltasRx, gs.DeltasTx, gs.Gaps)
 	}
 	fmt.Fprintf(&sb, ", rpc %d/%d ok, rpc retries %d", st.RPC.OK, st.RPC.Calls, st.RPC.Retries)
 	if st.RPC.Shed > 0 {

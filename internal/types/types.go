@@ -50,6 +50,7 @@ const (
 	SvcPBSMom     = "mom"   // PBS baseline per-node monitor
 	SvcGridView   = "gview" // GridView monitoring module
 	SvcJobRuntime = "job"   // a running job process (prefix; jobs use job/<id>)
+	SvcGossip     = "gsp"   // epidemic dissemination (gossip) service
 )
 
 // Addr is the address of a service daemon: a node plus a service name.

@@ -1,0 +1,81 @@
+package watchd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/types"
+	"repro/internal/watchd"
+)
+
+// TestJitterDriftsBeatsApart is the phase-desynchronisation regression
+// test: two watch daemons started at the same instant with the same
+// interval must drift apart when Jitter is set, instead of beating in
+// lock-step forever. Lock-step beats from hundreds of nodes arrive at
+// the GSD as one synchronized burst per interval; the jitter exists to
+// spread that burst, so a regression back to rigid periods matters.
+func TestJitterDriftsBeatsApart(t *testing.T) {
+	const (
+		interval = time.Second
+		jitter   = 100 * time.Millisecond
+		rounds   = 20
+	)
+	eng := sim.New(1)
+	net := simnet.New(eng, eng.Rand(), 3, simnet.DefaultParams(), metrics.NewRegistry())
+	hosts := make([]*simhost.Host, 3)
+	for i := range hosts {
+		hosts[i] = simhost.New(types.NodeID(i), net, eng, eng.Rand(), simhost.DefaultCosts())
+	}
+	// arrival[node][seq] is when the first NIC copy of that beat landed.
+	arrival := map[types.NodeID]map[uint64]time.Duration{1: {}, 2: {}}
+	net.Register(types.Addr{Node: 0, Service: types.SvcGSD}, func(m types.Message) {
+		hb, ok := m.Payload.(heartbeat.Heartbeat)
+		if !ok {
+			return
+		}
+		if _, seen := arrival[hb.Node][hb.Seq]; !seen {
+			arrival[hb.Node][hb.Seq] = eng.Elapsed()
+		}
+	})
+	for _, n := range []types.NodeID{1, 2} {
+		wd := watchd.New(watchd.Spec{
+			Partition: 0, GSDNode: 0, Interval: interval, NICs: 3, Jitter: jitter,
+		})
+		if _, err := hosts[n].Spawn(wd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunFor(time.Duration(rounds+2) * interval)
+
+	// Same seq from both nodes must not stay phase-locked: the offset
+	// between the two nodes' k-th beats has to change across rounds.
+	offsets := make(map[time.Duration]bool)
+	for seq := uint64(2); seq <= rounds; seq++ {
+		ta, oka := arrival[1][seq]
+		tb, okb := arrival[2][seq]
+		if !oka || !okb {
+			t.Fatalf("seq %d missing (node1 %v, node2 %v)", seq, oka, okb)
+		}
+		offsets[ta-tb] = true
+	}
+	if len(offsets) < 2 {
+		t.Fatalf("beat offsets never changed across %d rounds: nodes are phase-locked", rounds)
+	}
+
+	// Every inter-beat gap still respects the contract that keeps the
+	// monitor quiet: within Interval ± Jitter (plus delivery slack).
+	const slack = 5 * time.Millisecond
+	for node, beats := range arrival {
+		for seq := uint64(2); seq <= rounds; seq++ {
+			gap := beats[seq] - beats[seq-1]
+			if gap < interval-jitter-slack || gap > interval+jitter+slack {
+				t.Fatalf("node %v seq %d gap %v outside %v±%v", node, seq, gap, interval, jitter)
+			}
+		}
+	}
+}

@@ -23,7 +23,8 @@ func (s Spec) AppendWire(buf []byte) []byte {
 	buf = wirebin.AppendDuration(buf, s.Interval)
 	buf = wirebin.AppendVarint(buf, int64(s.NICs))
 	buf = wirebin.AppendBool(buf, s.Supervise)
-	return wirebin.AppendDuration(buf, s.DetectorSample)
+	buf = wirebin.AppendDuration(buf, s.DetectorSample)
+	return wirebin.AppendDuration(buf, s.Jitter)
 }
 
 // DecodeWire implements codec.Payload.
@@ -35,5 +36,6 @@ func (s *Spec) DecodeWire(data []byte) error {
 	s.NICs = int(r.Varint())
 	s.Supervise = r.Bool()
 	s.DetectorSample = r.Duration()
+	s.Jitter = r.Duration()
 	return r.Close()
 }
