@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz alloc admin-smoke chaos-smoke bench
+.PHONY: ci vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak bench
 
-ci: vet build test race fuzz alloc admin-smoke chaos-smoke
+ci: vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak
 	@echo "ci: all gates passed"
 
 vet:
@@ -28,10 +28,12 @@ test:
 # because its breaker set is the one lock-guarded structure shared between
 # the wire's reader goroutines and every daemon loop; internal/shard
 # because its immutable-map contract is what lets the data plane hand
-# shard maps across goroutines; the cluster smoke test guards the
-# simulator path.
+# shard maps across goroutines; internal/heartbeat because the suspicion
+# lifecycle (accrual windows, refutation, indirect probes) is driven from
+# both the daemon loop and timer callbacks; the cluster smoke test guards
+# the simulator path.
 race:
-	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/gossip/ ./internal/wire/... ./internal/noded/...
+	$(GO) test -race ./internal/rpc/ ./internal/shard/ ./internal/gossip/ ./internal/heartbeat/ ./internal/wire/... ./internal/noded/...
 	$(GO) test -race -run 'TestBootAllDaemonsUp|TestGSDKillTakeoverAndRejoin' ./internal/cluster/
 
 # The fuzz gate: a short engine run per fuzz target, starting from the
@@ -59,10 +61,13 @@ alloc:
 # nodes, binary versus gob versus binary+batching; writes BENCH_wire.json.
 # The scale benchmark: gossip versus complete-graph fanout at 136/256/512
 # simulated nodes plus 64/128 loopback gossip engines; writes
-# BENCH_scale.json.
+# BENCH_scale.json. The detect benchmark: false-positive rate and
+# detection latency at 0/10/20% liveness-plane loss, 136/256 simulated
+# nodes plus a 4-node real-socket cluster; writes BENCH_detect.json.
 bench:
 	$(GO) run ./cmd/phoenix-bench -exp wire
 	$(GO) run ./cmd/phoenix-bench -exp scale
+	$(GO) run ./cmd/phoenix-bench -exp detect
 
 # The operations-plane gate: build the shipped binaries, boot one real
 # node with its admin server enabled, scrape /healthz + /metrics through
@@ -76,3 +81,10 @@ admin-smoke:
 # state surfaced, back to ready, exactly one leader).
 chaos-smoke:
 	sh ./scripts/chaos_smoke.sh
+
+# The detection gate: soak a real four-node cluster under 20% plane-0
+# loss plus a ramped plane-1 delay (SOAK_SECS, default 60) and require
+# zero false node-fail verdicts and zero GSD takeovers, then SIGKILL a
+# node and require the lifecycle to still diagnose the real failure.
+detect-soak:
+	sh ./scripts/detect_soak.sh

@@ -22,10 +22,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|scale|all")
-	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes, wire-bench message counts and scale-bench windows for a fast run")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|scale|detect|all")
+	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes, wire-bench message counts and scale/detect-bench windows for a fast run")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "where -exp wire writes its JSON report")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "where -exp scale writes its JSON report")
+	detectOut := flag.String("detect-out", "BENCH_detect.json", "where -exp detect writes its JSON report")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -112,9 +113,21 @@ func main() {
 			fmt.Printf("scale bench report written to %s\n", *scaleOut)
 			return nil
 		},
+		"detect": func() error {
+			r, err := experiments.RunDetectBench(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if err := r.WriteJSON(*detectOut); err != nil {
+				return err
+			}
+			fmt.Printf("detect bench report written to %s\n", *detectOut)
+			return nil
+		},
 	}
 	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "pws",
-		"ablation-partition", "ablation-interval", "wire", "scale"}
+		"ablation-partition", "ablation-interval", "wire", "scale", "detect"}
 
 	var selected []string
 	if *exp == "all" {

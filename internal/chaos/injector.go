@@ -42,6 +42,12 @@ type Rule struct {
 	Drop  float64
 	Dup   float64
 	Delay time.Duration
+	// Ramp makes the delay a gray failure: the effective latency climbs
+	// linearly from zero to Delay over Ramp, measured from Start (AddRule
+	// stamps a zero Start with the current time). Zero Ramp applies the
+	// full Delay at once.
+	Ramp  time.Duration
+	Start time.Time
 }
 
 // Wildcard match values.
@@ -126,9 +132,31 @@ func (inj *Injector) laneRNG(key laneKey) *rand.Rand {
 // AddRule appends a fault rule. Rules are evaluated in insertion order;
 // the first match decides.
 func (inj *Injector) AddRule(r Rule) {
+	if r.Ramp > 0 && r.Start.IsZero() {
+		r.Start = time.Now()
+	}
 	inj.mu.Lock()
 	inj.rules = append(inj.rules, r)
 	inj.mu.Unlock()
+}
+
+// effectiveDelay resolves a rule's latency at the current moment,
+// accounting for the ramp of a gray-failure rule.
+func (r Rule) effectiveDelay() time.Duration {
+	if r.Delay <= 0 {
+		return 0
+	}
+	if r.Ramp <= 0 {
+		return r.Delay
+	}
+	elapsed := time.Since(r.Start)
+	if elapsed >= r.Ramp {
+		return r.Delay
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return time.Duration(float64(r.Delay) * float64(elapsed) / float64(r.Ramp))
 }
 
 // ClearRules removes every fault rule (plane-downs and partitions stay).
@@ -244,11 +272,11 @@ func (inj *Injector) decide(key laneKey) (deliveries int, delay time.Duration) {
 			inj.record(key, "dup")
 			deliveries = 2
 		}
-		if r.Delay > 0 {
+		if d := r.effectiveDelay(); d > 0 {
 			if deliveries == 1 {
 				inj.record(key, "delay")
 			}
-			return deliveries, r.Delay
+			return deliveries, d
 		}
 		if deliveries == 1 {
 			inj.record(key, "pass")

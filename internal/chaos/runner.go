@@ -59,6 +59,9 @@ func (r *Runner) Apply(st Step) {
 		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir, Dup: st.Prob})
 	case "delay":
 		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir, Delay: st.Delay})
+	case "slow":
+		r.inj.AddRule(Rule{Peer: st.Peer, Plane: st.Plane, Dir: st.Dir,
+			Delay: st.Delay, Ramp: st.Ramp})
 	case "clear":
 		r.inj.ClearRules()
 	case "partition":

@@ -17,12 +17,13 @@ type Step struct {
 	// heal, kill.
 	Op string
 
-	Plane  int            // nic-down/nic-up/drop/dup/delay (AnyPlane = all)
-	Peer   types.NodeID   // drop/dup/delay (AnyPeer = all)
+	Plane  int            // nic-down/nic-up/drop/dup/delay/slow (AnyPlane = all)
+	Peer   types.NodeID   // drop/dup/delay/slow (AnyPeer = all)
 	Node   types.NodeID   // kill target
-	Dir    string         // drop/dup/delay: out, in or both
+	Dir    string         // drop/dup/delay/slow: out, in or both
 	Prob   float64        // drop/dup probability
-	Delay  time.Duration  // delay duration
+	Delay  time.Duration  // delay/slow: latency target
+	Ramp   time.Duration  // slow: time over which the latency ramps to Delay
 	Groups [][]types.NodeID // partition groups
 }
 
@@ -38,6 +39,9 @@ func (st Step) String() string {
 		sb.WriteString(st.matchSuffix())
 	case "delay":
 		fmt.Fprintf(&sb, " d=%v", st.Delay)
+		sb.WriteString(st.matchSuffix())
+	case "slow":
+		fmt.Fprintf(&sb, " d=%v ramp=%v", st.Delay, st.Ramp)
 		sb.WriteString(st.matchSuffix())
 	case "partition":
 		var groups []string
@@ -93,6 +97,7 @@ func (sc *Scenario) Resolve() []Step {
 //	at <dur> drop p=<prob> [peer=<node>] [plane=<n>] [dir=out|in|both]
 //	at <dur> dup p=<prob> [peer=<node>] [plane=<n>] [dir=out|in|both]
 //	at <dur> delay d=<dur> [peer=<node>] [plane=<n>] [dir=out|in|both]
+//	at <dur> slow d=<dur> [ramp=<dur>] [peer=<node>] [plane=<n>] [dir=out|in|both]
 //	at <dur> clear
 //	at <dur> partition <a,b|c,d>
 //	at <dur> heal
@@ -159,6 +164,22 @@ func Parse(text string) (*Scenario, error) {
 			}
 			if err := args.match(&st); err != nil {
 				return fail("%v", err)
+			}
+		case "slow":
+			// A gray failure: the lane keeps delivering but its one-way
+			// latency climbs to d over the ramp — the link that is sick,
+			// not dead. Default direction is out (one-way).
+			if st.Delay, err = args.durArg("d"); err != nil {
+				return fail("slow wants d=<dur>: %v", err)
+			}
+			if st.Ramp, err = args.optDurArg("ramp", 10*time.Second); err != nil {
+				return fail("slow: bad ramp: %v", err)
+			}
+			if err := args.match(&st); err != nil {
+				return fail("%v", err)
+			}
+			if st.Dir == "" {
+				st.Dir = DirOut
 			}
 		case "clear", "heal":
 			// no arguments
@@ -242,6 +263,13 @@ func (a *kvArgs) durArg(key string) (time.Duration, error) {
 	}
 	a.used[key] = true
 	return time.ParseDuration(v)
+}
+
+func (a *kvArgs) optDurArg(key string, def time.Duration) (time.Duration, error) {
+	if _, ok := a.vals[key]; !ok {
+		return def, nil
+	}
+	return a.durArg(key)
 }
 
 // match fills a rule step's optional peer/plane/dir selectors.

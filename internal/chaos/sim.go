@@ -74,8 +74,8 @@ func (a *SimApplier) Apply(st Step) {
 			a.kill(st.Node)
 		}
 	default:
-		// The probabilistic rule ops (drop/dup/delay/clear) belong to the
-		// real-socket injector; the simulated network has no rule engine.
+		// The probabilistic rule ops (drop/dup/delay/slow/clear) belong to
+		// the real-socket injector; the simulated network has no rule engine.
 		// Record them so a test can assert its scenario was fully applied
 		// instead of silently losing steps.
 		a.skipped = append(a.skipped, st)

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bulletin"
+	"repro/internal/gsd"
+	"repro/internal/heartbeat"
+	"repro/internal/types"
+)
+
+// maxMapVersion is the freshest shard map version any bulletin instance
+// runs on — the churn detector for the refutation regression.
+func maxMapVersion(c *Cluster) uint64 {
+	var v uint64
+	for _, h := range c.Hosts {
+		if db, ok := h.Proc(types.SvcDB).(*bulletin.Service); ok {
+			if mv := db.Stats().MapVersion; mv > v {
+				v = mv
+			}
+		}
+	}
+	return v
+}
+
+func partitionDaemon(t *testing.T, c *Cluster, node types.NodeID) *gsd.Daemon {
+	t.Helper()
+	d, ok := c.Host(node).Proc(types.SvcGSD).(*gsd.Daemon)
+	if !ok {
+		t.Fatalf("node %d hosts no GSD", node)
+	}
+	return d
+}
+
+// TestRefutationWithoutShardChurn is the regression for the suspicion
+// lifecycle's silent cancel: a falsely-suspected node refutes by bumping
+// its incarnation, and because nothing was ever marked down, the shard
+// map version must not move — no data-plane churn for a network hiccup.
+//
+// The filter drops the victim's ordinary heartbeats (incarnation 0) but
+// passes refutation beats (bumped incarnation), so the suspicion is
+// guaranteed to be answered by the refutation path and not by the
+// diagnosis probes.
+func TestRefutationWithoutShardChurn(t *testing.T) {
+	c := smallCluster(t)
+	c.RunFor(10 * time.Second)
+
+	victim := types.NodeID(5) // partition 0 computing node
+	server := c.Topo.Partitions[0].Server
+	d := partitionDaemon(t, c, server)
+	st0 := d.Monitor().Stats()
+	mapBefore := maxMapVersion(c)
+
+	c.Net.Filter = func(m types.Message) bool {
+		if m.Type != heartbeat.MsgHeartbeat || m.From.Node != victim {
+			return true
+		}
+		hb, ok := m.Payload.(heartbeat.Heartbeat)
+		return ok && hb.Inc > 0 // only refutation beats get through
+	}
+	c.RunFor(3 * time.Second)
+	c.Net.Filter = nil
+	c.RunFor(3 * time.Second)
+
+	st1 := d.Monitor().Stats()
+	if st1.Suspects <= st0.Suspects {
+		t.Fatal("victim was never suspected — the filter did not bite")
+	}
+	if st1.Refutations <= st0.Refutations {
+		t.Fatalf("suspicion was not refuted: %+v -> %+v", st0, st1)
+	}
+	if st1.FailVerdicts != st0.FailVerdicts {
+		t.Fatalf("refuted suspicion still produced a fail verdict: %+v -> %+v", st0, st1)
+	}
+	if got := d.Monitor().Status(victim); got != heartbeat.StatusHealthy {
+		t.Fatalf("victim status = %v, want healthy", got)
+	}
+	if inc := d.Monitor().Incarnation(victim); inc == 0 {
+		t.Fatal("victim incarnation did not rise through the refutation")
+	}
+	if after := maxMapVersion(c); after != mapBefore {
+		t.Fatalf("shard map version churned %d -> %d on a refuted suspicion", mapBefore, after)
+	}
+}
+
+// TestFencedStaleGSDStandsDown is the regression for fencing epochs: a
+// GSD primary whose partition has moved to a higher epoch must stand down
+// deterministically when fenced — kill its own process rather than race
+// the replacement — while an equal-or-lower fence is ignored.
+func TestFencedStaleGSDStandsDown(t *testing.T) {
+	c := smallCluster(t)
+	c.RunFor(5 * time.Second)
+
+	part := c.Topo.Partitions[3]
+	host := c.Host(part.Server)
+	d := partitionDaemon(t, c, part.Server)
+	epoch := d.Epoch()
+	if epoch == 0 {
+		t.Fatal("running GSD reports epoch 0")
+	}
+	pid := host.PID(types.SvcGSD)
+	fence := func(e uint64) {
+		_ = c.Net.Send(types.Message{
+			From: types.Addr{Node: part.Members[2], Service: types.SvcWD},
+			To:   types.Addr{Node: part.Server, Service: types.SvcGSD},
+			NIC:  0, Type: heartbeat.MsgFenced,
+			Payload: heartbeat.Fenced{Partition: part.ID, Node: part.Members[2], Epoch: e},
+		})
+	}
+
+	// An equal-epoch fence carries no new information: ignored.
+	fence(epoch)
+	c.RunFor(time.Second)
+	if !host.Running(types.SvcGSD) || host.PID(types.SvcGSD) != pid {
+		t.Fatal("equal-epoch fence killed the legitimate primary")
+	}
+
+	// A higher-epoch fence: the stale primary must stand down.
+	fence(epoch + 2)
+	c.RunFor(2 * time.Second)
+	if host.Running(types.SvcGSD) && host.PID(types.SvcGSD) == pid {
+		t.Fatal("fenced stale primary did not stand down")
+	}
+
+	// The partition recovers: a replacement GSD comes up at a higher
+	// epoch (the takeover's view-version bump outbids the old primary).
+	deadline := c.Engine.Elapsed() + 60*time.Second
+	for c.Engine.Elapsed() < deadline {
+		c.RunFor(500 * time.Millisecond)
+		for _, m := range part.Members {
+			if nd, ok := c.Host(m).Proc(types.SvcGSD).(*gsd.Daemon); ok {
+				if nd.Epoch() > epoch {
+					return
+				}
+			}
+		}
+	}
+	t.Fatalf("no replacement GSD above epoch %d within 60s", epoch)
+}

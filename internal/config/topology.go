@@ -254,6 +254,32 @@ type Params struct {
 	// (uniform in ±HeartbeatJitter). It must stay safely below
 	// HeartbeatGrace or the partition monitor declares false misses.
 	HeartbeatJitter time.Duration
+	// SuspicionThreshold is the phi-accrual suspicion level at which the
+	// partition monitor declares a miss. When positive, the per-node
+	// deadline adapts to the observed heartbeat inter-arrival
+	// distribution — never below HeartbeatInterval+HeartbeatGrace (the
+	// paper's fixed deadline stays the floor, so clean-network detection
+	// latency is unchanged) and never above SuspicionMaxFactor times it.
+	// Zero keeps the paper's fixed deadline.
+	SuspicionThreshold float64
+	// SuspicionWindow is the per-node inter-arrival sample window backing
+	// the accrual estimate.
+	SuspicionWindow int
+	// SuspicionMaxFactor caps the adaptive deadline at this multiple of
+	// the fixed deadline. Zero derives 6.
+	SuspicionMaxFactor float64
+	// IndirectProbes is how many partition peers the GSD asks to probe a
+	// suspect through their own interfaces before escalating a silent
+	// direct probe to a node-fail verdict. Zero disables indirect probing.
+	IndirectProbes int
+	// FlapThreshold is the decaying per-node flap score at which a node
+	// is quarantined: still a member, still monitored, but excluded from
+	// shard ownership and PWS scheduling until the score halves. Zero
+	// disables quarantine.
+	FlapThreshold float64
+	// FlapHalfLife is the exponential-decay half-life of the flap score.
+	// Zero derives 20 heartbeat intervals.
+	FlapHalfLife time.Duration
 }
 
 // ServiceRecoveryDeadline is the effective restart-grace window:
@@ -291,7 +317,23 @@ func DefaultParams() Params {
 		// beats deterministic. Deployments that want to avoid synchronized
 		// beat bursts opt in by setting a value below HeartbeatGrace.
 		HeartbeatJitter: 0,
+		// Suspicion level 8 ≈ one-in-10^8 odds the node is still alive
+		// under the observed arrival distribution; with a clean network
+		// the adaptive deadline sits on the fixed-deadline floor.
+		SuspicionThreshold: 8,
+		SuspicionWindow:    64,
+		IndirectProbes:     2,
+		FlapThreshold:      3,
 	}
+}
+
+// FlapHalfLifeOrDefault returns FlapHalfLife, deriving 20 heartbeat
+// intervals when unset.
+func (p Params) FlapHalfLifeOrDefault() time.Duration {
+	if p.FlapHalfLife > 0 {
+		return p.FlapHalfLife
+	}
+	return 20 * p.HeartbeatInterval
 }
 
 // FastParams scales every interval down for experiments where absolute

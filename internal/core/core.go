@@ -78,6 +78,11 @@ type Options struct {
 	// GSD checkpoint clients and daemon-internal callers alike. Budgets
 	// stay per-client; breakers and counters are node-wide.
 	RPC rpc.Options
+	// IncarnationStore persists the local watch daemon's incarnation
+	// number across restarts (phoenix-node backs it with the state dir).
+	// Only meaningful on the BootNode path, where the kernel manages a
+	// single host; simulated multi-host kernels leave it nil.
+	IncarnationStore watchd.IncarnationStore
 	// Rejoin marks a BootNode of a host that crashed and restarted: the
 	// partition server daemons (GSD + es/db/ckpt) are NOT spawned locally
 	// even if this host is the partition's configured server, because the
@@ -272,12 +277,14 @@ func (k *Kernel) newCheckpoint(p types.PartitionID, view federation.View, opts O
 func (k *Kernel) spawnNodeDaemons(host *simhost.Host, id types.NodeID, opts Options) error {
 	params := k.Params
 	part, _ := k.Topo.PartitionOf(id)
-	if _, err := host.Spawn(watchd.New(watchd.Spec{
+	wd := watchd.New(watchd.Spec{
 		Partition: part.ID, GSDNode: part.Server,
 		Interval: params.HeartbeatInterval, NICs: k.Topo.NICs,
 		Supervise: true, DetectorSample: params.DetectorSampleInterval,
 		Jitter: params.HeartbeatJitter,
-	})); err != nil {
+	})
+	wd.UseStore(opts.IncarnationStore)
+	if _, err := host.Spawn(wd); err != nil {
 		return fmt.Errorf("core: spawn WD on %v: %w", id, err)
 	}
 	if _, err := host.Spawn(detector.New(detector.Spec{
@@ -328,7 +335,7 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 		}
 		return gsd.New(gsd.Spec{
 			Partition: s.Partition, Topo: topo, Params: params,
-			View: s.View, Migrated: s.Migrated,
+			View: s.View, Migrated: s.Migrated, Epoch: s.Epoch,
 			Extra:   opts.ExtraServices[s.Partition],
 			RPC:     opts.RPC,
 			OnStart: k.trackGSD(s.Partition),
@@ -367,7 +374,13 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 		if !ok {
 			return nil
 		}
-		return watchd.New(s)
+		// The incarnation store is node-local state, not part of the spec
+		// (specs travel in remote spawn requests): a respawned WD reloads
+		// the incarnation its predecessor persisted, so refutation bumps
+		// survive WD restarts.
+		w := watchd.New(s)
+		w.UseStore(opts.IncarnationStore)
+		return w
 	})
 	host.RegisterFactory(types.SvcDetector, func(spec any) simhost.Process {
 		s, ok := spec.(detector.Spec)

@@ -97,13 +97,23 @@ func (d *Daemon) sample() {
 	usage := host.Usage()
 	d.bulletin.ExportResources(usage)
 	d.Samples++
+	var jobs []string
 	for _, svc := range host.Procs() {
-		if !strings.HasPrefix(svc, "job/") || !host.Running(svc) {
-			continue
+		if strings.HasPrefix(svc, "job/") && host.Running(svc) {
+			jobs = append(jobs, svc)
 		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	// Attribute the node's sampled CPU evenly across its running job
+	// processes: the per-app rows then track the real host load instead of
+	// a fixed estimate, so PWS load-ordering reacts to actual utilisation.
+	perJob := usage.CPUPct / float64(len(jobs))
+	for _, svc := range jobs {
 		d.bulletin.ExportApp(types.AppState{
 			Node: d.h.Node(), Proc: host.PID(svc), Name: svc,
-			Alive: true, CPUPct: 12, SLATag: d.spec.SLATag, Updated: d.h.Now(),
+			Alive: true, CPUPct: perJob, SLATag: d.spec.SLATag, Updated: d.h.Now(),
 		})
 	}
 }

@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/gsd"
+	"repro/internal/heartbeat"
+	"repro/internal/metrics"
+	"repro/internal/noded"
+	"repro/internal/simhost"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// The detect benchmark quantifies the suspicion lifecycle (phi-accrual
+// deadlines, indirect probes, refutation) under heartbeat loss, in two
+// tiers:
+//
+//   - sim tier: full simulated kernels at 136 (the paper's 8x17 testbed)
+//     and 256 nodes. Liveness-plane messages (heartbeats, suspect notices,
+//     indirect probes and their acks) are dropped with seeded probability
+//     0/10/20%; the false-positive count is every node-fail verdict and
+//     GSD takeover issued during a window in which nothing actually
+//     failed, and detection latency is measured by powering computing
+//     nodes off and polling their partition GSD's monitor.
+//   - real tier: a 4-node two-partition cluster of real kernels on
+//     loopback UDP sockets, the chaos injector dropping the same fraction
+//     of raw datagrams; the wire layer's retransmission turns loss into
+//     jitter, which is exactly the regime the accrual detector absorbs.
+//
+// phoenix-bench -exp detect renders the tables and writes
+// BENCH_detect.json so the numbers are pinned per PR.
+
+// DetectSimRow is one simulated tier x loss measurement.
+type DetectSimRow struct {
+	Nodes      int `json:"nodes"`
+	Partitions int `json:"partitions"`
+	LossPct    int `json:"loss_pct"`
+	// Steady-state window with no real failures.
+	WindowSec   float64 `json:"window_sec"`
+	Suspects    uint64  `json:"suspects"`
+	Refutations uint64  `json:"refutations"`
+	// FalseFails counts node-fail verdicts during the window; every one is
+	// a false positive since no node failed. FalseMigrations counts GSD
+	// takeovers in the same window.
+	FalseFails      uint64 `json:"false_fails"`
+	FalseMigrations uint64 `json:"false_migrations"`
+	// FPRate is false node-fail verdicts per node per minute.
+	FPRate float64 `json:"fp_rate_per_node_min"`
+	// Kill trials: computing nodes powered off, latency until the
+	// partition GSD diagnoses node failure.
+	Trials      int     `json:"trials"`
+	DetectP50Ms float64 `json:"detect_p50_ms"`
+	DetectP99Ms float64 `json:"detect_p99_ms"`
+}
+
+// DetectRealRow is one real-socket measurement: 4 kernels over loopback
+// UDP behind chaos injectors.
+type DetectRealRow struct {
+	Nodes       int     `json:"nodes"`
+	LossPct     int     `json:"loss_pct"`
+	WindowSec   float64 `json:"window_sec"`
+	Suspects    uint64  `json:"suspects"`
+	Refutations uint64  `json:"refutations"`
+	FalseFails  uint64  `json:"false_fails"`
+	// DetectMs is the wall-clock latency from stopping one node's process
+	// to its partition GSD reporting the node failed.
+	DetectMs float64 `json:"detect_ms"`
+}
+
+// DetectBench is the full report, serialised as BENCH_detect.json.
+type DetectBench struct {
+	Go    string          `json:"go"`
+	Quick bool            `json:"quick"`
+	Sim   []DetectSimRow  `json:"sim"`
+	Real  []DetectRealRow `json:"real"`
+}
+
+// detectSimTiers are the sim-tier cluster shapes.
+var detectSimTiers = []struct{ parts, size int }{
+	{8, 17},  // 136 nodes — the paper's testbed
+	{16, 16}, // 256 nodes
+}
+
+// detectLossTiers are the heartbeat-loss fractions measured.
+var detectLossTiers = []int{0, 10, 20}
+
+// RunDetectBench runs both tiers. Quick shortens the steady-state windows
+// and runs fewer kill trials.
+func RunDetectBench(quick bool) (*DetectBench, error) {
+	b := &DetectBench{Go: runtime.Version(), Quick: quick}
+	window, trials := 60*time.Second, 5
+	realWindow := 20 * time.Second
+	if quick {
+		window, trials = 20*time.Second, 3
+		realWindow = 10 * time.Second
+	}
+	for _, tier := range detectSimTiers {
+		for _, loss := range detectLossTiers {
+			row, err := detectSimRow(tier.parts, tier.size, loss, window, trials)
+			if err != nil {
+				return nil, fmt.Errorf("detect sim %dx%d loss %d%%: %w", tier.parts, tier.size, loss, err)
+			}
+			b.Sim = append(b.Sim, row)
+		}
+	}
+	for _, loss := range detectLossTiers {
+		row, err := detectRealRow(loss, realWindow)
+		if err != nil {
+			return nil, fmt.Errorf("detect real loss %d%%: %w", loss, err)
+		}
+		b.Real = append(b.Real, row)
+	}
+	return b, nil
+}
+
+// livenessType reports whether a simulated message belongs to the
+// failure-detection plane — the traffic the loss filter targets.
+func livenessType(typ string) bool {
+	switch typ {
+	case heartbeat.MsgHeartbeat, heartbeat.MsgSuspect,
+		heartbeat.MsgIndirectProbe, heartbeat.MsgIndirectAck:
+		return true
+	}
+	return false
+}
+
+// partitionGSDs returns every live GSD instance per partition (a migrated
+// partition can briefly host two).
+func partitionGSDs(c *cluster.Cluster) map[types.PartitionID][]*gsd.Daemon {
+	out := make(map[types.PartitionID][]*gsd.Daemon, len(c.Topo.Partitions))
+	for _, p := range c.Topo.Partitions {
+		for _, m := range p.Members {
+			if d, ok := c.Hosts[m].Proc(types.SvcGSD).(*gsd.Daemon); ok {
+				out[p.ID] = append(out[p.ID], d)
+			}
+		}
+	}
+	return out
+}
+
+// detectorTotals sums the monitor stats and takeover counts of every GSD.
+func detectorTotals(c *cluster.Cluster) (st heartbeat.Stats, takeovers uint64) {
+	for _, ds := range partitionGSDs(c) {
+		for _, d := range ds {
+			s := d.Monitor().Stats()
+			st.Suspects += s.Suspects
+			st.Refutations += s.Refutations
+			st.IndirectAcks += s.IndirectAcks
+			st.FailVerdicts += s.FailVerdicts
+			takeovers += d.Takeovers()
+		}
+	}
+	return st, takeovers
+}
+
+func detectSimRow(parts, size, lossPct int, window time.Duration, trials int) (DetectSimRow, error) {
+	row := DetectSimRow{Nodes: parts * size, Partitions: parts, LossPct: lossPct,
+		WindowSec: window.Seconds(), Trials: trials}
+	spec := cluster.Spec{
+		Partitions: parts, PartitionSize: size, NICs: 3, Seed: 1,
+		Params: config.FastParams(),
+	}
+	c, err := cluster.Build(spec)
+	if err != nil {
+		return row, err
+	}
+	c.WarmUp()
+	c.RunFor(5 * time.Second)
+
+	// Install the loss filter only after boot: the measurement is about
+	// steady-state detection, not about booting through a lossy fabric.
+	if lossPct > 0 {
+		p := float64(lossPct) / 100
+		rng := rand.New(rand.NewSource(int64(lossPct)*7919 + int64(parts)))
+		c.Net.Filter = func(m types.Message) bool {
+			return !livenessType(m.Type) || rng.Float64() >= p
+		}
+	}
+	// Let the accrual windows adapt to the lossy arrival pattern before
+	// scoring false positives, as an operator would after a link sickens.
+	c.RunFor(10 * time.Second)
+
+	st0, tk0 := detectorTotals(c)
+	c.RunFor(window)
+	st1, tk1 := detectorTotals(c)
+	row.Suspects = st1.Suspects - st0.Suspects
+	row.Refutations = st1.Refutations - st0.Refutations
+	row.FalseFails = st1.FailVerdicts - st0.FailVerdicts
+	row.FalseMigrations = tk1 - tk0
+	row.FPRate = float64(row.FalseFails) / float64(row.Nodes) / window.Minutes()
+
+	// Kill trials: one computing node per trial, spread over partitions.
+	var latencies []float64
+	for t := 0; t < trials; t++ {
+		pi := c.Topo.Partitions[t%parts]
+		victim := types.NodeID(-1)
+		for i := len(pi.Members) - 1; i >= 0; i-- {
+			m := pi.Members[i]
+			if m == pi.Server || !c.Hosts[m].Up() {
+				continue
+			}
+			isBackup := false
+			for _, b := range pi.Backups {
+				if m == b {
+					isBackup = true
+				}
+			}
+			if !isBackup {
+				victim = m
+				break
+			}
+		}
+		if victim < 0 {
+			return row, fmt.Errorf("partition %d has no computing node left to kill", pi.ID)
+		}
+		c.Hosts[victim].PowerOff()
+		start := c.Engine.Elapsed()
+		deadline := start + 120*time.Second
+		detected := false
+		for c.Engine.Elapsed() < deadline && !detected {
+			c.RunFor(10 * time.Millisecond)
+			for _, d := range partitionGSDs(c)[pi.ID] {
+				if d.Monitor().Status(victim) == heartbeat.StatusDown {
+					detected = true
+					break
+				}
+			}
+		}
+		if !detected {
+			return row, fmt.Errorf("node %d kill not detected within 120s", victim)
+		}
+		latencies = append(latencies, float64(c.Engine.Elapsed()-start)/float64(time.Millisecond))
+		// Let the diagnosis settle before the next trial.
+		c.RunFor(2 * time.Second)
+	}
+	sort.Float64s(latencies)
+	row.DetectP50Ms = latencies[len(latencies)/2]
+	row.DetectP99Ms = latencies[len(latencies)-1]
+	return row, nil
+}
+
+// detectParams mirrors the integration tests' fast real-socket tuning:
+// sub-second heartbeats so a bench iteration stays in seconds.
+func detectParams() config.Params {
+	p := config.FastParams()
+	p.HeartbeatInterval = 150 * time.Millisecond
+	p.HeartbeatGrace = 300 * time.Millisecond
+	p.MetaHeartbeatInterval = 150 * time.Millisecond
+	p.PartitionProbeTimeout = 500 * time.Millisecond
+	p.MetaProbeTimeout = 400 * time.Millisecond
+	p.LocalCheckPeriod = 250 * time.Millisecond
+	p.DetectorSampleInterval = 250 * time.Millisecond
+	p.RPCTimeout = 2 * time.Second
+	return p
+}
+
+func detectCosts() simhost.Costs {
+	c := simhost.DefaultCosts()
+	c.DefaultExec = 20 * time.Millisecond
+	c.AgentProbeDelay = 20 * time.Millisecond
+	c.AgentExecDelay = 2 * time.Millisecond
+	return c
+}
+
+// realDetectTotals sums the Detect block of every node's status report.
+func realDetectTotals(nodes []*noded.Node) (suspects, refutations, fails uint64) {
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if d := n.Status().Detect; d != nil {
+			suspects += d.Suspects
+			refutations += d.Refutations
+			fails += d.FailVerdicts
+		}
+	}
+	return
+}
+
+// detectRealRow boots 4 real kernels (2 partitions x 2 nodes, 2 planes)
+// on loopback UDP, drops lossPct% of raw datagrams through each node's
+// chaos injector, scores false positives over the window, then stops
+// node 3's process and times the diagnosis on partition 1's GSD.
+func detectRealRow(lossPct int, window time.Duration) (DetectRealRow, error) {
+	const planes = 2
+	row := DetectRealRow{Nodes: 4, LossPct: lossPct, WindowSec: window.Seconds()}
+	topo, err := config.Uniform(2, 2, planes)
+	if err != nil {
+		return row, err
+	}
+	params, costs := detectParams(), detectCosts()
+
+	book := wire.NewBook()
+	transports := make([]*wire.Transport, topo.NumNodes())
+	injectors := make([]*chaos.Injector, topo.NumNodes())
+	for i := range transports {
+		inj := chaos.New(int64(lossPct)*31 + int64(i) + 1)
+		injectors[i] = inj
+		tr, err := wire.New(types.NodeID(i), nil,
+			wire.WithPlanes(planes), wire.WithMetrics(metrics.NewRegistry()),
+			wire.WithOutboundFilter(inj.Outbound()),
+			wire.WithInboundFilter(inj.Inbound()))
+		if err != nil {
+			return row, err
+		}
+		transports[i] = tr
+		for p, ep := range tr.Endpoints() {
+			if err := book.Add(tr.Node(), p, ep); err != nil {
+				return row, err
+			}
+		}
+	}
+	nodes := make([]*noded.Node, len(transports))
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Stop()
+			}
+		}
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+	for i, tr := range transports {
+		tr.SetBook(book)
+		n, err := noded.Start(tr.Node(), topo,
+			noded.WithParams(params), noded.WithCosts(costs), noded.WithTransport(tr))
+		if err != nil {
+			return row, err
+		}
+		nodes[i] = n
+	}
+
+	// Wait for every node to report ready before loss begins.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := 0
+		for _, n := range nodes {
+			if n.Status().Ready {
+				ready++
+			}
+		}
+		if ready == len(nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return row, fmt.Errorf("cluster not ready within 30s (%d/%d)", ready, len(nodes))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if lossPct > 0 {
+		for _, inj := range injectors {
+			inj.AddRule(chaos.Rule{Peer: chaos.AnyPeer, Plane: chaos.AnyPlane,
+				Dir: chaos.DirOut, Drop: float64(lossPct) / 100})
+		}
+	}
+	// Accrual windows adapt to the new arrival pattern first.
+	time.Sleep(2 * time.Second)
+
+	s0, r0, f0 := realDetectTotals(nodes)
+	time.Sleep(window)
+	s1, r1, f1 := realDetectTotals(nodes)
+	row.Suspects = s1 - s0
+	row.Refutations = r1 - r0
+	row.FalseFails = f1 - f0
+
+	// Kill node 3 (partition 1's backup) and time the diagnosis on node 2
+	// (partition 1's server GSD).
+	victim := nodes[3]
+	nodes[3] = nil
+	start := time.Now()
+	victim.Stop()
+	transports[3].Close()
+	killDeadline := time.Now().Add(30 * time.Second)
+	for {
+		detected := false
+		if d := nodes[2].Status().Detect; d != nil {
+			for _, n := range d.Failed {
+				if n == 3 {
+					detected = true
+				}
+			}
+		}
+		if detected {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			return row, fmt.Errorf("node 3 stop not diagnosed within 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	row.DetectMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return row, nil
+}
+
+// Render tabulates both tiers.
+func (b *DetectBench) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Detect — false positives and detection latency under liveness-plane loss (simulated kernels)\n")
+	fmt.Fprintf(&sb, "  %-6s %-6s %-6s %9s %8s %7s %7s %10s %7s %10s %10s\n",
+		"nodes", "parts", "loss%", "suspects", "refuted", "fails", "migr", "fp/node/m", "trials", "p50 ms", "p99 ms")
+	for _, r := range b.Sim {
+		fmt.Fprintf(&sb, "  %-6d %-6d %-6d %9d %8d %7d %7d %10.4f %7d %10.0f %10.0f\n",
+			r.Nodes, r.Partitions, r.LossPct, r.Suspects, r.Refutations,
+			r.FalseFails, r.FalseMigrations, r.FPRate, r.Trials, r.DetectP50Ms, r.DetectP99Ms)
+	}
+	sb.WriteString("  (fails/migr = node-fail verdicts and GSD takeovers in a window with no real failure)\n\n")
+
+	sb.WriteString("Detect — real kernels on loopback UDP behind chaos datagram loss\n")
+	fmt.Fprintf(&sb, "  %-6s %-6s %9s %8s %7s %11s\n",
+		"nodes", "loss%", "suspects", "refuted", "fails", "detect ms")
+	for _, r := range b.Real {
+		fmt.Fprintf(&sb, "  %-6d %-6d %9d %8d %7d %11.0f\n",
+			r.Nodes, r.LossPct, r.Suspects, r.Refutations, r.FalseFails, r.DetectMs)
+	}
+	sb.WriteString("  (detect ms = SIGKILL-equivalent process stop to partition GSD node-fail diagnosis)\n")
+	return sb.String()
+}
+
+// WriteJSON writes the report where the PR gate reads it.
+func (b *DetectBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

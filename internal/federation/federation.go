@@ -18,10 +18,13 @@ import (
 // MsgView is the GSD -> local service view push.
 const MsgView = "fed.view"
 
-// Entry locates one partition's service host.
+// Entry locates one partition's service host. Quarantined mirrors the
+// membership view's flap-quarantine flag: the services stay addressable,
+// but shard ownership skips the partition until it stabilises.
 type Entry struct {
-	Node  types.NodeID
-	Alive bool
+	Node        types.NodeID
+	Alive       bool
+	Quarantined bool
 }
 
 // View maps partitions to the node hosting their kernel services. Higher

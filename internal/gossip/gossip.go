@@ -78,6 +78,29 @@ type Liveness struct {
 	Ver   uint64            `json:"ver"`
 	Total int               `json:"total"`
 	Down  []types.NodeID    `json:"down,omitempty"`
+	// Epoch is the authoring GSD's fencing epoch; remote observers use it
+	// to discard summaries from a fenced stale primary.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Rows carries per-member suspicion lifecycle state ordered by
+	// incarnation then node (the SWIM-style tiebreak: a higher incarnation
+	// for the same node always supersedes).
+	Rows []LiveRow `json:"rows,omitempty"`
+}
+
+// Per-member lifecycle states carried in LiveRow.State.
+const (
+	RowAlive   uint8 = 0
+	RowSuspect uint8 = 1
+	RowFailed  uint8 = 2
+)
+
+// LiveRow is one member's suspicion lifecycle entry inside a partition's
+// liveness summary.
+type LiveRow struct {
+	Node        types.NodeID `json:"node"`
+	Inc         uint64       `json:"inc"`
+	State       uint8        `json:"state"`
+	Quarantined bool         `json:"quarantined,omitempty"`
 }
 
 // SourceSeq names the highest contiguous delta sequence known for one

@@ -38,6 +38,7 @@ func appendView(buf []byte, v federation.View) []byte {
 		buf = wirebin.AppendVarint(buf, int64(p))
 		buf = wirebin.AppendVarint(buf, int64(e.Node))
 		buf = wirebin.AppendBool(buf, e.Alive)
+		buf = wirebin.AppendBool(buf, e.Quarantined)
 	}
 	return buf
 }
@@ -52,6 +53,7 @@ func readView(r *wirebin.Reader, v *federation.View) {
 			var e federation.Entry
 			e.Node = types.NodeID(r.Varint())
 			e.Alive = r.Bool()
+			e.Quarantined = r.Bool()
 			v.Entries[p] = e
 		}
 	}
@@ -111,6 +113,14 @@ func appendLiveness(buf []byte, l Liveness) []byte {
 	for _, n := range l.Down {
 		buf = wirebin.AppendVarint(buf, int64(n))
 	}
+	buf = wirebin.AppendUvarint(buf, l.Epoch)
+	buf = wirebin.AppendUvarint(buf, uint64(len(l.Rows)))
+	for _, row := range l.Rows {
+		buf = wirebin.AppendVarint(buf, int64(row.Node))
+		buf = wirebin.AppendUvarint(buf, row.Inc)
+		buf = wirebin.AppendUvarint(buf, uint64(row.State))
+		buf = wirebin.AppendBool(buf, row.Quarantined)
+	}
 	return buf
 }
 
@@ -124,6 +134,17 @@ func readLiveness(r *wirebin.Reader, l *Liveness) {
 		l.Down = make([]types.NodeID, n)
 		for i := range l.Down {
 			l.Down[i] = types.NodeID(r.Varint())
+		}
+	}
+	l.Epoch = r.Uvarint()
+	l.Rows = nil
+	if n := r.SliceLen(); n > 0 && r.Err() == nil {
+		l.Rows = make([]LiveRow, n)
+		for i := range l.Rows {
+			l.Rows[i].Node = types.NodeID(r.Varint())
+			l.Rows[i].Inc = r.Uvarint()
+			l.Rows[i].State = uint8(r.Uvarint())
+			l.Rows[i].Quarantined = r.Bool()
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -43,6 +44,10 @@ type SpawnSpec struct {
 	Partition types.PartitionID
 	View      *membership.View
 	Migrated  bool
+	// Epoch is a fencing-epoch floor for the spawned instance; the
+	// instance still restores (and outbids) its predecessor's
+	// checkpointed epoch.
+	Epoch uint64
 }
 
 func init() { codec.RegisterGob(SpawnSpec{}) }
@@ -81,6 +86,8 @@ type Spec struct {
 	// RPC carries the node-wide resilient-call options (shared breakers,
 	// metrics); the daemon fills per-client budgets and failover peers.
 	RPC rpc.Options
+	// Epoch is the fencing-epoch floor carried by the spawn request.
+	Epoch uint64
 }
 
 // Daemon is the group service daemon process.
@@ -116,8 +123,27 @@ type Daemon struct {
 	// standingDown marks a GSD that discovered a live peer instance owning
 	// its partition slot and is exiting.
 	standingDown bool
+	// epoch is this instance's fencing epoch: monotonic per partition,
+	// persisted in the checkpointed partition state, bumped on every
+	// migration. WDs follow the highest epoch they have seen and fence
+	// announces below it.
+	epoch uint64
+	// takeovers counts the GSD spawns this member has driven for failed
+	// peer partitions (the migration counter the detection soak asserts
+	// stays zero under pure packet loss).
+	takeovers uint64
+	// metaFlap tracks flap scores for the meta-group slots this member
+	// monitors; a flapping partition server is quarantined in the
+	// replicated view, which excludes it from shard ownership until the
+	// score decays.
+	metaFlap map[types.PartitionID]*metaFlapState
 
 	cancelWatch func()
+}
+
+type metaFlapState struct {
+	score float64
+	at    time.Time
 }
 
 // New builds a GSD.
@@ -136,6 +162,7 @@ func New(spec Spec) *Daemon {
 		wdRespawning:    make(map[types.NodeID]bool),
 		reintegrating:   make(map[types.NodeID]bool),
 		takeoverPending: make(map[types.PartitionID]time.Time),
+		metaFlap:        make(map[types.PartitionID]*metaFlapState),
 	}
 }
 
@@ -153,6 +180,12 @@ func (g *Daemon) Partition() types.PartitionID { return g.spec.Partition }
 
 // FederationView exposes the current service-federation view.
 func (g *Daemon) FederationView() federation.View { return g.fedView }
+
+// Epoch reports this instance's fencing epoch.
+func (g *Daemon) Epoch() uint64 { return g.epoch }
+
+// Takeovers reports how many peer-partition GSD spawns this member drove.
+func (g *Daemon) Takeovers() uint64 { return g.takeovers }
 
 // Start implements simhost.Process.
 func (g *Daemon) Start(h *simhost.Handle) {
@@ -191,12 +224,22 @@ func (g *Daemon) Start(h *simhost.Handle) {
 		AnalysisCost: p.MatrixAnalysisCost,
 		NICs:         g.spec.Topo.NICs,
 		WatchService: types.SvcWD,
+
+		SuspicionThreshold: p.SuspicionThreshold,
+		SuspicionWindow:    p.SuspicionWindow,
+		MaxDeadlineFactor:  p.SuspicionMaxFactor,
+		IndirectProbes:     p.IndirectProbes,
+		Peers:              g.indirectPeers,
+		FlapThreshold:      p.FlapThreshold,
+		FlapHalfLife:       p.FlapHalfLifeOrDefault(),
 	}, heartbeat.Callbacks{
 		OnSuspect:      g.onNodeSuspect,
 		OnNICSuspect:   g.onNICSuspect,
 		OnDiagnosed:    g.onPartitionDiagnosed,
 		OnRecovered:    g.onNodeRecovered,
 		OnNICRecovered: g.onNICRecovered,
+		OnRefuted:      g.onNodeRefuted,
+		OnQuarantine:   g.onNodeQuarantine,
 	})
 
 	g.member = membership.NewMember(h, membership.Config{
@@ -220,6 +263,18 @@ func (g *Daemon) Start(h *simhost.Handle) {
 		g.mon.Watch(n)
 	}
 
+	// Fencing epoch: at least the spawn request's floor and the view
+	// version at start — a takeover always follows a MarkDead version
+	// bump, so a migrated instance outbids its predecessor even before
+	// the checkpointed epoch is restored.
+	g.epoch = g.spec.Epoch
+	if v := view.Version; v > g.epoch {
+		g.epoch = v
+	}
+	if g.epoch == 0 {
+		g.epoch = 1
+	}
+
 	// Tell the partition where its GSD lives (WDs and detectors follow).
 	g.announcePartition()
 
@@ -240,6 +295,10 @@ func (g *Daemon) Start(h *simhost.Handle) {
 		// federation, then announce to the meta-group.
 		g.ensureLocalServices(true)
 		g.restorePartitionState(func() {
+			// The restored epoch may outbid the provisional one; persist
+			// and re-announce so every WD follows the final epoch.
+			g.checkpointPartitionState()
+			g.announcePartition()
 			g.member.Start(true)
 			g.publishSupplierRegistration()
 		})
@@ -272,6 +331,19 @@ func (g *Daemon) Receive(msg types.Message) {
 	case heartbeat.MsgHeartbeat:
 		if hb, ok := msg.Payload.(heartbeat.Heartbeat); ok {
 			g.mon.HandleHeartbeat(hb, msg.NIC)
+		}
+	case heartbeat.MsgIndirectAck:
+		if ack, ok := msg.Payload.(heartbeat.IndirectProbeAck); ok {
+			g.mon.HandleIndirectAck(ack)
+		}
+	case heartbeat.MsgFenced:
+		// A WD follows a higher fencing epoch than ours: this instance is
+		// the stale primary of a partition that has moved on. Stand down
+		// deterministically instead of racing the replacement.
+		if f, ok := msg.Payload.(heartbeat.Fenced); ok &&
+			f.Partition == g.spec.Partition && f.Epoch > g.epoch && !g.standingDown {
+			g.standingDown = true
+			g.h.After(0, g.standDown)
 		}
 	case simhost.MsgProbeAck:
 		if ack, ok := msg.Payload.(simhost.ProbeAck); ok {
@@ -348,7 +420,7 @@ func (g *Daemon) announcePartition() {
 // GSD (the announce both redirects their heartbeats and tells the node its
 // re-admission is under way).
 func (g *Daemon) announceTo(node types.NodeID) {
-	ann := heartbeat.GSDAnnounce{Partition: g.spec.Partition, GSDNode: g.h.Node()}
+	ann := heartbeat.GSDAnnounce{Partition: g.spec.Partition, GSDNode: g.h.Node(), Epoch: g.epoch}
 	g.h.Send(types.Addr{Node: node, Service: types.SvcWD}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
 	g.h.Send(types.Addr{Node: node, Service: types.SvcDetector}, types.AnyNIC, heartbeat.MsgGSDAnnounce, ann)
 }
@@ -358,7 +430,7 @@ func (g *Daemon) announceTo(node types.NodeID) {
 func (g *Daemon) syncFedView(v *membership.View) {
 	fv := federation.View{Version: v.Version, Entries: make(map[types.PartitionID]federation.Entry)}
 	for p, m := range v.Members {
-		fv.Entries[p] = federation.Entry{Node: m.Node, Alive: m.Alive}
+		fv.Entries[p] = federation.Entry{Node: m.Node, Alive: m.Alive, Quarantined: m.Quarantined}
 	}
 	g.fedView = fv
 	for _, svc := range g.localSvcs {
@@ -400,6 +472,49 @@ func (g *Daemon) onNodeSuspect(node types.NodeID) {
 	g.publish(types.Event{Type: types.EvNodeSuspect, Node: node})
 }
 
+// onNodeRefuted runs when a suspect proved itself alive by bumping its
+// incarnation: no verdict was issued and nothing was marked down, so the
+// federation view and shard map stay untouched — only the liveness
+// summary is re-stamped with the new incarnation.
+func (g *Daemon) onNodeRefuted(node types.NodeID, inc uint64) {
+	_ = inc
+	g.publish(types.Event{Type: types.EvProcRecover, Node: node, Service: types.SvcWD,
+		Detail: "suspicion refuted"})
+	g.pushLiveness()
+}
+
+// onNodeQuarantine reacts to flap-quarantine transitions of partition
+// member nodes: publish the scheduling-exclusion event and re-stamp the
+// liveness summary. The node stays a member and stays monitored.
+func (g *Daemon) onNodeQuarantine(node types.NodeID, on bool) {
+	typ := types.EvNodeQuarantine
+	if !on {
+		typ = types.EvNodeStable
+	}
+	g.publish(types.Event{Type: typ, Node: node})
+	g.pushLiveness()
+}
+
+// indirectPeers lists healthy partition members that can relay a probe to
+// a suspect — everyone but the suspect itself and this node (whose direct
+// probe is already in flight).
+func (g *Daemon) indirectPeers(exclude types.NodeID) []types.NodeID {
+	part, ok := g.spec.Topo.Partition(g.spec.Partition)
+	if !ok {
+		return nil
+	}
+	var out []types.NodeID
+	for _, n := range part.Members {
+		if n == exclude || n == g.h.Node() {
+			continue
+		}
+		if g.mon.Status(n) == heartbeat.StatusHealthy {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func (g *Daemon) onNICSuspect(node types.NodeID, nic int) {
 	g.publish(types.Event{Type: types.EvNetSuspect, Node: node, NIC: nic})
 }
@@ -431,12 +546,28 @@ func (g *Daemon) pushLiveness() {
 	if !ok {
 		return
 	}
+	snap := g.mon.Snapshot()
+	rows := make([]gossip.LiveRow, 0, len(snap))
+	for _, ni := range snap {
+		state := gossip.RowAlive
+		switch ni.Status {
+		case heartbeat.StatusSuspect:
+			state = gossip.RowSuspect
+		case heartbeat.StatusDown:
+			state = gossip.RowFailed
+		}
+		rows = append(rows, gossip.LiveRow{
+			Node: ni.Node, Inc: ni.Inc, State: state, Quarantined: ni.Quarantined,
+		})
+	}
 	l := gossip.Liveness{
 		Part:  g.spec.Partition,
 		Node:  g.h.Node(),
 		Ver:   uint64(g.h.Now().UnixNano()),
 		Total: len(part.Members),
 		Down:  g.mon.DownNodes(),
+		Epoch: g.epoch,
+		Rows:  rows,
 	}
 	g.h.Send(types.Addr{Node: g.h.Node(), Service: types.SvcGossip},
 		types.AnyNIC, gossip.MsgLive, gossip.LiveMsg{Liveness: l})
@@ -657,6 +788,75 @@ func (g *Daemon) ensureLocalServices(restart bool) {
 func (g *Daemon) onMemberSuspect(part types.PartitionID, node types.NodeID) {
 	g.publish(types.Event{Type: types.EvMemberSuspect, Node: node, Service: types.SvcGSD,
 		Detail: part.String()})
+	g.bumpMetaFlap(part)
+}
+
+// bumpMetaFlap advances the flap score of a meta-group slot this member
+// monitors; crossing the threshold quarantines the slot in the replicated
+// view (shard ownership moves to stable partitions, membership and
+// monitoring continue).
+func (g *Daemon) bumpMetaFlap(part types.PartitionID) {
+	p := g.spec.Params
+	if p.FlapThreshold <= 0 {
+		return
+	}
+	fs, ok := g.metaFlap[part]
+	if !ok {
+		fs = &metaFlapState{}
+		g.metaFlap[part] = fs
+	}
+	now := g.h.Now()
+	fs.score = fs.decayed(now, g.metaHalfLife()) + 1
+	fs.at = now
+	if fs.score >= p.FlapThreshold && !g.member.View().Quarantined(part) {
+		g.member.SetQuarantined(part, true)
+		g.publish(types.Event{Type: types.EvNodeQuarantine, Service: types.SvcGSD,
+			Detail: part.String()})
+	}
+}
+
+// metaFlapSweep clears quarantined slots whose flap score decayed below
+// half the threshold; only the slot's current ring monitor acts, so there
+// is a single writer per slot.
+func (g *Daemon) metaFlapSweep() {
+	p := g.spec.Params
+	if p.FlapThreshold <= 0 {
+		return
+	}
+	v := g.member.View()
+	now := g.h.Now()
+	for part, fs := range g.metaFlap {
+		if !v.Quarantined(part) {
+			continue
+		}
+		if succ, ok := v.Successor(part); !ok || succ != g.spec.Partition {
+			continue
+		}
+		if fs.decayed(now, g.metaHalfLife()) <= p.FlapThreshold/2 {
+			g.member.SetQuarantined(part, false)
+			g.publish(types.Event{Type: types.EvNodeStable, Service: types.SvcGSD,
+				Detail: part.String()})
+		}
+	}
+}
+
+// metaHalfLife scales the flap decay to the meta ring's cadence.
+func (g *Daemon) metaHalfLife() time.Duration {
+	if g.spec.Params.FlapHalfLife > 0 {
+		return g.spec.Params.FlapHalfLife
+	}
+	return 20 * g.spec.Params.MetaHeartbeatInterval
+}
+
+func (fs *metaFlapState) decayed(now time.Time, halfLife time.Duration) float64 {
+	if fs.score == 0 || halfLife <= 0 {
+		return fs.score
+	}
+	dt := now.Sub(fs.at)
+	if dt <= 0 {
+		return fs.score
+	}
+	return fs.score * math.Exp2(-float64(dt)/float64(halfLife))
 }
 
 func (g *Daemon) onMemberDiagnosed(part types.PartitionID, node types.NodeID, kind types.FaultKind) {
@@ -749,7 +949,11 @@ func (g *Daemon) tryRecovery(part types.PartitionID, candidates []types.NodeID, 
 // spawnGSD asks target's agent to start the partition's GSD; onFail runs
 // when the agent refuses or stays silent.
 func (g *Daemon) spawnGSD(part types.PartitionID, target types.NodeID, onFail func()) {
-	spec := SpawnSpec{Partition: part, View: g.member.View().Clone(), Migrated: true}
+	g.takeovers++
+	// The view version floors the successor's fencing epoch: MarkDead bumped
+	// it past anything the failed instance announced with.
+	spec := SpawnSpec{Partition: part, View: g.member.View().Clone(), Migrated: true,
+		Epoch: g.member.View().Version}
 	tok := g.pending.New(g.spec.Params.RPCTimeout,
 		func(payload any) {
 			if ack := payload.(simhost.SpawnAck); !ack.OK && onFail != nil {
@@ -766,6 +970,7 @@ func (g *Daemon) spawnGSD(part types.PartitionID, target types.NodeID, onFail fu
 // re-attempts the candidate walk, now including the node the GSD last died
 // on (it may have rebooted).
 func (g *Daemon) deadSlotSweep() {
+	g.metaFlapSweep()
 	v := g.member.View()
 	for _, part := range v.Order {
 		if part == g.spec.Partition || v.Alive(part) || g.takeoverActive(part) {
@@ -796,6 +1001,10 @@ func (g *Daemon) onMemberJoin(part types.PartitionID, node types.NodeID) {
 // its predecessor's view instead of re-detecting every failure.
 type partState struct {
 	Down []types.NodeID
+	// Epoch is the fencing epoch the instance held when it checkpointed;
+	// a migrated successor restores Epoch+1 so it always outbids the
+	// predecessor at the partition's WDs.
+	Epoch uint64
 }
 
 func init() { codec.RegisterGob(partState{}) }
@@ -804,7 +1013,7 @@ func (g *Daemon) ckptOwner() string { return fmt.Sprintf("gsd/%d", g.spec.Partit
 
 // checkpointPartitionState saves the down-node set after every change.
 func (g *Daemon) checkpointPartitionState() {
-	st := partState{Down: g.mon.DownNodes()}
+	st := partState{Down: g.mon.DownNodes(), Epoch: g.epoch}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return
@@ -836,6 +1045,9 @@ func (g *Daemon) restoreWhenCkptUp(done func(), attempts int) {
 			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err == nil {
 				for _, n := range st.Down {
 					g.mon.MarkDown(n)
+				}
+				if st.Epoch+1 > g.epoch {
+					g.epoch = st.Epoch + 1
 				}
 			}
 		}

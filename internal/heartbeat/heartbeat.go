@@ -15,6 +15,7 @@
 package heartbeat
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -32,26 +33,92 @@ const MsgHeartbeat = "wd.hb"
 // follow it.
 const MsgGSDAnnounce = "gsd.announce"
 
-// GSDAnnounce is the announce payload.
+// MsgSuspect notifies a node's WD that its GSD suspects it: a live WD
+// refutes by bumping its incarnation and beating immediately.
+const MsgSuspect = "gsd.suspect"
+
+// MsgIndirectProbe asks a peer WD to probe a suspect's agent through the
+// peer's own interfaces (an alternate network path).
+const MsgIndirectProbe = "gsd.iprobe"
+
+// MsgIndirectAck carries a peer WD's indirect-probe answer back to the
+// requesting GSD. Only positive evidence is reported; silence stays
+// silence.
+const MsgIndirectAck = "wd.iprobe.ack"
+
+// MsgFenced is a WD's rejection of a stale GSD announce: the partition
+// has moved on to a higher fencing epoch, and the announcing primary must
+// stand down.
+const MsgFenced = "wd.fenced"
+
+// GSDAnnounce is the announce payload. Epoch is the announcing primary's
+// fencing epoch: WDs follow the highest epoch they have seen and fence
+// lower ones.
 type GSDAnnounce struct {
 	Partition types.PartitionID
 	GSDNode   types.NodeID
+	Epoch     uint64
 }
 
 // WireSize implements codec.Sizer.
-func (GSDAnnounce) WireSize() int { return 16 }
+func (GSDAnnounce) WireSize() int { return 24 }
 
 // Heartbeat is the periodic liveness report. The boot time lets the
-// monitor recognise a restarted watch daemon.
+// monitor recognise a restarted watch daemon; the incarnation number
+// (persisted in the node's state dir) rises when the node refutes a
+// suspicion, so a refutation outranks the stale evidence that caused it.
 type Heartbeat struct {
 	Node     types.NodeID
 	Seq      uint64
 	Interval time.Duration
 	Boot     time.Time
+	Inc      uint64
 }
 
 // WireSize implements codec.Sizer; heartbeats dominate kernel traffic.
-func (Heartbeat) WireSize() int { return 48 }
+func (Heartbeat) WireSize() int { return 56 }
+
+// SuspectNotice tells a node it is under suspicion at the given
+// incarnation.
+type SuspectNotice struct {
+	Node types.NodeID
+	Inc  uint64
+}
+
+// WireSize implements codec.Sizer.
+func (SuspectNotice) WireSize() int { return 16 }
+
+// IndirectProbeReq asks a peer WD to probe Target's agent about Service.
+type IndirectProbeReq struct {
+	Target  types.NodeID
+	Service string
+	Token   uint64
+}
+
+// WireSize implements codec.Sizer.
+func (r IndirectProbeReq) WireSize() int { return 24 + len(r.Service) }
+
+// IndirectProbeAck reports a peer WD's probe outcome for Target.
+type IndirectProbeAck struct {
+	Target  types.NodeID
+	Token   uint64
+	Alive   bool
+	Running bool
+}
+
+// WireSize implements codec.Sizer.
+func (IndirectProbeAck) WireSize() int { return 24 }
+
+// Fenced is a WD's stale-primary rejection: the WD follows Epoch, which
+// is higher than the announcer's.
+type Fenced struct {
+	Partition types.PartitionID
+	Node      types.NodeID
+	Epoch     uint64
+}
+
+// WireSize implements codec.Sizer.
+func (Fenced) WireSize() int { return 24 }
 
 // NodeStatus is the monitor's belief about one node.
 type NodeStatus int
@@ -99,6 +166,13 @@ type Callbacks struct {
 	// OnNICRecovered fires when a previously failed interface delivers
 	// a heartbeat again.
 	OnNICRecovered func(node types.NodeID, nic int)
+	// OnRefuted fires when a suspect proves itself alive mid-diagnosis by
+	// beating with a bumped incarnation. The node is already healthy
+	// again; no fail verdict was (or will be) issued for the episode.
+	OnRefuted func(node types.NodeID, inc uint64)
+	// OnQuarantine fires when a node's flap score crosses the quarantine
+	// threshold (on=true) or decays back below the clear level (on=false).
+	OnQuarantine func(node types.NodeID, on bool)
 }
 
 // Config tunes the monitor.
@@ -109,6 +183,29 @@ type Config struct {
 	AnalysisCost time.Duration // receipt-matrix analysis cost (NIC diagnosis)
 	NICs         int
 	WatchService string // daemon whose liveness the probe queries (SvcWD)
+
+	// SuspicionThreshold enables adaptive accrual detection: the per-node
+	// deadline follows the observed inter-arrival distribution, floored
+	// at the fixed Interval+Grace deadline and capped at
+	// MaxDeadlineFactor times it. Zero keeps the fixed deadline.
+	SuspicionThreshold float64
+	// SuspicionWindow is the inter-arrival sample window size (default 64).
+	SuspicionWindow int
+	// MaxDeadlineFactor caps the adaptive deadline (default 6x).
+	MaxDeadlineFactor float64
+	// IndirectProbes is how many peers are asked to probe a suspect over
+	// their own interfaces before silence escalates to a node-fail
+	// verdict. Zero disables indirect probing.
+	IndirectProbes int
+	// Peers supplies candidate indirect-probe relays (healthy partition
+	// members, excluding the suspect).
+	Peers func(exclude types.NodeID) []types.NodeID
+	// FlapThreshold quarantines a node whose decaying flap score reaches
+	// it; the node is cleared when the score falls to half the threshold.
+	// Zero disables quarantine.
+	FlapThreshold float64
+	// FlapHalfLife is the flap-score decay half-life (default 20 intervals).
+	FlapHalfLife time.Duration
 }
 
 type nodeTrack struct {
@@ -120,6 +217,34 @@ type nodeTrack struct {
 	deadline        clock.Timer
 	diagnosing      bool
 	nicCheckPending bool
+
+	window      *arrivalWindow // inter-arrival samples (accrual mode)
+	lastSeq     uint64         // highest heartbeat seq seen
+	lastArrival time.Time      // first-copy arrival time of lastSeq
+	inc         uint64         // node's current incarnation
+	suspectInc  uint64         // incarnation at suspicion time
+	probeToken  uint64         // outstanding diagnosis probe
+	flap        flapScore
+	quarantined bool
+}
+
+// Stats are the monitor's lifecycle counters.
+type Stats struct {
+	Suspects     uint64 `json:"suspects"`
+	Refutations  uint64 `json:"refutations"`
+	IndirectAcks uint64 `json:"indirect_acks"`
+	FailVerdicts uint64 `json:"fail_verdicts"`
+}
+
+// NodeInfo is one node's detection state in a Snapshot.
+type NodeInfo struct {
+	Node        types.NodeID `json:"node"`
+	Status      NodeStatus   `json:"-"`
+	State       string       `json:"state"`
+	Inc         uint64       `json:"inc"`
+	Suspicion   float64      `json:"suspicion"`
+	Flap        float64      `json:"flap"`
+	Quarantined bool         `json:"quarantined,omitempty"`
 }
 
 // Monitor is the GSD-side receipt tracker and diagnosis engine for the
@@ -130,6 +255,7 @@ type Monitor struct {
 	cb      Callbacks
 	pending *rpc.Pending
 	nodes   map[types.NodeID]*nodeTrack
+	stats   Stats
 }
 
 // NewMonitor builds a monitor; the owner must route agent probe acks to
@@ -155,6 +281,9 @@ func (m *Monitor) Watch(node types.NodeID) {
 		lastSeen:   m.rt.Now(),
 		lastPerNIC: make([]time.Time, m.cfg.NICs),
 		nicDown:    make([]bool, m.cfg.NICs),
+	}
+	if m.cfg.SuspicionThreshold > 0 {
+		tr.window = newArrivalWindow(m.cfg.SuspicionWindow)
 	}
 	now := m.rt.Now()
 	for i := range tr.lastPerNIC {
@@ -237,7 +366,48 @@ func (m *Monitor) armDeadline(node types.NodeID, tr *nodeTrack) {
 	if tr.deadline != nil {
 		tr.deadline.Stop()
 	}
-	tr.deadline = m.rt.After(m.cfg.Interval+m.cfg.Grace, func() { m.deadlineExpired(node) })
+	tr.deadline = m.rt.After(m.deadlineFor(tr), func() { m.deadlineExpired(node) })
+}
+
+// deadlineFor picks the node's miss deadline: the paper's fixed
+// Interval+Grace, stretched — never shortened — by the accrual estimate
+// when the observed inter-arrival distribution is noisier than the
+// configured period.
+func (m *Monitor) deadlineFor(tr *nodeTrack) time.Duration {
+	base := m.cfg.Interval + m.cfg.Grace
+	if m.cfg.SuspicionThreshold <= 0 || tr.window == nil {
+		return base
+	}
+	ad, ok := tr.window.deadlineFor(m.cfg.SuspicionThreshold, m.minStd())
+	if !ok || ad <= base {
+		return base
+	}
+	factor := m.cfg.MaxDeadlineFactor
+	if factor <= 0 {
+		factor = 6
+	}
+	if lim := time.Duration(factor * float64(base)); ad > lim {
+		return lim
+	}
+	return ad
+}
+
+// minStd floors the deviation estimate so a jitter-free window cannot
+// collapse the accrual model; it stays well under Grace so the fixed
+// deadline remains the effective floor on clean networks.
+func (m *Monitor) minStd() time.Duration {
+	s := m.cfg.Grace / 8
+	if s < 100*time.Microsecond {
+		s = 100 * time.Microsecond
+	}
+	return s
+}
+
+func (m *Monitor) flapHalfLife() time.Duration {
+	if m.cfg.FlapHalfLife > 0 {
+		return m.cfg.FlapHalfLife
+	}
+	return 20 * m.cfg.Interval
 }
 
 // HandleHeartbeat processes one received heartbeat. nic is the interface
@@ -248,6 +418,33 @@ func (m *Monitor) HandleHeartbeat(hb Heartbeat, nic int) {
 		return
 	}
 	now := m.rt.Now()
+
+	// Accrual sampling: one inter-arrival sample per beat sequence — the
+	// sibling copies a beat fans out over the other NICs must not count,
+	// and a reordered duplicate of an old beat carries no new timing.
+	if hb.Seq > tr.lastSeq || !hb.Boot.Equal(tr.lastBoot) {
+		if tr.window != nil && tr.status == StatusHealthy && !tr.lastArrival.IsZero() {
+			if gap := now.Sub(tr.lastArrival); gap > 0 {
+				tr.window.add(gap)
+			}
+		}
+		tr.lastSeq = hb.Seq
+		tr.lastArrival = now
+	}
+
+	// Refutation: a suspect that beats with a bumped incarnation is alive
+	// by its own word — cancel the diagnosis before any verdict and
+	// restore it without a recovery event (nothing was ever marked down,
+	// so no federation or shard version moves).
+	if tr.diagnosing && hb.Inc > tr.suspectInc {
+		m.pending.Cancel(tr.probeToken)
+		tr.diagnosing = false
+		tr.status = StatusHealthy
+		m.stats.Refutations++
+		if m.cb.OnRefuted != nil {
+			m.cb.OnRefuted(hb.Node, hb.Inc)
+		}
+	}
 
 	// Recovery of a previously diagnosed node/process failure.
 	if tr.status != StatusHealthy && !tr.diagnosing {
@@ -289,9 +486,38 @@ func (m *Monitor) HandleHeartbeat(hb Heartbeat, nic int) {
 
 	tr.lastSeen = now
 	tr.lastPerNIC[nic] = now
+	// Incarnations only rise within one boot; a restarted WD starts a
+	// fresh incarnation line (it may have no persistent state dir).
+	if hb.Inc > tr.inc || !hb.Boot.Equal(tr.lastBoot) {
+		tr.inc = hb.Inc
+	}
 	tr.lastBoot = hb.Boot
+	if tr.quarantined {
+		m.evalQuarantine(hb.Node, tr, now)
+	}
 	if tr.status == StatusHealthy {
 		m.armDeadline(hb.Node, tr)
+	}
+}
+
+// evalQuarantine applies the flap hysteresis: quarantine at the
+// threshold, clear at half of it.
+func (m *Monitor) evalQuarantine(node types.NodeID, tr *nodeTrack, now time.Time) {
+	if m.cfg.FlapThreshold <= 0 {
+		return
+	}
+	score := tr.flap.decayed(now, m.flapHalfLife())
+	switch {
+	case !tr.quarantined && score >= m.cfg.FlapThreshold:
+		tr.quarantined = true
+		if m.cb.OnQuarantine != nil {
+			m.cb.OnQuarantine(node, true)
+		}
+	case tr.quarantined && score <= m.cfg.FlapThreshold/2:
+		tr.quarantined = false
+		if m.cb.OnQuarantine != nil {
+			m.cb.OnQuarantine(node, false)
+		}
 	}
 }
 
@@ -333,20 +559,39 @@ func (m *Monitor) deadlineExpired(node types.NodeID) {
 	}
 	tr.status = StatusSuspect
 	tr.diagnosing = true
+	tr.suspectInc = tr.inc
+	m.stats.Suspects++
+	now := m.rt.Now()
+	tr.flap.bump(now, m.flapHalfLife())
+	m.evalQuarantine(node, tr, now)
 	if m.cb.OnSuspect != nil {
 		m.cb.OnSuspect(node)
+	}
+	// Give the node itself the chance to refute: a live WD bumps its
+	// incarnation and beats back immediately.
+	for nic := 0; nic < m.cfg.NICs; nic++ {
+		m.rt.Send(types.Addr{Node: node, Service: m.cfg.WatchService}, nic,
+			MsgSuspect, SuspectNotice{Node: node, Inc: tr.inc})
 	}
 	m.probe(node, tr)
 }
 
-// probe performs diagnosis: ProbeReq on every interface; the first answer
-// settles process-vs-node, silence until the timeout means node failure.
+// probe performs diagnosis: ProbeReq on every interface plus indirect
+// probes through up to IndirectProbes peer WDs; the first answer —
+// direct or relayed — settles process-vs-node, silence until the timeout
+// means node failure.
 func (m *Monitor) probe(node types.NodeID, tr *nodeTrack) {
 	token := m.pending.New(m.cfg.ProbeTimeout,
 		func(payload any) {
-			ack := payload.(simhost.ProbeAck)
+			var running bool
+			switch ack := payload.(type) {
+			case simhost.ProbeAck:
+				running = ack.Running
+			case IndirectProbeAck:
+				running = ack.Running
+			}
 			tr.diagnosing = false
-			if ack.Running {
+			if running {
 				// The daemon claims to run but its heartbeats do not
 				// arrive: treat as a network-level fault on all
 				// interfaces (not exercised by the paper's tables).
@@ -366,13 +611,26 @@ func (m *Monitor) probe(node types.NodeID, tr *nodeTrack) {
 		func() {
 			tr.diagnosing = false
 			tr.status = StatusDown
+			m.stats.FailVerdicts++
 			if m.cb.OnDiagnosed != nil {
 				m.cb.OnDiagnosed(Verdict{Node: node, Kind: types.FaultNode})
 			}
 		})
+	tr.probeToken = token
 	for nic := 0; nic < m.cfg.NICs; nic++ {
 		m.rt.Send(types.Addr{Node: node, Service: types.SvcAgent}, nic,
 			simhost.MsgProbe, simhost.ProbeReq{Service: m.cfg.WatchService, Token: token})
+	}
+	if m.cfg.IndirectProbes <= 0 || m.cfg.Peers == nil {
+		return
+	}
+	peers := m.cfg.Peers(node)
+	for i, peer := range peers {
+		if i >= m.cfg.IndirectProbes {
+			break
+		}
+		m.rt.Send(types.Addr{Node: peer, Service: m.cfg.WatchService}, i%m.cfg.NICs,
+			MsgIndirectProbe, IndirectProbeReq{Target: node, Service: m.cfg.WatchService, Token: token})
 	}
 }
 
@@ -380,4 +638,100 @@ func (m *Monitor) probe(node types.NodeID, tr *nodeTrack) {
 // Late or duplicate acks are ignored.
 func (m *Monitor) HandleProbeAck(ack simhost.ProbeAck) {
 	m.pending.Resolve(ack.Token, ack)
+}
+
+// HandleIndirectAck routes a peer WD's relayed probe answer into the
+// diagnosis engine. Only positive evidence resolves the diagnosis; a
+// negative relay report is silence with extra words.
+func (m *Monitor) HandleIndirectAck(ack IndirectProbeAck) {
+	if !ack.Alive {
+		return
+	}
+	m.stats.IndirectAcks++
+	m.pending.Resolve(ack.Token, ack)
+}
+
+// Stats reports the monitor's lifecycle counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// SuspicionLevel reports the node's current accrual suspicion level
+// (phi); 0 in fixed-deadline mode or while the beat is on time.
+func (m *Monitor) SuspicionLevel(node types.NodeID) float64 {
+	tr, ok := m.nodes[node]
+	if !ok || tr.window == nil {
+		return 0
+	}
+	since := tr.lastArrival
+	if since.IsZero() {
+		since = tr.lastSeen
+	}
+	return tr.window.phi(m.rt.Now().Sub(since), m.minStd())
+}
+
+// FlapScore reports the node's decayed flap score.
+func (m *Monitor) FlapScore(node types.NodeID) float64 {
+	tr, ok := m.nodes[node]
+	if !ok {
+		return 0
+	}
+	return tr.flap.decayed(m.rt.Now(), m.flapHalfLife())
+}
+
+// Quarantined reports whether the node is flap-quarantined.
+func (m *Monitor) Quarantined(node types.NodeID) bool {
+	tr, ok := m.nodes[node]
+	return ok && tr.quarantined
+}
+
+// QuarantinedNodes lists the flap-quarantined nodes.
+func (m *Monitor) QuarantinedNodes() []types.NodeID {
+	var out []types.NodeID
+	for id, tr := range m.nodes {
+		if tr.quarantined {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Incarnation reports the node's last seen incarnation number.
+func (m *Monitor) Incarnation(node types.NodeID) uint64 {
+	tr, ok := m.nodes[node]
+	if !ok {
+		return 0
+	}
+	return tr.inc
+}
+
+// Snapshot reports every watched node's detection state, ordered by
+// incarnation then node (the liveness-summary row order).
+func (m *Monitor) Snapshot() []NodeInfo {
+	now := m.rt.Now()
+	out := make([]NodeInfo, 0, len(m.nodes))
+	for id, tr := range m.nodes {
+		ni := NodeInfo{
+			Node:        id,
+			Status:      tr.status,
+			State:       tr.status.String(),
+			Inc:         tr.inc,
+			Flap:        tr.flap.decayed(now, m.flapHalfLife()),
+			Quarantined: tr.quarantined,
+		}
+		if tr.window != nil && tr.status == StatusHealthy {
+			since := tr.lastArrival
+			if since.IsZero() {
+				since = tr.lastSeen
+			}
+			ni.Suspicion = tr.window.phi(now.Sub(since), m.minStd())
+		}
+		out = append(out, ni)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inc != out[j].Inc {
+			return out[i].Inc < out[j].Inc
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }

@@ -11,9 +11,14 @@ import (
 )
 
 func init() {
-	wirebin.Intern(MsgHeartbeat, MsgGSDAnnounce)
+	wirebin.Intern(MsgHeartbeat, MsgGSDAnnounce, MsgSuspect, MsgIndirectProbe,
+		MsgIndirectAck, MsgFenced)
 	codec.RegisterPayload(32, func() codec.Payload { return new(Heartbeat) })
 	codec.RegisterPayload(33, func() codec.Payload { return new(GSDAnnounce) })
+	codec.RegisterPayload(34, func() codec.Payload { return new(SuspectNotice) })
+	codec.RegisterPayload(35, func() codec.Payload { return new(IndirectProbeReq) })
+	codec.RegisterPayload(36, func() codec.Payload { return new(IndirectProbeAck) })
+	codec.RegisterPayload(37, func() codec.Payload { return new(Fenced) })
 }
 
 // WireID implements codec.Payload (ID space: 32+ = heartbeat).
@@ -24,7 +29,8 @@ func (h Heartbeat) AppendWire(buf []byte) []byte {
 	buf = wirebin.AppendVarint(buf, int64(h.Node))
 	buf = wirebin.AppendUvarint(buf, h.Seq)
 	buf = wirebin.AppendDuration(buf, h.Interval)
-	return wirebin.AppendTime(buf, h.Boot)
+	buf = wirebin.AppendTime(buf, h.Boot)
+	return wirebin.AppendUvarint(buf, h.Inc)
 }
 
 // DecodeWire implements codec.Payload.
@@ -34,6 +40,7 @@ func (h *Heartbeat) DecodeWire(data []byte) error {
 	h.Seq = r.Uvarint()
 	h.Interval = r.Duration()
 	h.Boot = r.Time()
+	h.Inc = r.Uvarint()
 	return r.Close()
 }
 
@@ -43,7 +50,8 @@ func (GSDAnnounce) WireID() uint16 { return 33 }
 // AppendWire implements codec.Payload.
 func (a GSDAnnounce) AppendWire(buf []byte) []byte {
 	buf = wirebin.AppendVarint(buf, int64(a.Partition))
-	return wirebin.AppendVarint(buf, int64(a.GSDNode))
+	buf = wirebin.AppendVarint(buf, int64(a.GSDNode))
+	return wirebin.AppendUvarint(buf, a.Epoch)
 }
 
 // DecodeWire implements codec.Payload.
@@ -51,5 +59,82 @@ func (a *GSDAnnounce) DecodeWire(data []byte) error {
 	r := wirebin.NewReader(data)
 	a.Partition = types.PartitionID(r.Varint())
 	a.GSDNode = types.NodeID(r.Varint())
+	a.Epoch = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (SuspectNotice) WireID() uint16 { return 34 }
+
+// AppendWire implements codec.Payload.
+func (n SuspectNotice) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(n.Node))
+	return wirebin.AppendUvarint(buf, n.Inc)
+}
+
+// DecodeWire implements codec.Payload.
+func (n *SuspectNotice) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	n.Node = types.NodeID(r.Varint())
+	n.Inc = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (IndirectProbeReq) WireID() uint16 { return 35 }
+
+// AppendWire implements codec.Payload.
+func (q IndirectProbeReq) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(q.Target))
+	buf = wirebin.AppendString(buf, q.Service)
+	return wirebin.AppendUvarint(buf, q.Token)
+}
+
+// DecodeWire implements codec.Payload.
+func (q *IndirectProbeReq) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	q.Target = types.NodeID(r.Varint())
+	q.Service = r.String()
+	q.Token = r.Uvarint()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (IndirectProbeAck) WireID() uint16 { return 36 }
+
+// AppendWire implements codec.Payload.
+func (a IndirectProbeAck) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(a.Target))
+	buf = wirebin.AppendUvarint(buf, a.Token)
+	buf = wirebin.AppendBool(buf, a.Alive)
+	return wirebin.AppendBool(buf, a.Running)
+}
+
+// DecodeWire implements codec.Payload.
+func (a *IndirectProbeAck) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	a.Target = types.NodeID(r.Varint())
+	a.Token = r.Uvarint()
+	a.Alive = r.Bool()
+	a.Running = r.Bool()
+	return r.Close()
+}
+
+// WireID implements codec.Payload.
+func (Fenced) WireID() uint16 { return 37 }
+
+// AppendWire implements codec.Payload.
+func (f Fenced) AppendWire(buf []byte) []byte {
+	buf = wirebin.AppendVarint(buf, int64(f.Partition))
+	buf = wirebin.AppendVarint(buf, int64(f.Node))
+	return wirebin.AppendUvarint(buf, f.Epoch)
+}
+
+// DecodeWire implements codec.Payload.
+func (f *Fenced) DecodeWire(data []byte) error {
+	r := wirebin.NewReader(data)
+	f.Partition = types.PartitionID(r.Varint())
+	f.Node = types.NodeID(r.Varint())
+	f.Epoch = r.Uvarint()
 	return r.Close()
 }

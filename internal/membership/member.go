@@ -212,6 +212,20 @@ func (m *Member) memberFailed(part types.PartitionID, info MemberInfo, kind type
 	}
 }
 
+// SetQuarantined flips a slot's flap-quarantine flag in the replicated
+// view and broadcasts the change. MarkAlive on a rejoin clears nothing —
+// quarantine outlives restarts by design — so only the flap-score decay
+// path should call this with on=false.
+func (m *Member) SetQuarantined(part types.PartitionID, on bool) {
+	if m.view.Quarantined(part) == on {
+		return
+	}
+	oldLeader := m.view.Leader
+	m.view.SetQuarantined(part, on)
+	m.broadcastView()
+	m.afterViewChange(oldLeader)
+}
+
 func (m *Member) broadcastView() {
 	vm := ViewMsg{View: m.view.Clone()}
 	for p, info := range m.view.Members {

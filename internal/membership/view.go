@@ -16,9 +16,13 @@ import (
 )
 
 // MemberInfo is one ring slot: the partition's GSD location and liveness.
+// Quarantined marks a flapping slot: it stays a ring member (monitored,
+// eligible for succession) but is excluded from shard ownership and PWS
+// scheduling until its flap score decays.
 type MemberInfo struct {
-	Node  types.NodeID
-	Alive bool
+	Node        types.NodeID
+	Alive       bool
+	Quarantined bool
 }
 
 // View is the replicated meta-group state. Views are value-copied between
@@ -116,6 +120,21 @@ func (v *View) AliveCount() int {
 
 // Alive reports whether the slot is marked alive.
 func (v *View) Alive(p types.PartitionID) bool { return v.Members[p].Alive }
+
+// Quarantined reports whether the slot is flap-quarantined.
+func (v *View) Quarantined(p types.PartitionID) bool { return v.Members[p].Quarantined }
+
+// SetQuarantined flips a slot's flap-quarantine flag, bumping the version
+// so the change replicates. No-op when already in the requested state.
+func (v *View) SetQuarantined(p types.PartitionID, on bool) {
+	m, ok := v.Members[p]
+	if !ok || m.Quarantined == on {
+		return
+	}
+	m.Quarantined = on
+	v.Members[p] = m
+	v.Version++
+}
 
 // MarkDead records a member failure and applies the paper's succession
 // rules, bumping the version. It is a no-op on already-dead slots.

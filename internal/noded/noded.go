@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/gsd"
+	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/opshttp"
 	"repro/internal/rpc"
@@ -141,12 +142,14 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 
 	rejoin := false
 	ckptDir := ""
+	var incs watchd.IncarnationStore
 	if s.stateDir != "" {
 		var err error
 		if rejoin, err = openStateDir(s.stateDir, node); err != nil {
 			return nil, err
 		}
 		ckptDir = filepath.Join(s.stateDir, "ckpt")
+		incs = newIncStore(s.stateDir)
 	}
 
 	// Node-wide circuit breakers, shared by every kernel client on this
@@ -205,7 +208,8 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
 			Topo: topo, Params: s.params, EnforceAuth: s.enforceAuth,
 			CheckpointDir: ckptDir, Rejoin: rejoin,
-			RPC: rpc.Options{Breakers: breakers, Metrics: tr.Metrics()},
+			IncarnationStore: incs,
+			RPC:              rpc.Options{Breakers: breakers, Metrics: tr.Metrics()},
 		})
 	})
 	if bootErr != nil {
@@ -317,6 +321,32 @@ func (n *Node) Status() opshttp.Status {
 			}
 			if m, ok := v.Members[v.Leader]; ok && m.Alive {
 				st.LeaderPartition, st.LeaderNode = int(v.Leader), int(m.Node)
+			}
+			if mon := g.Monitor(); mon != nil {
+				ms := mon.Stats()
+				d := &opshttp.Detect{
+					Suspects: ms.Suspects, Refutations: ms.Refutations,
+					IndirectAcks: ms.IndirectAcks, FailVerdicts: ms.FailVerdicts,
+					FenceEpoch: g.Epoch(), Takeovers: g.Takeovers(),
+				}
+				for _, ni := range mon.Snapshot() {
+					switch ni.Status {
+					case heartbeat.StatusSuspect:
+						d.Suspect = append(d.Suspect, int(ni.Node))
+					case heartbeat.StatusDown:
+						d.Failed = append(d.Failed, int(ni.Node))
+					}
+					if ni.Quarantined {
+						d.Quarantined = append(d.Quarantined, int(ni.Node))
+					}
+					if ni.Suspicion > d.MaxSuspicion {
+						d.MaxSuspicion = ni.Suspicion
+					}
+					if ni.Flap > d.MaxFlap {
+						d.MaxFlap = ni.Flap
+					}
+				}
+				st.Detect = d
 			}
 		}
 		if db, ok := host.Proc(types.SvcDB).(*bulletin.Service); ok {

@@ -6,6 +6,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/types"
 )
@@ -65,4 +67,43 @@ func openStateDir(dir string, node types.NodeID) (rejoin bool, err error) {
 		return false, fmt.Errorf("noded: state marker: %w", err)
 	}
 	return rejoin, nil
+}
+
+// incFile holds the watch daemon's incarnation number, one decimal integer.
+const incFile = "incarnation"
+
+// incStore is the file-backed watchd.IncarnationStore a state directory
+// provides: the refutation protocol requires the incarnation to be
+// monotonic across WD restarts, so each bump is written through with an
+// atomic rename. A missing or damaged file reads as zero — the WD then
+// relies on the suspicion notice echoing the incarnation the suspicion was
+// raised at, which its refutation bump always outbids.
+type incStore struct{ path string }
+
+func newIncStore(dir string) *incStore { return &incStore{path: filepath.Join(dir, incFile)} }
+
+// Load implements watchd.IncarnationStore.
+func (s *incStore) Load() uint64 {
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		log.Printf("noded: incarnation file unreadable, resetting: %v", err)
+		return 0
+	}
+	return v
+}
+
+// Store implements watchd.IncarnationStore.
+func (s *incStore) Store(v uint64) {
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(v, 10)), 0o644); err != nil {
+		log.Printf("noded: incarnation write: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		log.Printf("noded: incarnation write: %v", err)
+	}
 }

@@ -177,16 +177,75 @@ func fetchOnce(ctx context.Context, client *http.Client, target string, timeout 
 	return Fetch(rctx, client, target)
 }
 
+// detectIndex folds every reachable GSD's Detect block into per-node
+// lifecycle lookups, so the table can label a row with what the kernel's
+// failure detection concluded about it — a node the gather cannot reach
+// may be merely suspect, quarantined for flapping, or diagnosed failed
+// under a specific fencing epoch.
+type detectIndex struct {
+	suspect     map[int]bool
+	quarantined map[int]bool
+	failed      map[int]uint64 // node -> fencing epoch of the diagnosing GSD
+}
+
+func indexDetect(reports []NodeReport) detectIndex {
+	ix := detectIndex{
+		suspect:     make(map[int]bool),
+		quarantined: make(map[int]bool),
+		failed:      make(map[int]uint64),
+	}
+	for _, r := range reports {
+		if !r.Reachable() || r.Status.Detect == nil {
+			continue
+		}
+		d := r.Status.Detect
+		for _, n := range d.Suspect {
+			ix.suspect[n] = true
+		}
+		for _, n := range d.Quarantined {
+			ix.quarantined[n] = true
+		}
+		for _, n := range d.Failed {
+			if e, ok := ix.failed[n]; !ok || d.FenceEpoch > e {
+				ix.failed[n] = d.FenceEpoch
+			}
+		}
+	}
+	return ix
+}
+
+// label classifies one node from the detection index; ok is false when no
+// GSD reported anything about it.
+func (ix detectIndex) label(node int) (string, bool) {
+	if epoch, ok := ix.failed[node]; ok {
+		return fmt.Sprintf("failed(epoch %d)", epoch), true
+	}
+	if ix.quarantined[node] {
+		return "quarantined", true
+	}
+	if ix.suspect[node] {
+		return "suspect", true
+	}
+	return "", false
+}
+
 // RenderTable writes the cluster table phoenix-admin prints — the
 // real-network counterpart of the paper's GridView: one row per node
 // with role, GSD standing, membership, liveness and wire fault counts.
+// The STATUS column grades unreachable nodes by what the cluster's
+// failure detection knows: suspect, quarantined, or failed(epoch N).
 func RenderTable(w io.Writer, reports []NodeReport) {
+	ix := indexDetect(reports)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tGOSSIP\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
+	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tGOSSIP\tDETECT\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
 	leaders := 0
 	for _, r := range reports {
 		if !r.Reachable() {
-			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%s)\n", int(r.Node), r.Err)
+			status := fmt.Sprintf("DOWN (%s)", r.Err)
+			if lbl, ok := ix.label(int(r.Node)); ok {
+				status = fmt.Sprintf("DOWN: %s (%s)", lbl, r.Err)
+			}
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", int(r.Node), status)
 			continue
 		}
 		st := r.Status
@@ -210,10 +269,21 @@ func RenderTable(w io.Writer, reports []NodeReport) {
 		if g := st.Gossip; g != nil {
 			gs = fmt.Sprintf("r%d:fv%d d%d g%d", g.Rounds, g.FedVersion, g.DeltasRx, g.Gaps)
 		}
-		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\tok\n",
-			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, gs, st.Ready, len(st.Procs),
+		// Detection standing of the hosted GSD: fencing epoch, then
+		// cumulative suspects/refutations/fail-verdicts.
+		det := "-"
+		if d := st.Detect; d != nil {
+			det = fmt.Sprintf("e%d s%d/r%d/f%d", d.FenceEpoch, d.Suspects, d.Refutations, d.FailVerdicts)
+		}
+		// A reachable node may still be degraded in the kernel's eyes.
+		status := "ok"
+		if lbl, ok := ix.label(st.Node); ok {
+			status = lbl
+		}
+		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\t%s\n",
+			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, gs, det, st.Ready, len(st.Procs),
 			st.Wire.TxDatagrams, st.Wire.RxDatagrams, st.Wire.Retransmits,
-			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds)
+			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds, status)
 	}
 	tw.Flush()
 	if lead, ok := Leader(reports); ok {

@@ -153,6 +153,25 @@ func writeStatusProm(w io.Writer, st Status) {
 		counter("phoenix_gossip_gaps_total", gs.Gaps)
 		counter("phoenix_gossip_truncated_total", gs.Truncated)
 	}
+	if d := st.Detect; d != nil {
+		gauge := func(name string, v interface{}) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, v)
+		}
+		counter := func(name string, v uint64) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		}
+		gauge("phoenix_suspicion_level", promFloat(d.MaxSuspicion))
+		gauge("phoenix_flap_score", promFloat(d.MaxFlap))
+		gauge("phoenix_fence_epoch", d.FenceEpoch)
+		gauge("phoenix_detect_suspect_nodes", len(d.Suspect))
+		gauge("phoenix_detect_quarantined_nodes", len(d.Quarantined))
+		gauge("phoenix_detect_failed_nodes", len(d.Failed))
+		counter("phoenix_detect_suspects_total", d.Suspects)
+		counter("phoenix_detect_refutations_total", d.Refutations)
+		counter("phoenix_detect_indirect_acks_total", d.IndirectAcks)
+		counter("phoenix_detect_fail_verdicts_total", d.FailVerdicts)
+		counter("phoenix_detect_takeovers_total", d.Takeovers)
+	}
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_calls_total counter\nphoenix_rpc_calls_total %d\n", st.RPC.Calls)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_retries_total counter\nphoenix_rpc_retries_total %d\n", st.RPC.Retries)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_shed_total counter\nphoenix_rpc_shed_total %d\n", st.RPC.Shed)

@@ -66,6 +66,10 @@ type Status struct {
 	// ownership, replication lag, delta propagation and the query cache.
 	// Nil when this node hosts no bulletin.
 	Shard *bulletin.ShardStats `json:"shard,omitempty"`
+	// Detect is the hosted GSD's failure-detection lifecycle snapshot:
+	// suspicion counters, member lifecycle lists and the fencing epoch.
+	// Nil when this node hosts no GSD.
+	Detect *Detect `json:"detect,omitempty"`
 	// Gossip is the hosted dissemination instance's snapshot: rounds run,
 	// digests and updates exchanged, deltas learned, repair gaps. Nil when
 	// this node hosts no gossip service (compute node, or plane disabled).
@@ -95,6 +99,30 @@ type Status struct {
 	BreakersOpen int                 `json:"breakers_open"`
 }
 
+// Detect is the failure-detection lifecycle snapshot of the GSD hosted on
+// a node: cumulative suspicion counters, the current member lifecycle
+// lists (suspect / quarantined / failed), the peak live suspicion and
+// flap scores, and the partition's fencing epoch.
+type Detect struct {
+	Suspects     uint64 `json:"suspects"`
+	Refutations  uint64 `json:"refutations"`
+	IndirectAcks uint64 `json:"indirect_acks"`
+	FailVerdicts uint64 `json:"fail_verdicts"`
+	// FenceEpoch is the hosted GSD's fencing epoch; Takeovers counts the
+	// peer-partition GSD spawns it has driven.
+	FenceEpoch uint64 `json:"fence_epoch"`
+	Takeovers  uint64 `json:"takeovers"`
+	// Suspect / Quarantined / Failed list partition member nodes currently
+	// in each lifecycle state.
+	Suspect     []int `json:"suspect,omitempty"`
+	Quarantined []int `json:"quarantined,omitempty"`
+	Failed      []int `json:"failed,omitempty"`
+	// MaxSuspicion / MaxFlap are the highest live phi and flap scores
+	// across watched members.
+	MaxSuspicion float64 `json:"max_suspicion"`
+	MaxFlap      float64 `json:"max_flap"`
+}
+
 // Line renders the status as the one-line form phoenix-node logs
 // periodically.
 func (st Status) Line() string {
@@ -120,6 +148,14 @@ func (st Status) Line() string {
 	if gs := st.Gossip; gs != nil {
 		fmt.Fprintf(&sb, ", gossip r%d fv%d d%d/%d gaps %d",
 			gs.Rounds, gs.FedVersion, gs.DeltasRx, gs.DeltasTx, gs.Gaps)
+	}
+	if d := st.Detect; d != nil {
+		fmt.Fprintf(&sb, ", detect e%d s%d r%d f%d",
+			d.FenceEpoch, d.Suspects, d.Refutations, d.FailVerdicts)
+		if len(d.Suspect) > 0 || len(d.Quarantined) > 0 {
+			fmt.Fprintf(&sb, " (suspect %d, quarantined %d)",
+				len(d.Suspect), len(d.Quarantined))
+		}
 	}
 	fmt.Fprintf(&sb, ", rpc %d/%d ok, rpc retries %d", st.RPC.OK, st.RPC.Calls, st.RPC.Retries)
 	if st.RPC.Shed > 0 {

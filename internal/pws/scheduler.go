@@ -84,7 +84,11 @@ type Scheduler struct {
 	st    state
 	busy  map[types.NodeID]types.JobID
 	down  map[types.NodeID]bool
-	loads map[types.NodeID]float64 // CPU load from the last bulletin query
+	// quarantined nodes stay members but take no new slices until the
+	// kernel's flap score decays (running slices finish; nothing is
+	// requeued on quarantine, unlike failure).
+	quarantined map[types.NodeID]bool
+	loads       map[types.NodeID]float64 // CPU load from the last bulletin query
 
 	// BulletinQueries counts federation queries issued (the traffic
 	// comparison of §5.4).
@@ -102,10 +106,11 @@ func New(spec Spec) *Scheduler {
 		spec.CkptTimeout = 2 * time.Second
 	}
 	s := &Scheduler{
-		spec:  spec,
-		busy:  make(map[types.NodeID]types.JobID),
-		down:  make(map[types.NodeID]bool),
-		loads: make(map[types.NodeID]float64),
+		spec:        spec,
+		busy:        make(map[types.NodeID]types.JobID),
+		down:        make(map[types.NodeID]bool),
+		quarantined: make(map[types.NodeID]bool),
+		loads:       make(map[types.NodeID]float64),
 		st: state{
 			NextID:   1,
 			Queues:   make(map[string][]Job),
@@ -139,7 +144,8 @@ func (s *Scheduler) Start(h *simhost.Handle) {
 
 	// Event-driven monitoring: node failures requeue affected jobs,
 	// recoveries return capacity.
-	s.events.Subscribe([]types.EventType{types.EvNodeFail, types.EvNodeRecover},
+	s.events.Subscribe([]types.EventType{types.EvNodeFail, types.EvNodeRecover,
+		types.EvNodeQuarantine, types.EvNodeStable},
 		-1, "", s.onEvent, nil)
 
 	if s.spec.Restart {
@@ -271,7 +277,7 @@ func (s *Scheduler) poolByName(name string) *PoolSpec {
 func (s *Scheduler) freeNodesOf(p *PoolSpec) []types.NodeID {
 	var out []types.NodeID
 	for _, n := range p.Nodes {
-		if s.down[n] {
+		if s.down[n] || s.quarantined[n] {
 			continue
 		}
 		if _, taken := s.busy[n]; taken {
@@ -461,6 +467,17 @@ func (s *Scheduler) onEvent(ev types.Event) {
 	case types.EvNodeRecover:
 		delete(s.down, ev.Node)
 		s.cycle()
+	case types.EvNodeQuarantine:
+		// Meta-level (partition slot) quarantine events carry SvcGSD;
+		// only node-level ones name a schedulable node.
+		if ev.Service != types.SvcGSD {
+			s.quarantined[ev.Node] = true
+		}
+	case types.EvNodeStable:
+		if ev.Service != types.SvcGSD {
+			delete(s.quarantined, ev.Node)
+			s.cycle()
+		}
 	}
 }
 

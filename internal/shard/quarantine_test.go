@@ -1,0 +1,57 @@
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/types"
+)
+
+// A flap-quarantined partition stays a federation member but must not own
+// shard ranges: its keys land on the stable partitions.
+func TestFromViewSkipsQuarantined(t *testing.T) {
+	v := view4(3)
+	e := v.Entries[1]
+	e.Quarantined = true
+	v.Entries[1] = e
+
+	m := shard.FromView(v, 2, 64)
+	if m.Version != 3 {
+		t.Fatalf("map version = %d, want 3", m.Version)
+	}
+	for _, entry := range m.Entries {
+		if entry.Part == 1 {
+			t.Fatalf("quarantined partition 1 owns ring entries: %+v", m.Entries)
+		}
+	}
+	// Every key still has a full owner set drawn from the stable three.
+	for k := 0; k < 64; k++ {
+		owners := m.Owners(shard.NodeKey(types.NodeID(k)))
+		if len(owners) != 2 {
+			t.Fatalf("key %d: owners = %v, want 2", k, owners)
+		}
+		for _, o := range owners {
+			if o == 1 {
+				t.Fatalf("key %d owned by quarantined partition: %v", k, owners)
+			}
+		}
+	}
+}
+
+// Quarantine is a preference, not a partition of the data: if every alive
+// partition is quarantined, the map falls back to the full alive set
+// rather than produce an ownerless ring.
+func TestFromViewAllQuarantinedFallsBack(t *testing.T) {
+	v := view4(9)
+	for p, e := range v.Entries {
+		e.Quarantined = true
+		v.Entries[p] = e
+	}
+	m := shard.FromView(v, 2, 64)
+	if len(m.Entries) != 4 {
+		t.Fatalf("fallback ring has %d entries, want all 4 alive partitions", len(m.Entries))
+	}
+	if _, ok := m.Primary("any-key"); !ok {
+		t.Fatal("fallback ring owns no keys")
+	}
+}

@@ -94,8 +94,18 @@ func FromView(v federation.View, replicas, vnodes int) Map {
 		m.VNodes = DefaultVNodes
 	}
 	for _, p := range v.Partitions() {
-		if e := v.Entries[p]; e.Alive {
+		if e := v.Entries[p]; e.Alive && !e.Quarantined {
 			m.Entries = append(m.Entries, Entry{Part: p, Node: e.Node})
+		}
+	}
+	if len(m.Entries) == 0 {
+		// Degenerate case: every alive partition is flap-quarantined.
+		// Quarantine is a preference, not a partition of the data — fall
+		// back to the alive set rather than produce an ownerless ring.
+		for _, p := range v.Partitions() {
+			if e := v.Entries[p]; e.Alive {
+				m.Entries = append(m.Entries, Entry{Part: p, Node: e.Node})
+			}
 		}
 	}
 	return m

@@ -161,6 +161,12 @@ const (
 
 	EvNodeFail       EventType = "node.fail"
 	EvNodeRecover    EventType = "node.recover"
+	// Quarantine events mark flap dampening: a node whose suspicion
+	// history crossed the flap threshold stays a federation member but is
+	// withdrawn from scheduling and shard ownership until its flap score
+	// decays (EvNodeStable).
+	EvNodeQuarantine EventType = "node.quarantine"
+	EvNodeStable     EventType = "node.stable"
 	EvNetFail        EventType = "net.fail"
 	EvNetRecover     EventType = "net.recover"
 	EvProcFail       EventType = "proc.fail"

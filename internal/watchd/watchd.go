@@ -4,6 +4,12 @@
 // representative of its hosting node: if the node dies, the WD is not
 // migrated, because a heartbeat source for a dead node is meaningless
 // (paper §5.1).
+//
+// Beyond heartbeats the WD carries three detection-lifecycle duties: it
+// refutes false suspicions by bumping its persisted incarnation number,
+// it serves indirect probes on behalf of a remote GSD diagnosing one of
+// its peers, and it fences stale GSD primaries whose announce carries an
+// outdated epoch.
 package watchd
 
 import (
@@ -14,6 +20,14 @@ import (
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
+
+// IncarnationStore persists the WD's incarnation number across restarts
+// (backed by the node's state dir on real nodes; nil in the simulator,
+// where the incarnation lives and dies with the process).
+type IncarnationStore interface {
+	Load() uint64
+	Store(uint64)
+}
 
 // Spec configures a watch daemon.
 type Spec struct {
@@ -39,16 +53,29 @@ type Spec struct {
 
 // WD is the watch daemon process.
 type WD struct {
-	spec Spec
-	h    *simhost.Handle
-	seq  uint64
-	boot time.Time
-	gsd  types.NodeID
-	anns int
+	spec   Spec
+	h      *simhost.Handle
+	seq    uint64
+	boot   time.Time
+	gsd    types.NodeID
+	anns   int
+	inc    uint64
+	store  IncarnationStore
+	epoch  uint64 // highest GSD fencing epoch seen
+	prober *heartbeat.Prober
 }
 
 // New builds a watch daemon.
 func New(spec Spec) *WD { return &WD{spec: spec, gsd: spec.GSDNode} }
+
+// UseStore attaches the persistent incarnation store; it must be called
+// before Start.
+func (w *WD) UseStore(s IncarnationStore) {
+	w.store = s
+	if s != nil {
+		w.inc = s.Load()
+	}
+}
 
 // Service implements simhost.Process.
 func (w *WD) Service() string { return types.SvcWD }
@@ -59,6 +86,7 @@ func (w *WD) Service() string { return types.SvcWD }
 func (w *WD) Start(h *simhost.Handle) {
 	w.h = h
 	w.boot = h.Now()
+	w.prober = heartbeat.NewProber(h, w.spec.NICs)
 	w.beat()
 	if w.spec.Jitter <= 0 {
 		h.Every(w.spec.Interval, func() { w.tick() })
@@ -108,16 +136,69 @@ func (w *WD) OnStop() {}
 
 // Receive implements simhost.Process.
 func (w *WD) Receive(msg types.Message) {
-	if msg.Type == heartbeat.MsgGSDAnnounce {
-		if a, ok := msg.Payload.(heartbeat.GSDAnnounce); ok && a.Partition == w.spec.Partition {
-			w.gsd = a.GSDNode
-			w.anns++
+	switch msg.Type {
+	case heartbeat.MsgGSDAnnounce:
+		a, ok := msg.Payload.(heartbeat.GSDAnnounce)
+		if !ok || a.Partition != w.spec.Partition {
+			return
+		}
+		if a.Epoch < w.epoch {
+			// A stale primary woke up: fence it instead of letting the
+			// heartbeat stream follow it back into a split brain.
+			w.h.Send(types.Addr{Node: a.GSDNode, Service: types.SvcGSD}, msg.NIC,
+				heartbeat.MsgFenced, heartbeat.Fenced{
+					Partition: w.spec.Partition, Node: w.h.Node(), Epoch: w.epoch,
+				})
+			return
+		}
+		w.epoch = a.Epoch
+		w.gsd = a.GSDNode
+		w.anns++
+	case heartbeat.MsgSuspect:
+		n, ok := msg.Payload.(heartbeat.SuspectNotice)
+		if !ok || n.Node != w.h.Node() {
+			return
+		}
+		// Refute: outbid the incarnation the suspicion was raised at and
+		// beat immediately on every interface.
+		if n.Inc >= w.inc {
+			w.inc = n.Inc
+		}
+		w.inc++
+		if w.store != nil {
+			w.store.Store(w.inc)
+		}
+		w.beat()
+	case heartbeat.MsgIndirectProbe:
+		q, ok := msg.Payload.(heartbeat.IndirectProbeReq)
+		if !ok || w.prober == nil {
+			return
+		}
+		from, nic := msg.From, msg.NIC
+		w.prober.Probe(q.Target, q.Service, w.spec.Interval, func(res heartbeat.ProbeResult) {
+			if !res.NodeAlive {
+				return // silence relays as silence
+			}
+			w.h.Send(from, nic, heartbeat.MsgIndirectAck, heartbeat.IndirectProbeAck{
+				Target: q.Target, Token: q.Token,
+				Alive: true, Running: res.ServiceRunning,
+			})
+		})
+	case simhost.MsgProbeAck:
+		if ack, ok := msg.Payload.(simhost.ProbeAck); ok && w.prober != nil {
+			w.prober.HandleProbeAck(ack)
 		}
 	}
 }
 
 // GSDNode reports the WD's current heartbeat target.
 func (w *WD) GSDNode() types.NodeID { return w.gsd }
+
+// Epoch reports the highest GSD fencing epoch the WD has accepted.
+func (w *WD) Epoch() uint64 { return w.epoch }
+
+// Incarnation reports the WD's current incarnation number.
+func (w *WD) Incarnation() uint64 { return w.inc }
 
 // Announces reports how many GSD announcements this WD has received since
 // it started — a crash-restarted node uses its first post-restart announce
@@ -131,6 +212,7 @@ func (w *WD) beat() {
 		Seq:      w.seq,
 		Interval: w.spec.Interval,
 		Boot:     w.boot,
+		Inc:      w.inc,
 	}
 	to := types.Addr{Node: w.gsd, Service: types.SvcGSD}
 	for nic := 0; nic < w.spec.NICs; nic++ {

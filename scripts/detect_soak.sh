@@ -1,0 +1,151 @@
+#!/bin/sh
+# Detection soak, run by `make ci`: boot a real four-node two-plane
+# cluster from the shipped binaries with a gray-failure chaos schedule
+# armed on every node — 20% outbound datagram loss on plane 0 plus a
+# ramped one-way delay (the `slow` op) on plane 1 — and let it soak.
+# The adaptive accrual detector must stretch its deadlines instead of
+# panicking: after the soak the cluster must still be ready with one
+# leader, zero false node-fail verdicts and zero GSD takeovers anywhere.
+# Then SIGKILL one computing node and require the suspicion lifecycle to
+# still diagnose a real node failure through the same lossy fabric.
+set -eu
+
+BASE_PORT=${BASE_PORT:-19770}
+SOAK_SECS=${SOAK_SECS:-60}
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/phoenix-node" ./cmd/phoenix-node
+go build -o "$tmp/phoenix-admin" ./cmd/phoenix-admin
+go build -o "$tmp/phoenix-chaos" ./cmd/phoenix-chaos
+
+# The gray-failure schedule every node runs: a fifth of plane-0 traffic
+# silently dropped, plane 1 sickening to a 120ms one-way delay over 20s.
+# With 1s heartbeats (-preset fast) neither is a node failure, and the
+# detector must not call it one.
+cat > "$tmp/chaos.txt" <<'EOF'
+seed 7
+at 2s drop p=0.2 plane=0 dir=out
+at 2s slow d=120ms ramp=20s plane=1 dir=out
+EOF
+"$tmp/phoenix-chaos" -check "$tmp/chaos.txt"
+"$tmp/phoenix-chaos" "$tmp/chaos.txt" | grep -q "slow d=120ms ramp=20s" || {
+    echo "detect soak: phoenix-chaos did not resolve the slow op" >&2
+    exit 1
+}
+
+"$tmp/phoenix-node" -gen-book -partitions 2 -partition-size 2 -planes 2 \
+    -base-port "$BASE_PORT" > "$tmp/book.txt"
+
+boot_node() {
+    id=$1
+    shift
+    "$tmp/phoenix-node" -node "$id" -book "$tmp/book.txt" \
+        -partitions 2 -partition-size 2 -planes 2 \
+        -admin auto -status 0 -chaos "$tmp/chaos.txt" \
+        "$@" > "$tmp/node$id.log" 2>&1 &
+    eval "pid$id=$!"
+    pids="$pids $!"
+}
+
+boot_node 0
+boot_node 1
+boot_node 2
+boot_node 3
+
+admin() {
+    "$tmp/phoenix-admin" -book "$tmp/book.txt" "$@"
+}
+
+poll() {
+    what=$1 n=$2 pause=$3
+    shift 3
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        if "$@" > /dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep "$pause"
+    done
+    echo "detect soak: timed out waiting for $what" >&2
+    admin -json >&2 2>/dev/null || true
+    for log in "$tmp"/node*.log; do
+        echo "--- $log" >&2
+        tail -5 "$log" >&2
+    done
+    return 1
+}
+
+one_leader() {
+    admin -json > "$tmp/reports.json" 2>/dev/null || return 1
+    [ "$(grep -c '"gsd_role": "leader"' "$tmp/reports.json")" = 1 ]
+}
+
+cluster_ready() {
+    admin -strict > /dev/null 2>&1 && one_leader
+}
+
+poll "cluster ready with one leader" 120 0.5 cluster_ready
+
+# Soak under loss and gray delay. The chaos rules armed at 2s are already
+# live; everything from here on happens through the degraded fabric.
+echo "detect soak: soaking ${SOAK_SECS}s under 20% plane-0 loss + plane-1 slow"
+sleep "$SOAK_SECS"
+
+# The survivors' verdicts: every reachable GSD must report zero node-fail
+# verdicts and zero takeovers — a false positive under loss is exactly
+# the bug the accrual detector exists to prevent.
+admin -json > "$tmp/reports.json"
+for field in fail_verdicts takeovers; do
+    bad=$(grep -o "\"$field\": *[0-9]*" "$tmp/reports.json" | grep -o '[0-9]*$' | sort -n | tail -1)
+    if [ -n "$bad" ] && [ "$bad" != 0 ]; then
+        echo "detect soak: false $field under loss (max $bad):" >&2
+        admin >&2 || true
+        exit 1
+    fi
+done
+cluster_ready || {
+    echo "detect soak: cluster degraded after soak:" >&2
+    admin >&2 || true
+    exit 1
+}
+
+# The detection counters must be exported on the metrics plane too.
+ADMIN0_PORT=$((BASE_PORT + 1000))
+admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt"
+for metric in phoenix_detect_fail_verdicts_total phoenix_detect_takeovers_total \
+    phoenix_suspicion_level phoenix_fence_epoch; do
+    grep -qF "$metric" "$tmp/metrics0.txt" || {
+        echo "detect soak: /metrics is missing $metric:" >&2
+        cat "$tmp/metrics0.txt" >&2
+        exit 1
+    }
+done
+
+# Liveness check: SIGKILL node 3 (partition 1's backup, never the
+# leader). The same detector that refused to false-positive must now
+# diagnose a genuine node failure through the lossy fabric.
+kill -9 "$pid3"
+wait "$pid3" 2>/dev/null || true
+
+node3_diagnosed() {
+    admin -json > "$tmp/reports.json" 2>/dev/null || return 1
+    verdicts=$(grep -o '"fail_verdicts": *[0-9]*' "$tmp/reports.json" | grep -o '[0-9]*$' | sort -n | tail -1)
+    [ -n "$verdicts" ] && [ "$verdicts" -ge 1 ]
+}
+
+poll "node 3 SIGKILL diagnosed as a node failure" 120 0.5 node3_diagnosed
+
+echo "detect soak: ok (${SOAK_SECS}s under loss: zero false verdicts, zero takeovers, real kill diagnosed)"
