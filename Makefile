@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak bench
+.PHONY: ci vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak overload-smoke bench
 
-ci: vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak
+ci: vet build test race fuzz alloc admin-smoke chaos-smoke detect-soak overload-smoke
 	@echo "ci: all gates passed"
 
 vet:
@@ -64,10 +64,14 @@ alloc:
 # BENCH_scale.json. The detect benchmark: false-positive rate and
 # detection latency at 0/10/20% liveness-plane loss, 136/256 simulated
 # nodes plus a 4-node real-socket cluster; writes BENCH_detect.json.
+# The cloud benchmark: SLO attainment of a service tenant under batch
+# overload at 0.5/1/2x capacity, shed ladder versus a no-backpressure
+# baseline; writes BENCH_cloud.json.
 bench:
 	$(GO) run ./cmd/phoenix-bench -exp wire
 	$(GO) run ./cmd/phoenix-bench -exp scale
 	$(GO) run ./cmd/phoenix-bench -exp detect
+	$(GO) run ./cmd/phoenix-bench -exp cloud
 
 # The operations-plane gate: build the shipped binaries, boot one real
 # node with its admin server enabled, scrape /healthz + /metrics through
@@ -88,3 +92,12 @@ chaos-smoke:
 # node and require the lifecycle to still diagnose the real failure.
 detect-soak:
 	sh ./scripts/detect_soak.sh
+
+# The overload gate: boot a real four-node cluster hosting the PWS
+# scheduler, run a steady service tenant plus a batch flood at a multiple
+# of capacity, and require the shed ladder to engage (shed_total and
+# admission rejects > 0), the service p99 to stay within SLO with zero
+# failures, no crashes or quarantined jobs, and the ladder to step back
+# to rung 0 once the flood stops.
+overload-smoke:
+	sh ./scripts/overload_smoke.sh

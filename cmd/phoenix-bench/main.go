@@ -22,11 +22,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|scale|detect|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig3|fig5|fig6|pws|ablation-partition|ablation-interval|wire|scale|detect|cloud|all")
 	quick := flag.Bool("quick", true, "shrink the Linpack problem sizes, wire-bench message counts and scale/detect-bench windows for a fast run")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "where -exp wire writes its JSON report")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "where -exp scale writes its JSON report")
 	detectOut := flag.String("detect-out", "BENCH_detect.json", "where -exp detect writes its JSON report")
+	cloudOut := flag.String("cloud-out", "BENCH_cloud.json", "where -exp cloud writes its JSON report")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -125,9 +126,21 @@ func main() {
 			fmt.Printf("detect bench report written to %s\n", *detectOut)
 			return nil
 		},
+		"cloud": func() error {
+			r, err := experiments.RunCloudBench(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if err := r.WriteJSON(*cloudOut); err != nil {
+				return err
+			}
+			fmt.Printf("cloud bench report written to %s\n", *cloudOut)
+			return nil
+		},
 	}
 	order := []string{"table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "pws",
-		"ablation-partition", "ablation-interval", "wire", "scale", "detect"}
+		"ablation-partition", "ablation-interval", "wire", "scale", "detect", "cloud"}
 
 	var selected []string
 	if *exp == "all" {

@@ -24,6 +24,18 @@
 // in-flight calls, prints a final "phoenix-call: done ok=… failed=…
 // retries=…" line plus a one-line JSON report (achieved QPS, latency
 // percentiles, per-kind counts), and exits non-zero if any call failed.
+//
+// Beyond the default bulletin workload, -mode selects a scheduler-facing
+// tenant for overload drills: "service" submits latency-sensitive jobs to
+// the service pool and "batch" floods the batch pool. Batch submissions
+// the scheduler sheds under overload count as rejected — backpressure
+// working as designed — not failed; a shed service submission is a
+// failure. -poisson switches the arrival process from a fixed interval to
+// open-loop Poisson at the same mean rate, and -slo makes the exit code
+// assert the p99 latency:
+//
+//	phoenix-call -book book.txt -node 4 -targets 0 -mode service -qps 5 -poisson -slo 500ms -duration 30s
+//	phoenix-call -book book.txt -node 5 -targets 0 -mode batch -qps 50 -duration 30s
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 
 	"repro/internal/bulletin"
 	"repro/internal/metrics"
+	"repro/internal/pws"
 	"repro/internal/rpc"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -53,18 +66,23 @@ import (
 // drivers (benchmarks, the chaos smoke test) can parse the run's outcome
 // without scraping the human-readable progress lines.
 type report struct {
+	Mode            string  `json:"mode"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Issued          int64   `json:"issued"`
 	OK              int64   `json:"ok"`
 	Failed          int64   `json:"failed"`
-	Stuck           int64   `json:"stuck"`
-	Reads           int64   `json:"reads"`
-	Writes          int64   `json:"writes"`
-	Retries         int     `json:"retries"`
-	Rerouted        uint64  `json:"rerouted"`
-	AchievedQPS     float64 `json:"achieved_qps"`
-	P50Ms           float64 `json:"p50_ms"`
-	P99Ms           float64 `json:"p99_ms"`
+	// Rejected counts scheduler-shed submissions (admission backpressure);
+	// they are the overload design working, so they don't fail the run.
+	Rejected    int64   `json:"rejected"`
+	Stuck       int64   `json:"stuck"`
+	Reads       int64   `json:"reads"`
+	Writes      int64   `json:"writes"`
+	Retries     int     `json:"retries"`
+	Rerouted    uint64  `json:"rerouted"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	SLOMs       float64 `json:"slo_ms,omitempty"`
 }
 
 // latencies collects per-call completion times; callbacks fire on the
@@ -113,6 +131,12 @@ func main() {
 		duration = flag.Duration("duration", 0, "stop after this long (0 = run until SIGINT/SIGTERM)")
 		progress = flag.Duration("progress", time.Second, "progress line period (0 disables)")
 		seed     = flag.Int64("seed", 1, "random seed for the retry jitter and the read/write mix")
+		mode     = flag.String("mode", "bulletin", "workload: bulletin (resource reads/writes), service (jobs to the service pool) or batch (jobs to the batch pool)")
+		pool     = flag.String("pool", "", "scheduler pool for -mode service/batch (default: the mode name)")
+		poisson  = flag.Bool("poisson", false, "open-loop Poisson arrivals at the -qps mean rate instead of a fixed interval")
+		slo      = flag.Duration("slo", 0, "p99 latency objective; a run whose p99 exceeds it exits non-zero (0 disables)")
+		jobDur   = flag.Duration("job-duration", 200*time.Millisecond, "virtual run time of each submitted job (-mode service/batch)")
+		jobWidth = flag.Int("job-width", 1, "nodes per submitted job (-mode service/batch)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -124,13 +148,28 @@ func main() {
 	if *writes < 0 || *writes > 1 {
 		log.Fatalf("-writes %v out of range [0,1]", *writes)
 	}
+	switch *mode {
+	case "bulletin", "service", "batch":
+	default:
+		log.Fatalf("-mode %q unknown (want bulletin, service or batch)", *mode)
+	}
+	// Scheduler modes talk to the PWS access point; the bulletin mode to
+	// the data bulletin, both resolved through the same candidate list.
+	svc := types.SvcDB
+	if *mode != "bulletin" {
+		svc = types.SvcPWS
+	}
+	poolName := *pool
+	if poolName == "" {
+		poolName = *mode
+	}
 	var addrs []types.Addr
 	for _, f := range strings.Split(*targetsF, ",") {
 		id, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || id < 0 {
 			log.Fatalf("bad -targets entry %q", f)
 		}
-		addrs = append(addrs, types.Addr{Node: types.NodeID(id), Service: types.SvcDB})
+		addrs = append(addrs, types.Addr{Node: types.NodeID(id), Service: svc})
 	}
 	book, err := wire.LoadBook(*bookPath)
 	if err != nil {
@@ -161,17 +200,24 @@ func main() {
 		Metrics: reg,
 		Peers:   func() []types.Addr { return addrs },
 	}
-	client := bulletin.NewClient(rtc, opts, func() (types.Addr, bool) { return addrs[0], true })
-	rtc.Attach(func(msg types.Message) { client.Handle(msg) })
+	var client *bulletin.Client
+	var sched *pws.Client
+	if *mode == "bulletin" {
+		client = bulletin.NewClient(rtc, opts, func() (types.Addr, bool) { return addrs[0], true })
+		rtc.Attach(func(msg types.Message) { client.Handle(msg) })
+	} else {
+		sched = pws.NewClient(rtc, opts, func() (types.Addr, bool) { return addrs[0], true })
+		rtc.Attach(func(msg types.Message) { sched.Handle(msg) })
+	}
 
-	var issued, okCalls, failed, nreads, nwrites atomic.Int64
+	var issued, okCalls, failed, rejected, nreads, nwrites atomic.Int64
 	var lat latencies
 	mix := rand.New(rand.NewSource(*seed))
 	reportLine := func(prefix string) {
 		st := rpc.ReadStats(reg)
-		inflight := issued.Load() - okCalls.Load() - failed.Load()
-		fmt.Printf("phoenix-call: %sok=%d failed=%d retries=%d inflight=%d\n",
-			prefix, okCalls.Load(), failed.Load(), st.Retries, inflight)
+		inflight := issued.Load() - okCalls.Load() - failed.Load() - rejected.Load()
+		fmt.Printf("phoenix-call: %sok=%d failed=%d rejected=%d retries=%d inflight=%d\n",
+			prefix, okCalls.Load(), failed.Load(), rejected.Load(), st.Retries, inflight)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -190,17 +236,59 @@ func main() {
 	if *qps > 0 {
 		interval = time.Duration(float64(time.Second) / *qps)
 	}
-	tick := time.NewTicker(interval)
+	// The arrival process: a fixed interval (closed cadence), or with
+	// -poisson exponential inter-arrival gaps at the same mean — the
+	// open-loop client an overload drill needs, since a closed loop slows
+	// down with the system and hides the backlog.
+	arr := rand.New(rand.NewSource(*seed + 1))
+	nextGap := func() time.Duration {
+		if *poisson {
+			return time.Duration(arr.ExpFloat64() * float64(interval))
+		}
+		return interval
+	}
+	tick := time.NewTimer(nextGap())
 	defer tick.Stop()
 	started := time.Now()
+	var jobSeq int64
 
 loop:
 	for {
 		select {
 		case <-tick.C:
+			tick.Reset(nextGap())
 			issued.Add(1)
-			isWrite := mix.Float64() < *writes
 			callStart := time.Now()
+			if sched != nil {
+				// Scheduler tenant: one job per arrival. The latency
+				// measured is submit-to-ack — the admission path the shed
+				// ladder protects.
+				jobSeq++
+				job := pws.Job{
+					Pool:     poolName,
+					Name:     fmt.Sprintf("%s-%d-%d", *mode, *nodeID, jobSeq),
+					Duration: *jobDur,
+					Width:    *jobWidth,
+					SLO:      *slo,
+				}
+				rtc.Do(func() {
+					sched.Submit(job, func(ack pws.SubmitAck) {
+						lat.add(time.Since(callStart))
+						switch {
+						case ack.OK:
+							okCalls.Add(1)
+						case ack.Shed && *mode == "batch":
+							// Backpressure on the batch tenant is the design
+							// working; the scheduler must never shed service.
+							rejected.Add(1)
+						default:
+							failed.Add(1)
+						}
+					})
+				})
+				continue
+			}
+			isWrite := mix.Float64() < *writes
 			done := func(ok bool) {
 				lat.add(time.Since(callStart))
 				if ok {
@@ -243,7 +331,7 @@ loop:
 	// construction, so waiting one budget (plus slack) flushes them all.
 	drainBy := time.After(*budget + 2*time.Second)
 drain:
-	for issued.Load() != okCalls.Load()+failed.Load() {
+	for issued.Load() != okCalls.Load()+failed.Load()+rejected.Load() {
 		select {
 		case <-drainBy:
 			break drain
@@ -251,23 +339,27 @@ drain:
 		}
 	}
 
-	stuck := issued.Load() - okCalls.Load() - failed.Load()
+	stuck := issued.Load() - okCalls.Load() - failed.Load() - rejected.Load()
 	reportLine("done ")
 	// The client is loop-confined; read its counters on the loop.
 	var rerouted uint64
-	rch := make(chan struct{})
-	rtc.Do(func() { rerouted = client.Rerouted(); close(rch) })
-	select {
-	case <-rch:
-	case <-time.After(time.Second):
+	if client != nil {
+		rch := make(chan struct{})
+		rtc.Do(func() { rerouted = client.Rerouted(); close(rch) })
+		select {
+		case <-rch:
+		case <-time.After(time.Second):
+		}
 	}
 	st := rpc.ReadStats(reg)
-	completed := okCalls.Load() + failed.Load()
+	completed := okCalls.Load() + failed.Load() + rejected.Load()
 	rep := report{
+		Mode:            *mode,
 		DurationSeconds: elapsed.Seconds(),
 		Issued:          issued.Load(),
 		OK:              okCalls.Load(),
 		Failed:          failed.Load(),
+		Rejected:        rejected.Load(),
 		Stuck:           stuck,
 		Reads:           nreads.Load(),
 		Writes:          nwrites.Load(),
@@ -275,6 +367,7 @@ drain:
 		Rerouted:        rerouted,
 		P50Ms:           float64(lat.percentile(0.50)) / float64(time.Millisecond),
 		P99Ms:           float64(lat.percentile(0.99)) / float64(time.Millisecond),
+		SLOMs:           float64(*slo) / float64(time.Millisecond),
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
@@ -284,5 +377,8 @@ drain:
 	}
 	if f := failed.Load(); f > 0 || stuck > 0 {
 		log.Fatalf("FAILED: %d failed calls, %d never completed", failed.Load(), stuck)
+	}
+	if *slo > 0 && rep.P99Ms > float64(*slo)/float64(time.Millisecond) {
+		log.Fatalf("FAILED: p99 %.1fms exceeds SLO %v", rep.P99Ms, *slo)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noded"
 	"repro/internal/opshttp"
+	"repro/internal/pws"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -55,6 +56,7 @@ func main() {
 		chaosPth = flag.String("chaos", "", "chaos scenario file: seeded fault schedule injected into this node's wire transport (see internal/chaos)")
 		chaosSd  = flag.Int64("chaos-seed", 0, "override the chaos scenario's seed (0 keeps the scenario's own)")
 		batchWin = flag.Duration("batch-window", 0, "wire frame-coalescing window (0 disables batching; must stay below the retransmission timeout)")
+		pwsOn    = flag.Bool("pws", false, "host the PWS job scheduler on partition 0's server (pools derived from the topology: one service pool, the rest batch)")
 	)
 	flag.Parse()
 
@@ -106,6 +108,18 @@ func main() {
 	}
 	if *batchWin != 0 {
 		opts = append(opts, noded.WithWireOptions(wire.WithBatchWindow(*batchWin)))
+	}
+	if *pwsOn {
+		// Every node passes the same spec; noded spawns the scheduler only
+		// on the home partition's server, everyone else just registers the
+		// factory so GSD supervision can migrate it here.
+		opts = append(opts, noded.WithPWS(pws.Spec{
+			Partition:   0,
+			Pools:       pws.TopologyPools(topo),
+			SchedPeriod: params.LocalCheckPeriod,
+			UseBulletin: true,
+			Overload:    pws.OverloadFromParams(params),
+		}))
 	}
 
 	// Chaos fabric: the scenario's fault schedule replays against this

@@ -4,12 +4,20 @@
 // mid-stream, and reports the outcome — a compact demonstration of the
 // paper's §5.4 workflow (Figure 9's start/stop/submit operations, minus
 // the web GUI).
+//
+// Two subcommands exercise the operator drain path mid-stream:
+//
+//	pwsctl drain <node>     drain the node out of placement (running batch
+//	                        slices requeue, the stream finishes elsewhere)
+//	pwsctl undrain <node>   boot with the node drained, restore it
+//	                        mid-stream (capacity returns to the pools)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -28,6 +36,22 @@ func main() {
 	killSched := flag.Bool("kill-scheduler", false, "power off the scheduler's node mid-stream")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
+
+	// Subcommands: "drain <node>" marks the node unschedulable mid-stream,
+	// "undrain <node>" starts with it drained and restores it mid-stream.
+	var drainNode = types.NodeID(-1)
+	var undrain bool
+	if args := flag.Args(); len(args) > 0 {
+		if len(args) != 2 || (args[0] != "drain" && args[0] != "undrain") {
+			fail(fmt.Errorf("usage: pwsctl [flags] [drain <node> | undrain <node>]"))
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			fail(fmt.Errorf("bad node %q", args[1]))
+		}
+		drainNode = types.NodeID(n)
+		undrain = args[0] == "undrain"
+	}
 
 	spec := cluster.Small()
 	spec.Seed = *seed
@@ -52,6 +76,11 @@ func main() {
 		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
 			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
 		})
+		if undrain {
+			// The undrain demo starts with the node already out of
+			// placement; the drain lands before the first submit.
+			client.Drain(drainNode, false, nil)
+		}
 		for i := 0; i < *jobs; i++ {
 			pool := fmt.Sprintf("pool%d", i%*pools)
 			client.Submit(pws.Job{
@@ -74,6 +103,21 @@ func main() {
 		victim := c.Topo.Partitions[0].Server
 		fmt.Printf("[%6.1fs] powering off scheduler node %v\n", c.Engine.Elapsed().Seconds(), victim)
 		c.Host(victim).PowerOff()
+	}
+	if drainNode >= 0 {
+		verb := "draining"
+		if undrain {
+			verb = "undraining"
+		}
+		fmt.Printf("[%6.1fs] %s node %v\n", c.Engine.Elapsed().Seconds(), verb, drainNode)
+		client.Drain(drainNode, undrain, func(ack pws.DrainAdminAck) {
+			if !ack.OK {
+				fmt.Printf("%s failed: %s\n", verb, ack.Err)
+				return
+			}
+			fmt.Printf("%s ok (%d running slices requeued)\n", verb, ack.Requeued)
+		})
+		c.RunFor(time.Second)
 	}
 
 	deadline := c.Engine.Elapsed() + 30*time.Minute

@@ -280,6 +280,30 @@ type Params struct {
 	// FlapHalfLife is the exponential-decay half-life of the flap score.
 	// Zero derives 20 heartbeat intervals.
 	FlapHalfLife time.Duration
+	// JobRequeueBudget bounds how many times PWS requeues one job after
+	// slice crashes or dispatch failures before quarantining it in the
+	// terminal failed state. Zero derives 3.
+	JobRequeueBudget int
+	// UtilPauseAt, UtilPreemptAt and UtilRefuseAt are the cluster
+	// utilisation thresholds of the PWS shed ladder: at PauseAt new batch
+	// dispatch is held, at PreemptAt the lowest-priority running batch job
+	// is preempted and requeued, at RefuseAt batch submits are refused at
+	// admission. Service pools are never shed. Zero derives
+	// 0.85/0.92/0.97.
+	UtilPauseAt   float64
+	UtilPreemptAt float64
+	UtilRefuseAt  float64
+	// UtilHysteresis is the margin below a rung's threshold the
+	// utilisation must fall before the ladder steps down one level, so a
+	// cluster hovering on a threshold does not flap between shedding and
+	// dispatching. Zero derives 0.15.
+	UtilHysteresis float64
+	// LeaseReturnDelay is how long a service pool retains a node borrowed
+	// from a batch pool after the borrowing job finishes, provided the
+	// cluster stayed hot; the node returns to its lender only after the
+	// utilisation has been below the pause threshold (minus hysteresis)
+	// for this long. Zero derives 10s.
+	LeaseReturnDelay time.Duration
 }
 
 // ServiceRecoveryDeadline is the effective restart-grace window:
@@ -324,6 +348,12 @@ func DefaultParams() Params {
 		SuspicionWindow:    64,
 		IndirectProbes:     2,
 		FlapThreshold:      3,
+		JobRequeueBudget:   3,
+		UtilPauseAt:        0.85,
+		UtilPreemptAt:      0.92,
+		UtilRefuseAt:       0.97,
+		UtilHysteresis:     0.15,
+		LeaseReturnDelay:   10 * time.Second,
 	}
 }
 
@@ -351,5 +381,6 @@ func FastParams() Params {
 	p.DetectorSampleInterval = time.Second
 	p.BulletinDeltaFlush = 100 * time.Millisecond
 	p.GossipInterval = 250 * time.Millisecond
+	p.LeaseReturnDelay = 2 * time.Second
 	return p
 }

@@ -83,6 +83,12 @@ type Options struct {
 	// Only meaningful on the BootNode path, where the kernel manages a
 	// single host; simulated multi-host kernels leave it nil.
 	IncarnationStore watchd.IncarnationStore
+	// PWSFactory, when non-nil, is registered as the types.SvcPWS process
+	// factory on every host, so the GSD can restart or migrate the PWS
+	// scheduler anywhere it itself can go. core cannot depend on the pws
+	// package (pws builds on the kernel), so the caller supplies the
+	// factory — typically pws.Factory(spec).
+	PWSFactory func(spec any) simhost.Process
 	// Rejoin marks a BootNode of a host that crashed and restarted: the
 	// partition server daemons (GSD + es/db/ckpt) are NOT spawned locally
 	// even if this host is the partition's configured server, because the
@@ -392,6 +398,9 @@ func registerFactories(host *simhost.Host, k *Kernel, opts Options) {
 	host.RegisterFactory(types.SvcPPM, func(spec any) simhost.Process {
 		return newPPM(k, opts)
 	})
+	if opts.PWSFactory != nil {
+		host.RegisterFactory(types.SvcPWS, opts.PWSFactory)
+	}
 	host.RegisterFactory("job", func(spec any) simhost.Process {
 		s, ok := spec.(ppm.JobSpec)
 		if !ok {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/bulletin"
 	"repro/internal/codec"
 	"repro/internal/heartbeat"
+	"repro/internal/ppm"
 	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
@@ -95,14 +96,23 @@ func (d *Daemon) Receive(msg types.Message) {
 func (d *Daemon) sample() {
 	host := d.h.Host()
 	usage := host.Usage()
-	d.bulletin.ExportResources(usage)
-	d.Samples++
 	var jobs []string
 	for _, svc := range host.Procs() {
 		if strings.HasPrefix(svc, "job/") && host.Running(svc) {
 			jobs = append(jobs, svc)
 		}
 	}
+	// Runqueue depth comes from the co-located PPM, the authority on
+	// in-flight jobs (it tracks a load from the moment it is acked, before
+	// the process shows in the table); fall back to the process-table count
+	// when the node runs no PPM.
+	if p, ok := host.Proc(types.SvcPPM).(*ppm.Daemon); ok {
+		usage.RunQ = p.Jobs()
+	} else {
+		usage.RunQ = len(jobs)
+	}
+	d.bulletin.ExportResources(usage)
+	d.Samples++
 	if len(jobs) == 0 {
 		return
 	}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/pws"
+	"repro/internal/rpc"
+	"repro/internal/types"
+)
+
+// CloudRow is one (load factor, scheduler mode) cell of the mixed-regime
+// overload benchmark: a steady service tenant sharing the cluster with a
+// batch tenant submitting at LoadFactor times the batch pools' drain
+// capacity.
+type CloudRow struct {
+	// Mode is "backpressure" (service pool + shed ladder) or "baseline"
+	// (same pools untyped — the PBS-style scheduler with no admission
+	// control or utilisation signal).
+	Mode       string  `json:"mode"`
+	LoadFactor float64 `json:"load_factor"`
+	BatchQPS   float64 `json:"batch_qps"`
+
+	// Service tenant outcome: jobs submitted, the fraction completing
+	// within their SLO, and the p99 completion latency (sim seconds).
+	ServiceJobs     int     `json:"service_jobs"`
+	ServiceAttained int     `json:"service_attained"`
+	AttainmentPct   float64 `json:"attainment_pct"`
+	ServiceP99Sec   float64 `json:"service_p99_sec"`
+
+	// Batch tenant outcome: completions inside the window and submissions
+	// refused by admission control (always 0 in baseline mode).
+	BatchCompleted int     `json:"batch_completed"`
+	BatchRejected  int     `json:"batch_rejected"`
+	Failed         int     `json:"failed"`
+	Util           float64 `json:"util"`
+	ShedTotal      uint64  `json:"shed_total"`
+	Preempted      uint64  `json:"preempted"`
+}
+
+// CloudBench is the BENCH_cloud.json report: SLO attainment of a service
+// tenant under increasing batch overload, with and without the overload
+// machinery.
+type CloudBench struct {
+	Go     string     `json:"go"`
+	Quick  bool       `json:"quick"`
+	SLOSec float64    `json:"slo_sec"`
+	Window float64    `json:"window_sec"`
+	Rows   []CloudRow `json:"rows"`
+}
+
+// Benchmark shape: a service job arrives every serviceGap and runs for
+// serviceDur; its SLO covers the run time plus scheduling slack. Batch
+// jobs run for batchDur on the batch pool's nodes, so the pool drains
+// batchNodes/batchDur jobs per second — LoadFactor scales the submit rate
+// against that capacity.
+const (
+	cloudServiceGap = 4 * time.Second
+	cloudServiceDur = 2 * time.Second
+	cloudSLO        = 4 * time.Second
+	cloudBatchDur   = 4 * time.Second
+)
+
+// RunCloudBench sweeps the batch load factor over both scheduler modes.
+// Quick shortens the measurement window.
+func RunCloudBench(quick bool) (*CloudBench, error) {
+	window := 90 * time.Second
+	if quick {
+		window = 60 * time.Second
+	}
+	b := &CloudBench{
+		Go: runtime.Version(), Quick: quick,
+		SLOSec: cloudSLO.Seconds(), Window: window.Seconds(),
+	}
+	for _, factor := range []float64{0.5, 1.0, 2.0} {
+		for _, backpressure := range []bool{true, false} {
+			row, err := runCloudCell(factor, backpressure, window)
+			if err != nil {
+				return nil, err
+			}
+			b.Rows = append(b.Rows, row)
+		}
+	}
+	return b, nil
+}
+
+func runCloudCell(factor float64, backpressure bool, window time.Duration) (CloudRow, error) {
+	row := CloudRow{Mode: "baseline", LoadFactor: factor}
+	if backpressure {
+		row.Mode = "backpressure"
+	}
+
+	spec := cluster.Small()
+	spec.Partitions = 2
+	spec.PartitionSize = 4 // 8 nodes, 4 compute
+	spec.ExtraServices = map[types.PartitionID][]string{0: {types.SvcPWS}}
+	c, err := cluster.Build(spec)
+	if err != nil {
+		return row, err
+	}
+	nodes := c.Topo.ComputeNodes()
+	svcType := pws.PoolBatch
+	if backpressure {
+		svcType = pws.PoolService
+	}
+	pools := []pws.PoolSpec{
+		{Name: "service", Nodes: nodes[:1], Policy: pws.PolicyFIFO, AllowLease: true, Type: svcType},
+		{Name: "batch", Nodes: nodes[1:], Policy: pws.PolicyPriority, AllowLease: true},
+	}
+	if _, err := pws.Deploy(c, pws.Spec{
+		Partition: 0, Pools: pools, SchedPeriod: time.Second, UseBulletin: true,
+		Overload: pws.OverloadFromParams(config.FastParams()),
+	}); err != nil {
+		return row, err
+	}
+	c.WarmUp()
+
+	var client *pws.Client
+	proc := core.NewClientProc("cloud", 1, c.Topo.Partitions[1].Server)
+	proc.OnStart = func(cp *core.ClientProc) {
+		client = pws.NewClient(cp.H, rpc.Budget(3*time.Second), func() (types.Addr, bool) {
+			return types.Addr{Node: c.Kernel.ServerNode(0), Service: types.SvcPWS}, true
+		})
+	}
+	proc.OnMessage = func(cp *core.ClientProc, msg types.Message) { client.Handle(msg) }
+	if _, err := c.Host(c.Topo.Partitions[1].Members[3]).Spawn(proc); err != nil {
+		return row, err
+	}
+	c.RunFor(time.Second)
+
+	// Drive both tenants on a 1-second grid: the batch rate is an
+	// accumulator (fractional jobs carry over), the service tenant submits
+	// every cloudServiceGap. Per-tick JobStat polls time service
+	// completions at 1s resolution, coarse but adequate against the 4s SLO.
+	batchRate := factor * float64(len(nodes)-1) / cloudBatchDur.Seconds()
+	row.BatchQPS = batchRate
+	type svcJob struct {
+		id        types.JobID
+		submitted time.Duration
+		completed time.Duration // 0 while outstanding
+	}
+	var (
+		svcJobs  []*svcJob
+		batchAcc float64
+		nextSvc  time.Duration
+		batchSeq int
+		rejected int
+	)
+	ticks := int(window / time.Second)
+	for t := 0; t < ticks; t++ {
+		now := c.Engine.Elapsed()
+		if now >= nextSvc {
+			nextSvc = now + cloudServiceGap
+			j := &svcJob{submitted: now}
+			svcJobs = append(svcJobs, j)
+			client.Submit(pws.Job{
+				Pool: "service", Name: fmt.Sprintf("svc-%d", len(svcJobs)),
+				Duration: cloudServiceDur, Width: 1, SLO: cloudSLO,
+			}, func(ack pws.SubmitAck) {
+				if ack.OK {
+					j.id = ack.ID
+				}
+			})
+		}
+		for batchAcc += batchRate; batchAcc >= 1; batchAcc-- {
+			batchSeq++
+			client.Submit(pws.Job{
+				Pool: "batch", Name: fmt.Sprintf("batch-%d", batchSeq),
+				Duration: cloudBatchDur, Width: 1,
+			}, func(ack pws.SubmitAck) {
+				if ack.Shed {
+					rejected++
+				}
+			})
+		}
+		for _, j := range svcJobs {
+			if j.id == 0 || j.completed != 0 {
+				continue
+			}
+			j := j
+			client.JobStat(j.id, func(ack pws.JobStatAck, ok bool) {
+				if ok && ack.State == pws.StateCompleted && j.completed == 0 {
+					j.completed = c.Engine.Elapsed() - j.submitted
+				}
+			})
+		}
+		c.RunFor(time.Second)
+	}
+	// Let outstanding service jobs finish (or blow the SLO) and take the
+	// final scheduler snapshot.
+	for t := 0; t < 30; t++ {
+		done := true
+		for _, j := range svcJobs {
+			if j.id != 0 && j.completed == 0 {
+				done = false
+				j := j
+				client.JobStat(j.id, func(ack pws.JobStatAck, ok bool) {
+					if ok && ack.State == pws.StateCompleted && j.completed == 0 {
+						j.completed = c.Engine.Elapsed() - j.submitted
+					}
+				})
+			}
+		}
+		if done {
+			break
+		}
+		c.RunFor(time.Second)
+	}
+	var st pws.StatAck
+	client.Stat(func(ack pws.StatAck, ok bool) {
+		if ok {
+			st = ack
+		}
+	})
+	c.RunFor(time.Second)
+
+	row.ServiceJobs = len(svcJobs)
+	var lats []float64
+	for _, j := range svcJobs {
+		lat := cloudSLO.Seconds() * 10 // never completed: off the chart
+		if j.completed != 0 {
+			lat = j.completed.Seconds()
+		}
+		lats = append(lats, lat)
+		if lat <= cloudSLO.Seconds() {
+			row.ServiceAttained++
+		}
+	}
+	if len(lats) > 0 {
+		row.AttainmentPct = 100 * float64(row.ServiceAttained) / float64(len(lats))
+		row.ServiceP99Sec = percentileF(lats, 0.99)
+	}
+	row.BatchRejected = rejected
+	row.BatchCompleted = st.Completed - row.ServiceAttained
+	if row.BatchCompleted < 0 {
+		row.BatchCompleted = 0
+	}
+	row.Failed = st.Failed
+	row.Util = st.Util
+	row.ShedTotal = st.ShedTotal
+	row.Preempted = st.Preempted
+	return row, nil
+}
+
+// percentileF is nearest-rank over a copied, sorted slice.
+func percentileF(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: tiny slices
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Render draws the sweep as a table.
+func (b *CloudBench) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mixed-regime overload sweep — service SLO %.0fs, window %.0fs\n\n",
+		b.SLOSec, b.Window)
+	sb.WriteString("load   mode          svc-attain   svc-p99   batch-done  rejected  preempted  util\n")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%.1fx   %-12s  %3d/%3d %3.0f%%  %6.1fs  %10d  %8d  %9d  %.2f\n",
+			r.LoadFactor, r.Mode, r.ServiceAttained, r.ServiceJobs, r.AttainmentPct,
+			r.ServiceP99Sec, r.BatchCompleted, r.BatchRejected, r.Preempted, r.Util)
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the report where the PR gate reads it.
+func (b *CloudBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

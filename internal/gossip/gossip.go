@@ -85,6 +85,11 @@ type Liveness struct {
 	// incarnation then node (the SWIM-style tiebreak: a higher incarnation
 	// for the same node always supersedes).
 	Rows []LiveRow `json:"rows,omitempty"`
+	// Util is the partition's mean node utilisation in [0,1], folded by
+	// the authoring GSD from its bulletin's resource rows. Remote
+	// schedulers read it to judge whether the cluster as a whole is hot
+	// without querying every partition's bulletin.
+	Util float64 `json:"util,omitempty"`
 }
 
 // Per-member lifecycle states carried in LiveRow.State.
@@ -178,6 +183,9 @@ type Stats struct {
 	Sources    int    `json:"sources"`    // delta sources tracked
 	LiveParts  int    `json:"live_parts"` // liveness summaries held
 	MaxFanout  int    `json:"max_fanout"` // max peers contacted in any round
+	// ClusterUtil is the Total-weighted mean utilisation over the held
+	// liveness summaries (see Engine.ClusterUtil).
+	ClusterUtil float64 `json:"cluster_util,omitempty"`
 }
 
 type logEntry struct {
@@ -301,6 +309,24 @@ func (e *Engine) Live() []Liveness {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Part < out[j].Part })
 	return out
+}
+
+// ClusterUtil folds the held liveness summaries into one cluster-wide
+// utilisation figure: the Total-weighted mean of the partitions' Util
+// fields. Zero when no summary carries a utilisation yet.
+func (e *Engine) ClusterUtil() float64 {
+	var weighted, total float64
+	for _, l := range e.live {
+		if l.Total <= 0 {
+			continue
+		}
+		weighted += l.Util * float64(l.Total)
+		total += float64(l.Total)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
 }
 
 // PickPeers starts a round: it returns up to Fanout distinct alive peer
@@ -478,5 +504,6 @@ func (e *Engine) Stats() Stats {
 	st.FedVersion = e.view.Version
 	st.Sources = len(e.logs)
 	st.LiveParts = len(e.live)
+	st.ClusterUtil = e.ClusterUtil()
 	return st
 }

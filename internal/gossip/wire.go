@@ -121,7 +121,7 @@ func appendLiveness(buf []byte, l Liveness) []byte {
 		buf = wirebin.AppendUvarint(buf, uint64(row.State))
 		buf = wirebin.AppendBool(buf, row.Quarantined)
 	}
-	return buf
+	return wirebin.AppendFloat64(buf, l.Util)
 }
 
 func readLiveness(r *wirebin.Reader, l *Liveness) {
@@ -147,6 +147,7 @@ func readLiveness(r *wirebin.Reader, l *Liveness) {
 			l.Rows[i].Quarantined = r.Bool()
 		}
 	}
+	l.Util = r.Float64()
 }
 
 // WireID implements codec.Payload.

@@ -22,6 +22,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/bulletin"
 	"repro/internal/checkpoint"
 	"repro/internal/codec"
 	"repro/internal/config"
@@ -569,6 +570,12 @@ func (g *Daemon) pushLiveness() {
 		Epoch: g.epoch,
 		Rows:  rows,
 	}
+	// Ride the partition's mean utilisation on the summary: the
+	// co-located bulletin holds every member's detector sample, so the
+	// row carries load as well as liveness at no extra flow.
+	if db, ok := g.h.Host().Proc(types.SvcDB).(*bulletin.Service); ok {
+		l.Util = db.Utilisation()
+	}
 	g.h.Send(types.Addr{Node: g.h.Node(), Service: types.SvcGossip},
 		types.AnyNIC, gossip.MsgLive, gossip.LiveMsg{Liveness: l})
 }
@@ -620,8 +627,13 @@ func (g *Daemon) respawnWD(node types.NodeID) {
 }
 
 // reintegrationSweep probes nodes diagnosed down; when a node answers
-// again (rebooted), the GSD re-seeds its per-node daemons.
+// again (rebooted), the GSD re-seeds its per-node daemons. It also
+// refreshes the gossiped liveness summary: the summary carries the
+// partition's utilisation, which drifts with load even while membership
+// is stable, so an event-driven push alone would let remote schedulers
+// act on stale heat.
 func (g *Daemon) reintegrationSweep() {
+	g.pushLiveness()
 	for _, node := range g.mon.DownNodes() {
 		node := node
 		if g.reintegrating[node] {

@@ -24,6 +24,8 @@ import (
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/opshttp"
+	"repro/internal/ppm"
+	"repro/internal/pws"
 	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
@@ -44,6 +46,7 @@ type settings struct {
 	adminAddr   string
 	adminPprof  bool
 	stateDir    string
+	pwsSpec     *pws.Spec
 }
 
 // Option configures Start.
@@ -108,6 +111,13 @@ func WithAdminPprof() Option { return func(s *settings) { s.adminPprof = true } 
 // whole-cluster-restart path, where no surviving GSD exists to re-seed
 // anyone.
 func WithStateDir(dir string) Option { return func(s *settings) { s.stateDir = dir } }
+
+// WithPWS makes the node's partition host the PWS scheduler: the factory
+// is registered on every node (the GSD can migrate the scheduler with
+// the partition), the partition's GSD supervises it, and the configured
+// server node spawns the initial instance. The spec's RPC options are
+// filled with the node's breakers and metrics.
+func WithPWS(spec pws.Spec) Option { return func(s *settings) { s.pwsSpec = &spec } }
 
 // Node is one running phoenix node.
 type Node struct {
@@ -205,12 +215,34 @@ func Start(node types.NodeID, topo *config.Topology, opts ...Option) (*Node, err
 	// datagrams may start dispatching the moment the agent registers.
 	n.loop.Run(func() {
 		n.host = simhost.New(node, tr, clk, rng, s.costs)
-		n.kernel, bootErr = core.BootNode(tr, n.host, core.Options{
+		bootOpts := core.Options{
 			Topo: topo, Params: s.params, EnforceAuth: s.enforceAuth,
 			CheckpointDir: ckptDir, Rejoin: rejoin,
 			IncarnationStore: incs,
 			RPC:              rpc.Options{Breakers: breakers, Metrics: tr.Metrics()},
-		})
+		}
+		if s.pwsSpec != nil {
+			spec := *s.pwsSpec
+			spec.RPC = bootOpts.RPC
+			bootOpts.ExtraServices = map[types.PartitionID][]string{
+				spec.Partition: {types.SvcPWS},
+			}
+			bootOpts.PWSFactory = pws.Factory(spec)
+			s.pwsSpec = &spec
+		}
+		n.kernel, bootErr = core.BootNode(tr, n.host, bootOpts)
+		if bootErr != nil {
+			return
+		}
+		// The configured server of the scheduler's partition spawns the
+		// initial instance (the GSD supervises it from there). A rejoining
+		// node withholds it like the other server daemons: the scheduler
+		// may run on a backup now, restored from its checkpoint.
+		if s.pwsSpec != nil && !rejoin {
+			if part, ok := topo.Partition(s.pwsSpec.Partition); ok && part.Server == node {
+				_, bootErr = n.host.Spawn(pws.New(*s.pwsSpec))
+			}
+		}
 	})
 	if bootErr != nil {
 		tr.Close()
@@ -358,6 +390,36 @@ func (n *Node) Status() opshttp.Status {
 			gs := gsp.Stats()
 			st.Gossip = &gs
 		}
+		// The node's utilisation signal: the same CPU/runqueue fold the
+		// detector exports to the bulletin, plus the local drain mark.
+		usage := host.Usage()
+		if p, ok := host.Proc(types.SvcPPM).(*ppm.Daemon); ok {
+			usage.RunQ = p.Jobs()
+			st.Draining = p.Draining()
+		}
+		st.Util = usage.Util()
+		if sched, ok := host.Proc(types.SvcPWS).(*pws.Scheduler); ok {
+			ov := sched.Overview()
+			ps := &opshttp.PWSStatus{
+				Partition: st.Partition, Shed: ov.Shed, Util: ov.Util,
+				ShedTotal: ov.ShedTotal, AdmissionRejects: ov.AdmissionRejects,
+				Preempted: ov.Preempted, LeasedNodes: ov.LeasedNodes,
+				Failed: ov.Failed,
+			}
+			for i, name := range pws.ShedNames {
+				if name == ov.Shed {
+					ps.ShedLevel = i
+				}
+			}
+			for _, pool := range ov.Pools {
+				ps.Pools = append(ps.Pools, opshttp.PoolStatus{
+					Name: pool.Name, Type: pool.Type, Nodes: pool.Nodes,
+					Free: pool.Free, Queued: pool.Queued, Running: pool.Running,
+					Leased: pool.Leased, Draining: pool.Draining,
+				})
+			}
+			st.PWS = ps
+		}
 		// Rejoin gate: a crash-restarted node is not ready until a current
 		// GSD has announced itself to its watch daemon (re-admission), a
 		// GSD running here knows the leader (this node won the takeover or
@@ -398,6 +460,9 @@ func readiness(st opshttp.Status) (bool, string) {
 	}
 	if st.Rejoining {
 		return false, "rejoining"
+	}
+	if st.Draining {
+		return false, "draining"
 	}
 	if st.GSDRole != opshttp.GSDNone {
 		if st.LeaderPartition < 0 {

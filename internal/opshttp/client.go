@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -237,7 +238,7 @@ func (ix detectIndex) label(node int) (string, bool) {
 func RenderTable(w io.Writer, reports []NodeReport) {
 	ix := indexDetect(reports)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tGOSSIP\tDETECT\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
+	fmt.Fprintln(tw, "NODE\tPART\tROLE\tGSD\tMETA\tSHARD\tGOSSIP\tDETECT\tPOOL\tREADY\tPROCS\tTX-DG\tRX-DG\tRETX\tDUP\tFAULTS\tERRS\tUPTIME\tSTATUS")
 	leaders := 0
 	for _, r := range reports {
 		if !r.Reachable() {
@@ -245,7 +246,7 @@ func RenderTable(w io.Writer, reports []NodeReport) {
 			if lbl, ok := ix.label(int(r.Node)); ok {
 				status = fmt.Sprintf("DOWN: %s (%s)", lbl, r.Err)
 			}
-			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", int(r.Node), status)
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", int(r.Node), status)
 			continue
 		}
 		st := r.Status
@@ -275,13 +276,32 @@ func RenderTable(w io.Writer, reports []NodeReport) {
 		if d := st.Detect; d != nil {
 			det = fmt.Sprintf("e%d s%d/r%d/f%d", d.FenceEpoch, d.Suspects, d.Refutations, d.FailVerdicts)
 		}
+		// Scheduler standing on the node hosting PWS: per-pool
+		// queued/running and the shed ladder rung when raised. Every other
+		// node shows its drain mark or "-".
+		pool := "-"
+		if p := st.PWS; p != nil {
+			var sb strings.Builder
+			for _, ps := range p.Pools {
+				if sb.Len() > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "%s:%d/%d", ps.Type, ps.Queued, ps.Running)
+			}
+			if p.ShedLevel > 0 {
+				fmt.Fprintf(&sb, " L%d:%s", p.ShedLevel, p.Shed)
+			}
+			pool = sb.String()
+		} else if st.Draining {
+			pool = "draining"
+		}
 		// A reachable node may still be degraded in the kernel's eyes.
 		status := "ok"
 		if lbl, ok := ix.label(st.Node); ok {
 			status = lbl
 		}
-		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\t%s\n",
-			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, gs, det, st.Ready, len(st.Procs),
+		fmt.Fprintf(tw, "%d\tp%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0fs\t%s\n",
+			st.Node, st.Partition, st.Role, st.GSDRole, meta, sh, gs, det, pool, st.Ready, len(st.Procs),
 			st.Wire.TxDatagrams, st.Wire.RxDatagrams, st.Wire.Retransmits,
 			st.Wire.DupDrops, st.Wire.PeerFaults, st.Wire.Errors, st.UptimeSeconds, status)
 	}

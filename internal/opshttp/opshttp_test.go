@@ -372,3 +372,103 @@ func TestGatherRetriesBeforeMarkingDown(t *testing.T) {
 		t.Fatalf("retry did not deliver the snapshot: %+v", reports[0].Status)
 	}
 }
+
+// The scheduler overview rides the same Status struct as everything
+// else: the pws block at /statusz must agree with the phoenix_pws_* and
+// phoenix_node_utilisation series at /metrics, the status line's pws
+// section, and the POOL column of the admin table — and be absent on
+// nodes that host no scheduler.
+func TestPWSStatusConsistentAcrossSurfaces(t *testing.T) {
+	st := testStatus()
+	st.Util = 0.75
+	st.PWS = &PWSStatus{
+		Partition: 1, Shed: "refuse", ShedLevel: 3, Util: 0.97,
+		ShedTotal: 11, AdmissionRejects: 7, Preempted: 2,
+		LeasedNodes: 1, Failed: 1,
+		Pools: []PoolStatus{
+			{Name: "svc", Type: "service", Nodes: 1, Free: 0, Queued: 1, Running: 1, Leased: 1},
+			{Name: "batch", Type: "", Nodes: 3, Free: 0, Queued: 5, Running: 2, Draining: 1},
+		},
+	}
+	srv := httptest.NewServer(Handler(Config{Status: func() Status { return st }}))
+	defer srv.Close()
+
+	_, body := get(t, srv, "/statusz")
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode statusz: %v", err)
+	}
+	if got.Util != st.Util {
+		t.Fatalf("statusz util = %v, want %v", got.Util, st.Util)
+	}
+	if got.PWS == nil || got.PWS.Shed != "refuse" || got.PWS.ShedLevel != 3 ||
+		got.PWS.ShedTotal != 11 || got.PWS.AdmissionRejects != 7 ||
+		got.PWS.Preempted != 2 || got.PWS.LeasedNodes != 1 || got.PWS.Failed != 1 ||
+		len(got.PWS.Pools) != 2 || got.PWS.Pools[0] != st.PWS.Pools[0] ||
+		got.PWS.Pools[1] != st.PWS.Pools[1] {
+		t.Fatalf("statusz pws section:\ngot  %+v\nwant %+v", got.PWS, st.PWS)
+	}
+
+	_, prom := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"phoenix_node_utilisation 0.75",
+		"phoenix_pws_shed_level 3",
+		"phoenix_pws_cluster_utilisation 0.97",
+		"phoenix_pws_leased_nodes 1",
+		"phoenix_pws_failed_jobs 1",
+		"phoenix_pws_shed_total 11",
+		"phoenix_admission_rejects_total 7",
+		"phoenix_pws_preempted_total 2",
+		`phoenix_pws_pool_queued{pool="svc",type="service"} 1`,
+		`phoenix_pws_pool_running{pool="svc",type="service"} 1`,
+		`phoenix_pws_pool_queued{pool="batch",type=""} 5`,
+		`phoenix_pws_pool_free{pool="batch",type=""} 0`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	line := st.Line()
+	for _, want := range []string{
+		"util 0.75",
+		"pws refuse u0.97 shed 11 rejects 7 leased 1",
+		"svc[service] q1 r1",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line missing %q: %s", want, line)
+		}
+	}
+
+	// Admin table: the scheduler node renders per-pool occupancy and the
+	// raised ladder rung in POOL; a drained non-scheduler node renders
+	// "draining"; a plain node renders "-".
+	drained := testStatus()
+	drained.Node, drained.Draining = 4, true
+	plain := testStatus()
+	plain.Node = 5
+	reports := []NodeReport{
+		{Node: 0, Status: st},
+		{Node: 4, Status: drained},
+		{Node: 5, Status: plain},
+	}
+	var sb strings.Builder
+	RenderTable(&sb, reports)
+	table := sb.String()
+	for _, want := range []string{"POOL", "service:1/1", "L3:refuse", "draining"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("admin table missing %q:\n%s", want, table)
+		}
+	}
+
+	// A node without a scheduler reports no pws section anywhere.
+	bare := testStatus()
+	if strings.Contains(bare.Line(), "pws") {
+		t.Fatalf("pws section on scheduler-less node: %s", bare.Line())
+	}
+	srv2 := httptest.NewServer(Handler(Config{Status: func() Status { return bare }}))
+	defer srv2.Close()
+	if _, prom2 := get(t, srv2, "/metrics"); strings.Contains(prom2, "phoenix_pws_") {
+		t.Fatal("phoenix_pws_* series on scheduler-less node")
+	}
+}

@@ -172,6 +172,29 @@ func writeStatusProm(w io.Writer, st Status) {
 		counter("phoenix_detect_fail_verdicts_total", d.FailVerdicts)
 		counter("phoenix_detect_takeovers_total", d.Takeovers)
 	}
+	fmt.Fprintf(w, "# TYPE phoenix_node_utilisation gauge\nphoenix_node_utilisation %s\n", promFloat(st.Util))
+	fmt.Fprintf(w, "# TYPE phoenix_draining gauge\nphoenix_draining %s\n", b(st.Draining))
+	if p := st.PWS; p != nil {
+		gauge := func(name string, v interface{}) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, v)
+		}
+		counter := func(name string, v uint64) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		}
+		gauge("phoenix_pws_shed_level", p.ShedLevel)
+		gauge("phoenix_pws_cluster_utilisation", promFloat(p.Util))
+		gauge("phoenix_pws_leased_nodes", p.LeasedNodes)
+		gauge("phoenix_pws_failed_jobs", p.Failed)
+		counter("phoenix_pws_shed_total", p.ShedTotal)
+		counter("phoenix_admission_rejects_total", p.AdmissionRejects)
+		counter("phoenix_pws_preempted_total", p.Preempted)
+		for _, pool := range p.Pools {
+			lbl := fmt.Sprintf("{pool=\"%s\",type=\"%s\"}", promEscapeLabel(pool.Name), promEscapeLabel(pool.Type))
+			fmt.Fprintf(w, "# TYPE phoenix_pws_pool_queued gauge\nphoenix_pws_pool_queued%s %d\n", lbl, pool.Queued)
+			fmt.Fprintf(w, "# TYPE phoenix_pws_pool_running gauge\nphoenix_pws_pool_running%s %d\n", lbl, pool.Running)
+			fmt.Fprintf(w, "# TYPE phoenix_pws_pool_free gauge\nphoenix_pws_pool_free%s %d\n", lbl, pool.Free)
+		}
+	}
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_calls_total counter\nphoenix_rpc_calls_total %d\n", st.RPC.Calls)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_retries_total counter\nphoenix_rpc_retries_total %d\n", st.RPC.Retries)
 	fmt.Fprintf(w, "# TYPE phoenix_rpc_shed_total counter\nphoenix_rpc_shed_total %d\n", st.RPC.Shed)

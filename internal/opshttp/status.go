@@ -77,6 +77,19 @@ type Status struct {
 	// Peers counts the nodes in the wire address book.
 	Peers int `json:"peers"`
 
+	// Util is the node's local utilisation signal — the same CPU/runqueue
+	// fold (types.ResourceStats.Util) the detector exports to the bulletin
+	// and the scheduler's backpressure consumes, in [0,1].
+	Util float64 `json:"util"`
+	// Draining marks a node an operator drained out of job placement (the
+	// scheduler's drain mark, mirrored by the local PPM); /readyz answers
+	// 503 "draining" while set.
+	Draining bool `json:"draining,omitempty"`
+	// PWS is the scheduler overview when this node hosts the PWS
+	// scheduler: shed ladder standing, overload counters and per-pool
+	// occupancy. Nil on every other node.
+	PWS *PWSStatus `json:"pws,omitempty"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	// Wire is the transport's traffic/reliability snapshot, totals and
@@ -97,6 +110,38 @@ type Status struct {
 	// faults); BreakersOpen counts the ones not currently closed.
 	Breakers     []rpc.BreakerStatus `json:"breakers,omitempty"`
 	BreakersOpen int                 `json:"breakers_open"`
+}
+
+// PWSStatus is the scheduler overview of a node hosting the PWS
+// scheduler (a neutral mirror of the scheduler's StatAck — opshttp does
+// not import the scheduler package).
+type PWSStatus struct {
+	Partition int `json:"partition"`
+	// Shed names the shed ladder's rung (none/pause/preempt/refuse);
+	// ShedLevel is its numeric form for gauges.
+	Shed      string `json:"shed"`
+	ShedLevel int    `json:"shed_level"`
+	// Util is the cluster utilisation the scheduler folded on its last
+	// cycle (distinct from Status.Util, which is this node's own signal).
+	Util             float64      `json:"util"`
+	ShedTotal        uint64       `json:"shed_total"`
+	AdmissionRejects uint64       `json:"admission_rejects"`
+	Preempted        uint64       `json:"preempted"`
+	LeasedNodes      int          `json:"leased_nodes"`
+	Failed           int          `json:"failed"`
+	Pools            []PoolStatus `json:"pools,omitempty"`
+}
+
+// PoolStatus summarises one scheduling pool in PWSStatus.
+type PoolStatus struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Nodes    int    `json:"nodes"`
+	Free     int    `json:"free"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Leased   int    `json:"leased"`
+	Draining int    `json:"draining"`
 }
 
 // Detect is the failure-detection lifecycle snapshot of the GSD hosted on
@@ -155,6 +200,17 @@ func (st Status) Line() string {
 		if len(d.Suspect) > 0 || len(d.Quarantined) > 0 {
 			fmt.Fprintf(&sb, " (suspect %d, quarantined %d)",
 				len(d.Suspect), len(d.Quarantined))
+		}
+	}
+	fmt.Fprintf(&sb, ", util %.2f", st.Util)
+	if st.Draining {
+		sb.WriteString(" draining")
+	}
+	if p := st.PWS; p != nil {
+		fmt.Fprintf(&sb, ", pws %s u%.2f shed %d rejects %d leased %d",
+			p.Shed, p.Util, p.ShedTotal, p.AdmissionRejects, p.LeasedNodes)
+		for _, pool := range p.Pools {
+			fmt.Fprintf(&sb, " %s[%s] q%d r%d", pool.Name, pool.Type, pool.Queued, pool.Running)
 		}
 	}
 	fmt.Fprintf(&sb, ", rpc %d/%d ok, rpc retries %d", st.RPC.OK, st.RPC.Calls, st.RPC.Retries)

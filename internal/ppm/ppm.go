@@ -30,6 +30,8 @@ const (
 	MsgPExecAck = "ppm.pexec.ack"
 	MsgQuery    = "ppm.query"
 	MsgQueryAck = "ppm.query.ack"
+	MsgDrain    = "ppm.drain"
+	MsgDrainAck = "ppm.drain.ack"
 )
 
 // QueryReq asks whether a job still runs on the node (job managers use it
@@ -58,6 +60,10 @@ type JobSpec struct {
 	Name      string
 	Duration  time.Duration // simulated run time; 0 = runs until killed
 	Submitter types.Addr    // receives the MsgJobDone notification
+	// Gen distinguishes dispatch incarnations of the same job: it is
+	// echoed in JobDone so a scheduler that requeued the job can tell a
+	// killed old slice's exit from the new incarnation's.
+	Gen uint64
 }
 
 // JobService derives the process-table service name for a job.
@@ -103,10 +109,31 @@ type JobDone struct {
 	Job    types.JobID
 	Node   types.NodeID
 	Normal bool // true: ran to completion; false: killed or node-reaped
+	Gen    uint64
 }
 
 // WireSize implements codec.Sizer.
-func (JobDone) WireSize() int { return 24 }
+func (JobDone) WireSize() int { return 32 }
+
+// DrainReq marks the node draining (or clears the mark): the scheduler
+// has taken it out of placement, and the node's readiness surface should
+// say so. Setting the same state twice is a no-op, which is what lets the
+// scheduler re-assert the mark on every reconcile instead of tracking
+// delivery.
+type DrainReq struct {
+	Token    uint64
+	Draining bool
+	Signed   string
+}
+
+// DrainAck confirms the drain-state change.
+type DrainAck struct {
+	Token    uint64
+	OK       bool
+	Err      string
+	Node     types.NodeID
+	Draining bool
+}
 
 // PExecReq runs a command on a set of nodes via tree fan-out. The receiving
 // daemon executes locally when its own node is in Nodes, forwards the rest
@@ -144,6 +171,8 @@ func init() {
 	codec.RegisterGob(PExecAck{})
 	codec.RegisterGob(QueryReq{})
 	codec.RegisterGob(QueryAck{})
+	codec.RegisterGob(DrainReq{})
+	codec.RegisterGob(DrainAck{})
 }
 
 // Spec configures a PPM daemon.
@@ -201,6 +230,10 @@ type Daemon struct {
 
 	// Deduped counts retried requests answered from the cache.
 	Deduped uint64
+
+	// draining mirrors the scheduler's drain mark for this node, surfaced
+	// through Draining() on the readiness path.
+	draining bool
 }
 
 // New builds a PPM daemon.
@@ -278,6 +311,7 @@ func (d *Daemon) Start(h *simhost.Handle) {
 		if job.Submitter != (types.Addr{}) {
 			d.h.Send(job.Submitter, types.AnyNIC, MsgJobDone, JobDone{
 				Job: id, Node: d.h.Node(), Normal: ev.Cause == simhost.ExitNormal,
+				Gen: job.Gen,
 			})
 		}
 	})
@@ -292,6 +326,9 @@ func (d *Daemon) OnStop() {
 
 // Jobs reports the jobs currently tracked on this node.
 func (d *Daemon) Jobs() int { return len(d.jobs) }
+
+// Draining reports whether a scheduler has marked this node draining.
+func (d *Daemon) Draining() bool { return d.draining }
 
 // authorize checks a signed token against the configured authority.
 func (d *Daemon) authorize(signed string, op security.Operation) error {
@@ -377,6 +414,21 @@ func (d *Daemon) Receive(msg types.Message) {
 		d.h.Send(msg.From, types.AnyNIC, MsgQueryAck, QueryAck{
 			Token: req.Token, Job: req.Job, Running: running,
 		})
+	case MsgDrain:
+		req, ok := msg.Payload.(DrainReq)
+		if !ok {
+			return
+		}
+		ack := DrainAck{Token: req.Token, Node: d.h.Node(), Draining: req.Draining}
+		if err := d.authorize(req.Signed, security.OpProcKill); err != nil {
+			ack.Err = err.Error()
+		} else {
+			// Idempotent by construction: no dedup cache needed, the
+			// scheduler re-asserts the mark on every reconcile.
+			d.draining = req.Draining
+			ack.OK = true
+		}
+		d.h.Send(msg.From, types.AnyNIC, MsgDrainAck, ack)
 	}
 }
 

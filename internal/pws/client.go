@@ -1,10 +1,30 @@
 package pws
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/rpc"
 	"repro/internal/rt"
 	"repro/internal/types"
 )
+
+// AsError surfaces a submit ack as an error: nil on success, an error
+// wrapping rpc.ErrShed when the scheduler refused the job at admission
+// (so callers can errors.Is the cluster-overload case and back off like
+// any other shed).
+func (a SubmitAck) AsError() error {
+	if a.OK {
+		return nil
+	}
+	if a.Shed {
+		return fmt.Errorf("%s: %w", a.Err, rpc.ErrShed)
+	}
+	if a.Err != "" {
+		return errors.New(a.Err)
+	}
+	return errors.New("pws: submit failed")
+}
 
 // Client is the user-facing interface to a PWS scheduler, embedded in
 // submission tools and experiments. Calls run through a resilient
@@ -70,6 +90,29 @@ func (c *Client) Stat(done func(StatAck, bool)) {
 	})
 }
 
+// Drain marks a node unschedulable (undrain=false) or schedulable again
+// (undrain=true); done (optional) receives the ack. Drain requests are
+// idempotent on the scheduler, so retries are harmless.
+func (c *Client) Drain(node types.NodeID, undrain bool, done func(DrainAdminAck)) {
+	c.caller.Go(rpc.Call{
+		Targets: c.targets,
+		Send: func(token uint64, to types.Addr) {
+			c.rt.Send(to, types.AnyNIC, MsgDrain,
+				DrainAdminReq{Token: token, Node: node, Undrain: undrain})
+		},
+		Done: func(payload any, err error) {
+			if done == nil {
+				return
+			}
+			if err != nil {
+				done(DrainAdminAck{Err: "pws: " + err.Error()})
+				return
+			}
+			done(payload.(DrainAdminAck))
+		},
+	})
+}
+
 // Delete cancels a job; done (optional) receives the ack.
 func (c *Client) Delete(id types.JobID, done func(DeleteAck)) {
 	c.caller.Go(rpc.Call{
@@ -117,6 +160,11 @@ func (c *Client) Handle(msg types.Message) bool {
 		return true
 	case MsgStatAck:
 		if ack, ok := msg.Payload.(StatAck); ok {
+			c.caller.ResolveFrom(ack.Token, msg.From, ack)
+		}
+		return true
+	case MsgDrainAck:
+		if ack, ok := msg.Payload.(DrainAdminAck); ok {
 			c.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
 		return true

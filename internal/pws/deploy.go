@@ -4,10 +4,24 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/config"
 	"repro/internal/gsd"
 	"repro/internal/simhost"
 	"repro/internal/types"
 )
+
+// Factory adapts a scheduler spec to the process-factory shape the GSD
+// spawns supervised services through: a restart (or migration) carries
+// gsd.ServiceSpawnSpec and restores from the checkpoint.
+func Factory(base Spec) func(spec any) simhost.Process {
+	return func(spec any) simhost.Process {
+		s := base
+		if ss, ok := spec.(gsd.ServiceSpawnSpec); ok {
+			s.Restart = ss.Restart
+		}
+		return New(s)
+	}
+}
 
 // Deploy installs a PWS scheduler on a cluster: the factory is registered
 // on every node of the home partition (so the GSD can restart or migrate
@@ -21,13 +35,7 @@ func Deploy(c *cluster.Cluster, base Spec) (*Scheduler, error) {
 	if !ok {
 		return nil, fmt.Errorf("pws: unknown partition %v", base.Partition)
 	}
-	factory := func(spec any) simhost.Process {
-		s := base
-		if ss, ok := spec.(gsd.ServiceSpawnSpec); ok {
-			s.Restart = ss.Restart
-		}
-		return New(s)
-	}
+	factory := Factory(base)
 	for _, ni := range c.Topo.Nodes {
 		c.Host(ni.ID).RegisterFactory(types.SvcPWS, factory)
 	}
@@ -36,6 +44,37 @@ func Deploy(c *cluster.Cluster, base Spec) (*Scheduler, error) {
 		return nil, fmt.Errorf("pws: spawn scheduler: %w", err)
 	}
 	return sched, nil
+}
+
+// TopologyPools builds the standard mixed-regime layout for a booted
+// topology: the first compute node forms the "service" pool (lendable —
+// when no service job runs, batch may borrow it), the rest the lendable
+// "batch" pool. With a single compute node everything is one batch pool.
+func TopologyPools(topo *config.Topology) []PoolSpec {
+	nodes := topo.ComputeNodes()
+	if len(nodes) < 2 {
+		return []PoolSpec{{
+			Name:       "batch",
+			Nodes:      append([]types.NodeID(nil), nodes...),
+			Policy:     PolicyFIFO,
+			AllowLease: true,
+		}}
+	}
+	return []PoolSpec{
+		{
+			Name:       "service",
+			Nodes:      []types.NodeID{nodes[0]},
+			Policy:     PolicyFIFO,
+			AllowLease: true,
+			Type:       PoolService,
+		},
+		{
+			Name:       "batch",
+			Nodes:      append([]types.NodeID(nil), nodes[1:]...),
+			Policy:     PolicyPriority,
+			AllowLease: true,
+		},
+	}
 }
 
 // UniformPools splits the cluster's compute nodes into count equal pools

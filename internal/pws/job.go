@@ -31,9 +31,12 @@ const (
 	MsgDeleteAck  = "pws.delete.ack"
 	MsgJobStat    = "pws.jobstat"
 	MsgJobStatAck = "pws.jobstat.ack"
+	MsgDrain      = "pws.drain"
+	MsgDrainAck   = "pws.drain.ack"
 )
 
-// Job is one batch job.
+// Job is one job: a batch slice set, or — in a service pool — a
+// long-running request server.
 type Job struct {
 	ID       types.JobID
 	Pool     string
@@ -44,7 +47,11 @@ type Job struct {
 	// Walltime, when nonzero, bounds the job's running time: the
 	// scheduler deletes jobs that overrun it.
 	Walltime time.Duration
-	Seq      uint64
+	// SLO declares a service job's latency objective (informational for
+	// the scheduler: it rides the job into stat surfaces and load
+	// drivers, which check request latency against it). Zero for batch.
+	SLO time.Duration
+	Seq uint64
 }
 
 // JobState is a job's lifecycle position as reported by job queries.
@@ -58,6 +65,10 @@ const (
 	StateTimeout   JobState = "timeout"
 	StateRequeued  JobState = "requeued" // transiently: back in the queue
 	StateUnknown   JobState = "unknown"
+	// StateFailed is terminal: the job exhausted its requeue budget
+	// crashing nodes or failing dispatch (poison-job quarantine). The
+	// reason rides JobStatAck.Reason.
+	StateFailed JobState = "failed"
 )
 
 // DeleteReq cancels a job: dequeued if waiting, killed if running.
@@ -81,10 +92,11 @@ type JobStatReq struct {
 
 // JobStatAck reports a job's state.
 type JobStatAck struct {
-	Token uint64
-	State JobState
-	Pool  string
-	Nodes []types.NodeID // populated for running jobs
+	Token  uint64
+	State  JobState
+	Pool   string
+	Nodes  []types.NodeID // populated for running jobs
+	Reason string         // populated for failed jobs
 }
 
 // SubmitReq queues a job. The scheduler assigns IDs when the submitted
@@ -94,12 +106,16 @@ type SubmitReq struct {
 	Job   Job
 }
 
-// SubmitAck confirms queueing.
+// SubmitAck confirms queueing. Shed marks an admission refusal: the
+// scheduler's shed ladder reached its refuse rung and the submit was a
+// batch job. Clients surface it as rpc.ErrShed so callers treat cluster
+// overload like any other shed and back off.
 type SubmitAck struct {
 	Token uint64
 	OK    bool
 	ID    types.JobID
 	Err   string
+	Shed  bool
 }
 
 // StatReq asks for scheduler statistics.
@@ -107,11 +123,14 @@ type StatReq struct{ Token uint64 }
 
 // PoolStat summarises one pool.
 type PoolStat struct {
-	Name    string
-	Queued  int
-	Running int
-	Free    int
-	Leased  int // nodes currently borrowed from this pool
+	Name     string
+	Type     string // "batch" or "service"
+	Nodes    int    // pool size from the spec
+	Queued   int
+	Running  int
+	Free     int
+	Leased   int // nodes currently borrowed from this pool
+	Draining int // pool nodes under an operator drain
 }
 
 // StatAck reports scheduler state.
@@ -123,7 +142,35 @@ type StatAck struct {
 	Requeued  int
 	Deleted   int
 	TimedOut  int
+	Failed    int // poison jobs quarantined in StateFailed
 	Pools     []PoolStat
+
+	// Overload standing: the cluster utilisation the scheduler computed
+	// on its last cycle, the shed ladder's rung, and the cumulative shed
+	// counters (total shed actions, admission refusals, preemptions).
+	Util             float64
+	Shed             string
+	ShedTotal        uint64
+	AdmissionRejects uint64
+	Preempted        uint64
+	LeasedNodes      int
+}
+
+// DrainAdminReq marks a node unschedulable (drain) or schedulable again
+// (undrain). Draining requeues the node's running batch slices, stops
+// placement, and flips the node's readiness surface to "draining".
+type DrainAdminReq struct {
+	Token   uint64
+	Node    types.NodeID
+	Undrain bool
+}
+
+// DrainAdminAck confirms the drain-state change.
+type DrainAdminAck struct {
+	Token    uint64
+	OK       bool
+	Err      string
+	Requeued int // batch jobs requeued off the node
 }
 
 func init() {
@@ -135,5 +182,7 @@ func init() {
 	codec.RegisterGob(DeleteAck{})
 	codec.RegisterGob(JobStatReq{})
 	codec.RegisterGob(JobStatAck{})
+	codec.RegisterGob(DrainAdminReq{})
+	codec.RegisterGob(DrainAdminAck{})
 	codec.RegisterGob(state{})
 }

@@ -9,11 +9,25 @@ import (
 
 	"repro/internal/bulletin"
 	"repro/internal/checkpoint"
+	"repro/internal/config"
 	"repro/internal/events"
 	"repro/internal/ppm"
 	"repro/internal/rpc"
 	"repro/internal/simhost"
 	"repro/internal/types"
+)
+
+// PoolType distinguishes the two scheduling regimes a pool can host.
+type PoolType string
+
+const (
+	// PoolBatch (the zero value) runs finite jobs to completion; batch
+	// pools are what the shed ladder sacrifices under overload.
+	PoolBatch PoolType = ""
+	// PoolService runs long-lived request servers with declared SLOs.
+	// Service pools dispatch first, may borrow nodes from lendable pools
+	// even while the lender has a backlog, and are never shed.
+	PoolService PoolType = "service"
 )
 
 // PoolSpec describes one scheduling pool.
@@ -22,6 +36,89 @@ type PoolSpec struct {
 	Nodes      []types.NodeID
 	Policy     Policy
 	AllowLease bool // pool may lend idle nodes to overloaded pools
+	Type       PoolType
+}
+
+func (p *PoolSpec) service() bool { return p.Type == PoolService }
+
+// TypeName renders the pool's regime for stat surfaces.
+func (p *PoolSpec) TypeName() string {
+	if p.service() {
+		return "service"
+	}
+	return "batch"
+}
+
+// Shed ladder rungs, in escalation order. Each rung includes the ones
+// below it: at shedRefuse the scheduler also pauses batch dispatch and
+// preempts.
+const (
+	shedNone    = 0 // normal dispatch
+	shedPause   = 1 // hold new batch dispatch
+	shedPreempt = 2 // also requeue the lowest-priority running batch job
+	shedRefuse  = 3 // also refuse batch submits at admission
+)
+
+// ShedNames maps ladder rungs to their stat-surface names.
+var ShedNames = [...]string{"none", "pause", "preempt", "refuse"}
+
+func shedName(level int) string {
+	if level < 0 || level >= len(ShedNames) {
+		return "unknown"
+	}
+	return ShedNames[level]
+}
+
+// Overload configures the scheduler's overload machinery: the shed
+// ladder's utilisation thresholds, the step-down hysteresis, the
+// poison-job requeue budget and the lease-return delay. The zero value
+// derives every threshold; Enabled is forced on when the spec has a
+// service pool (a mixed-regime scheduler must protect its service
+// traffic), and the requeue budget applies whether or not the ladder is
+// enabled.
+type Overload struct {
+	Enabled          bool
+	PauseAt          float64
+	PreemptAt        float64
+	RefuseAt         float64
+	Hysteresis       float64
+	JobRequeueBudget int
+	LeaseReturnDelay time.Duration
+}
+
+// OverloadFromParams lifts the kernel parameters' overload knobs.
+func OverloadFromParams(p config.Params) Overload {
+	return Overload{
+		PauseAt:          p.UtilPauseAt,
+		PreemptAt:        p.UtilPreemptAt,
+		RefuseAt:         p.UtilRefuseAt,
+		Hysteresis:       p.UtilHysteresis,
+		JobRequeueBudget: p.JobRequeueBudget,
+		LeaseReturnDelay: p.LeaseReturnDelay,
+	}
+}
+
+func (o Overload) withDefaults() Overload {
+	def := config.DefaultParams()
+	if o.PauseAt <= 0 {
+		o.PauseAt = def.UtilPauseAt
+	}
+	if o.PreemptAt <= 0 {
+		o.PreemptAt = def.UtilPreemptAt
+	}
+	if o.RefuseAt <= 0 {
+		o.RefuseAt = def.UtilRefuseAt
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = def.UtilHysteresis
+	}
+	if o.JobRequeueBudget <= 0 {
+		o.JobRequeueBudget = def.JobRequeueBudget
+	}
+	if o.LeaseReturnDelay <= 0 {
+		o.LeaseReturnDelay = def.LeaseReturnDelay
+	}
+	return o
 }
 
 // Spec configures the PWS scheduler daemon.
@@ -41,12 +138,24 @@ type Spec struct {
 	// RPC carries the node-wide resilient-call options (shared breakers,
 	// metrics); the scheduler fills per-client budgets.
 	RPC rpc.Options
+	// Overload tunes the shed ladder and the poison-job budget.
+	Overload Overload
+}
+
+// retainedLease records a node a service pool keeps after its borrowing
+// job finished: the lease outlives the job until the cluster has been
+// cool for the configured return delay (hysteresis on lease return).
+type retainedLease struct {
+	From    string // lending pool
+	By      string // retaining (service) pool
+	FreedAt time.Time
 }
 
 // state is the checkpointed scheduler state.
 type state struct {
 	NextID    types.JobID
 	NextSeq   uint64
+	NextGen   uint64
 	Queues    map[string][]Job
 	Running   map[types.JobID]*RunJob
 	Completed int
@@ -55,6 +164,26 @@ type state struct {
 	TimedOut  int
 	// Outcomes records final states of finished jobs for job queries.
 	Outcomes map[types.JobID]JobState
+
+	// Failed counts poison jobs quarantined in StateFailed; Attempts
+	// tracks each live job's consumed requeue budget and FailReasons the
+	// terminal diagnosis.
+	Failed      int
+	Attempts    map[types.JobID]int
+	FailReasons map[types.JobID]string
+	// Draining marks nodes an operator took out of placement.
+	Draining map[types.NodeID]bool
+	// Retained holds leases that outlive their borrowing job (see
+	// retainedLease).
+	Retained map[types.NodeID]retainedLease
+	// Shed is the ladder's current rung; persisted so a migrated
+	// scheduler resumes shedding instead of re-admitting a flood.
+	Shed int
+	// Cumulative overload counters (survive migration like the rest of
+	// the stats).
+	ShedTotal        uint64
+	AdmissionRejects uint64
+	Preempted        uint64
 }
 
 // RunJob tracks one dispatched job.
@@ -67,28 +196,50 @@ type RunJob struct {
 	LeasedFrom map[types.NodeID]string
 	// StartedAt stamps dispatch time (walltime enforcement).
 	StartedAt time.Time
+	// Gen identifies this dispatch incarnation; PPM done-notifications
+	// echo it, so exits of killed older incarnations are discarded.
+	Gen uint64
 }
+
+// noNode marks requeues with no failed node (preemption, drain).
+const noNode = types.NodeID(-1)
 
 // Scheduler is the PWS daemon. It is supervised by its partition's GSD
 // like a kernel service ("the scheduling service group ... is created on
 // the basis of group service with high availability guaranteed").
 type Scheduler struct {
 	spec Spec
+	ov   Overload
 	h    *simhost.Handle
 
 	caller   *rpc.Caller // PPM load/kill/query calls
 	events   *events.Client
 	bulletin *bulletin.Client
 	ckpt     *checkpoint.Client
+	gauge    *rpc.Gauge // cluster-utilisation backpressure signal
 
-	st    state
-	busy  map[types.NodeID]types.JobID
-	down  map[types.NodeID]bool
+	st   state
+	busy map[types.NodeID]types.JobID
+	down map[types.NodeID]bool
 	// quarantined nodes stay members but take no new slices until the
 	// kernel's flap score decays (running slices finish; nothing is
 	// requeued on quarantine, unlike failure).
 	quarantined map[types.NodeID]bool
-	loads       map[types.NodeID]float64 // CPU load from the last bulletin query
+	// cooling marks nodes with an in-flight slice kill: placement waits
+	// for the kill ack so a fresh load cannot race the kill on the node
+	// (arriving first, it would be refused — or worse, be the one killed).
+	cooling map[types.NodeID]bool
+	loads   map[types.NodeID]float64 // CPU load from the last bulletin query
+	utils       map[types.NodeID]float64 // folded utilisation from the last query
+	// leasedTo maps a lent-out node to the pool borrowing it (live job or
+	// retained lease); home maps every pool node to its owning pool.
+	leasedTo map[types.NodeID]string
+	home     map[types.NodeID]string
+
+	// lastUtil is the cluster utilisation computed on the latest cycle;
+	// pendingService is the service width that could not be placed there.
+	lastUtil       float64
+	pendingService int
 
 	// BulletinQueries counts federation queries issued (the traffic
 	// comparison of §5.4).
@@ -105,21 +256,39 @@ func New(spec Spec) *Scheduler {
 	if spec.CkptTimeout == 0 {
 		spec.CkptTimeout = 2 * time.Second
 	}
+	ov := spec.Overload.withDefaults()
+	for _, p := range spec.Pools {
+		if p.Type == PoolService {
+			ov.Enabled = true
+		}
+	}
 	s := &Scheduler{
 		spec:        spec,
+		ov:          ov,
 		busy:        make(map[types.NodeID]types.JobID),
 		down:        make(map[types.NodeID]bool),
 		quarantined: make(map[types.NodeID]bool),
+		cooling:     make(map[types.NodeID]bool),
 		loads:       make(map[types.NodeID]float64),
+		utils:       make(map[types.NodeID]float64),
+		leasedTo:    make(map[types.NodeID]string),
+		home:        make(map[types.NodeID]string),
 		st: state{
-			NextID:   1,
-			Queues:   make(map[string][]Job),
-			Running:  make(map[types.JobID]*RunJob),
-			Outcomes: make(map[types.JobID]JobState),
+			NextID:      1,
+			Queues:      make(map[string][]Job),
+			Running:     make(map[types.JobID]*RunJob),
+			Outcomes:    make(map[types.JobID]JobState),
+			Attempts:    make(map[types.JobID]int),
+			FailReasons: make(map[types.JobID]string),
+			Draining:    make(map[types.NodeID]bool),
+			Retained:    make(map[types.NodeID]retainedLease),
 		},
 	}
 	for _, p := range spec.Pools {
 		s.st.Queues[p.Name] = nil
+		for _, n := range p.Nodes {
+			s.home[n] = p.Name
+		}
 	}
 	return s
 }
@@ -132,7 +301,20 @@ func (s *Scheduler) Service() string { return types.SvcPWS }
 // Start implements simhost.Process.
 func (s *Scheduler) Start(h *simhost.Handle) {
 	s.h = h
-	s.caller = rpc.NewCaller(h, s.spec.RPC.WithBudget(3*time.Second))
+	// The caller shares the node's pressure gauge (or owns a private
+	// one): the scheduler writes the cluster utilisation into it each
+	// cycle, and its sheddable traffic (the reconcile audits) backs off
+	// beyond the refuse threshold along with everything else on the node
+	// wired to the gauge.
+	callerOpts := s.spec.RPC
+	if callerOpts.Pressure == nil {
+		callerOpts.Pressure = rpc.NewGauge()
+	}
+	s.gauge = callerOpts.Pressure
+	if s.ov.Enabled {
+		callerOpts.ShedAt = s.ov.RefuseAt
+	}
+	s.caller = rpc.NewCaller(h, callerOpts.WithBudget(3*time.Second))
 	local := func(svc string) func() (types.Addr, bool) {
 		return func() (types.Addr, bool) {
 			return types.Addr{Node: h.Node(), Service: svc}, true
@@ -163,13 +345,20 @@ func (s *Scheduler) tryRestore(attempts int) {
 		if found {
 			if st, err := decodeState(data); err == nil {
 				s.st = st
-				// Rebuild the busy map from running jobs; their PPM
-				// done-notifications were addressed to the previous
+				s.restoreMaps()
+				// Rebuild the busy and lease maps from running jobs; their
+				// PPM done-notifications were addressed to the previous
 				// incarnation, so the reconcile loop adopts them.
 				for id, rj := range s.st.Running {
 					for _, n := range rj.Nodes {
 						s.busy[n] = id
 					}
+					for n := range rj.LeasedFrom {
+						s.leasedTo[n] = rj.Job.Pool
+					}
+				}
+				for n, r := range s.st.Retained {
+					s.leasedTo[n] = r.By
 				}
 			}
 		} else if attempts > 1 {
@@ -180,6 +369,26 @@ func (s *Scheduler) tryRestore(attempts int) {
 			events.MsgReady, events.ReadyMsg{Service: types.SvcPWS})
 		s.reconcile()
 	})
+}
+
+// restoreMaps re-initialises the map fields a checkpoint from an older
+// state layout decodes as nil.
+func (s *Scheduler) restoreMaps() {
+	if s.st.Attempts == nil {
+		s.st.Attempts = make(map[types.JobID]int)
+	}
+	if s.st.FailReasons == nil {
+		s.st.FailReasons = make(map[types.JobID]string)
+	}
+	if s.st.Draining == nil {
+		s.st.Draining = make(map[types.NodeID]bool)
+	}
+	if s.st.Retained == nil {
+		s.st.Retained = make(map[types.NodeID]retainedLease)
+	}
+	if s.st.Outcomes == nil {
+		s.st.Outcomes = make(map[types.JobID]JobState)
+	}
 }
 
 // OnStop implements simhost.Process.
@@ -221,6 +430,12 @@ func (s *Scheduler) Receive(msg types.Message) {
 			return
 		}
 		s.h.Send(msg.From, types.AnyNIC, MsgJobStatAck, s.jobStat(req))
+	case MsgDrain:
+		req, ok := msg.Payload.(DrainAdminReq)
+		if !ok {
+			return
+		}
+		s.drain(msg.From, req)
 	case ppm.MsgLoadAck:
 		if ack, ok := msg.Payload.(ppm.LoadAck); ok {
 			s.caller.ResolveFrom(ack.Token, msg.From, ack)
@@ -229,9 +444,13 @@ func (s *Scheduler) Receive(msg types.Message) {
 		if ack, ok := msg.Payload.(ppm.KillAck); ok {
 			s.caller.ResolveFrom(ack.Token, msg.From, ack)
 		}
+	case ppm.MsgDrainAck:
+		if ack, ok := msg.Payload.(ppm.DrainAck); ok {
+			s.caller.ResolveFrom(ack.Token, msg.From, ack)
+		}
 	case ppm.MsgJobDone:
 		if jd, ok := msg.Payload.(ppm.JobDone); ok {
-			s.sliceDone(jd.Job, jd.Node)
+			s.sliceDone(jd.Job, jd.Node, jd.Normal, jd.Gen)
 		}
 	case ppm.MsgQueryAck:
 		if ack, ok := msg.Payload.(ppm.QueryAck); ok {
@@ -246,6 +465,18 @@ func (s *Scheduler) submit(from types.Addr, req SubmitReq) {
 	if pool == nil {
 		s.h.Send(from, types.AnyNIC, MsgSubmitAck, SubmitAck{
 			Token: req.Token, Err: fmt.Sprintf("pws: unknown pool %q", job.Pool),
+		})
+		return
+	}
+	// Admission control, the refuse rung: batch work is turned away while
+	// the cluster is overloaded. Service submits are never refused — the
+	// service path must stay open exactly when the cluster is hottest.
+	if s.ov.Enabled && !pool.service() && s.st.Shed >= shedRefuse {
+		s.st.AdmissionRejects++
+		s.st.ShedTotal++
+		s.h.Send(from, types.AnyNIC, MsgSubmitAck, SubmitAck{
+			Token: req.Token, Shed: true,
+			Err: fmt.Sprintf("pws: admission refused: cluster overloaded (util %.2f)", s.lastUtil),
 		})
 		return
 	}
@@ -273,14 +504,30 @@ func (s *Scheduler) poolByName(name string) *PoolSpec {
 	return nil
 }
 
-// freeNodesOf lists a pool's idle, healthy nodes.
+// nodeFree reports whether a node can take a slice right now.
+func (s *Scheduler) nodeFree(n types.NodeID) bool {
+	if s.down[n] || s.quarantined[n] || s.st.Draining[n] || s.cooling[n] {
+		return false
+	}
+	_, taken := s.busy[n]
+	return !taken
+}
+
+// freeNodesOf lists a pool's idle, healthy nodes: its own members that
+// are not lent away, plus foreign nodes it holds retained leases on.
 func (s *Scheduler) freeNodesOf(p *PoolSpec) []types.NodeID {
 	var out []types.NodeID
 	for _, n := range p.Nodes {
-		if s.down[n] || s.quarantined[n] {
+		if !s.nodeFree(n) {
 			continue
 		}
-		if _, taken := s.busy[n]; taken {
+		if to, leased := s.leasedTo[n]; leased && to != p.Name {
+			continue
+		}
+		out = append(out, n)
+	}
+	for n, to := range s.leasedTo {
+		if to != p.Name || s.home[n] == p.Name || !s.nodeFree(n) {
 			continue
 		}
 		out = append(out, n)
@@ -296,9 +543,146 @@ func (s *Scheduler) freeNodesOf(p *PoolSpec) []types.NodeID {
 	return out
 }
 
+// schedulable counts the nodes any pool could place on right now or once
+// their slice finishes — the denominator of the cluster utilisation.
+func (s *Scheduler) schedulable() int {
+	count := 0
+	for n := range s.home {
+		if s.down[n] || s.quarantined[n] || s.st.Draining[n] {
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// clusterUtil folds per-node utilisation over the schedulable nodes: a
+// node busy with a slice counts 1, otherwise its bulletin-reported
+// utilisation (CPU and runqueue, see types.ResourceStats.Util) counts.
+func (s *Scheduler) clusterUtil() float64 {
+	var sum float64
+	count := 0
+	for n := range s.home {
+		if s.down[n] || s.quarantined[n] || s.st.Draining[n] {
+			continue
+		}
+		count++
+		if _, taken := s.busy[n]; taken {
+			sum++
+			continue
+		}
+		u := s.utils[n]
+		if u > 1 {
+			u = 1
+		}
+		if u > 0 {
+			sum += u
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// batchBacklog sums the queued width of every batch pool.
+func (s *Scheduler) batchBacklog() int {
+	total := 0
+	for i := range s.spec.Pools {
+		pool := &s.spec.Pools[i]
+		if pool.service() {
+			continue
+		}
+		for _, job := range s.st.Queues[pool.Name] {
+			w := job.Width
+			if w <= 0 {
+				w = 1
+			}
+			total += w
+		}
+	}
+	return total
+}
+
+func (s *Scheduler) threshold(level int) float64 {
+	switch level {
+	case shedPause:
+		return s.ov.PauseAt
+	case shedPreempt:
+		return s.ov.PreemptAt
+	case shedRefuse:
+		return s.ov.RefuseAt
+	}
+	return 0
+}
+
+// updateShed recomputes the utilisation signal and moves the shed ladder.
+// Escalation is immediate; de-escalation is one rung per cycle and only
+// once the utilisation clears the current rung's threshold by the
+// hysteresis margin, so a cluster hovering on a threshold does not flap.
+func (s *Scheduler) updateShed() {
+	util := s.clusterUtil()
+	s.lastUtil = util
+	s.gauge.Set(util)
+	if !s.ov.Enabled {
+		return
+	}
+	backlog := s.batchBacklog()
+	sched := s.schedulable()
+	target := shedNone
+	if util >= s.ov.PauseAt {
+		target = shedPause
+	}
+	if util >= s.ov.PreemptAt && (s.pendingService > 0 || (sched > 0 && backlog >= sched)) {
+		target = shedPreempt
+	}
+	if util >= s.ov.RefuseAt && sched > 0 && backlog >= sched {
+		target = shedRefuse
+	}
+	switch {
+	case target > s.st.Shed:
+		s.st.Shed = target
+		s.events.Publish(types.Event{Type: types.EvConfigChange, Partition: s.spec.Partition,
+			Detail: fmt.Sprintf("pws shed ladder -> %s (util %.2f)", shedName(target), util)})
+	case target < s.st.Shed && util <= s.threshold(s.st.Shed)-s.ov.Hysteresis:
+		s.st.Shed--
+		s.events.Publish(types.Event{Type: types.EvConfigChange, Partition: s.spec.Partition,
+			Detail: fmt.Sprintf("pws shed ladder -> %s (util %.2f)", shedName(s.st.Shed), util)})
+	}
+}
+
+// sweepRetained returns retained leases to their lenders once the
+// cluster has stayed cool for the return delay; while it stays hot, the
+// clock restarts each cycle (hysteresis on lease return).
+func (s *Scheduler) sweepRetained() {
+	if len(s.st.Retained) == 0 {
+		return
+	}
+	if s.lastUtil >= s.ov.PauseAt-s.ov.Hysteresis {
+		for n, r := range s.st.Retained {
+			r.FreedAt = s.h.Now()
+			s.st.Retained[n] = r
+		}
+		return
+	}
+	changed := false
+	for n, r := range s.st.Retained {
+		if s.h.Now().Sub(r.FreedAt) < s.ov.LeaseReturnDelay {
+			continue
+		}
+		delete(s.st.Retained, n)
+		delete(s.leasedTo, n)
+		changed = true
+	}
+	if changed {
+		s.checkpointState()
+	}
+}
+
 // cycle is one scheduling pass: optionally refresh resource state through
-// the bulletin federation, then dispatch per pool, leasing idle nodes from
-// other pools when a job needs more width than its pool owns free.
+// the bulletin federation, then move the shed ladder and dispatch per
+// pool, leasing idle nodes from other pools when a job needs more width
+// than its pool owns free.
 func (s *Scheduler) cycle() {
 	if s.spec.UseBulletin {
 		s.BulletinQueries++
@@ -309,54 +693,68 @@ func (s *Scheduler) cycle() {
 			for _, snap := range ack.Snapshots {
 				for _, r := range snap.Res {
 					s.loads[r.Node] = r.CPUPct
+					s.utils[r.Node] = r.Util()
 				}
 			}
-			s.dispatchAll()
+			s.schedule()
 		})
 		return
 	}
+	s.schedule()
+}
+
+func (s *Scheduler) schedule() {
+	s.updateShed()
+	s.sweepRetained()
 	s.dispatchAll()
 }
 
 func (s *Scheduler) dispatchAll() {
 	changed := false
+	// Service pools dispatch first: their demand is never shed, and the
+	// capacity the ladder frees must land on them, not on queued batch.
+	for i := range s.spec.Pools {
+		if pool := &s.spec.Pools[i]; pool.service() {
+			changed = s.dispatchPool(pool) || changed
+		}
+	}
+	// The preempt rung evicts batch only when there is service demand the
+	// freed node can serve; with no service waiting, preemption would be
+	// pure churn (the requeued job could not dispatch anyway while the
+	// ladder holds batch).
+	if s.ov.Enabled && s.st.Shed >= shedPreempt && s.pendingService > 0 {
+		changed = s.preemptOne() || changed
+	}
+	paused := s.ov.Enabled && s.st.Shed >= shedPause
 	for i := range s.spec.Pools {
 		pool := &s.spec.Pools[i]
-		queue := s.st.Queues[pool.Name]
-		if len(queue) == 0 {
+		if pool.service() {
 			continue
 		}
-		pool.Policy.order(queue)
-		free := s.freeNodesOf(pool)
-		picks := pool.Policy.pick(queue, len(free))
-		picked := map[int]bool{}
-		for _, idx := range picks {
-			picked[idx] = true
-			job := queue[idx]
-			nodes := free[:job.Width]
-			free = free[job.Width:]
-			s.dispatch(job, nodes, nil)
-			changed = true
-		}
-		// Leasing: if the head job still doesn't fit, borrow idle nodes
-		// from lease-enabled pools with empty queues.
-		if len(picks) == 0 && len(queue) > 0 {
-			head := queue[0]
-			if borrowed, ok := s.borrow(pool, head.Width-len(free)); ok {
-				nodes := append(append([]types.NodeID{}, free...), borrowed.nodes...)
-				s.dispatch(head, nodes[:head.Width], borrowed.from)
-				picked[0] = true
-				changed = true
+		if paused {
+			// The pause rung: hold new batch dispatch. Count a shed action
+			// only when work was actually deferred — queued jobs with free
+			// capacity they would otherwise take.
+			if len(s.st.Queues[pool.Name]) > 0 && len(s.freeNodesOf(pool)) > 0 {
+				s.st.ShedTotal++
 			}
+			continue
 		}
-		if len(picked) > 0 {
-			rest := queue[:0]
-			for idx, job := range queue {
-				if !picked[idx] {
-					rest = append(rest, job)
-				}
+		changed = s.dispatchPool(pool) || changed
+	}
+	// Unmet service width feeds the preempt rung on the next cycle.
+	s.pendingService = 0
+	for i := range s.spec.Pools {
+		pool := &s.spec.Pools[i]
+		if !pool.service() {
+			continue
+		}
+		for _, job := range s.st.Queues[pool.Name] {
+			w := job.Width
+			if w <= 0 {
+				w = 1
 			}
-			s.st.Queues[pool.Name] = rest
+			s.pendingService += w
 		}
 	}
 	if changed {
@@ -364,12 +762,82 @@ func (s *Scheduler) dispatchAll() {
 	}
 }
 
+// dispatchPool runs one pool's policy over its queue and dispatches the
+// picks; the head job may complete its width by borrowing.
+func (s *Scheduler) dispatchPool(pool *PoolSpec) bool {
+	queue := s.st.Queues[pool.Name]
+	if len(queue) == 0 {
+		return false
+	}
+	changed := false
+	pool.Policy.order(queue)
+	free := s.freeNodesOf(pool)
+	picks := pool.Policy.pick(queue, len(free))
+	picked := map[int]bool{}
+	for _, idx := range picks {
+		picked[idx] = true
+		job := queue[idx]
+		nodes := free[:job.Width]
+		free = free[job.Width:]
+		s.dispatch(job, nodes, nil)
+		changed = true
+	}
+	// Leasing: if the head job still doesn't fit, borrow idle nodes
+	// from lease-enabled pools.
+	if len(picks) == 0 && len(queue) > 0 {
+		head := queue[0]
+		if borrowed, ok := s.borrow(pool, head.Width-len(free)); ok {
+			nodes := append(append([]types.NodeID{}, free...), borrowed.nodes...)
+			s.dispatch(head, nodes[:head.Width], borrowed.from)
+			picked[0] = true
+			changed = true
+		}
+	}
+	if len(picked) > 0 {
+		rest := queue[:0]
+		for idx, job := range queue {
+			if !picked[idx] {
+				rest = append(rest, job)
+			}
+		}
+		s.st.Queues[pool.Name] = rest
+	}
+	return changed
+}
+
+// preemptOne requeues the lowest-priority (then youngest) running batch
+// job — the preempt rung of the shed ladder.
+func (s *Scheduler) preemptOne() bool {
+	var victim *RunJob
+	for _, rj := range s.st.Running {
+		pool := s.poolByName(rj.Job.Pool)
+		if pool == nil || pool.service() {
+			continue
+		}
+		if victim == nil ||
+			rj.Job.Priority < victim.Job.Priority ||
+			(rj.Job.Priority == victim.Job.Priority && rj.Job.Seq > victim.Job.Seq) {
+			victim = rj
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	s.st.Preempted++
+	s.st.ShedTotal++
+	s.requeue(victim.Job.ID, noNode, false, "preempted by shed ladder")
+	return true
+}
+
 type borrowResult struct {
 	nodes []types.NodeID
 	from  map[types.NodeID]string
 }
 
-// borrow collects up to need idle nodes from lendable pools.
+// borrow collects up to need idle nodes from lendable pools. A batch
+// borrower only takes from lenders with empty queues; a service borrower
+// overrides that check — protecting service capacity outranks batch
+// backlog.
 func (s *Scheduler) borrow(borrower *PoolSpec, need int) (borrowResult, bool) {
 	if need <= 0 {
 		return borrowResult{}, false
@@ -380,10 +848,13 @@ func (s *Scheduler) borrow(borrower *PoolSpec, need int) (borrowResult, bool) {
 		if lender.Name == borrower.Name || !lender.AllowLease {
 			continue
 		}
-		if len(s.st.Queues[lender.Name]) > 0 {
+		if len(s.st.Queues[lender.Name]) > 0 && !borrower.service() {
 			continue // lender needs its nodes
 		}
 		for _, n := range s.freeNodesOf(lender) {
+			if s.home[n] != lender.Name {
+				continue // a lease the lender holds on someone else's node
+			}
 			res.nodes = append(res.nodes, n)
 			res.from[n] = lender.Name
 			if len(res.nodes) == need {
@@ -395,8 +866,22 @@ func (s *Scheduler) borrow(borrower *PoolSpec, need int) (borrowResult, bool) {
 }
 
 func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types.NodeID]string) {
+	s.st.NextGen++
 	rj := &RunJob{Job: job, Nodes: nodes, Remaining: len(nodes), LeasedFrom: leasedFrom,
-		StartedAt: s.h.Now()}
+		StartedAt: s.h.Now(), Gen: s.st.NextGen}
+	// A retained node continues its lease under the new job.
+	for _, n := range nodes {
+		if r, held := s.st.Retained[n]; held {
+			if rj.LeasedFrom == nil {
+				rj.LeasedFrom = make(map[types.NodeID]string)
+			}
+			rj.LeasedFrom[n] = r.From
+			delete(s.st.Retained, n)
+		}
+	}
+	for n := range rj.LeasedFrom {
+		s.leasedTo[n] = job.Pool
+	}
 	s.st.Running[job.ID] = rj
 	if job.Walltime > 0 {
 		id := job.ID
@@ -408,7 +893,7 @@ func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types
 		n := n
 		spec := ppm.JobSpec{
 			ID: job.ID, Name: job.Name, Duration: job.Duration,
-			Submitter: s.h.Self(),
+			Submitter: s.h.Self(), Gen: rj.Gen,
 		}
 		// Loads are not idempotent, but the token is reused across
 		// retries and the PPM dedups by it, so a retried load starts the
@@ -425,7 +910,12 @@ func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types
 					return // reconcile adopts lost slices
 				}
 				if ack := payload.(ppm.LoadAck); !ack.OK {
-					s.sliceDone(ack.Job, n)
+					// The node refused the load: a dispatch failure, not a
+					// completion. Requeue against the job's budget so a job
+					// no node will accept lands in StateFailed instead of
+					// bouncing forever.
+					s.requeue(ack.Job, n, true,
+						fmt.Sprintf("dispatch refused by node %d: %s", n, ack.Err))
 				}
 			},
 		})
@@ -434,17 +924,53 @@ func (s *Scheduler) dispatch(job Job, nodes []types.NodeID, leasedFrom map[types
 		Detail: fmt.Sprintf("job %d width %d pool %s", job.ID, job.Width, job.Pool)})
 }
 
-func (s *Scheduler) sliceDone(id types.JobID, node types.NodeID) {
-	if s.busy[node] == id {
-		delete(s.busy, node)
+// releaseNode frees one node whose slice ended normally. A node a
+// service pool borrowed is retained (the lease outlives the job) while
+// overload control is on; other leases return to the lender immediately.
+func (s *Scheduler) releaseNode(n types.NodeID, rj *RunJob) {
+	if s.busy[n] == rj.Job.ID {
+		delete(s.busy, n)
 	}
-	rj, ok := s.st.Running[id]
-	if !ok {
+	lender, leased := rj.LeasedFrom[n]
+	if !leased {
 		return
 	}
+	pool := s.poolByName(rj.Job.Pool)
+	if s.ov.Enabled && pool != nil && pool.service() && !s.down[n] {
+		s.st.Retained[n] = retainedLease{From: lender, By: pool.Name, FreedAt: s.h.Now()}
+		s.leasedTo[n] = pool.Name
+		return
+	}
+	delete(s.leasedTo, n)
+}
+
+func (s *Scheduler) sliceDone(id types.JobID, node types.NodeID, normal bool, gen uint64) {
+	rj, ok := s.st.Running[id]
+	if !ok {
+		// Stray notification (job already requeued/deleted): only clear a
+		// stale busy mark that still names this job.
+		if s.busy[node] == id {
+			delete(s.busy, node)
+		}
+		return
+	}
+	if gen != rj.Gen {
+		// An exit from a previous incarnation (a slice killed during a
+		// requeue, arriving after the job was re-dispatched): not this
+		// incarnation's business.
+		return
+	}
+	if !normal {
+		// The slice died without the scheduler asking for it: a crashed
+		// job process. Requeue, counted against the poison budget.
+		s.requeue(id, node, true, fmt.Sprintf("slice crashed on node %d", node))
+		return
+	}
+	s.releaseNode(node, rj)
 	rj.Remaining--
 	if rj.Remaining <= 0 {
 		delete(s.st.Running, id)
+		delete(s.st.Attempts, id)
 		s.st.Completed++
 		s.st.Outcomes[id] = StateCompleted
 		s.events.Publish(types.Event{Type: types.EvJobFinish, Partition: s.spec.Partition,
@@ -461,8 +987,14 @@ func (s *Scheduler) onEvent(ev types.Event) {
 	switch ev.Type {
 	case types.EvNodeFail:
 		s.down[ev.Node] = true
+		// A lease on a dead node is void either way: release it to the
+		// lender's books even when no job held it (retained lease).
+		if _, held := s.st.Retained[ev.Node]; held {
+			delete(s.st.Retained, ev.Node)
+			delete(s.leasedTo, ev.Node)
+		}
 		if id, ok := s.busy[ev.Node]; ok {
-			s.requeue(id, ev.Node)
+			s.requeue(id, ev.Node, true, fmt.Sprintf("node %d failed", ev.Node))
 		}
 	case types.EvNodeRecover:
 		delete(s.down, ev.Node)
@@ -489,6 +1021,7 @@ var shortPolicy = rpc.Policy{Budget: 2 * time.Second}
 // idempotent; a lost ack is retried within the short budget and then
 // dropped — reconcile cleans up any survivor.
 func (s *Scheduler) killSlice(n types.NodeID, id types.JobID) {
+	s.cooling[n] = true
 	s.caller.Go(rpc.Call{
 		Policy: &shortPolicy,
 		Targets: func() []types.Addr {
@@ -497,49 +1030,142 @@ func (s *Scheduler) killSlice(n types.NodeID, id types.JobID) {
 		Send: func(token uint64, to types.Addr) {
 			s.h.Send(to, types.AnyNIC, ppm.MsgKill, ppm.KillReq{Token: token, Job: id})
 		},
+		Done: func(any, error) {
+			// Acked or budget-exhausted: either way stop holding the node
+			// back (a dead node is excluded by the down mark anyway).
+			delete(s.cooling, n)
+			s.cycle()
+		},
 	})
 }
 
-// requeue aborts a job hit by a node failure and puts it back at the head
-// of its pool's queue.
-func (s *Scheduler) requeue(id types.JobID, failedNode types.NodeID) {
+// requeue aborts a running job and puts it back at the head of its
+// pool's queue. countAttempt charges the job's requeue budget (node
+// crashes, dispatch failures); administrative requeues (preemption,
+// drain) do not. A job over budget is quarantined in StateFailed with
+// the reason recorded instead of requeueing forever.
+func (s *Scheduler) requeue(id types.JobID, failedNode types.NodeID, countAttempt bool, reason string) {
 	rj, ok := s.st.Running[id]
 	if !ok {
 		return
 	}
 	delete(s.st.Running, id)
-	s.st.Requeued++
 	for _, n := range rj.Nodes {
 		if s.busy[n] == id {
 			delete(s.busy, n)
 		}
+		// Leases do not survive a requeue: the lender gets its node back
+		// (or its books cleared, when the node is the one that died).
+		delete(s.leasedTo, n)
+		delete(s.st.Retained, n)
 		if n == failedNode || s.down[n] {
 			continue
 		}
 		s.killSlice(n, id)
 	}
+	if countAttempt {
+		s.st.Attempts[id]++
+		if s.st.Attempts[id] > s.ov.JobRequeueBudget {
+			s.quarantineJob(id, reason)
+			return
+		}
+	}
+	s.st.Requeued++
 	job := rj.Job
 	job.Seq = 0 // head of the queue
 	s.st.Queues[job.Pool] = append([]Job{job}, s.st.Queues[job.Pool]...)
 	s.events.Publish(types.Event{Type: types.EvJobFail, Partition: s.spec.Partition,
-		Node: failedNode, Detail: fmt.Sprintf("job %d requeued", id)})
+		Node: failedNode, Detail: fmt.Sprintf("job %d requeued: %s", id, reason)})
 	s.checkpointState()
 	s.cycle()
 }
 
+// quarantineJob moves a poison job to the terminal failed state.
+func (s *Scheduler) quarantineJob(id types.JobID, reason string) {
+	full := fmt.Sprintf("%s (requeue budget %d exhausted)", reason, s.ov.JobRequeueBudget)
+	s.st.Failed++
+	s.st.Outcomes[id] = StateFailed
+	s.st.FailReasons[id] = full
+	delete(s.st.Attempts, id)
+	s.events.Publish(types.Event{Type: types.EvJobFail, Partition: s.spec.Partition,
+		Detail: fmt.Sprintf("job %d failed: %s", id, full)})
+	s.checkpointState()
+	s.cycle()
+}
+
+// drain handles the operator drain/undrain request: placement stops on
+// the node, its running batch slice is requeued (service jobs keep
+// serving until the operator moves them), the node's PPM learns the mark
+// for its readiness surface, and the bulletin carries it cluster-wide.
+func (s *Scheduler) drain(from types.Addr, req DrainAdminReq) {
+	ack := DrainAdminAck{Token: req.Token}
+	n := req.Node
+	if _, pooled := s.home[n]; !pooled {
+		ack.Err = fmt.Sprintf("pws: node %d not in any pool", n)
+		s.h.Send(from, types.AnyNIC, MsgDrainAck, ack)
+		return
+	}
+	if req.Undrain {
+		delete(s.st.Draining, n)
+	} else if !s.st.Draining[n] {
+		s.st.Draining[n] = true
+		if id, held := s.busy[n]; held {
+			if rj := s.st.Running[id]; rj != nil {
+				if pool := s.poolByName(rj.Job.Pool); pool != nil && !pool.service() {
+					s.requeue(id, noNode, false, fmt.Sprintf("node %d draining", n))
+					ack.Requeued++
+				}
+			}
+		}
+	}
+	s.notifyDrain(n, !req.Undrain)
+	s.bulletin.ExportApp(types.AppState{
+		Node: n, Name: "phoenix/drain", Alive: !req.Undrain,
+		SLATag: "drain", Updated: s.h.Now(),
+	})
+	s.checkpointState()
+	ack.OK = true
+	s.h.Send(from, types.AnyNIC, MsgDrainAck, ack)
+	s.cycle()
+}
+
+// notifyDrain tells a node's PPM its drain state, so the node's /readyz
+// reports "draining". Idempotent; reconcile re-asserts active drains in
+// case the ack was lost or the PPM restarted.
+func (s *Scheduler) notifyDrain(n types.NodeID, draining bool) {
+	s.caller.Go(rpc.Call{
+		Policy: &shortPolicy,
+		Targets: func() []types.Addr {
+			return []types.Addr{{Node: n, Service: types.SvcPPM}}
+		},
+		Send: func(token uint64, to types.Addr) {
+			s.h.Send(to, types.AnyNIC, ppm.MsgDrain, ppm.DrainReq{Token: token, Draining: draining})
+		},
+	})
+}
+
 // reconcile audits running jobs against the PPM daemons; slices that
-// vanished without a notification (lost messages, scheduler migration) are
-// treated as done.
+// vanished without a notification (lost messages, scheduler migration)
+// are treated as done. The audits are sheddable: under refuse-level
+// pressure the next period re-issues them. It also re-asserts active
+// drain marks.
 func (s *Scheduler) reconcile() {
+	for n, draining := range s.st.Draining {
+		if draining && !s.down[n] {
+			s.notifyDrain(n, true)
+		}
+	}
 	for id, rj := range s.st.Running {
 		id, rj := id, rj
+		gen := rj.Gen
 		for _, n := range rj.Nodes {
 			n := n
 			if s.busy[n] != id || s.down[n] {
 				continue
 			}
 			s.caller.Go(rpc.Call{
-				Policy: &shortPolicy,
+				Policy:    &shortPolicy,
+				Sheddable: true,
 				Targets: func() []types.Addr {
 					return []types.Addr{{Node: n, Service: types.SvcPPM}}
 				},
@@ -551,7 +1177,7 @@ func (s *Scheduler) reconcile() {
 						return
 					}
 					if ack := payload.(ppm.QueryAck); !ack.Running {
-						s.sliceDone(id, n)
+						s.sliceDone(id, n, true, gen)
 					}
 				},
 			})
@@ -577,10 +1203,15 @@ func (s *Scheduler) deleteJob(id types.JobID, outcome JobState) error {
 	// Running?
 	if rj, ok := s.st.Running[id]; ok {
 		delete(s.st.Running, id)
+		delete(s.st.Attempts, id)
 		for _, n := range rj.Nodes {
 			if s.busy[n] == id {
 				delete(s.busy, n)
 			}
+			// An operator deletion returns leases immediately — the job is
+			// gone by explicit intent, not by load.
+			delete(s.leasedTo, n)
+			delete(s.st.Retained, n)
 			if s.down[n] {
 				continue
 			}
@@ -636,26 +1267,34 @@ func (s *Scheduler) jobStat(req JobStatReq) JobStatAck {
 	}
 	if outcome, ok := s.st.Outcomes[req.ID]; ok {
 		ack.State = outcome
+		ack.Reason = s.st.FailReasons[req.ID]
 	}
 	return ack
 }
 
 func (s *Scheduler) stat(token uint64) StatAck {
 	ack := StatAck{Token: token, Completed: s.st.Completed, Requeued: s.st.Requeued,
-		Deleted: s.st.Deleted, TimedOut: s.st.TimedOut}
+		Deleted: s.st.Deleted, TimedOut: s.st.TimedOut, Failed: s.st.Failed,
+		Util: s.lastUtil, Shed: shedName(s.st.Shed),
+		ShedTotal: s.st.ShedTotal, AdmissionRejects: s.st.AdmissionRejects,
+		Preempted: s.st.Preempted, LeasedNodes: len(s.leasedTo)}
 	for i := range s.spec.Pools {
 		pool := &s.spec.Pools[i]
-		ps := PoolStat{Name: pool.Name, Queued: len(s.st.Queues[pool.Name]),
-			Free: len(s.freeNodesOf(pool))}
+		ps := PoolStat{Name: pool.Name, Type: pool.TypeName(), Nodes: len(pool.Nodes),
+			Queued: len(s.st.Queues[pool.Name]), Free: len(s.freeNodesOf(pool))}
+		for _, n := range pool.Nodes {
+			if s.st.Draining[n] {
+				ps.Draining++
+			}
+			// Leased counts this pool's nodes lent away, whether a job
+			// still runs on them or a service pool retains them.
+			if to, leased := s.leasedTo[n]; leased && to != pool.Name {
+				ps.Leased++
+			}
+		}
 		for _, rj := range s.st.Running {
 			if rj.Job.Pool == pool.Name {
 				ps.Running++
-			}
-			for n, from := range rj.LeasedFrom {
-				_ = n
-				if from == pool.Name {
-					ps.Leased++
-				}
 			}
 		}
 		ack.Queued += ps.Queued
@@ -664,6 +1303,10 @@ func (s *Scheduler) stat(token uint64) StatAck {
 	}
 	return ack
 }
+
+// Overview snapshots the scheduler for same-process status surfaces
+// (/statusz, /metrics): identical content to a MsgStat reply.
+func (s *Scheduler) Overview() StatAck { return s.stat(0) }
 
 func (s *Scheduler) checkpointState() {
 	data, err := encodeState(s.st)

@@ -40,6 +40,15 @@ type Options struct {
 	// Targets stay first and unrotated — writes pinned to a primary are
 	// unaffected.
 	Spread bool
+	// Pressure, with ShedAt, extends shedding beyond the caller's own
+	// queue: a Call marked Sheddable fails immediately with ErrShed while
+	// Pressure.Level() >= ShedAt. Calls not marked Sheddable ignore the
+	// gauge entirely, so kills, checkpoints and service-path traffic are
+	// never refused by backpressure.
+	Pressure *Gauge
+	// ShedAt is the gauge level at which sheddable calls are refused.
+	// Zero disables gauge-driven shedding even with a gauge wired.
+	ShedAt float64
 }
 
 // Budget is shorthand for Options with only a deadline budget set.
@@ -80,6 +89,11 @@ type Call struct {
 	Done func(payload any, err error)
 	// Policy overrides the caller's policy for this call.
 	Policy *Policy
+	// Sheddable marks the call safe to refuse under backpressure: a
+	// periodic audit or other best-effort traffic that a later period
+	// reissues anyway. Sheddable calls fail fast with ErrShed while the
+	// caller's pressure gauge sits at or above Options.ShedAt.
+	Sheddable bool
 }
 
 // callState tracks one in-flight resilient call.
@@ -151,6 +165,13 @@ func inc(ctr *metrics.Counter) {
 // it may run synchronously (shedding, no targets).
 func (c *Caller) Go(call Call) uint64 {
 	if c.opts.MaxInFlight > 0 && len(c.calls) >= c.opts.MaxInFlight {
+		inc(c.shed)
+		if call.Done != nil {
+			call.Done(nil, ErrShed)
+		}
+		return 0
+	}
+	if call.Sheddable && c.opts.ShedAt > 0 && c.opts.Pressure.Level() >= c.opts.ShedAt {
 		inc(c.shed)
 		if call.Done != nil {
 			call.Done(nil, ErrShed)

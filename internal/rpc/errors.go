@@ -18,9 +18,13 @@ var (
 	// was exhausted without a reply.
 	ErrTimeout = errors.New("rpc: call timed out")
 
-	// ErrShed marks a call rejected locally because the caller's bounded
-	// in-flight window is full — load shedding, not a network fault.
-	ErrShed = errors.New("rpc: call shed (in-flight limit)")
+	// ErrShed marks a call rejected locally by load shedding, not a
+	// network fault: the caller's bounded in-flight window is full, or a
+	// sheddable call found the shared pressure gauge above the shed
+	// threshold (cluster-aware backpressure). Schedulers reuse the same
+	// sentinel for admission refusals, so a client can treat "the cluster
+	// is overloaded" uniformly with errors.Is(err, ErrShed).
+	ErrShed = errors.New("rpc: call shed (overload)")
 
 	// ErrBreakerOpen marks a call that exhausted its budget with every
 	// candidate target's circuit breaker open.

@@ -1,0 +1,80 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/types"
+)
+
+// A sheddable call must fail fast with ErrShed while the shared gauge
+// sits at or above the threshold; critical (non-sheddable) calls on the
+// same caller must still go out.
+func TestPressureGaugeShedsSheddableCalls(t *testing.T) {
+	h := newCallerHarness()
+	reg := metrics.NewRegistry()
+	g := NewGauge()
+	c := NewCaller(h.f, Options{Budget: 3 * time.Second, Metrics: reg, Pressure: g, ShedAt: 0.97})
+
+	g.Set(1.2)
+	var gotErr error
+	tok := c.Go(Call{
+		Sheddable: true,
+		Targets:   func() []types.Addr { return []types.Addr{addrA} },
+		Send:      func(uint64, types.Addr) { t.Error("sheddable call sent under pressure") },
+		Done:      func(_ any, err error) { gotErr = err },
+	})
+	if tok != 0 {
+		t.Fatalf("shed call returned token %d, want 0", tok)
+	}
+	if !errors.Is(gotErr, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", gotErr)
+	}
+
+	sent := 0
+	c.Go(Call{
+		Targets: func() []types.Addr { return []types.Addr{addrA} },
+		Send:    func(uint64, types.Addr) { sent++ },
+	})
+	if sent != 1 {
+		t.Fatalf("critical call sent %d times under pressure, want 1", sent)
+	}
+
+	g.Set(0.5)
+	c.Go(Call{
+		Sheddable: true,
+		Targets:   func() []types.Addr { return []types.Addr{addrA} },
+		Send:      func(uint64, types.Addr) { sent++ },
+	})
+	if sent != 2 {
+		t.Fatalf("sheddable call below threshold sent %d times, want 2", sent)
+	}
+	if st := ReadStats(reg); st.Shed != 1 {
+		t.Fatalf("stats = %+v, want 1 shed", st)
+	}
+}
+
+// A nil gauge or zero threshold must disable gauge-driven shedding.
+func TestPressureGaugeDisabled(t *testing.T) {
+	h := newCallerHarness()
+	sent := 0
+	c := NewCaller(h.f, Budget(time.Second))
+	c.Go(Call{
+		Sheddable: true,
+		Targets:   func() []types.Addr { return []types.Addr{addrA} },
+		Send:      func(uint64, types.Addr) { sent++ },
+	})
+	g := NewGauge()
+	g.Set(5)
+	c2 := NewCaller(h.f, Options{Budget: time.Second, Pressure: g}) // ShedAt 0
+	c2.Go(Call{
+		Sheddable: true,
+		Targets:   func() []types.Addr { return []types.Addr{addrA} },
+		Send:      func(uint64, types.Addr) { sent++ },
+	})
+	if sent != 2 {
+		t.Fatalf("sent = %d, want 2 (shedding disabled)", sent)
+	}
+}

@@ -89,6 +89,30 @@ type ResourceStats struct {
 	DiskIOBps float64 // disk I/O, bytes per second
 	NetIOBps  float64 // network I/O, bytes per second
 	Collected time.Time
+	// RunQ is the node's runqueue depth: how many job processes the
+	// node's process-management module holds in flight when the detector
+	// samples. It complements CPUPct for the overload signal — a node
+	// saturated by a just-dispatched slice shows RunQ > 0 before the CPU
+	// sample catches up.
+	RunQ int
+}
+
+// Util folds the snapshot into one scheduling-facing utilisation figure
+// in [0,1]: the CPU fraction, floored at 1 when the runqueue holds work
+// at all (an occupied node is not a placement target even while its CPU
+// sample lags).
+func (s ResourceStats) Util() float64 {
+	u := s.CPUPct / 100
+	if s.RunQ > 0 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
 }
 
 // AppState describes one application (job process) tracked by the

@@ -72,7 +72,8 @@ func (s ResourceStats) AppendWire(buf []byte) []byte {
 	buf = wirebin.AppendFloat64(buf, s.SwapPct)
 	buf = wirebin.AppendFloat64(buf, s.DiskIOBps)
 	buf = wirebin.AppendFloat64(buf, s.NetIOBps)
-	return wirebin.AppendTime(buf, s.Collected)
+	buf = wirebin.AppendTime(buf, s.Collected)
+	return wirebin.AppendVarint(buf, int64(s.RunQ))
 }
 
 // DecodeWire implements codec.Payload.
@@ -92,6 +93,7 @@ func (s *ResourceStats) ReadWire(r *wirebin.Reader) {
 	s.DiskIOBps = r.Float64()
 	s.NetIOBps = r.Float64()
 	s.Collected = r.Time()
+	s.RunQ = int(r.Varint())
 }
 
 // WireID implements codec.Payload.

@@ -1,0 +1,179 @@
+#!/bin/sh
+# Overload / multi-tenancy smoke test, run by `make ci`: boot a real
+# four-node cluster hosting the PWS scheduler (-pws: one service pool,
+# one batch pool, derived from the topology), put a steady service-job
+# stream through it with phoenix-call, then flood the batch pool at a
+# multiple of its drain capacity. The shed ladder must engage (visible as
+# phoenix_pws_shed_total and phoenix_admission_rejects_total on
+# /metrics), the service tenant must keep its p99 submit latency within
+# SLO with zero failures, no node may crash and no job may be
+# quarantined, and once the flood stops the ladder must step back down
+# to rung 0. Proves utilisation backpressure and batch-first shedding
+# work end to end from the shipped binaries.
+set -eu
+
+BASE_PORT=${BASE_PORT:-19930}
+ADMIN0_PORT=$((BASE_PORT + 1000)) # -admin auto: plane-0 port + offset
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    for pid in $pids; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/phoenix-node" ./cmd/phoenix-node
+go build -o "$tmp/phoenix-admin" ./cmd/phoenix-admin
+go build -o "$tmp/phoenix-call" ./cmd/phoenix-call
+
+# One partition of four: node 0 server (hosts the scheduler), node 1
+# backup, nodes 2-3 compute (TopologyPools: service={2}, batch={3}).
+# The client book adds two node-major slots at the same base port (a
+# strict superset): node 4 is the service tenant, node 5 the batch flood.
+"$tmp/phoenix-node" -gen-book -partitions 1 -partition-size 4 -planes 2 \
+    -base-port "$BASE_PORT" > "$tmp/book.txt"
+"$tmp/phoenix-node" -gen-book -partitions 1 -partition-size 6 -planes 2 \
+    -base-port "$BASE_PORT" > "$tmp/book6.txt"
+
+for id in 0 1 2 3; do
+    "$tmp/phoenix-node" -node "$id" -book "$tmp/book6.txt" \
+        -partitions 1 -partition-size 4 -planes 2 \
+        -admin auto -pws -status 0 > "$tmp/node$id.log" 2>&1 &
+    eval "pid$id=$!"
+    pids="$pids $!"
+done
+
+admin() {
+    "$tmp/phoenix-admin" -book "$tmp/book.txt" "$@"
+}
+
+# poll <what> <iterations> <sleep> <command...>: retry until success.
+poll() {
+    what=$1 n=$2 pause=$3
+    shift 3
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        if "$@" > /dev/null 2>&1; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep "$pause"
+    done
+    echo "overload smoke: timed out waiting for $what" >&2
+    admin -scrape "127.0.0.1:$ADMIN0_PORT" >&2 2>/dev/null || true
+    for log in "$tmp"/node*.log "$tmp"/call*.log; do
+        [ -f "$log" ] || continue
+        echo "--- $log" >&2
+        tail -5 "$log" >&2
+    done
+    return 1
+}
+
+poll "cluster ready" 120 0.5 admin -strict
+
+# The scheduler must surface its pools across the admin surfaces before
+# any load arrives: the POOL column in the cluster table and the
+# phoenix_pws_* series on the scheduler node's /metrics.
+admin > "$tmp/table.txt"
+grep -q "service:" "$tmp/table.txt" || {
+    echo "overload smoke: admin table is missing the service pool:" >&2
+    cat "$tmp/table.txt" >&2
+    exit 1
+}
+admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt"
+for metric in phoenix_pws_shed_level phoenix_node_utilisation phoenix_pws_shed_total; do
+    grep -q "$metric" "$tmp/metrics0.txt" || {
+        echo "overload smoke: scheduler /metrics is missing $metric:" >&2
+        cat "$tmp/metrics0.txt" >&2
+        exit 1
+    }
+done
+
+# The service tenant: open-loop Poisson submissions, p99 gated at 2s by
+# the tool itself (a shed service submission counts as failed).
+"$tmp/phoenix-call" -book "$tmp/book6.txt" -node 4 -targets 0 \
+    -mode service -qps 1 -poisson -slo 2s -job-duration 200ms \
+    -budget 10s -duration 40s > "$tmp/call-svc.log" 2>&1 &
+svcpid=$!
+pids="$pids $svcpid"
+
+sleep 2
+
+# The batch flood: ~3x the batch pool's drain capacity for 12s. Shed
+# acks count as rejected, not failed, so the flood exits zero while the
+# ladder holds it back.
+"$tmp/phoenix-call" -book "$tmp/book6.txt" -node 5 -targets 0 \
+    -mode batch -qps 6 -job-duration 500ms \
+    -budget 10s -duration 12s > "$tmp/call-batch.log" 2>&1 &
+batchpid=$!
+pids="$pids $batchpid"
+
+metric_pos() {
+    # metric_pos <series>: the series is present with a value > 0.
+    admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt" 2>/dev/null || return 1
+    v=$(grep -o "^$1 [0-9]*" "$tmp/metrics0.txt" | awk '{print $2}')
+    [ -n "$v" ] && [ "$v" -gt 0 ]
+}
+
+poll "shed ladder engaging under the flood" 120 0.5 metric_pos phoenix_pws_shed_total
+poll "admission control refusing batch" 120 0.5 metric_pos phoenix_admission_rejects_total
+
+if ! wait "$batchpid"; then
+    echo "overload smoke: batch flood client exited non-zero:" >&2
+    tail "$tmp/call-batch.log" >&2
+    exit 1
+fi
+json_field() {
+    # json_field <file> <field>: numeric field of the final JSON report.
+    grep -o "\"$2\": *[0-9.-]*" "$1" | tail -1 | grep -o '[0-9.-]*$'
+}
+if [ "$(json_field "$tmp/call-batch.log" rejected)" = 0 ]; then
+    echo "overload smoke: batch flood saw no admission rejections:" >&2
+    tail -1 "$tmp/call-batch.log" >&2
+    exit 1
+fi
+
+# Recovery: with the flood gone the backlog drains and the ladder steps
+# back down to rung 0 under hysteresis.
+recovered() {
+    admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt" 2>/dev/null || return 1
+    grep -q "^phoenix_pws_shed_level 0" "$tmp/metrics0.txt"
+}
+poll "shed ladder stepping back down after the flood" 180 0.5 recovered
+
+# The service tenant must finish clean: exit zero means failed=0 and
+# p99 within its SLO (the tool enforces both).
+if ! wait "$svcpid"; then
+    echo "overload smoke: service client exited non-zero:" >&2
+    tail "$tmp/call-svc.log" >&2
+    exit 1
+fi
+if [ "$(json_field "$tmp/call-svc.log" failed)" != 0 ]; then
+    echo "overload smoke: service client reported failures:" >&2
+    tail -1 "$tmp/call-svc.log" >&2
+    exit 1
+fi
+
+# No job may have been quarantined and no node may have crashed.
+admin -scrape "127.0.0.1:$ADMIN0_PORT" > "$tmp/metrics0.txt"
+grep -q "^phoenix_pws_failed_jobs 0" "$tmp/metrics0.txt" || {
+    echo "overload smoke: scheduler quarantined jobs during the drill:" >&2
+    grep "phoenix_pws" "$tmp/metrics0.txt" >&2
+    exit 1
+}
+for id in 0 1 2 3; do
+    eval "pid=\$pid$id"
+    kill -0 "$pid" 2>/dev/null || {
+        echo "overload smoke: node $id died during the drill:" >&2
+        tail "$tmp/node$id.log" >&2
+        exit 1
+    }
+done
+
+echo "overload smoke: ok (service p99 $(json_field "$tmp/call-svc.log" p99_ms)ms, batch rejected $(json_field "$tmp/call-batch.log" rejected), shed_total $(grep -o '^phoenix_pws_shed_total [0-9]*' "$tmp/metrics0.txt" | awk '{print $2}'))"
